@@ -1,0 +1,171 @@
+package uniloc
+
+// The benchmark harness: one benchmark per paper table and figure
+// (each regenerates the corresponding rows/series; run with
+// `go test -bench . -benchtime 1x` to print every reproduction once),
+// plus micro-benchmarks of UniLoc's per-epoch costs — the quantities
+// behind the paper's response-time decomposition (Table V).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/offload"
+	"repro/internal/sensing"
+)
+
+// benchSuite is shared across benchmarks so training and surveys run
+// once per `go test -bench` invocation.
+var benchSuite *experiments.Suite
+
+func getSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	if benchSuite == nil {
+		benchSuite = experiments.NewSuite(42)
+		if _, err := benchSuite.Lab.Trained(); err != nil {
+			b.Fatalf("training: %v", err)
+		}
+	}
+	return benchSuite
+}
+
+// benchExperiment runs one paper experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	s := getSuite(b)
+	e, ok := s.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable1InfluenceFactors(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2ErrorModels(b *testing.B)      { benchExperiment(b, "table2") }
+func BenchmarkTable3PredictionRMSE(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkFigure2SchemeDiversity(b *testing.B) { benchExperiment(b, "figure2") }
+func BenchmarkFigure3OracleVsUniLoc(b *testing.B)  { benchExperiment(b, "figure3") }
+func BenchmarkFigure5SchemeUsage(b *testing.B)     { benchExperiment(b, "figure5") }
+func BenchmarkFigure6AverageError(b *testing.B)    { benchExperiment(b, "figure6") }
+func BenchmarkFigure7EightPathsCDF(b *testing.B)   { benchExperiment(b, "figure7") }
+func BenchmarkFigure8aMall(b *testing.B)           { benchExperiment(b, "figure8a") }
+func BenchmarkFigure8bOpenSpace(b *testing.B)      { benchExperiment(b, "figure8b") }
+func BenchmarkFigure8cOffice(b *testing.B)         { benchExperiment(b, "figure8c") }
+func BenchmarkFigure8dHeterodevices(b *testing.B)  { benchExperiment(b, "figure8d") }
+func BenchmarkTable4Energy(b *testing.B)           { benchExperiment(b, "table4") }
+func BenchmarkTable5ResponseTime(b *testing.B)     { benchExperiment(b, "table5") }
+func BenchmarkAblationWeighting(b *testing.B)      { benchExperiment(b, "ablation-weighting") }
+func BenchmarkAblationSpacing(b *testing.B)        { benchExperiment(b, "ablation-spacing") }
+func BenchmarkAblationTrainingSize(b *testing.B)   { benchExperiment(b, "ablation-training-size") }
+
+// --- Micro-benchmarks: UniLoc's own per-epoch computation (Table V's
+// "error prediction" and "BMA" rows measure these very code paths).
+
+// benchEpoch prepares one realistic mid-walk epoch.
+func benchEpoch(b *testing.B) (*core.Framework, []*sensing.Snapshot) {
+	b.Helper()
+	s := getSuite(b)
+	tr, err := s.Lab.Trained()
+	if err != nil {
+		b.Fatal(err)
+	}
+	campus := s.Lab.Campus()
+	ss := campus.Schemes(rand.New(rand.NewSource(9)))
+	fw, err := core.NewFramework(ss, tr.Models)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, _ := campus.Place.PathByName("path1")
+	start, _ := path.Line.At(0)
+	fw.Reset(start)
+	rnd := rand.New(rand.NewSource(10))
+	wk := NewWalker(campus.Place.World, path, campus.DefaultWalkerConfig(), rnd)
+	var snaps []*sensing.Snapshot
+	for !wk.Done() {
+		snap, _ := wk.Next(true)
+		snaps = append(snaps, snap)
+	}
+	return fw, snaps
+}
+
+// BenchmarkFrameworkStep measures one full UniLoc epoch: all five
+// schemes, error prediction, confidences, selection and BMA.
+func BenchmarkFrameworkStep(b *testing.B) {
+	fw, snaps := benchEpoch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.Step(snaps[i%len(snaps)])
+	}
+}
+
+// BenchmarkBMACombine measures the BMA weighting + combination alone
+// (the paper reports ~0.1 ms).
+func BenchmarkBMACombine(b *testing.B) {
+	fw, snaps := benchEpoch(b)
+	res := fw.Step(snaps[len(snaps)/2])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tau := core.Tau(res.Schemes)
+		core.ApplyConfidences(res.Schemes, tau)
+		core.CombineBMA(res.Schemes)
+	}
+}
+
+// BenchmarkErrorPrediction measures one scheme-error prediction (the
+// paper reports ~6 ms for all schemes on their workstation).
+func BenchmarkErrorPrediction(b *testing.B) {
+	s := getSuite(b)
+	tr, err := s.Lab.Trained()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := tr.Models.Get("wifi", core.EnvIndoor)
+	if m == nil {
+		b.Fatal("wifi model missing")
+	}
+	feats := map[string]float64{"fp_density": 2.5, "rssi_dev": 3.1, "num_aps": 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(feats)
+	}
+}
+
+// BenchmarkOffloadEncode measures the phone-side wire encoding of one
+// epoch.
+func BenchmarkOffloadEncode(b *testing.B) {
+	_, snaps := benchEpoch(b)
+	snap := snaps[len(snaps)/2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap.Step != nil {
+			offload.EncodeStep(snap.Step)
+		}
+		offload.EncodeVector(snap.WiFi)
+		offload.EncodeVector(snap.Cell)
+		offload.EncodeContext(snap)
+	}
+}
+
+// BenchmarkWiFiMatch measures one RADAR fingerprint match against the
+// campus database (dominant server-side cost of the wifi scheme).
+func BenchmarkWiFiMatch(b *testing.B) {
+	s := getSuite(b)
+	campus := s.Lab.Campus()
+	_, snaps := benchEpoch(b)
+	var scan = snaps[10].WiFi
+	db := campus.WiFiDB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Nearest(scan, 3)
+	}
+}

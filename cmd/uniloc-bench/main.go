@@ -1,0 +1,69 @@
+// Command uniloc-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	uniloc-bench [-seed N] [-run id[,id...]] [-list]
+//
+// Without -run it executes every experiment in paper order and prints
+// the regenerated rows/series as text tables. Experiment IDs: table1,
+// table2, table3, figure2, figure3, figure5, figure6, figure7,
+// figure8a..figure8d, table4, table5, ablation-weighting,
+// ablation-spacing, ablation-training-size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uniloc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 42, "master random seed for all experiments")
+	only := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	suite := experiments.NewSuite(*seed)
+	if *list {
+		for _, e := range suite.All() {
+			fmt.Println(e.ID)
+		}
+		return nil
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = suite.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := suite.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		rep, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(rep)
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

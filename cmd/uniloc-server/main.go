@@ -1,0 +1,53 @@
+// Command uniloc-server hosts the UniLoc offload server (§IV-C): it
+// trains the error models, builds the campus schemes, and serves the
+// binary offloading protocol over TCP. Phones (see examples/offload)
+// connect, upload pre-processed sensor epochs, and receive fused
+// positions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/offload"
+	"repro/internal/scenario"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7031", "listen address")
+	seed := flag.Int64("seed", 42, "master random seed")
+	flag.Parse()
+
+	if err := run(*addr, *seed); err != nil {
+		log.Fatalf("uniloc-server: %v", err)
+	}
+}
+
+func run(addr string, seed int64) error {
+	tr, err := eval.Train(seed)
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+	campus := scenario.NewAssets(scenario.Campus(), seed+100)
+	ss := campus.Schemes(rand.New(rand.NewSource(seed + 7)))
+	fw, err := core.NewFramework(ss, tr.Models)
+	if err != nil {
+		return err
+	}
+	start, _ := campus.Place.Paths[0].Line.At(0)
+	fw.Reset(start)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("uniloc-server listening on %s (campus, %d schemes)", ln.Addr(), len(ss))
+	srv := offload.NewServer(fw)
+	srv.ListenAndServe(ln, func(err error) { log.Printf("conn error: %v", err) })
+	return nil
+}

@@ -1,0 +1,55 @@
+// Dailypath reproduces the paper's motivating walk (§II, Figure 2): a
+// daily path from an office to an open space crossing a semi-open
+// corridor, a basement passageway and a car park. It prints each
+// scheme's error as the walk progresses, showing how schemes
+// complement each other segment by segment — the observation UniLoc is
+// built on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	uniloc "repro"
+)
+
+func main() {
+	const seed = 42
+	trained, err := uniloc.Train(seed)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+	place := uniloc.Campus()
+	assets := uniloc.NewAssets(place, seed+100)
+	path := place.Paths[0]
+
+	run, err := uniloc.RunPath(assets, path, trained, uniloc.RunConfig{Seed: 7})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	fmt.Printf("%8s  %-10s  %7s %7s %7s %7s %7s | %7s %7s\n",
+		"dist(m)", "segment", "gps", "wifi", "cell", "motion", "fusion", "uniloc1", "uniloc2")
+	next := 0.0
+	for i := range run.DistM {
+		if run.DistM[i] < next {
+			continue
+		}
+		next = run.DistM[i] + 15
+		f := func(v float64) string {
+			if math.IsNaN(v) {
+				return "--"
+			}
+			return fmt.Sprintf("%.1f", v)
+		}
+		fmt.Printf("%8.0f  %-10s  %7s %7s %7s %7s %7s | %7s %7s\n",
+			run.DistM[i], run.Region[i],
+			f(run.Schemes["gps"].Err[i]), f(run.Schemes["wifi"].Err[i]),
+			f(run.Schemes["cellular"].Err[i]), f(run.Schemes["motion"].Err[i]),
+			f(run.Schemes["fusion"].Err[i]),
+			f(run.UniLoc1[i]), f(run.UniLoc2[i]))
+	}
+
+	fmt.Println("\nscheme chosen by UniLoc1 at the final epoch:", run.Selected[len(run.Selected)-1])
+}

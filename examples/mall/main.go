@@ -1,0 +1,84 @@
+// Mall evaluates UniLoc in a place its error models never saw: the
+// basement floor of a crowded shopping mall (the paper's Figure 8a
+// scenario). Ten 300 m trajectories are walked; the example prints the
+// per-system error distribution and the ensemble's gain over the best
+// individual scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	uniloc "repro"
+)
+
+func main() {
+	const seed = 42
+	trained, err := uniloc.Train(seed)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+	place := uniloc.Mall()
+	assets := uniloc.NewAssets(place, seed+200)
+
+	perScheme := make(map[string][]float64)
+	var u1, u2 []float64
+	for i, path := range place.Paths {
+		run, err := uniloc.RunPath(assets, path, trained, uniloc.RunConfig{Seed: int64(500 + i)})
+		if err != nil {
+			log.Fatalf("run %s: %v", path.Name, err)
+		}
+		for name, s := range run.Schemes {
+			perScheme[name] = append(perScheme[name], s.Errors()...)
+		}
+		for i, v := range run.UniLoc1 {
+			if !isNaN(v) {
+				u1 = append(u1, v)
+			}
+			if !isNaN(run.UniLoc2[i]) {
+				u2 = append(u2, run.UniLoc2[i])
+			}
+		}
+	}
+
+	fmt.Printf("%-10s %8s %8s %8s\n", "system", "mean", "p50", "p90")
+	bestMean := 1e9
+	names := make([]string, 0, len(perScheme))
+	for n := range perScheme {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		xs := perScheme[name]
+		if len(xs) == 0 {
+			fmt.Printf("%-10s %8s %8s %8s\n", name, "n/a", "n/a", "n/a")
+			continue
+		}
+		m := mean(xs)
+		if m < bestMean {
+			bestMean = m
+		}
+		fmt.Printf("%-10s %8.2f %8.2f %8.2f\n", name, m, pct(xs, 50), pct(xs, 90))
+	}
+	fmt.Printf("%-10s %8.2f %8.2f %8.2f\n", "uniloc1", mean(u1), pct(u1, 50), pct(u1, 90))
+	fmt.Printf("%-10s %8.2f %8.2f %8.2f\n", "uniloc2", mean(u2), pct(u2, 50), pct(u2, 90))
+	fmt.Printf("\nuniloc2 vs best individual scheme: x%.2f\n", bestMean/mean(u2))
+}
+
+func isNaN(v float64) bool { return v != v }
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func pct(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(p / 100 * float64(len(sorted)-1))
+	return sorted[i]
+}

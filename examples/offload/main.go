@@ -1,0 +1,76 @@
+// Offload demonstrates UniLoc's computation-offloading architecture
+// (§IV-C) over a real TCP connection: a server process hosts the five
+// schemes plus the ensemble; the "phone" walks the daily path,
+// pre-processes its inertial data into 4-byte step updates, uploads
+// each epoch's compact sensor summary, and receives fused positions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+
+	uniloc "repro"
+	"repro/internal/geo"
+)
+
+func main() {
+	const seed = 42
+	trained, err := uniloc.Train(seed)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+	place := uniloc.Campus()
+	assets := uniloc.NewAssets(place, seed+100)
+	path := place.Paths[0]
+
+	// --- Server side: framework behind a TCP listener.
+	ss := uniloc.NewSchemes(assets, rand.New(rand.NewSource(seed+7)))
+	fw, err := uniloc.NewFramework(ss, trained.Models)
+	if err != nil {
+		log.Fatalf("framework: %v", err)
+	}
+	start, _ := path.Line.At(0)
+	fw.Reset(start)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	srv := uniloc.NewOffloadServer(fw)
+	go srv.ListenAndServe(ln, func(err error) { log.Printf("server: %v", err) })
+	fmt.Println("offload server on", ln.Addr())
+
+	// --- Phone side: walk, upload, localize.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	client := uniloc.NewOffloadClient(conn)
+	defer func() { _ = client.Close() }()
+
+	rnd := rand.New(rand.NewSource(99))
+	wk := uniloc.NewWalker(place.World, path, assets.DefaultWalkerConfig(), rnd)
+
+	var sumErr float64
+	var n int
+	for !wk.Done() {
+		snap, truth := wk.Next(true)
+		res, err := client.Localize(snap)
+		if err != nil {
+			log.Fatalf("localize: %v", err)
+		}
+		e := geo.Pt(res.X, res.Y).Dist(truth)
+		sumErr += e
+		n++
+		if n%120 == 0 {
+			fmt.Printf("epoch %4d: fused=(%.1f, %.1f) true=%v err=%.2f m (selected: %s)\n",
+				n, res.X, res.Y, truth, e, res.Selected)
+		}
+	}
+	_ = ln.Close()
+	fmt.Printf("\nwalk complete: %d epochs, mean fused error %.2f m\n", n, sumErr/float64(n))
+	fmt.Printf("traffic: %d B up (%.1f B/epoch), %d B down\n",
+		client.BytesUp(), float64(client.BytesUp())/float64(n), client.BytesDown())
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/stat"
+)
+
+// SchemeResult is the per-scheme data for one epoch after error
+// prediction.
+type SchemeResult struct {
+	Name      string
+	Pos       geo.Point
+	Available bool    // scheme produced a usable estimate this epoch
+	PredErr   float64 // μ̂: predicted localization error
+	Sigma     float64 // σ_ε of the error model
+	Conf      float64 // c: P(Y ≤ τ), 0 when unavailable
+	Weight    float64 // BMA weight w = c / Σc
+}
+
+// Tau computes the confidence threshold τ: the paper sets it
+// adaptively at every location as the average predicted error of all
+// available schemes (§IV-A).
+func Tau(results []SchemeResult) float64 {
+	var sum float64
+	var n int
+	for _, r := range results {
+		if !r.Available {
+			continue
+		}
+		sum += r.PredErr
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Confidence computes c = P(Y ≤ τ) for Y ~ N(mu, sigma) (Eq. 2).
+func Confidence(mu, sigma, tau float64) float64 {
+	return stat.NormalCDF(tau, mu, sigma)
+}
+
+// PruneFrac is the confidence-pruning threshold of the BMA weighting:
+// a scheme whose confidence falls below PruneFrac of the most
+// confident scheme's is temporarily excluded from the combination (its
+// weight is set to zero). This is an implementation refinement of the
+// paper's "exclude a scheme by setting its confidence as zero" rule:
+// without it, a scheme predicted to be several times worse than the
+// best still drags the weighted average away from the truth. The
+// ablation benchmark quantifies the effect.
+const PruneFrac = 0.55
+
+// WeightMode selects how confidences become BMA weights.
+type WeightMode int
+
+// Weighting modes. WeightPrecision is the default: confidence scaled
+// by predicted precision (1/μ̂²). WeightConfOnly is the literal w=c/Σc
+// of Eq. 5. WeightUniform ignores confidences entirely (plain
+// averaging of available schemes) — the weakest baseline.
+const (
+	WeightPrecision WeightMode = iota
+	WeightConfOnly
+	WeightUniform
+)
+
+// String implements fmt.Stringer.
+func (m WeightMode) String() string {
+	switch m {
+	case WeightPrecision:
+		return "precision"
+	case WeightConfOnly:
+		return "confidence"
+	case WeightUniform:
+		return "uniform"
+	default:
+		return "unknown"
+	}
+}
+
+// ApplyConfidences fills Conf and Weight in place given τ. Unavailable
+// schemes get confidence zero, which excludes them from the ensemble
+// (§IV-A: "UniLoc can temporarily exclude one localization scheme by
+// simply setting its confidence as zero"), and schemes far less
+// confident than the best are pruned (see PruneFrac).
+func ApplyConfidences(results []SchemeResult, tau float64) {
+	ApplyWeights(results, tau, WeightPrecision, PruneFrac)
+}
+
+// ApplyWeights is ApplyConfidences with an explicit weighting mode and
+// pruning threshold, used by the ablation experiments.
+func ApplyWeights(results []SchemeResult, tau float64, mode WeightMode, pruneFrac float64) {
+	applyConfidences(results, tau, mode, pruneFrac)
+}
+
+func applyConfidences(results []SchemeResult, tau float64, mode WeightMode, pruneFrac float64) {
+	maxConf := 0.0
+	for i := range results {
+		r := &results[i]
+		if !r.Available {
+			r.Conf = 0
+			continue
+		}
+		r.Conf = Confidence(r.PredErr, r.Sigma, tau)
+		if r.Conf > maxConf {
+			maxConf = r.Conf
+		}
+	}
+	// Raw weight: in the default mode, confidence scaled by predicted
+	// precision. The confidence c approximates P(M_n | s_t); dividing
+	// by the predicted error variance is the inverse-variance weighting
+	// that minimizes the combined estimator's variance when predictions
+	// are unbiased.
+	raw := func(r *SchemeResult) float64 {
+		switch mode {
+		case WeightConfOnly:
+			return r.Conf
+		case WeightUniform:
+			if r.Available {
+				return 1
+			}
+			return 0
+		default:
+			if r.PredErr <= 0 {
+				return 0
+			}
+			return r.Conf / (r.PredErr * r.PredErr)
+		}
+	}
+	var total float64
+	for i := range results {
+		if results[i].Conf < maxConf*pruneFrac {
+			results[i].Weight = 0
+			continue
+		}
+		total += raw(&results[i])
+	}
+	for i := range results {
+		if results[i].Conf < maxConf*pruneFrac {
+			continue
+		}
+		if total > 0 {
+			results[i].Weight = raw(&results[i]) / total
+		} else {
+			results[i].Weight = 0
+		}
+	}
+	// Degenerate case: all confidences zero but schemes available —
+	// fall back to uniform weights over available schemes.
+	if total == 0 {
+		var n int
+		for _, r := range results {
+			if r.Available {
+				n++
+			}
+		}
+		if n > 0 {
+			for i := range results {
+				if results[i].Available {
+					results[i].Weight = 1 / float64(n)
+				}
+			}
+		}
+	}
+}
+
+// SelectBest returns the index of the scheme UniLoc1 picks: the highest
+// confidence among available schemes, ties broken by lower predicted
+// error then by name for determinism. ok is false when no scheme is
+// available.
+func SelectBest(results []SchemeResult) (int, bool) {
+	best := -1
+	for i, r := range results {
+		if !r.Available {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := results[best]
+		switch {
+		case r.Conf > b.Conf:
+			best = i
+		case r.Conf == b.Conf && r.PredErr < b.PredErr:
+			best = i
+		case r.Conf == b.Conf && r.PredErr == b.PredErr && r.Name < b.Name:
+			best = i
+		}
+	}
+	return best, best >= 0
+}
+
+// CombineBMA returns the UniLoc2 locally-weighted BMA position: the
+// weight-averaged X and Y coordinates (Eq. 4 computed per coordinate,
+// §IV-B). ok is false when no scheme is available.
+func CombineBMA(results []SchemeResult) (geo.Point, bool) {
+	var x, y, w float64
+	for _, r := range results {
+		if !r.Available || r.Weight <= 0 {
+			continue
+		}
+		x += r.Pos.X * r.Weight
+		y += r.Pos.Y * r.Weight
+		w += r.Weight
+	}
+	if w <= 0 {
+		return geo.Point{}, false
+	}
+	return geo.Pt(x/w, y/w), true
+}
+
+// CombineFixed combines available schemes with externally supplied
+// fixed weights (the global-weight BMA baseline of prior work [29]:
+// one weight per scheme per place, no local adaptation).
+func CombineFixed(results []SchemeResult, weights map[string]float64) (geo.Point, bool) {
+	var x, y, w float64
+	for _, r := range results {
+		if !r.Available {
+			continue
+		}
+		wt := weights[r.Name]
+		if wt <= 0 {
+			continue
+		}
+		x += r.Pos.X * wt
+		y += r.Pos.Y * wt
+		w += wt
+	}
+	if w <= 0 {
+		return geo.Point{}, false
+	}
+	return geo.Pt(x/w, y/w), true
+}
+
+// ALocProfile is the A-Loc-style baseline's offline knowledge: the
+// historical mean error and an energy cost for each scheme in each
+// environment class. A-Loc [28] selects the cheapest single scheme
+// whose offline error record meets the accuracy requirement; it cannot
+// adapt to real-time context or combine schemes.
+type ALocProfile struct {
+	MeanErr map[EnvClass]map[string]float64
+	CostMW  map[string]float64
+	// AccuracyReqM is the target accuracy the selected scheme must
+	// historically meet.
+	AccuracyReqM float64
+}
+
+// Select returns the A-Loc choice among the available schemes: the
+// cheapest whose offline mean error is within the requirement, else
+// the historically most accurate. ok is false when nothing is
+// available.
+func (p *ALocProfile) Select(results []SchemeResult, env EnvClass) (int, bool) {
+	errs := p.MeanErr[env]
+	type cand struct {
+		idx  int
+		err  float64
+		cost float64
+	}
+	var cands []cand
+	for i, r := range results {
+		if !r.Available {
+			continue
+		}
+		e, ok := errs[r.Name]
+		if !ok {
+			e = 1e9
+		}
+		cands = append(cands, cand{idx: i, err: e, cost: p.CostMW[r.Name]})
+	}
+	if len(cands) == 0 {
+		return -1, false
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].cost != cands[b].cost {
+			return cands[a].cost < cands[b].cost
+		}
+		return cands[a].err < cands[b].err
+	})
+	for _, c := range cands {
+		if c.err <= p.AccuracyReqM {
+			return c.idx, true
+		}
+	}
+	// None meets the requirement: take the most accurate.
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.err < best.err {
+			best = c
+		}
+	}
+	return best.idx, true
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+func results3() []SchemeResult {
+	return []SchemeResult{
+		{Name: "good", Pos: geo.Pt(0, 0), Available: true, PredErr: 2, Sigma: 1},
+		{Name: "mid", Pos: geo.Pt(10, 0), Available: true, PredErr: 6, Sigma: 2},
+		{Name: "bad", Pos: geo.Pt(50, 0), Available: true, PredErr: 20, Sigma: 5},
+	}
+}
+
+func TestTau(t *testing.T) {
+	rs := results3()
+	if got := Tau(rs); math.Abs(got-28.0/3) > 1e-9 {
+		t.Errorf("Tau = %v", got)
+	}
+	rs[2].Available = false
+	if got := Tau(rs); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Tau w/o bad = %v", got)
+	}
+	if Tau(nil) != 0 {
+		t.Error("empty Tau should be 0")
+	}
+}
+
+func TestConfidenceOrdering(t *testing.T) {
+	tau := 9.3
+	cGood := Confidence(2, 1, tau)
+	cMid := Confidence(6, 2, tau)
+	cBad := Confidence(20, 5, tau)
+	if !(cGood > cMid && cMid > cBad) {
+		t.Errorf("confidence ordering violated: %v %v %v", cGood, cMid, cBad)
+	}
+	if cGood <= 0.99 {
+		t.Errorf("far-below-τ confidence = %v", cGood)
+	}
+	if cBad >= 0.05 {
+		t.Errorf("far-above-τ confidence = %v", cBad)
+	}
+}
+
+func TestApplyConfidencesWeightsSumToOne(t *testing.T) {
+	rs := results3()
+	ApplyConfidences(rs, Tau(rs))
+	var sum float64
+	for _, r := range rs {
+		if r.Weight < 0 {
+			t.Errorf("negative weight for %s", r.Name)
+		}
+		sum += r.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum = %v", sum)
+	}
+}
+
+func TestApplyConfidencesUnavailableExcluded(t *testing.T) {
+	rs := results3()
+	rs[0].Available = false
+	ApplyConfidences(rs, Tau(rs))
+	if rs[0].Conf != 0 || rs[0].Weight != 0 {
+		t.Error("unavailable scheme must have zero confidence and weight")
+	}
+}
+
+func TestPruningDropsLowConfidence(t *testing.T) {
+	rs := results3()
+	ApplyConfidences(rs, Tau(rs))
+	if rs[2].Weight != 0 {
+		t.Errorf("bad scheme should be pruned, weight = %v", rs[2].Weight)
+	}
+	// Without pruning it keeps a small weight.
+	rs2 := results3()
+	ApplyWeights(rs2, Tau(rs2), WeightPrecision, 0)
+	if rs2[2].Weight <= 0 {
+		t.Error("no-prune should keep the bad scheme")
+	}
+}
+
+func TestWeightModes(t *testing.T) {
+	rs := results3()
+	ApplyWeights(rs, Tau(rs), WeightUniform, 0)
+	for _, r := range rs {
+		if math.Abs(r.Weight-1.0/3) > 1e-9 {
+			t.Errorf("uniform weight = %v", r.Weight)
+		}
+	}
+	rs2 := results3()
+	ApplyWeights(rs2, Tau(rs2), WeightConfOnly, 0)
+	if !(rs2[0].Weight > rs2[1].Weight && rs2[1].Weight > rs2[2].Weight) {
+		t.Error("confidence-only ordering violated")
+	}
+	rs3 := results3()
+	ApplyWeights(rs3, Tau(rs3), WeightPrecision, 0)
+	// Precision weighting concentrates harder than confidence-only.
+	if rs3[0].Weight <= rs2[0].Weight {
+		t.Errorf("precision %v should concentrate beyond confidence %v", rs3[0].Weight, rs2[0].Weight)
+	}
+}
+
+func TestWeightModeString(t *testing.T) {
+	if WeightPrecision.String() != "precision" || WeightConfOnly.String() != "confidence" ||
+		WeightUniform.String() != "uniform" || WeightMode(9).String() != "unknown" {
+		t.Error("WeightMode strings wrong")
+	}
+}
+
+func TestAllZeroConfidenceFallsBackToUniform(t *testing.T) {
+	rs := []SchemeResult{
+		{Name: "a", Available: true, PredErr: 100, Sigma: 0.1, Pos: geo.Pt(1, 1)},
+		{Name: "b", Available: true, PredErr: 100, Sigma: 0.1, Pos: geo.Pt(3, 3)},
+	}
+	// τ far below both predictions → both confidences ~0.
+	ApplyConfidences(rs, 1)
+	var sum float64
+	for _, r := range rs {
+		sum += r.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fallback weights sum = %v", sum)
+	}
+}
+
+func TestSelectBest(t *testing.T) {
+	rs := results3()
+	ApplyConfidences(rs, Tau(rs))
+	idx, ok := SelectBest(rs)
+	if !ok || rs[idx].Name != "good" {
+		t.Errorf("SelectBest = %d", idx)
+	}
+	// Nothing available.
+	none := results3()
+	for i := range none {
+		none[i].Available = false
+	}
+	if _, ok := SelectBest(none); ok {
+		t.Error("SelectBest with nothing available should fail")
+	}
+}
+
+func TestSelectBestDeterministicTieBreak(t *testing.T) {
+	rs := []SchemeResult{
+		{Name: "b", Available: true, Conf: 0.5, PredErr: 3},
+		{Name: "a", Available: true, Conf: 0.5, PredErr: 3},
+	}
+	idx, ok := SelectBest(rs)
+	if !ok || rs[idx].Name != "a" {
+		t.Error("tie should break by name")
+	}
+	rs2 := []SchemeResult{
+		{Name: "a", Available: true, Conf: 0.5, PredErr: 5},
+		{Name: "b", Available: true, Conf: 0.5, PredErr: 3},
+	}
+	idx, _ = SelectBest(rs2)
+	if rs2[idx].Name != "b" {
+		t.Error("equal confidence should prefer lower predicted error")
+	}
+}
+
+func TestCombineBMA(t *testing.T) {
+	rs := []SchemeResult{
+		{Name: "a", Pos: geo.Pt(0, 0), Available: true, Weight: 0.75},
+		{Name: "b", Pos: geo.Pt(4, 8), Available: true, Weight: 0.25},
+	}
+	got, ok := CombineBMA(rs)
+	if !ok || got.Dist(geo.Pt(1, 2)) > 1e-9 {
+		t.Errorf("BMA = %v", got)
+	}
+	if _, ok := CombineBMA(nil); ok {
+		t.Error("empty BMA should fail")
+	}
+}
+
+func TestCombineBMAConvexHullProperty(t *testing.T) {
+	f := func(w1, w2, w3 float64) bool {
+		// Positive, bounded weights (arbitrary magnitudes overflow the
+		// sum without saying anything about the combiner).
+		clamp := func(v float64) float64 { return math.Mod(math.Abs(v), 100) + 0.01 }
+		w1, w2, w3 = clamp(w1), clamp(w2), clamp(w3)
+		rs := []SchemeResult{
+			{Pos: geo.Pt(0, 0), Available: true, Weight: w1},
+			{Pos: geo.Pt(10, 0), Available: true, Weight: w2},
+			{Pos: geo.Pt(0, 10), Available: true, Weight: w3},
+		}
+		p, ok := CombineBMA(rs)
+		if !ok {
+			return false
+		}
+		// Inside the triangle's bounding box.
+		return p.X >= -1e-9 && p.X <= 10+1e-9 && p.Y >= -1e-9 && p.Y <= 10+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineFixed(t *testing.T) {
+	rs := []SchemeResult{
+		{Name: "a", Pos: geo.Pt(0, 0), Available: true},
+		{Name: "b", Pos: geo.Pt(10, 10), Available: true},
+		{Name: "c", Pos: geo.Pt(99, 99), Available: false},
+	}
+	w := map[string]float64{"a": 1, "b": 3, "c": 100}
+	got, ok := CombineFixed(rs, w)
+	if !ok || got.Dist(geo.Pt(7.5, 7.5)) > 1e-9 {
+		t.Errorf("CombineFixed = %v", got)
+	}
+	if _, ok := CombineFixed(rs, map[string]float64{}); ok {
+		t.Error("no weights should fail")
+	}
+}
+
+func TestALocSelect(t *testing.T) {
+	profile := &ALocProfile{
+		MeanErr: map[EnvClass]map[string]float64{
+			EnvIndoor: {"cheap": 4, "pricey": 2},
+		},
+		CostMW:       map[string]float64{"cheap": 10, "pricey": 100},
+		AccuracyReqM: 5,
+	}
+	rs := []SchemeResult{
+		{Name: "pricey", Available: true},
+		{Name: "cheap", Available: true},
+	}
+	idx, ok := profile.Select(rs, EnvIndoor)
+	if !ok || rs[idx].Name != "cheap" {
+		t.Error("A-Loc should pick the cheapest meeting the requirement")
+	}
+	// Requirement unmeetable → most accurate.
+	profile.AccuracyReqM = 1
+	idx, ok = profile.Select(rs, EnvIndoor)
+	if !ok || rs[idx].Name != "pricey" {
+		t.Error("A-Loc should fall back to the most accurate")
+	}
+	// Nothing available.
+	for i := range rs {
+		rs[i].Available = false
+	}
+	if _, ok := profile.Select(rs, EnvIndoor); ok {
+		t.Error("nothing available should fail")
+	}
+}

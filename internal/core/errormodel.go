@@ -1,0 +1,141 @@
+// Package core implements the paper's primary contribution: online
+// per-scheme localization-error prediction from real-time sensor-data
+// features (§III), probabilistic confidence (§IV-A, Eq. 2), the
+// UniLoc1 best-scheme selector, and the UniLoc2 locally-weighted
+// Bayesian-Model-Averaging ensemble (§IV-B, Eqs. 3–5), plus the GPS
+// gating energy technique (§IV-C).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/regress"
+)
+
+// EnvClass is the error-model environment class. The paper trains
+// separate indoor and outdoor models because most schemes have distinct
+// error characteristics under a roof (§III-A).
+type EnvClass int
+
+// Environment classes.
+const (
+	EnvIndoor EnvClass = iota + 1
+	EnvOutdoor
+)
+
+// String implements fmt.Stringer.
+func (e EnvClass) String() string {
+	switch e {
+	case EnvIndoor:
+		return "indoor"
+	case EnvOutdoor:
+		return "outdoor"
+	default:
+		return "unknown"
+	}
+}
+
+// minPredictedErr floors predicted errors: a regression can extrapolate
+// below zero near the origin, but a localization error cannot be
+// negative.
+const minPredictedErr = 0.3
+
+// ErrorModel predicts one scheme's localization error in one
+// environment class from its real-time data features.
+type ErrorModel struct {
+	Scheme   string
+	Env      EnvClass
+	Features []string // feature order expected by Predict
+	Reg      *regress.Result
+}
+
+// Predict returns the predicted error mean μ̂ (Eq. 6) and the residual
+// deviation σ_ε for the Gaussian error distribution Y ~ N(μ̂, σ_ε).
+func (m *ErrorModel) Predict(features map[string]float64) (mu, sigma float64) {
+	x := make([]float64, len(m.Features))
+	for i, name := range m.Features {
+		x[i] = features[name]
+	}
+	mu = m.Reg.Predict(x)
+	if mu < minPredictedErr {
+		mu = minPredictedErr
+	}
+	sigma = m.Reg.ResidStd
+	if sigma <= 0 {
+		sigma = 0.1
+	}
+	return mu, sigma
+}
+
+// modelKey identifies one (scheme, environment) model.
+type modelKey struct {
+	scheme string
+	env    EnvClass
+}
+
+// ModelSet holds the trained error models for every scheme and
+// environment class.
+type ModelSet struct {
+	models map[modelKey]*ErrorModel
+}
+
+// NewModelSet returns an empty model set.
+func NewModelSet() *ModelSet {
+	return &ModelSet{models: make(map[modelKey]*ErrorModel)}
+}
+
+// Put registers a model, replacing any previous model for the same
+// (scheme, environment).
+func (s *ModelSet) Put(m *ErrorModel) {
+	s.models[modelKey{m.Scheme, m.Env}] = m
+}
+
+// Get returns the model for (scheme, env), or nil.
+func (s *ModelSet) Get(scheme string, env EnvClass) *ErrorModel {
+	return s.models[modelKey{scheme, env}]
+}
+
+// Lookup returns the model for (scheme, env), falling back to the
+// other environment's model when the requested one is missing (e.g.
+// GPS has only an outdoor model).
+func (s *ModelSet) Lookup(scheme string, env EnvClass) *ErrorModel {
+	if m := s.Get(scheme, env); m != nil {
+		return m
+	}
+	other := EnvIndoor
+	if env == EnvIndoor {
+		other = EnvOutdoor
+	}
+	return s.Get(scheme, other)
+}
+
+// Schemes returns the sorted scheme names present in the set.
+func (s *ModelSet) Schemes() []string {
+	seen := make(map[string]bool)
+	for k := range s.models {
+		seen[k.scheme] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the model set like the paper's Table II.
+func (s *ModelSet) String() string {
+	var b strings.Builder
+	for _, scheme := range s.Schemes() {
+		for _, env := range []EnvClass{EnvIndoor, EnvOutdoor} {
+			m := s.Get(scheme, env)
+			if m == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%s (%s):\n%s", scheme, env, m.Reg.String())
+		}
+	}
+	return b.String()
+}

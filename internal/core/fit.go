@@ -1,0 +1,22 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/regress"
+)
+
+// fitRobust fits OLS and falls back to a lightly ridge-regularized fit
+// when the design matrix is singular (a feature that happens to be
+// constant over the training place makes XᵀX rank-deficient without an
+// intercept).
+func fitRobust(x [][]float64, y []float64, names []string, intercept bool) (*regress.Result, error) {
+	reg, err := regress.Fit(x, y, names, intercept)
+	if err == nil {
+		return reg, nil
+	}
+	if errors.Is(err, regress.ErrInsufficientData) {
+		return nil, err
+	}
+	return regress.FitRidge(x, y, names, intercept, 1e-3)
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/iodetector"
+	"repro/internal/schemes"
+	"repro/internal/sensing"
+)
+
+// StepResult is everything UniLoc computes for one sensing epoch.
+type StepResult struct {
+	Epoch int
+	Env   EnvClass // IODetector's classification this epoch
+	Tau   float64  // adaptive confidence threshold
+
+	Schemes []SchemeResult // aligned with the framework's scheme list
+
+	// Best is the UniLoc1 output: the position of the
+	// highest-confidence scheme. BestIdx indexes Schemes (-1 if no
+	// scheme was available).
+	Best    geo.Point
+	BestIdx int
+
+	// BMA is the UniLoc2 output: the locally-weighted BMA position.
+	BMA geo.Point
+
+	// OK reports whether at least one scheme was available.
+	OK bool
+}
+
+// Option configures a Framework.
+type Option func(*Framework)
+
+// WithIODetector replaces the default indoor/outdoor detector.
+func WithIODetector(d *iodetector.Detector) Option {
+	return func(f *Framework) { f.iod = d }
+}
+
+// WithGPSGating enables or disables the GPS energy-gating decision
+// (§IV-C). It defaults to enabled.
+func WithGPSGating(on bool) Option {
+	return func(f *Framework) { f.gpsGating = on }
+}
+
+// WithWeighting overrides the BMA weighting mode (ablations).
+func WithWeighting(mode WeightMode) Option {
+	return func(f *Framework) { f.weightMode = mode }
+}
+
+// WithPruneFrac overrides the confidence-pruning threshold (0 disables
+// pruning; see PruneFrac).
+func WithPruneFrac(frac float64) Option {
+	return func(f *Framework) { f.pruneFrac = frac }
+}
+
+// Framework is the UniLoc runtime: N schemes running in parallel, one
+// error model per scheme per environment, confidence computation, and
+// the two ensemble outputs.
+type Framework struct {
+	schemes []schemes.Scheme
+	models  *ModelSet
+	iod     *iodetector.Detector
+
+	gpsGating  bool
+	weightMode WeightMode
+	pruneFrac  float64
+	lastPred   map[string]float64 // last predicted error per scheme, for gating
+	lastEnv    EnvClass
+}
+
+// NewFramework builds a framework over the given schemes and trained
+// models.
+func NewFramework(ss []schemes.Scheme, models *ModelSet, opts ...Option) (*Framework, error) {
+	if len(ss) == 0 {
+		return nil, fmt.Errorf("core: framework needs at least one scheme")
+	}
+	if models == nil {
+		return nil, fmt.Errorf("core: framework needs a model set")
+	}
+	f := &Framework{
+		schemes:    ss,
+		models:     models,
+		iod:        iodetector.New(iodetector.DefaultConfig()),
+		gpsGating:  true,
+		weightMode: WeightPrecision,
+		pruneFrac:  PruneFrac,
+		lastPred:   make(map[string]float64),
+		lastEnv:    EnvOutdoor,
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f, nil
+}
+
+// Schemes returns the framework's scheme list.
+func (f *Framework) Schemes() []schemes.Scheme { return f.schemes }
+
+// Models returns the framework's model set.
+func (f *Framework) Models() *ModelSet { return f.models }
+
+// Reset prepares all schemes for a new walk starting near start.
+func (f *Framework) Reset(start geo.Point) {
+	for _, s := range f.schemes {
+		s.Reset(start)
+	}
+	f.iod = iodetector.New(iodetector.DefaultConfig())
+	f.lastPred = make(map[string]float64)
+	f.lastEnv = EnvOutdoor
+}
+
+// GPSWanted implements the GPS gating decision for the next epoch
+// (§IV-C): GPS is off indoors; outdoors it is enabled only when its
+// (sensor-free) predicted error β₀ is the smallest among the schemes'
+// most recent predicted errors. With gating disabled it always returns
+// true.
+func (f *Framework) GPSWanted() bool {
+	if !f.gpsGating {
+		return true
+	}
+	if f.lastEnv == EnvIndoor {
+		return false
+	}
+	gpsModel := f.models.Lookup(schemes.NameGPS, EnvOutdoor)
+	if gpsModel == nil {
+		return false
+	}
+	gpsErr, _ := gpsModel.Predict(nil)
+	for name, pred := range f.lastPred {
+		if name == schemes.NameGPS {
+			continue
+		}
+		if pred < gpsErr {
+			return false
+		}
+	}
+	return true
+}
+
+// Step processes one sensing epoch through every scheme, predicts each
+// scheme's error from its real-time features, computes confidences and
+// both ensemble outputs.
+func (f *Framework) Step(snap *sensing.Snapshot) StepResult {
+	// Environment classification from the low-power sensors.
+	env := EnvOutdoor
+	switch f.iod.Update(snap.LightLux, snap.MagVarUT, snap.Cell) {
+	case iodetector.Indoor:
+		env = EnvIndoor
+	case iodetector.Outdoor:
+		env = EnvOutdoor
+	default:
+		env = f.lastEnv
+	}
+	f.lastEnv = env
+
+	res := StepResult{
+		Epoch:   snap.Epoch,
+		Env:     env,
+		Schemes: make([]SchemeResult, len(f.schemes)),
+		BestIdx: -1,
+	}
+
+	for i, s := range f.schemes {
+		est := s.Estimate(snap)
+		sr := SchemeResult{Name: s.Name(), Pos: est.Pos, Available: est.OK}
+		if est.OK {
+			if m := f.models.Lookup(s.Name(), env); m != nil {
+				sr.PredErr, sr.Sigma = m.Predict(est.Features)
+			} else {
+				// No model: neutral prediction so the scheme still
+				// participates rather than silently vanishing.
+				sr.PredErr, sr.Sigma = 10, 5
+			}
+			f.lastPred[s.Name()] = sr.PredErr
+		}
+		res.Schemes[i] = sr
+	}
+
+	res.Tau = Tau(res.Schemes)
+	ApplyWeights(res.Schemes, res.Tau, f.weightMode, f.pruneFrac)
+
+	if idx, ok := SelectBest(res.Schemes); ok {
+		res.BestIdx = idx
+		res.Best = res.Schemes[idx].Pos
+		res.OK = true
+	}
+	if bma, ok := CombineBMA(res.Schemes); ok {
+		res.BMA = bma
+	} else if res.OK {
+		res.BMA = res.Best
+	}
+	return res
+}

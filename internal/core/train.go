@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/schemes"
+	"repro/internal/stat"
+	"repro/internal/walker"
+	"repro/internal/world"
+)
+
+// Sample is one training tuple: a scheme's real-time data features and
+// its measured localization error at a surveyed location (§III-A,
+// step 1). During training the surveyor knows the ground truth, so the
+// environment class comes from the world, not from IODetector.
+type Sample struct {
+	Scheme   string
+	Env      EnvClass
+	Features map[string]float64
+	Err      float64
+}
+
+// Trainer accumulates training samples across walks and fits the error
+// models (§III-A, step 2). The paper's data collection treats every
+// scheme as a black box and records all schemes simultaneously; so
+// does CollectWalk.
+type Trainer struct {
+	samples []Sample
+}
+
+// Samples returns the accumulated samples (shared slice; callers must
+// not mutate).
+func (t *Trainer) Samples() []Sample { return t.samples }
+
+// Add appends a sample directly (used by tests and by error-model
+// validation).
+func (t *Trainer) Add(s Sample) { t.samples = append(t.samples, s) }
+
+// SampleCount returns the number of samples for a (scheme, env).
+func (t *Trainer) SampleCount(scheme string, env EnvClass) int {
+	n := 0
+	for _, s := range t.samples {
+		if s.Scheme == scheme && s.Env == env {
+			n++
+		}
+	}
+	return n
+}
+
+// CollectWalk runs all schemes along one walk in world w and records a
+// sample per scheme per epoch. GPS is always powered during training.
+func (t *Trainer) CollectWalk(w *world.World, ss []schemes.Scheme, path geo.Polyline, cfg walker.Config, rnd *rand.Rand) {
+	start, _ := path.At(0)
+	for _, s := range ss {
+		s.Reset(start)
+	}
+	wk := walker.New(w, path, cfg, rnd)
+	for !wk.Done() {
+		snap, truth := wk.Next(true)
+		env := EnvOutdoor
+		if w.Indoor(truth) {
+			env = EnvIndoor
+		}
+		for _, s := range ss {
+			est := s.Estimate(snap)
+			if !est.OK {
+				continue
+			}
+			t.samples = append(t.samples, Sample{
+				Scheme:   s.Name(),
+				Env:      env,
+				Features: est.Features,
+				Err:      est.Pos.Dist(truth),
+			})
+		}
+	}
+}
+
+// Fit fits one error model per (scheme, environment) with enough
+// samples and returns the model set. Schemes with an empty regression
+// feature list (GPS) get an intercept-only model; all others are
+// fitted through the origin, as in the paper ("the intercept term β₀
+// is zero for all schemes, since the localization error is zero if
+// all coefficients are zero").
+func (t *Trainer) Fit(ss []schemes.Scheme) (*ModelSet, error) {
+	set := NewModelSet()
+	for _, s := range ss {
+		feats := s.RegressionFeatures()
+		for _, env := range []EnvClass{EnvIndoor, EnvOutdoor} {
+			var x [][]float64
+			var y []float64
+			for _, smp := range t.samples {
+				if smp.Scheme != s.Name() || smp.Env != env {
+					continue
+				}
+				row := make([]float64, len(feats))
+				for i, name := range feats {
+					row[i] = smp.Features[name]
+				}
+				x = append(x, row)
+				y = append(y, smp.Err)
+			}
+			minRows := len(feats) + 5
+			if len(feats) == 0 {
+				minRows = 6
+			}
+			if len(x) < minRows {
+				continue
+			}
+			intercept := len(feats) == 0
+			reg, err := fitRobust(x, y, feats, intercept)
+			if err != nil {
+				return nil, fmt.Errorf("core: fitting %s/%s: %w", s.Name(), env, err)
+			}
+			set.Put(&ErrorModel{Scheme: s.Name(), Env: env, Features: feats, Reg: reg})
+		}
+	}
+	if len(set.models) == 0 {
+		return nil, fmt.Errorf("core: no models could be fitted from %d samples", len(t.samples))
+	}
+	return set, nil
+}
+
+// GlobalWeights derives the fixed per-environment scheme weights the
+// global-weight BMA baseline uses: proportional to inverse mean
+// training error (prior work assigns one weight per scheme for an
+// entire place).
+func (t *Trainer) GlobalWeights() map[EnvClass]map[string]float64 {
+	sums := make(map[EnvClass]map[string][]float64)
+	for _, s := range t.samples {
+		if sums[s.Env] == nil {
+			sums[s.Env] = make(map[string][]float64)
+		}
+		sums[s.Env][s.Scheme] = append(sums[s.Env][s.Scheme], s.Err)
+	}
+	out := make(map[EnvClass]map[string]float64, len(sums))
+	for env, m := range sums {
+		out[env] = make(map[string]float64, len(m))
+		// Deterministic summation order (map iteration would perturb
+		// the floating-point total across process runs).
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var total float64
+		for _, name := range names {
+			me := stat.Mean(m[name])
+			if me < 0.2 {
+				me = 0.2
+			}
+			out[env][name] = 1 / me
+			total += 1 / me
+		}
+		for _, name := range names {
+			out[env][name] /= total
+		}
+	}
+	return out
+}
+
+// ALoc derives the A-Loc baseline's offline error records from the
+// training samples.
+func (t *Trainer) ALoc(costMW map[string]float64, accuracyReqM float64) *ALocProfile {
+	errs := make(map[EnvClass]map[string][]float64)
+	for _, s := range t.samples {
+		if errs[s.Env] == nil {
+			errs[s.Env] = make(map[string][]float64)
+		}
+		errs[s.Env][s.Scheme] = append(errs[s.Env][s.Scheme], s.Err)
+	}
+	mean := make(map[EnvClass]map[string]float64, len(errs))
+	for env, m := range errs {
+		mean[env] = make(map[string]float64, len(m))
+		for name, es := range m {
+			mean[env][name] = stat.Mean(es)
+		}
+	}
+	return &ALocProfile{MeanErr: mean, CostMW: costMW, AccuracyReqM: accuracyReqM}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/schemes"
+)
+
+// addSamples fills a trainer with synthetic samples whose error is
+// 2·x plus noise-free structure, for two schemes in one environment.
+func addSamples(tr *Trainer, scheme string, env EnvClass, n int, slope float64) {
+	for i := 0; i < n; i++ {
+		x := float64(i%20) + 1
+		tr.Add(Sample{
+			Scheme:   scheme,
+			Env:      env,
+			Features: map[string]float64{"x": x},
+			Err:      slope * x,
+		})
+	}
+}
+
+func TestTrainerFit(t *testing.T) {
+	tr := &Trainer{}
+	addSamples(tr, "s", EnvIndoor, 100, 2)
+	addSamples(tr, "s", EnvOutdoor, 100, 0.5)
+	s := &fakeScheme{name: "s"}
+	set, err := tr.Fit([]schemes.Scheme{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := set.Get("s", EnvIndoor)
+	if in == nil {
+		t.Fatal("indoor model missing")
+	}
+	if math.Abs(in.Reg.Beta[0]-2) > 1e-6 {
+		t.Errorf("indoor beta = %v", in.Reg.Beta[0])
+	}
+	out := set.Get("s", EnvOutdoor)
+	if math.Abs(out.Reg.Beta[0]-0.5) > 1e-6 {
+		t.Errorf("outdoor beta = %v", out.Reg.Beta[0])
+	}
+	mu, _ := in.Predict(map[string]float64{"x": 5})
+	if math.Abs(mu-10) > 1e-6 {
+		t.Errorf("Predict = %v", mu)
+	}
+}
+
+func TestTrainerSkipsSparseEnvironments(t *testing.T) {
+	tr := &Trainer{}
+	addSamples(tr, "s", EnvIndoor, 100, 2)
+	addSamples(tr, "s", EnvOutdoor, 3, 1) // too few
+	set, err := tr.Fit([]schemes.Scheme{&fakeScheme{name: "s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Get("s", EnvOutdoor) != nil {
+		t.Error("sparse environment should be skipped")
+	}
+	if set.Get("s", EnvIndoor) == nil {
+		t.Error("dense environment should be fitted")
+	}
+}
+
+func TestTrainerFitNoData(t *testing.T) {
+	tr := &Trainer{}
+	if _, err := tr.Fit([]schemes.Scheme{&fakeScheme{name: "s"}}); err == nil {
+		t.Error("no samples should fail")
+	}
+}
+
+func TestSampleCount(t *testing.T) {
+	tr := &Trainer{}
+	addSamples(tr, "s", EnvIndoor, 7, 1)
+	if tr.SampleCount("s", EnvIndoor) != 7 || tr.SampleCount("s", EnvOutdoor) != 0 {
+		t.Error("SampleCount wrong")
+	}
+}
+
+func TestGlobalWeights(t *testing.T) {
+	tr := &Trainer{}
+	// Scheme a: mean error 2; scheme b: mean error 8.
+	for i := 0; i < 50; i++ {
+		tr.Add(Sample{Scheme: "a", Env: EnvIndoor, Err: 2})
+		tr.Add(Sample{Scheme: "b", Env: EnvIndoor, Err: 8})
+	}
+	w := tr.GlobalWeights()
+	wa, wb := w[EnvIndoor]["a"], w[EnvIndoor]["b"]
+	if math.Abs(wa+wb-1) > 1e-9 {
+		t.Errorf("weights sum = %v", wa+wb)
+	}
+	if math.Abs(wa/wb-4) > 1e-6 {
+		t.Errorf("weight ratio = %v, want 4 (inverse error)", wa/wb)
+	}
+}
+
+func TestALocProfileFromTrainer(t *testing.T) {
+	tr := &Trainer{}
+	for i := 0; i < 30; i++ {
+		tr.Add(Sample{Scheme: "cheap", Env: EnvIndoor, Err: 4})
+		tr.Add(Sample{Scheme: "pricey", Env: EnvIndoor, Err: 2})
+	}
+	p := tr.ALoc(map[string]float64{"cheap": 10, "pricey": 100}, 5)
+	if p.MeanErr[EnvIndoor]["cheap"] != 4 {
+		t.Errorf("mean err = %v", p.MeanErr[EnvIndoor]["cheap"])
+	}
+	if p.AccuracyReqM != 5 {
+		t.Error("requirement not stored")
+	}
+}

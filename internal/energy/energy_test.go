@@ -1,0 +1,84 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSensorPower(t *testing.T) {
+	m := DefaultPowerModel()
+	if m.SensorPower("gps") != m.GPSmW || m.SensorPower("wifi") != m.WiFiScanmW ||
+		m.SensorPower("cell") != m.CellScanmW || m.SensorPower("imu") != m.IMUmW {
+		t.Error("SensorPower mapping wrong")
+	}
+	if m.SensorPower("unknown") != 0 {
+		t.Error("unknown sensor should cost 0")
+	}
+}
+
+func TestAccountantIntegration(t *testing.T) {
+	m := PowerModel{IMUmW: 30, WiFiScanmW: 40, BasemW: 100}
+	a := NewAccountant(m)
+	// 10 s of IMU+WiFi: (100+30+40) mW × 10 s = 1.7 J.
+	for i := 0; i < 20; i++ {
+		a.AddSensors("x", []string{"imu", "wifi"}, 500*time.Millisecond)
+	}
+	if got := a.EnergyJ("x"); math.Abs(got-1.7) > 1e-9 {
+		t.Errorf("energy = %v", got)
+	}
+	if got := a.ActiveTime("x"); got != 10*time.Second {
+		t.Errorf("time = %v", got)
+	}
+	if got := a.AvgPowerMW("x"); math.Abs(got-170) > 1e-9 {
+		t.Errorf("avg power = %v", got)
+	}
+}
+
+func TestAccountantDuplicateSensorsChargedOnce(t *testing.T) {
+	m := PowerModel{IMUmW: 30}
+	a := NewAccountant(m)
+	a.AddSensors("x", []string{"imu", "imu", "imu"}, time.Second)
+	if got := a.EnergyJ("x"); math.Abs(got-0.03) > 1e-12 {
+		t.Errorf("duplicate sensors double-charged: %v J", got)
+	}
+}
+
+func TestAccountantTx(t *testing.T) {
+	m := PowerModel{TxPerByteMJ: 0.006}
+	a := NewAccountant(m)
+	a.AddTx("x", 1000)
+	if got := a.EnergyJ("x"); math.Abs(got-0.006) > 1e-12 {
+		t.Errorf("tx energy = %v", got)
+	}
+}
+
+func TestAccountantConsumersSorted(t *testing.T) {
+	a := NewAccountant(DefaultPowerModel())
+	a.AddTx("zeta", 1)
+	a.AddTx("alpha", 1)
+	got := a.Consumers()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("Consumers = %v", got)
+	}
+}
+
+func TestAvgPowerZeroTime(t *testing.T) {
+	a := NewAccountant(DefaultPowerModel())
+	a.AddTx("x", 100) // energy but no active time
+	if a.AvgPowerMW("x") != 0 {
+		t.Error("zero active time should report zero power")
+	}
+}
+
+func TestRelativeSchemeOrdering(t *testing.T) {
+	// The paper's qualitative claims: GPS is the most expensive
+	// sensor; IMU the cheapest of the localization sensors.
+	m := DefaultPowerModel()
+	if m.GPSmW <= m.WiFiScanmW || m.GPSmW <= m.IMUmW || m.GPSmW <= m.CellScanmW {
+		t.Error("GPS must dominate")
+	}
+	if m.IMUmW >= m.WiFiScanmW {
+		t.Error("IMU should be cheaper than WiFi scanning")
+	}
+}

@@ -1,0 +1,222 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schemes"
+)
+
+// sharedLab caches one trained lab across this package's tests (the
+// test binary is single-process, so plain lazy init is fine).
+var sharedLab *Lab
+
+func lab(t *testing.T) *Lab {
+	t.Helper()
+	if sharedLab == nil {
+		sharedLab = NewLab(42)
+	}
+	return sharedLab
+}
+
+func trained(t *testing.T) *Trained {
+	t.Helper()
+	tr, err := lab(t).Trained()
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	return tr
+}
+
+func TestTrainProducesModels(t *testing.T) {
+	tr := trained(t)
+	// Every scheme must have at least one environment model; the four
+	// non-GPS schemes must have both.
+	for _, name := range []string{schemes.NameWiFi, schemes.NameCellular, schemes.NameMotion, schemes.NameFusion} {
+		if tr.Models.Get(name, core.EnvIndoor) == nil {
+			t.Errorf("%s indoor model missing", name)
+		}
+		if tr.Models.Get(name, core.EnvOutdoor) == nil {
+			t.Errorf("%s outdoor model missing", name)
+		}
+	}
+	gps := tr.Models.Get(schemes.NameGPS, core.EnvOutdoor)
+	if gps == nil {
+		t.Fatal("gps outdoor model missing")
+	}
+	if !gps.Reg.HasIntercept || len(gps.Reg.Beta) != 0 {
+		t.Error("gps model must be intercept-only")
+	}
+	if gps.Reg.Intercept < 5 || gps.Reg.Intercept > 25 {
+		t.Errorf("gps intercept = %v, want near the paper's 13.5", gps.Reg.Intercept)
+	}
+	if tr.Models.Get(schemes.NameGPS, core.EnvIndoor) != nil {
+		t.Error("gps must have no indoor model (no fixes indoors)")
+	}
+}
+
+func TestTrainedModelShapes(t *testing.T) {
+	tr := trained(t)
+	// Fingerprint density coefficients must be positive (sparser →
+	// worse), RSSI deviation negative (less distinguishable → worse),
+	// and the motion distance-from-landmark slope positive.
+	wifi := tr.Models.Get(schemes.NameWiFi, core.EnvIndoor).Reg
+	for j, name := range wifi.Names {
+		switch name {
+		case schemes.FeatFPDensity:
+			if wifi.Beta[j] <= 0 {
+				t.Errorf("wifi density coefficient = %v, want > 0", wifi.Beta[j])
+			}
+		case schemes.FeatRSSIDev:
+			if wifi.Beta[j] >= 0 {
+				t.Errorf("wifi rssi-dev coefficient = %v, want < 0", wifi.Beta[j])
+			}
+		}
+	}
+	motion := tr.Models.Get(schemes.NameMotion, core.EnvIndoor).Reg
+	for j, name := range motion.Names {
+		if name == schemes.FeatDistLandmark {
+			if motion.Beta[j] <= 0 {
+				t.Errorf("motion dist-landmark coefficient = %v, want > 0", motion.Beta[j])
+			}
+			if motion.P[j] > 0.05 {
+				t.Errorf("motion dist-landmark p = %v, should be significant", motion.P[j])
+			}
+		}
+	}
+}
+
+func TestGlobalWeightsNormalized(t *testing.T) {
+	tr := trained(t)
+	for env, ws := range tr.Global {
+		var sum float64
+		for _, w := range ws {
+			if w < 0 {
+				t.Errorf("%v: negative weight", env)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v weights sum to %v", env, sum)
+		}
+	}
+}
+
+func TestRunPathInvariants(t *testing.T) {
+	tr := trained(t)
+	campus := lab(t).Campus()
+	path, ok := campus.Place.PathByName("path2")
+	if !ok {
+		t.Fatal("path2 missing")
+	}
+	run, err := RunPath(campus, path, tr, RunConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(run.Truth)
+	if n == 0 {
+		t.Fatal("no epochs")
+	}
+	for name, s := range run.Schemes {
+		if len(s.Err) != n || len(s.Avail) != n || len(s.PredErr) != n || len(s.Conf) != n {
+			t.Fatalf("%s series misaligned", name)
+		}
+		for i := range s.Err {
+			if s.Avail[i] != !math.IsNaN(s.Err[i]) {
+				t.Fatalf("%s: avail/NaN mismatch at %d", name, i)
+			}
+		}
+	}
+	for _, series := range [][]float64{run.UniLoc1, run.UniLoc2, run.Oracle, run.GlobalBMA, run.ALoc} {
+		if len(series) != n {
+			t.Fatal("ensemble series misaligned")
+		}
+	}
+	// Distances strictly increase.
+	for i := 1; i < n; i++ {
+		if run.DistM[i] < run.DistM[i-1] {
+			t.Fatal("distance not monotonic")
+		}
+	}
+	// Oracle ≤ every available scheme at every epoch.
+	for i := 0; i < n; i++ {
+		for name, s := range run.Schemes {
+			if s.Avail[i] && run.Oracle[i] > s.Err[i]+1e-9 {
+				t.Fatalf("oracle %v beaten by %s %v at epoch %d", run.Oracle[i], name, s.Err[i], i)
+			}
+		}
+	}
+	// Energy accounting covers every consumer.
+	for _, consumer := range []string{"uniloc", "uniloc-nogps", schemes.NameMotion, schemes.NameWiFi} {
+		if run.EnergyJ[consumer] <= 0 {
+			t.Errorf("energy for %s missing", consumer)
+		}
+	}
+	if run.BytesUp <= 0 || run.BytesDown <= 0 {
+		t.Error("offload byte counters empty")
+	}
+	if run.DurationS <= 0 {
+		t.Error("duration missing")
+	}
+}
+
+func TestRunPathNoGPS(t *testing.T) {
+	tr := trained(t)
+	campus := lab(t).Campus()
+	path, _ := campus.Place.PathByName("path1")
+	run, err := RunPath(campus, path, tr, RunConfig{Seed: 3, NoGPS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, on := range run.GPSOn {
+		if on {
+			t.Fatal("NoGPS run must never power GPS")
+		}
+	}
+}
+
+func TestMergeAndTables(t *testing.T) {
+	tr := trained(t)
+	campus := lab(t).Campus()
+	path, _ := campus.Place.PathByName("path8")
+	run, err := RunPath(campus, path, tr, RunConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Merge([]*PathRun{run, run})
+	if len(m.UniLoc2) != 2*len(Valid(run.UniLoc2)) {
+		t.Error("Merge should concatenate")
+	}
+	if s := SummaryTable("x", m).String(); s == "" {
+		t.Error("summary empty")
+	}
+	if s := CDFTable("x", m, []float64{1, 5, 10}).String(); s == "" {
+		t.Error("cdf empty")
+	}
+	if s := UsageTable("x", []*PathRun{run}).String(); s == "" {
+		t.Error("usage empty")
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	if F(math.NaN()) != "n/a" || F1(math.NaN()) != "n/a" || Pct(math.NaN()) != "n/a" {
+		t.Error("NaN rendering wrong")
+	}
+	if F(1.234) != "1.23" || F1(1.26) != "1.3" || Pct(0.5) != "50.0%" {
+		t.Error("number rendering wrong")
+	}
+	xs := []float64{1, math.NaN(), 3}
+	if len(Valid(xs)) != 2 {
+		t.Error("Valid wrong")
+	}
+	if MeanValid(xs) != 2 {
+		t.Error("MeanValid wrong")
+	}
+	if !math.IsNaN(MeanValid([]float64{math.NaN()})) {
+		t.Error("all-NaN mean should be NaN")
+	}
+	if PercentileValid(xs, 50) != 1 && PercentileValid(xs, 50) != 3 && PercentileValid(xs, 50) != 2 {
+		t.Error("PercentileValid wrong")
+	}
+}

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// WriteCSV exports a run's per-epoch record as CSV, one row per
+// sensing epoch: ground truth, per-scheme error/availability/predicted
+// error/confidence, ensemble and baseline errors. Downstream plotting
+// pipelines consume this to redraw the paper's figures.
+func (r *PathRun) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	names := make([]string, 0, len(r.Schemes))
+	for n := range r.Schemes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	header := []string{"epoch", "dist_m", "region", "env", "truth_x", "truth_y", "gps_on"}
+	for _, n := range names {
+		header = append(header, n+"_err", n+"_avail", n+"_pred", n+"_conf")
+	}
+	header = append(header, "uniloc1_err", "uniloc2_err", "oracle_err",
+		"globalbma_err", "aloc_err", "selected", "oracle_choice")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+
+	f := func(v float64) string {
+		if math.IsNaN(v) {
+			return ""
+		}
+		return fmt.Sprintf("%.4f", v)
+	}
+	bs := func(b bool) string {
+		if b {
+			return "1"
+		}
+		return "0"
+	}
+	for i := range r.Truth {
+		row := []string{
+			fmt.Sprintf("%d", i),
+			f(r.DistM[i]),
+			r.Region[i],
+			r.Env[i].String(),
+			f(r.Truth[i].X), f(r.Truth[i].Y),
+			bs(r.GPSOn[i]),
+		}
+		for _, n := range names {
+			s := r.Schemes[n]
+			row = append(row, f(s.Err[i]), bs(s.Avail[i]), f(s.PredErr[i]), f(s.Conf[i]))
+		}
+		row = append(row,
+			f(r.UniLoc1[i]), f(r.UniLoc2[i]), f(r.Oracle[i]),
+			f(r.GlobalBMA[i]), f(r.ALoc[i]),
+			r.Selected[i], r.OracleChoice[i],
+		)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

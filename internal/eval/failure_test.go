@@ -1,0 +1,150 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/schemes"
+	"repro/internal/sensing"
+)
+
+// flakyScheme fails on demand, for failure-injection tests.
+type flakyScheme struct {
+	name string
+	pos  geo.Point
+	fail bool
+}
+
+func (f *flakyScheme) Name() string                 { return f.name }
+func (f *flakyScheme) Reset(geo.Point)              {}
+func (f *flakyScheme) RegressionFeatures() []string { return nil }
+func (f *flakyScheme) Sensors() []string            { return []string{schemes.SensorIMU} }
+func (f *flakyScheme) Estimate(*sensing.Snapshot) schemes.Estimate {
+	return schemes.Estimate{Pos: f.pos, OK: !f.fail, Features: map[string]float64{}}
+}
+
+// interceptModel builds an intercept-only model for a flaky scheme.
+func interceptModel(name string, env core.EnvClass, mu, sigma float64) *core.ErrorModel {
+	tr := &core.Trainer{}
+	for i := 0; i < 40; i++ {
+		tr.Add(core.Sample{Scheme: name, Env: env, Features: map[string]float64{}, Err: mu})
+	}
+	set, err := tr.Fit([]schemes.Scheme{&flakyScheme{name: name}})
+	if err != nil {
+		panic(err)
+	}
+	m := set.Get(name, env)
+	m.Reg.ResidStd = sigma
+	return m
+}
+
+// TestFrameworkSurvivesSchemeDropout drives a framework while schemes
+// drop in and out; UniLoc must keep producing estimates as long as one
+// scheme survives, and recover seamlessly when schemes return (§IV-A's
+// temporary-exclusion rule under churn).
+func TestFrameworkSurvivesSchemeDropout(t *testing.T) {
+	a := &flakyScheme{name: "a", pos: geo.Pt(1, 1)}
+	b := &flakyScheme{name: "b", pos: geo.Pt(2, 2)}
+	ms := core.NewModelSet()
+	for _, env := range []core.EnvClass{core.EnvIndoor, core.EnvOutdoor} {
+		ms.Put(interceptModel("a", env, 2, 1))
+		ms.Put(interceptModel("b", env, 3, 1))
+	}
+	fw, err := core.NewFramework([]schemes.Scheme{a, b}, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Reset(geo.Pt(0, 0))
+	snap := &sensing.Snapshot{LightLux: 11000, MagVarUT: 0.4}
+
+	// Phase 1: both up.
+	res := fw.Step(snap)
+	if !res.OK {
+		t.Fatal("both up should succeed")
+	}
+	// Phase 2: a drops.
+	a.fail = true
+	res = fw.Step(snap)
+	if !res.OK || res.Schemes[res.BestIdx].Name != "b" {
+		t.Fatal("should fail over to b")
+	}
+	if res.BMA.Dist(geo.Pt(2, 2)) > 1e-9 {
+		t.Errorf("BMA should be b alone, got %v", res.BMA)
+	}
+	// Phase 3: everything drops.
+	b.fail = true
+	res = fw.Step(snap)
+	if res.OK {
+		t.Fatal("no scheme up should report !OK")
+	}
+	// Phase 4: a returns.
+	a.fail = false
+	res = fw.Step(snap)
+	if !res.OK || res.Schemes[res.BestIdx].Name != "a" {
+		t.Fatal("should recover when a returns")
+	}
+}
+
+// TestRunPathWithFlakySensors runs the real campus path with landmark
+// detection disabled entirely — a worst case for the motion schemes —
+// and checks the pipeline completes with sane output.
+func TestRunPathWithFlakySensors(t *testing.T) {
+	tr := trained(t)
+	campus := lab(t).Campus()
+	path, _ := campus.Place.PathByName("path1")
+	cfg := RunConfig{Seed: 21}
+	cfg.Walker = campus.DefaultWalkerConfig()
+	cfg.Walker.LandmarkDetectProb = 0 // no calibration at all
+	run, err := RunPath(campus, path, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Motion drifts badly without landmarks...
+	motion := MeanValid(run.Schemes[schemes.NameMotion].Err)
+	if math.IsNaN(motion) {
+		t.Fatal("motion series empty")
+	}
+	// ...but the ensemble must stay finite and beat raw motion.
+	u2 := MeanValid(run.UniLoc2)
+	if math.IsNaN(u2) || math.IsInf(u2, 0) {
+		t.Fatal("uniloc2 not finite")
+	}
+	if u2 > motion {
+		t.Errorf("without landmarks, ensemble (%.1f) should beat drifting motion (%.1f)", u2, motion)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := trained(t)
+	campus := lab(t).Campus()
+	path, _ := campus.Place.PathByName("path8")
+	run, err := RunPath(campus, path, tr, RunConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(run.Truth)+1 {
+		t.Fatalf("csv rows = %d, want %d", len(lines), len(run.Truth)+1)
+	}
+	header := lines[0]
+	for _, col := range []string{"epoch", "dist_m", "uniloc2_err", "fusion_err", "selected"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("csv header missing %q", col)
+		}
+	}
+	// Every row has the same column count as the header.
+	wantCols := strings.Count(header, ",")
+	for i, line := range lines[1:] {
+		if strings.Count(line, ",") != wantCols {
+			t.Fatalf("row %d has wrong column count", i+1)
+		}
+	}
+}

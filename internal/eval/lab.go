@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// Lab caches the expensive shared artifacts — trained models and
+// surveyed places — so a batch of experiments does not retrain per
+// table. It is not safe for concurrent use; each experiment harness
+// owns one Lab.
+type Lab struct {
+	Seed int64
+
+	trained *Trained
+
+	campus *scenario.Assets
+	mall   *scenario.Assets
+	urban  *scenario.Assets
+	office *scenario.Assets
+	open   *scenario.Assets
+}
+
+// NewLab creates a lab with the given master seed.
+func NewLab(seed int64) *Lab { return &Lab{Seed: seed} }
+
+// Trained returns the trained models, training on first use.
+func (l *Lab) Trained() (*Trained, error) {
+	if l.trained == nil {
+		tr, err := Train(l.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("lab: %w", err)
+		}
+		l.trained = tr
+	}
+	return l.trained, nil
+}
+
+// Campus returns the campus assets, building them on first use.
+func (l *Lab) Campus() *scenario.Assets {
+	if l.campus == nil {
+		l.campus = scenario.NewAssets(scenario.Campus(), l.Seed+100)
+	}
+	return l.campus
+}
+
+// Mall returns the shopping-mall assets.
+func (l *Lab) Mall() *scenario.Assets {
+	if l.mall == nil {
+		l.mall = scenario.NewAssets(scenario.Mall(), l.Seed+200)
+	}
+	return l.mall
+}
+
+// Urban returns the urban open-space assets.
+func (l *Lab) Urban() *scenario.Assets {
+	if l.urban == nil {
+		l.urban = scenario.NewAssets(scenario.UrbanOpenSpace(), l.Seed+300)
+	}
+	return l.urban
+}
+
+// TrainingOffice returns the training-office assets (used for
+// same-place validation in Table III).
+func (l *Lab) TrainingOffice() *scenario.Assets {
+	if l.office == nil {
+		l.office = scenario.NewAssets(scenario.TrainingOffice(), l.Seed)
+	}
+	return l.office
+}
+
+// TrainingOpen returns the training open-space assets.
+func (l *Lab) TrainingOpen() *scenario.Assets {
+	if l.open == nil {
+		l.open = scenario.NewAssets(scenario.TrainingOpenSpace(), l.Seed+1000)
+	}
+	return l.open
+}

@@ -1,0 +1,235 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stat"
+)
+
+// Table is a generic text-renderable table (one per paper table, and
+// one per figure rendered as rows/series).
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float for table cells.
+func F(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// F1 formats a float with one decimal.
+func F1(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+
+// Valid filters NaNs out of a series.
+func Valid(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MeanValid returns the mean of the non-NaN entries.
+func MeanValid(xs []float64) float64 {
+	v := Valid(xs)
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	return stat.Mean(v)
+}
+
+// PercentileValid returns the p-th percentile of the non-NaN entries.
+func PercentileValid(xs []float64, p float64) float64 {
+	v := Valid(xs)
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	return stat.Percentile(v, p)
+}
+
+// MergeRuns concatenates the same series across several runs, e.g. the
+// eight paths of Figure 7.
+type Merged struct {
+	Schemes   map[string][]float64
+	UniLoc1   []float64
+	UniLoc2   []float64
+	Oracle    []float64
+	GlobalBMA []float64
+	ALoc      []float64
+}
+
+// Merge combines the per-epoch error series of several runs.
+func Merge(runs []*PathRun) *Merged {
+	m := &Merged{Schemes: make(map[string][]float64)}
+	for _, r := range runs {
+		for name, s := range r.Schemes {
+			m.Schemes[name] = append(m.Schemes[name], s.Errors()...)
+		}
+		m.UniLoc1 = append(m.UniLoc1, Valid(r.UniLoc1)...)
+		m.UniLoc2 = append(m.UniLoc2, Valid(r.UniLoc2)...)
+		m.Oracle = append(m.Oracle, Valid(r.Oracle)...)
+		m.GlobalBMA = append(m.GlobalBMA, Valid(r.GlobalBMA)...)
+		m.ALoc = append(m.ALoc, Valid(r.ALoc)...)
+	}
+	return m
+}
+
+// SchemeNames returns the sorted scheme names present.
+func (m *Merged) SchemeNames() []string {
+	names := make([]string, 0, len(m.Schemes))
+	for n := range m.Schemes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CDFTable renders the CDF of every series at the given error values
+// (the paper's CDF figures as rows).
+func CDFTable(title string, m *Merged, values []float64) *Table {
+	t := &Table{Title: title}
+	t.Headers = []string{"error<=m"}
+	names := m.SchemeNames()
+	t.Headers = append(t.Headers, names...)
+	t.Headers = append(t.Headers, "uniloc1", "uniloc2", "oracle")
+	cols := make([][]float64, 0, len(names)+3)
+	for _, n := range names {
+		cols = append(cols, stat.CDFSeries(m.Schemes[n], values))
+	}
+	cols = append(cols,
+		stat.CDFSeries(m.UniLoc1, values),
+		stat.CDFSeries(m.UniLoc2, values),
+		stat.CDFSeries(m.Oracle, values),
+	)
+	for i, v := range values {
+		row := []string{F1(v)}
+		for _, c := range cols {
+			row = append(row, fmt.Sprintf("%.2f", c[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// SummaryTable renders mean / median / 90th percentile for every
+// series.
+func SummaryTable(title string, m *Merged) *Table {
+	t := &Table{Title: title, Headers: []string{"series", "mean(m)", "p50(m)", "p90(m)", "n"}}
+	add := func(name string, xs []float64) {
+		if len(xs) == 0 {
+			t.AddRow(name, "n/a", "n/a", "n/a", "0")
+			return
+		}
+		t.AddRow(name, F(stat.Mean(xs)), F(stat.Percentile(xs, 50)), F(stat.Percentile(xs, 90)),
+			fmt.Sprintf("%d", len(xs)))
+	}
+	for _, n := range m.SchemeNames() {
+		add(n, m.Schemes[n])
+	}
+	add("uniloc1", m.UniLoc1)
+	add("uniloc2", m.UniLoc2)
+	add("oracle", m.Oracle)
+	add("global-bma", m.GlobalBMA)
+	add("a-loc", m.ALoc)
+	return t
+}
+
+// UsageTable renders the fraction of epochs each scheme was chosen by
+// UniLoc1 and by the oracle (Figure 5).
+func UsageTable(title string, runs []*PathRun) *Table {
+	u1 := make(map[string]int)
+	or := make(map[string]int)
+	total := 0
+	for _, r := range runs {
+		for i := range r.Selected {
+			if r.Selected[i] != "" {
+				u1[r.Selected[i]]++
+			}
+			if r.OracleChoice[i] != "" {
+				or[r.OracleChoice[i]]++
+			}
+			total++
+		}
+	}
+	names := make(map[string]bool)
+	for n := range u1 {
+		names[n] = true
+	}
+	for n := range or {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	t := &Table{Title: title, Headers: []string{"scheme", "uniloc1", "oracle"}}
+	for _, n := range sorted {
+		t.AddRow(n, Pct(float64(u1[n])/float64(total)), Pct(float64(or[n])/float64(total)))
+	}
+	return t
+}

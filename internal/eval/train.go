@@ -1,0 +1,96 @@
+// Package eval runs the end-to-end experiments: it trains the error
+// models in the two training places (§III-B), runs UniLoc and every
+// individual scheme along evaluation paths, and aggregates errors,
+// scheme usage, energy and response-time statistics into the report
+// structures the experiment harness renders.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/imu"
+	"repro/internal/scenario"
+	"repro/internal/schemes"
+)
+
+// Trained bundles everything produced by the offline training phase.
+type Trained struct {
+	Models  *core.ModelSet
+	Global  map[core.EnvClass]map[string]float64
+	ALoc    *core.ALocProfile
+	Trainer *core.Trainer
+
+	// FeatureSchemes holds one scheme instance per name for feature
+	// metadata (names, order); do not call Estimate on them.
+	FeatureSchemes []schemes.Scheme
+}
+
+// ALocAccuracyReqM is the accuracy requirement handed to the A-Loc
+// baseline.
+const ALocAccuracyReqM = 5
+
+// aLocCosts are the relative sensing costs (mW) A-Loc ranks schemes by.
+func aLocCosts() map[string]float64 {
+	return map[string]float64{
+		schemes.NameMotion:   31,
+		schemes.NameCellular: 48,
+		schemes.NameWiFi:     92,
+		schemes.NameFusion:   123,
+		schemes.NameGPS:      385,
+	}
+}
+
+// Train runs the paper's offline error-modeling workflow: data
+// collection with ground truth in the training office (indoor models)
+// and the training open space (outdoor models and the GPS constant),
+// then the multiple-linear-regression fit per scheme per environment.
+// The entire procedure is deterministic in the seed.
+func Train(seed int64) (*Trained, error) {
+	trainer := &core.Trainer{}
+
+	office := scenario.TrainingOffice()
+	officeAssets := scenario.NewAssets(office, seed)
+	collectPlace(trainer, officeAssets, seed+1)
+
+	open := scenario.TrainingOpenSpace()
+	openAssets := scenario.NewAssets(open, seed+1000)
+	collectPlace(trainer, openAssets, seed+1001)
+
+	// Fit against one instance of each scheme for feature metadata.
+	featureSchemes := officeAssets.Schemes(rand.New(rand.NewSource(seed + 7)))
+	models, err := trainer.Fit(featureSchemes)
+	if err != nil {
+		return nil, fmt.Errorf("eval: training: %w", err)
+	}
+	return &Trained{
+		Models:         models,
+		Global:         trainer.GlobalWeights(),
+		ALoc:           trainer.ALoc(aLocCosts(), ALocAccuracyReqM),
+		Trainer:        trainer,
+		FeatureSchemes: featureSchemes,
+	}, nil
+}
+
+// collectPlace walks every path of the place's training set twice
+// (two persons), recording samples for all five schemes.
+func collectPlace(trainer *core.Trainer, assets *scenario.Assets, seed int64) {
+	persons := trainingPersons()
+	for wi, path := range assets.Place.Paths {
+		for pi, person := range persons {
+			rnd := rand.New(rand.NewSource(seed + int64(wi*13+pi)))
+			cfg := assets.DefaultWalkerConfig()
+			cfg.Person = person
+			ss := assets.Schemes(rnd)
+			trainer.CollectWalk(assets.Place.World, ss, path.Line, cfg, rnd)
+		}
+	}
+}
+
+// trainingPersons returns the two surveyors who collect training data
+// (the paper's collection is done by one person in one day; a second
+// gait adds robustness without changing the workflow).
+func trainingPersons() []imu.Person {
+	return imu.Persons()[:2]
+}

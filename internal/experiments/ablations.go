@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/scenario"
+	"repro/internal/schemes"
+	"repro/internal/stat"
+	"repro/internal/walker"
+)
+
+// AblationWeighting compares the BMA weighting variants on the daily
+// path: the default precision weighting with pruning, the literal
+// w=c/Σc of Eq. 5, no pruning, and plain uniform averaging.
+func (s *Suite) AblationWeighting() (*Report, error) {
+	tr, err := s.Lab.Trained()
+	if err != nil {
+		return nil, err
+	}
+	campus := s.Lab.Campus()
+	path, ok := campus.Place.PathByName("path1")
+	if !ok {
+		return nil, fmt.Errorf("experiments: path1 missing")
+	}
+
+	type variant struct {
+		name string
+		opts []core.Option
+	}
+	variants := []variant{
+		{"precision + prune (default)", nil},
+		{"precision, no prune", []core.Option{core.WithPruneFrac(0)}},
+		{"confidence-only (Eq. 5)", []core.Option{core.WithWeighting(core.WeightConfOnly)}},
+		{"confidence-only, no prune", []core.Option{core.WithWeighting(core.WeightConfOnly), core.WithPruneFrac(0)}},
+		{"uniform averaging", []core.Option{core.WithWeighting(core.WeightUniform), core.WithPruneFrac(0)}},
+	}
+	t := &eval.Table{
+		Title:   "BMA weighting ablation on daily Path 1",
+		Headers: []string{"variant", "uniloc2 mean(m)", "uniloc2 p50(m)", "uniloc2 p90(m)"},
+	}
+	for _, v := range variants {
+		run, err := eval.RunPath(campus, path, tr, eval.RunConfig{
+			Seed: s.Lab.Seed + 77, Framework: v.opts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		u2 := eval.Valid(run.UniLoc2)
+		t.AddRow(v.name, eval.F(stat.Mean(u2)), eval.F(stat.Percentile(u2, 50)), eval.F(stat.Percentile(u2, 90)))
+	}
+	return &Report{
+		ID: "Ablation A", Title: "locally-weighted BMA weighting variants",
+		Tables: []*eval.Table{t},
+		Notes: []string{
+			"expected ordering: precision+prune <= confidence-only <= uniform; the gap quantifies how much the local weights matter",
+		},
+	}, nil
+}
+
+// AblationSpacing sweeps the fingerprint grid pitch (the paper's 5 m /
+// 10 m / 15 m downsampling study, §III-B) and reports how RADAR's
+// error grows with the spatial-density feature β₁.
+func (s *Suite) AblationSpacing() (*Report, error) {
+	office := s.Lab.TrainingOffice()
+	rnd := rand.New(rand.NewSource(s.Lab.Seed + 1200))
+	t := &eval.Table{
+		Title:   "RADAR error vs fingerprint grid pitch (training office)",
+		Headers: []string{"downsample", "fingerprints", "mean err (m)", "p90 err (m)"},
+	}
+	for _, factor := range []int{1, 2, 3, 5} {
+		db := office.WiFiDB.Downsample(factor)
+		wifi := schemes.NewWiFi(db)
+		var errs []float64
+		for _, p := range office.Place.Paths {
+			wk := newTestWalk(office, p, rnd)
+			for !wk.Done() {
+				snap, truth := wk.Next(false)
+				est := wifi.Estimate(snap)
+				if est.OK {
+					errs = append(errs, est.Pos.Dist(truth))
+				}
+			}
+		}
+		if len(errs) == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("x%d (~%.0f m)", factor, db.SpacingM),
+			fmt.Sprintf("%d", len(db.Points)),
+			eval.F(stat.Mean(errs)), eval.F(stat.Percentile(errs, 90)))
+	}
+	return &Report{
+		ID: "Ablation B", Title: "fingerprint spatial density sweep",
+		Tables: []*eval.Table{t},
+		Notes: []string{
+			"paper shape: error grows with grid pitch — the basis of the positive β₁ coefficient in Table II",
+		},
+	}, nil
+}
+
+// newTestWalk builds a walker over a path with the place's default
+// configuration.
+func newTestWalk(assets *scenario.Assets, p scenario.Path, rnd *rand.Rand) *walker.Walker {
+	return walker.New(assets.Place.World, p.Line, assets.DefaultWalkerConfig(), rnd)
+}
+
+// AblationTrainingSize refits the error models on truncated training
+// sets and measures prediction quality on the daily path, probing the
+// paper's claim that ~300 measurements per place suffice.
+func (s *Suite) AblationTrainingSize() (*Report, error) {
+	tr, err := s.Lab.Trained()
+	if err != nil {
+		return nil, err
+	}
+	campus := s.Lab.Campus()
+	path, ok := campus.Place.PathByName("path1")
+	if !ok {
+		return nil, fmt.Errorf("experiments: path1 missing")
+	}
+
+	t := &eval.Table{
+		Title:   "Error-model quality vs training-set size (per scheme per environment)",
+		Headers: []string{"samples/scheme/env", "uniloc2 mean(m)", "prediction nRMSE"},
+	}
+	for _, n := range []int{50, 100, 300, 1000} {
+		sub := &core.Trainer{}
+		counts := make(map[string]int)
+		for _, smp := range tr.Trainer.Samples() {
+			key := smp.Scheme + "/" + smp.Env.String()
+			if counts[key] >= n {
+				continue
+			}
+			counts[key]++
+			sub.Add(smp)
+		}
+		models, err := sub.Fit(tr.FeatureSchemes)
+		if err != nil {
+			continue
+		}
+		subTrained := &eval.Trained{
+			Models: models, Global: tr.Global, ALoc: tr.ALoc,
+			Trainer: sub, FeatureSchemes: tr.FeatureSchemes,
+		}
+		run, err := eval.RunPath(campus, path, subTrained, eval.RunConfig{Seed: s.Lab.Seed + 77})
+		if err != nil {
+			return nil, err
+		}
+		// Prediction quality over all schemes.
+		var sq, act []float64
+		for _, series := range run.Schemes {
+			for i := range series.Err {
+				if !series.Avail[i] {
+					continue
+				}
+				d := series.PredErr[i] - series.Err[i]
+				sq = append(sq, d*d)
+				act = append(act, series.Err[i])
+			}
+		}
+		nrmse := math.NaN()
+		if m := stat.Mean(act); m > 0 {
+			nrmse = math.Sqrt(stat.Mean(sq)) / m
+		}
+		t.AddRow(fmt.Sprintf("%d", n), eval.F(eval.MeanValid(run.UniLoc2)), eval.F(nrmse))
+	}
+	return &Report{
+		ID: "Ablation C", Title: "training-set size sensitivity",
+		Tables: []*eval.Table{t},
+		Notes: []string{
+			"paper claim: ~300 measurements per place already yield models good enough for substantial ensemble gain",
+		},
+	}, nil
+}

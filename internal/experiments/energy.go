@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/schemes"
+)
+
+// TableIV regenerates Table IV: power, active time and energy of every
+// localization system along daily Path 1, with UniLoc's GPS gating and
+// offload transmissions included.
+func (s *Suite) TableIV() (*Report, error) {
+	tr, err := s.Lab.Trained()
+	if err != nil {
+		return nil, err
+	}
+	campus := s.Lab.Campus()
+	path, ok := campus.Place.PathByName("path1")
+	if !ok {
+		return nil, fmt.Errorf("experiments: path1 missing")
+	}
+	run, err := eval.RunPath(campus, path, tr, eval.RunConfig{Seed: s.Lab.Seed + 77})
+	if err != nil {
+		return nil, err
+	}
+	// A no-gating run gives the "default GPS always on outdoors"
+	// reference for the outdoor-energy reduction claim. The standalone
+	// "gps" consumer in the normal run is already always-on outdoors,
+	// so it serves as that reference directly.
+
+	t := &eval.Table{
+		Title:   "Power and energy along daily Path 1 (power model in EXPERIMENTS.md)",
+		Headers: []string{"system", "avg power (mW)", "time (s)", "energy (J)"},
+	}
+	rows := []string{
+		schemes.NameGPS, schemes.NameWiFi, schemes.NameCellular,
+		schemes.NameMotion, schemes.NameFusion, "uniloc-nogps", "uniloc",
+	}
+	for _, name := range rows {
+		e := run.EnergyJ[name]
+		dur := run.DurationS
+		if e == 0 && name != schemes.NameGPS {
+			continue
+		}
+		avgMW := 0.0
+		if dur > 0 {
+			avgMW = e * 1000 / dur
+		}
+		t.AddRow(name, eval.F(avgMW), eval.F1(dur), eval.F(e))
+	}
+
+	motionJ := run.EnergyJ[schemes.NameMotion]
+	unilocJ := run.EnergyJ["uniloc"]
+	gpsJ := run.EnergyJ[schemes.NameGPS]
+	gpsOnEpochs := 0
+	for _, on := range run.GPSOn {
+		if on {
+			gpsOnEpochs++
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("uniloc vs motion-based PDR: +%.1f%% energy (paper: +14%%)",
+			(unilocJ/motionJ-1)*100),
+		fmt.Sprintf("offload traffic: %d B up, %d B down over %d epochs",
+			run.BytesUp, run.BytesDown, len(run.GPSOn)),
+	}
+	if gpsJ > 0 {
+		// Compare only the GPS radio's own draw (385 mW) under the two
+		// policies: always-on outdoors vs UniLoc's gate.
+		outdoorEpochs := 0
+		for i := range run.GPSOn {
+			if run.Env[i] == core.EnvOutdoor {
+				outdoorEpochs++
+			}
+		}
+		gpsJ = float64(outdoorEpochs) * 0.5 * 385 / 1000
+		unilocGPSJ := float64(gpsOnEpochs) * 0.5 * 385 / 1000 // gated GPS epochs × epoch × GPS draw
+		if unilocGPSJ > 0 {
+			notes = append(notes, fmt.Sprintf("GPS energy outdoors: default %.2f J vs gated %.2f J (x%.1f reduction; paper: x2.1)",
+				gpsJ, unilocGPSJ, gpsJ/unilocGPSJ))
+		} else {
+			notes = append(notes, fmt.Sprintf("GPS energy outdoors: default %.2f J vs gated 0 J (GPS never predicted best; the gate saves all of it)", gpsJ))
+		}
+	}
+	return &Report{
+		ID: "Table IV", Title: "power and energy consumption along the daily path",
+		Tables: []*eval.Table{t},
+		Notes:  notes,
+	}, nil
+}

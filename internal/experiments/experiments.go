@@ -1,0 +1,85 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§II, §III, §V) plus the ablations listed in
+// DESIGN.md §6. Each experiment returns a Report of text tables whose
+// rows/series mirror what the paper plots; cmd/uniloc-bench prints
+// them all, and the root bench_test.go wraps each as a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+)
+
+// Report is one experiment's regenerated output.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*eval.Table
+	Notes  []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "######## %s — %s ########\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Suite runs experiments over one shared lab (trained models and
+// surveyed places are built once and reused).
+type Suite struct {
+	Lab *eval.Lab
+}
+
+// NewSuite creates a suite with the given master seed.
+func NewSuite(seed int64) *Suite {
+	return &Suite{Lab: eval.NewLab(seed)}
+}
+
+// Experiment is a named regeneration entry point.
+type Experiment struct {
+	ID  string
+	Run func() (*Report, error)
+}
+
+// All returns every experiment in paper order.
+func (s *Suite) All() []Experiment {
+	return []Experiment{
+		{"table1", s.TableI},
+		{"table2", s.TableII},
+		{"table3", s.TableIII},
+		{"figure2", s.Figure2},
+		{"figure3", s.Figure3},
+		{"figure5", s.Figure5},
+		{"figure6", s.Figure6},
+		{"figure7", s.Figure7},
+		{"figure8a", s.Figure8a},
+		{"figure8b", s.Figure8b},
+		{"figure8c", s.Figure8c},
+		{"figure8d", s.Figure8d},
+		{"table4", s.TableIV},
+		{"table5", s.TableV},
+		{"ablation-weighting", s.AblationWeighting},
+		{"ablation-spacing", s.AblationSpacing},
+		{"ablation-training-size", s.AblationTrainingSize},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func (s *Suite) ByID(id string) (Experiment, bool) {
+	for _, e := range s.All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,239 @@
+// Package fingerprint implements the offline RSSI fingerprint database
+// used by the RADAR-style WiFi and cellular localization schemes: site
+// survey construction over a world's walkable area, nearest-neighbour
+// matching in RSSI space, and the two data features the paper's error
+// models use — local fingerprint spatial density (β₁) and the RSSI
+// distance deviation of the top-k candidates (β₂).
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/rf"
+	"repro/internal/world"
+)
+
+// Fingerprint is one surveyed location with its RSSI vector.
+type Fingerprint struct {
+	Pos geo.Point
+	Vec rf.Vector
+}
+
+// DB is an offline fingerprint database. In the paper each offline
+// fingerprint has one sample from each audible transmitter, and the
+// database is assumed to be kept fresh by the provider or crowdsourcing.
+type DB struct {
+	Points   []Fingerprint
+	SpacingM float64 // nominal grid spacing used at survey time
+	Floor    float64 // imputation value for unheard transmitters
+}
+
+// Survey builds a fingerprint database by sampling a regular grid with
+// the given spacing over the world's walkable area, measuring sites
+// through the channel model with the reference device.
+func Survey(w *world.World, m rf.Model, sites []world.Site, spacingM float64, rnd *rand.Rand) *DB {
+	return SurveyArea(w, m, sites, spacingM, rnd, nil)
+}
+
+// SurveyArea is Survey restricted to grid points accepted by keep (nil
+// keeps everything walkable). It lets a deployment survey indoor and
+// outdoor areas at different densities, as the paper's deployments do
+// (3 m indoors, 12 m in open spaces).
+func SurveyArea(w *world.World, m rf.Model, sites []world.Site, spacingM float64, rnd *rand.Rand, keep func(geo.Point) bool) *DB {
+	if spacingM <= 0 {
+		panic(fmt.Sprintf("fingerprint: invalid spacing %f", spacingM))
+	}
+	b := w.Bounds()
+	db := &DB{SpacingM: spacingM, Floor: m.SensitivityDBm - 8}
+	dev := rf.Reference()
+	for y := b.Min.Y + spacingM/2; y <= b.Max.Y; y += spacingM {
+		for x := b.Min.X + spacingM/2; x <= b.Max.X; x += spacingM {
+			p := geo.Pt(x, y)
+			if !w.Walkable(p) {
+				continue
+			}
+			if keep != nil && !keep(p) {
+				continue
+			}
+			vec := m.Scan(w, sites, p, dev, rnd)
+			// A single audible transmitter cannot discriminate
+			// locations; such spots are effectively unfingerprintable
+			// (matching needs at least MinAPsForFix = 2 anyway).
+			if len(vec) < 2 {
+				continue
+			}
+			db.Points = append(db.Points, Fingerprint{Pos: p, Vec: vec})
+		}
+	}
+	return db
+}
+
+// Merge combines two databases (e.g. an indoor and an outdoor survey)
+// into one. The result's nominal spacing is the smaller of the two.
+func Merge(a, b *DB) *DB {
+	out := &DB{SpacingM: a.SpacingM, Floor: a.Floor}
+	if b.SpacingM > 0 && (out.SpacingM == 0 || b.SpacingM < out.SpacingM) {
+		out.SpacingM = b.SpacingM
+	}
+	if b.Floor < out.Floor {
+		out.Floor = b.Floor
+	}
+	out.Points = append(out.Points, a.Points...)
+	out.Points = append(out.Points, b.Points...)
+	return out
+}
+
+// Downsample returns a new database keeping roughly one fingerprint per
+// (factor × factor) group, emulating the paper's coarser-density studies
+// (5 m, 10 m, 15 m grids derived from fine-grained data).
+func (db *DB) Downsample(factor int) *DB {
+	if factor <= 1 {
+		out := &DB{SpacingM: db.SpacingM, Floor: db.Floor}
+		out.Points = append(out.Points, db.Points...)
+		return out
+	}
+	out := &DB{SpacingM: db.SpacingM * float64(factor), Floor: db.Floor}
+	cell := db.SpacingM * float64(factor)
+	seen := make(map[[2]int64]bool)
+	for _, fp := range db.Points {
+		k := [2]int64{int64(math.Floor(fp.Pos.X / cell)), int64(math.Floor(fp.Pos.Y / cell))}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Points = append(out.Points, fp)
+	}
+	return out
+}
+
+// Match is one candidate location from RSSI matching.
+type Match struct {
+	Pos  geo.Point
+	Dist float64 // RSSI-space Euclidean distance
+}
+
+// Nearest returns the k fingerprints closest to the observation in RSSI
+// space, sorted by ascending RSSI distance. It returns fewer than k
+// matches when the database is small.
+func (db *DB) Nearest(obs rf.Vector, k int) []Match {
+	if len(db.Points) == 0 || k <= 0 {
+		return nil
+	}
+	matches := make([]Match, len(db.Points))
+	for i, fp := range db.Points {
+		matches[i] = Match{Pos: fp.Pos, Dist: rf.Distance(obs, fp.Vec, db.Floor)}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Dist != matches[j].Dist {
+			return matches[i].Dist < matches[j].Dist
+		}
+		// Tie-break deterministically by position.
+		if matches[i].Pos.X != matches[j].Pos.X {
+			return matches[i].Pos.X < matches[j].Pos.X
+		}
+		return matches[i].Pos.Y < matches[j].Pos.Y
+	})
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches
+}
+
+// Distances returns the RSSI-space distance from the observation to
+// every fingerprint, aligned with Points. The HMM location predictor
+// consumes this as its emission input.
+func (db *DB) Distances(obs rf.Vector) []float64 {
+	out := make([]float64, len(db.Points))
+	for i, fp := range db.Points {
+		out[i] = rf.Distance(obs, fp.Vec, db.Floor)
+	}
+	return out
+}
+
+// Positions returns the surveyed positions, aligned with Points.
+func (db *DB) Positions() []geo.Point {
+	out := make([]geo.Point, len(db.Points))
+	for i, fp := range db.Points {
+		out[i] = fp.Pos
+	}
+	return out
+}
+
+// DensityAround returns the local fingerprint spatial density feature
+// β₁: the average distance from p to its nearest neighbours in the
+// database (the paper measures "the average distance between two
+// fingerprints around the location under consideration"). A sparse or
+// empty neighbourhood returns a large sentinel distance.
+func (db *DB) DensityAround(p geo.Point, neighbours int) float64 {
+	if neighbours <= 0 {
+		neighbours = 3
+	}
+	if len(db.Points) == 0 {
+		return 50
+	}
+	dists := make([]float64, len(db.Points))
+	for i, fp := range db.Points {
+		dists[i] = fp.Pos.Dist(p)
+	}
+	sort.Float64s(dists)
+	if len(dists) > neighbours {
+		dists = dists[:neighbours]
+	}
+	var sum float64
+	for _, d := range dists {
+		sum += d
+	}
+	avg := sum / float64(len(dists))
+	// The average nearest-neighbour distance understates grid pitch for
+	// points between fingerprints; the max below keeps degenerate dense
+	// spots from reporting near-zero spacing. The upper clamp keeps the
+	// feature in the range the error models were trained on — beyond a
+	// few grid pitches the area is simply unfingerprinted and a larger
+	// value carries no additional information, only wild extrapolation.
+	v := math.Max(avg, db.SpacingM/2)
+	return math.Min(v, 20)
+}
+
+// TopKDeviation returns the RSSI-distance deviation feature β₂: the
+// standard deviation of the RSSI distances of the first k candidates.
+// Small deviation means the candidates are hard to distinguish, so the
+// estimate is more likely wrong (hence the negative regression
+// coefficient in Table II).
+func TopKDeviation(matches []Match) float64 {
+	if len(matches) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, m := range matches {
+		mean += m.Dist
+	}
+	mean /= float64(len(matches))
+	var ss float64
+	for _, m := range matches {
+		d := m.Dist - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(matches)-1))
+}
+
+// VectorAt returns the stored fingerprint vector nearest in physical
+// space to p (used by the fusion scheme to weight particles), along
+// with the distance to that fingerprint. ok is false for an empty DB.
+func (db *DB) VectorAt(p geo.Point) (vec rf.Vector, distM float64, ok bool) {
+	if len(db.Points) == 0 {
+		return nil, 0, false
+	}
+	best := 0
+	bestD := math.Inf(1)
+	for i, fp := range db.Points {
+		if d := fp.Pos.DistSq(p); d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return db.Points[best].Vec, math.Sqrt(bestD), true
+}

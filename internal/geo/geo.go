@@ -1,0 +1,218 @@
+// Package geo provides the 2-D geometric primitives used throughout the
+// UniLoc simulator: points and vectors in a local map frame (meters),
+// segments, polygons, and conversions between geographic (lat/lon) and
+// local map coordinates.
+//
+// The local map frame is a right-handed plane with X pointing east and Y
+// pointing north, anchored at a scenario-specific origin.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the local map frame, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is a shorthand constructor for Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q treated as vectors.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q treated as vectors.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product of p and q treated as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the 2-D cross product (z component) of p and q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p treated as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// DistSq returns the squared Euclidean distance between p and q.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Heading returns the compass-style heading in radians of the vector p,
+// measured counter-clockwise from the +X axis, normalized to [-π, π].
+func (p Point) Heading() float64 { return math.Atan2(p.Y, p.X) }
+
+// Unit returns p normalized to unit length. The zero vector is returned
+// unchanged.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return p.Scale(1 / n)
+}
+
+// Rotate returns p rotated counter-clockwise by theta radians.
+func (p Point) Rotate(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{p.X*c - p.Y*s, p.X*s + p.Y*c}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Lerp linearly interpolates between a and b; t=0 yields a, t=1 yields b.
+func Lerp(a, b Point, t float64) Point {
+	return Point{a.X + (b.X-a.X)*t, a.Y + (b.Y-a.Y)*t}
+}
+
+// FromHeading returns the unit vector pointing along heading theta
+// (radians, counter-clockwise from +X).
+func FromHeading(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{c, s}
+}
+
+// NormalizeAngle wraps an angle in radians into [-π, π]. It is O(1)
+// for arbitrarily large inputs (NaN and ±Inf pass through as NaN).
+func NormalizeAngle(a float64) float64 {
+	if math.IsInf(a, 0) {
+		return math.NaN()
+	}
+	a = math.Mod(a, 2*math.Pi)
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	} else if a < -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the smallest signed difference a-b wrapped to [-π, π].
+func AngleDiff(a, b float64) float64 { return NormalizeAngle(a - b) }
+
+// Segment is a directed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is a shorthand constructor for Segment.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Length returns the length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the midpoint of the segment.
+func (s Segment) Midpoint() Point { return Lerp(s.A, s.B, 0.5) }
+
+// At returns the point at parameter t along the segment (t=0 → A, t=1 → B).
+func (s Segment) At(t float64) Point { return Lerp(s.A, s.B, t) }
+
+// ClosestPoint returns the point on the segment closest to p.
+func (s Segment) ClosestPoint(p Point) Point {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 == 0 {
+		return s.A
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	return s.At(t)
+}
+
+// DistTo returns the distance from p to the segment.
+func (s Segment) DistTo(p Point) float64 { return p.Dist(s.ClosestPoint(p)) }
+
+// Intersects reports whether segments s and o properly intersect or touch.
+func (s Segment) Intersects(o Segment) bool {
+	d1 := orient(o.A, o.B, s.A)
+	d2 := orient(o.A, o.B, s.B)
+	d3 := orient(s.A, s.B, o.A)
+	d4 := orient(s.A, s.B, o.B)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSegment(o.A, o.B, s.A):
+		return true
+	case d2 == 0 && onSegment(o.A, o.B, s.B):
+		return true
+	case d3 == 0 && onSegment(s.A, s.B, o.A):
+		return true
+	case d4 == 0 && onSegment(s.A, s.B, o.B):
+		return true
+	}
+	return false
+}
+
+// orient returns >0 if a→b→c turns counter-clockwise, <0 if clockwise,
+// 0 if collinear.
+func orient(a, b, c Point) float64 { return b.Sub(a).Cross(c.Sub(a)) }
+
+// onSegment reports whether collinear point p lies on segment [a, b].
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the axis-aligned rectangle spanning the two corners in
+// any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point { return Lerp(r.Min, r.Max, 0.5) }
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, o.Min.X), math.Min(r.Min.Y, o.Min.Y)},
+		Max: Point{math.Max(r.Max.X, o.Max.X), math.Max(r.Max.Y, o.Max.Y)},
+	}
+}
+
+// Expand returns r grown by d on every side.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+}
+
+// Clamp returns p clamped into r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}

@@ -1,0 +1,217 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 10 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.Dist(q); !almostEq(got, math.Sqrt(16+4), 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := p.DistSq(q); got != 20 {
+		t.Errorf("DistSq = %v", got)
+	}
+}
+
+func TestUnitAndRotate(t *testing.T) {
+	u := Pt(3, 4).Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if got := (Point{}).Unit(); got != (Point{}) {
+		t.Errorf("zero Unit = %v", got)
+	}
+	r := Pt(1, 0).Rotate(math.Pi / 2)
+	if !almostEq(r.X, 0, 1e-12) || !almostEq(r.Y, 1, 1e-12) {
+		t.Errorf("Rotate = %v", r)
+	}
+}
+
+func TestHeadingRoundTrip(t *testing.T) {
+	f := func(theta float64) bool {
+		theta = NormalizeAngle(theta)
+		v := FromHeading(theta)
+		return almostEq(NormalizeAngle(v.Heading()-theta), 0, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{-3 * math.Pi, math.Pi}, // wraps to +π via the loop
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+	}
+	for _, c := range cases {
+		got := NormalizeAngle(c.in)
+		if !almostEq(math.Abs(got), math.Abs(c.want), 1e-9) {
+			t.Errorf("NormalizeAngle(%v) = %v want ±%v", c.in, got, c.want)
+		}
+		if got < -math.Pi-1e-9 || got > math.Pi+1e-9 {
+			t.Errorf("NormalizeAngle(%v) = %v outside [-π,π]", c.in, got)
+		}
+	}
+}
+
+func TestAngleDiffProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		d := AngleDiff(a, b)
+		if math.IsInf(a-b, 0) || math.IsNaN(a-b) {
+			// Overflowing difference degrades to NaN by contract.
+			return math.IsNaN(d)
+		}
+		return d >= -math.Pi-1e-9 && d <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := Lerp(a, b, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	cases := []struct {
+		p, want Point
+	}{
+		{Pt(5, 3), Pt(5, 0)},
+		{Pt(-4, 2), Pt(0, 0)},
+		{Pt(14, -2), Pt(10, 0)},
+	}
+	for _, c := range cases {
+		if got := s.ClosestPoint(c.p); got.Dist(c.want) > 1e-12 {
+			t.Errorf("ClosestPoint(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment.
+	d := Seg(Pt(1, 1), Pt(1, 1))
+	if got := d.ClosestPoint(Pt(5, 5)); got != Pt(1, 1) {
+		t.Errorf("degenerate ClosestPoint = %v", got)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Segment
+		want bool
+	}{
+		{Seg(Pt(0, 0), Pt(10, 10)), Seg(Pt(0, 10), Pt(10, 0)), true},
+		{Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(2, 2), Pt(3, 3)), false},
+		{Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, 0), Pt(5, 5)), true},   // touch
+		{Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(0, 1), Pt(10, 1)), false}, // parallel
+		{Seg(Pt(0, 0), Pt(4, 0)), Seg(Pt(2, 0), Pt(6, 0)), true},    // collinear overlap
+		{Seg(Pt(0, 0), Pt(4, 0)), Seg(Pt(5, 0), Pt(9, 0)), false},   // collinear apart
+		{Seg(Pt(0, 0), Pt(0, 0)), Seg(Pt(-1, -1), Pt(1, 1)), true},  // point on segment
+		{Seg(Pt(2, 2), Pt(2, 2)), Seg(Pt(-1, -1), Pt(1, 1)), false}, // point off segment
+	}
+	for i, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: Intersects = %v want %v", i, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("case %d (sym): Intersects = %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSegmentIntersectsSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		s1 := Seg(Pt(ax, ay), Pt(bx, by))
+		s2 := Seg(Pt(cx, cy), Pt(dx, dy))
+		return s1.Intersects(s2) == s2.Intersects(s1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(Pt(5, 5), Pt(1, 2))
+	if r.Min != Pt(1, 2) || r.Max != Pt(5, 5) {
+		t.Fatalf("NewRect = %+v", r)
+	}
+	if !r.Contains(Pt(3, 3)) || r.Contains(Pt(0, 0)) {
+		t.Error("Contains wrong")
+	}
+	if r.Width() != 4 || r.Height() != 3 {
+		t.Errorf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if r.Center() != Pt(3, 3.5) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	u := r.Union(NewRect(Pt(-1, -1), Pt(0, 0)))
+	if u.Min != Pt(-1, -1) || u.Max != Pt(5, 5) {
+		t.Errorf("Union = %+v", u)
+	}
+	e := r.Expand(1)
+	if e.Min != Pt(0, 1) || e.Max != Pt(6, 6) {
+		t.Errorf("Expand = %+v", e)
+	}
+	if got := r.Clamp(Pt(100, -100)); got != Pt(5, 2) {
+		t.Errorf("Clamp = %v", got)
+	}
+}
+
+func TestLatLonRoundTrip(t *testing.T) {
+	pr := Projection{Origin: LatLon{Lat: 1.3483, Lon: 103.6831}}
+	f := func(x, y float64) bool {
+		// Campus-scale coordinates.
+		x = math.Mod(x, 2000)
+		y = math.Mod(y, 2000)
+		p := Pt(x, y)
+		back := pr.ToLocal(pr.ToGeo(p))
+		return back.Dist(p) < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectionScale(t *testing.T) {
+	pr := Projection{Origin: LatLon{Lat: 0, Lon: 0}}
+	// At the equator, 1 degree of longitude is ~111.19 km.
+	p := pr.ToLocal(LatLon{Lat: 0, Lon: 1})
+	if !almostEq(p.X, 111194.9, 100) {
+		t.Errorf("1 deg lon = %v m", p.X)
+	}
+}

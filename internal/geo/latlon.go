@@ -1,0 +1,36 @@
+package geo
+
+import "math"
+
+// earthRadiusM is the mean Earth radius used by the equirectangular
+// projection, in meters.
+const earthRadiusM = 6371000.0
+
+// LatLon is a geographic coordinate in degrees.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// Projection converts between geographic coordinates and the local map
+// frame using an equirectangular approximation anchored at Origin. It is
+// accurate to well under a meter over campus-scale extents, which matches
+// how the paper converts GPS output onto the local digital map.
+type Projection struct {
+	Origin LatLon
+}
+
+// ToLocal converts a geographic coordinate to local map meters.
+func (pr Projection) ToLocal(ll LatLon) Point {
+	latRad := pr.Origin.Lat * math.Pi / 180
+	x := (ll.Lon - pr.Origin.Lon) * math.Pi / 180 * earthRadiusM * math.Cos(latRad)
+	y := (ll.Lat - pr.Origin.Lat) * math.Pi / 180 * earthRadiusM
+	return Point{X: x, Y: y}
+}
+
+// ToGeo converts a local map point back to geographic coordinates.
+func (pr Projection) ToGeo(p Point) LatLon {
+	latRad := pr.Origin.Lat * math.Pi / 180
+	lon := pr.Origin.Lon + p.X/(earthRadiusM*math.Cos(latRad))*180/math.Pi
+	lat := pr.Origin.Lat + p.Y/earthRadiusM*180/math.Pi
+	return LatLon{Lat: lat, Lon: lon}
+}

@@ -1,0 +1,170 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolygonContains(t *testing.T) {
+	pg := RectPoly(0, 0, 10, 5)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(5, 2), true},
+		{Pt(0, 0), true},  // corner counts as inside
+		{Pt(10, 5), true}, // corner
+		{Pt(5, 0), true},  // edge
+		{Pt(-1, 2), false},
+		{Pt(11, 2), false},
+		{Pt(5, 6), false},
+	}
+	for _, c := range cases {
+		if got := pg.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// L-shape.
+	pg := Poly(Pt(0, 0), Pt(4, 0), Pt(4, 2), Pt(2, 2), Pt(2, 4), Pt(0, 4))
+	if !pg.Contains(Pt(1, 3)) {
+		t.Error("inside leg should contain")
+	}
+	if pg.Contains(Pt(3, 3)) {
+		t.Error("notch should not contain")
+	}
+}
+
+func TestPolygonDegenerate(t *testing.T) {
+	if Poly().Contains(Pt(0, 0)) {
+		t.Error("empty polygon contains nothing")
+	}
+	if Poly(Pt(0, 0), Pt(1, 1)).Contains(Pt(0.5, 0.5)) {
+		t.Error("2-vertex polygon contains nothing")
+	}
+	if got := Poly().Area(); got != 0 {
+		t.Errorf("empty Area = %v", got)
+	}
+}
+
+func TestPolygonAreaCentroid(t *testing.T) {
+	pg := RectPoly(2, 3, 6, 9)
+	if got := pg.Area(); got != 24 {
+		t.Errorf("Area = %v", got)
+	}
+	c := pg.Centroid()
+	if c.Dist(Pt(4, 6)) > 1e-9 {
+		t.Errorf("Centroid = %v", c)
+	}
+}
+
+func TestPolygonBoundsEdges(t *testing.T) {
+	pg := RectPoly(1, 2, 5, 8)
+	b := pg.Bounds()
+	if b.Min != Pt(1, 2) || b.Max != Pt(5, 8) {
+		t.Errorf("Bounds = %+v", b)
+	}
+	if got := len(pg.Edges()); got != 4 {
+		t.Errorf("Edges = %d", got)
+	}
+	if d := pg.DistToBoundary(Pt(3, 5)); !almostEq(d, 2, 1e-9) {
+		t.Errorf("DistToBoundary = %v", d)
+	}
+}
+
+func TestPolygonContainsImpliesBounds(t *testing.T) {
+	pg := Poly(Pt(0, 0), Pt(8, 1), Pt(6, 7), Pt(1, 5))
+	b := pg.Bounds()
+	f := func(x, y float64) bool {
+		p := Pt(math.Mod(x, 10), math.Mod(y, 10))
+		if pg.Contains(p) {
+			return b.Contains(p)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineLengthAt(t *testing.T) {
+	pl := Line(Pt(0, 0), Pt(10, 0), Pt(10, 5))
+	if got := pl.Length(); got != 15 {
+		t.Fatalf("Length = %v", got)
+	}
+	p, h := pl.At(0)
+	if p != Pt(0, 0) || h != 0 {
+		t.Errorf("At(0) = %v, %v", p, h)
+	}
+	p, _ = pl.At(5)
+	if p.Dist(Pt(5, 0)) > 1e-9 {
+		t.Errorf("At(5) = %v", p)
+	}
+	p, h = pl.At(12)
+	if p.Dist(Pt(10, 2)) > 1e-9 {
+		t.Errorf("At(12) = %v", p)
+	}
+	if !almostEq(h, math.Pi/2, 1e-9) {
+		t.Errorf("heading at 12 = %v", h)
+	}
+	// Clamped past the end.
+	p, _ = pl.At(100)
+	if p.Dist(Pt(10, 5)) > 1e-9 {
+		t.Errorf("At(100) = %v", p)
+	}
+}
+
+func TestPolylineAtMonotonic(t *testing.T) {
+	pl := Line(Pt(0, 0), Pt(3, 4), Pt(3, 10), Pt(-2, 10))
+	total := pl.Length()
+	prev := 0.0
+	for d := 0.0; d <= total; d += 0.25 {
+		p, _ := pl.At(d)
+		// Walked distance along the polyline to p should be ~d.
+		_ = p
+		if d < prev {
+			t.Fatal("not monotonic input")
+		}
+		prev = d
+	}
+	// Distance between successive samples never exceeds the stride.
+	var last Point
+	first := true
+	for d := 0.0; d <= total; d += 0.5 {
+		p, _ := pl.At(d)
+		if !first && p.Dist(last) > 0.5+1e-9 {
+			t.Fatalf("jump at d=%v: %v -> %v", d, last, p)
+		}
+		last, first = p, false
+	}
+}
+
+func TestPolylineVertices(t *testing.T) {
+	pl := Line(Pt(0, 0), Pt(3, 0), Pt(3, 4))
+	vs := pl.Vertices()
+	want := []float64{0, 3, 7}
+	for i := range want {
+		if !almostEq(vs[i], want[i], 1e-12) {
+			t.Errorf("Vertices[%d] = %v want %v", i, vs[i], want[i])
+		}
+	}
+	if Line().Vertices() != nil {
+		t.Error("empty polyline should give nil")
+	}
+}
+
+func TestPolylineDegenerate(t *testing.T) {
+	var empty Polyline
+	p, h := empty.At(5)
+	if p != (Point{}) || h != 0 {
+		t.Errorf("empty At = %v,%v", p, h)
+	}
+	single := Line(Pt(2, 3))
+	p, _ = single.At(10)
+	if p != Pt(2, 3) {
+		t.Errorf("single At = %v", p)
+	}
+}

@@ -1,0 +1,175 @@
+// Package gnss simulates a smartphone GPS receiver: a seeded satellite
+// constellation, per-location satellite visibility driven by the
+// world's sky openness, horizontal dilution of precision (HDOP) computed
+// from the visible satellite geometry, and position fixes with
+// HDOP-scaled Gaussian error plus stable per-location multipath bias.
+//
+// The paper characterizes smartphone GPS by exactly these observables:
+// the number of visible satellites, HDOP, and an error that is Gaussian
+// (μ ≈ 13.5 m, σ ≈ 9.4 m) in urban open spaces (§III-B). A reliable fix
+// requires more than 4 satellites and HDOP < 6 (§III-B, A-Loc [28]).
+package gnss
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/mat"
+	"repro/internal/noise"
+	"repro/internal/world"
+)
+
+// MinSatsForFix is the minimum satellite count for any fix at all.
+const MinSatsForFix = 4
+
+// Reliability thresholds from the paper: a reliable location estimate
+// requires NumSats > ReliableSats and HDOP < ReliableHDOP.
+const (
+	ReliableSats = 4
+	ReliableHDOP = 6.0
+)
+
+// Satellite is one GNSS space vehicle at a fixed sky position (the
+// constellation rotates slowly relative to a walk, so a static snapshot
+// per scenario is adequate).
+type Satellite struct {
+	ID         int
+	AzimuthR   float64 // radians, 0 = east, counter-clockwise
+	ElevationR float64 // radians above horizon
+}
+
+// Constellation is the set of satellites above the horizon.
+type Constellation struct {
+	Sats       []Satellite
+	MaskR      float64 // elevation mask: satellites below are never used
+	ErrScaleM  float64 // 1-sigma per-axis error at HDOP=1
+	BiasScaleM float64 // per-location multipath bias scale
+}
+
+// NewConstellation builds a deterministic constellation of n satellites
+// from the given seed, with sky positions spread by a noise field.
+func NewConstellation(seed uint64, n int) *Constellation {
+	f := noise.Field{Seed: seed}
+	sats := make([]Satellite, n)
+	for i := range sats {
+		az := f.Uniform(1, int64(i)) * 2 * math.Pi
+		// Bias elevations toward mid-sky like a real constellation.
+		u := f.Uniform(2, int64(i))
+		el := math.Asin(0.15 + 0.85*u) // elevations from ~8.6° to 90°
+		sats[i] = Satellite{ID: i + 1, AzimuthR: az, ElevationR: el}
+	}
+	return &Constellation{
+		Sats:       sats,
+		MaskR:      10 * math.Pi / 180,
+		ErrScaleM:  7.5,
+		BiasScaleM: 3.0,
+	}
+}
+
+// Visible returns the satellites visible at position p in world w. A
+// satellite is visible when it is above the elevation mask and its sky
+// ray is not blocked; blockage is a deterministic per-(satellite, cell)
+// draw against the region's sky openness, weighted so low-elevation
+// satellites are blocked first (buildings occlude the horizon before
+// the zenith).
+func (c *Constellation) Visible(w *world.World, p geo.Point) []Satellite {
+	openness := w.SkyOpennessAt(p)
+	if openness <= 0 {
+		return nil
+	}
+	cx := noise.QuantizeM(p.X, 10)
+	cy := noise.QuantizeM(p.Y, 10)
+	var vis []Satellite
+	for _, s := range c.Sats {
+		if s.ElevationR < c.MaskR {
+			continue
+		}
+		// Effective visibility probability grows with elevation: a
+		// zenith satellite is visible whenever openness > 0.15.
+		elFrac := s.ElevationR / (math.Pi / 2)
+		pVis := openness * (0.4 + 1.6*elFrac)
+		if pVis > 1 {
+			pVis = 1
+		}
+		u := w.Noise.Uniform(201, int64(s.ID), cx, cy)
+		if u < pVis {
+			vis = append(vis, s)
+		}
+	}
+	return vis
+}
+
+// HDOP computes the horizontal dilution of precision from the visible
+// satellite geometry: H = (GᵀG)⁻¹ with G rows
+// [cos(el)·cos(az), cos(el)·sin(az), sin(el), 1], HDOP = √(H₀₀+H₁₁).
+// It returns +Inf when the geometry is degenerate or fewer than 4
+// satellites are visible.
+func HDOP(sats []Satellite) float64 {
+	if len(sats) < MinSatsForFix {
+		return math.Inf(1)
+	}
+	g := mat.New(len(sats), 4)
+	for i, s := range sats {
+		ce := math.Cos(s.ElevationR)
+		g.Set(i, 0, ce*math.Cos(s.AzimuthR))
+		g.Set(i, 1, ce*math.Sin(s.AzimuthR))
+		g.Set(i, 2, math.Sin(s.ElevationR))
+		g.Set(i, 3, 1)
+	}
+	gtg := mat.Mul(g.T(), g)
+	h, err := mat.Inverse(gtg)
+	if err != nil {
+		return math.Inf(1)
+	}
+	v := h.At(0, 0) + h.At(1, 1)
+	if v <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(v)
+}
+
+// Fix is a GPS position report as a smartphone exposes it.
+type Fix struct {
+	Pos     geo.LatLon
+	NumSats int
+	HDOP    float64
+}
+
+// Reliable reports whether the fix meets the paper's reliability
+// criterion (NumSats > 4 and HDOP < 6).
+func (f *Fix) Reliable() bool {
+	return f != nil && f.NumSats > ReliableSats && f.HDOP < ReliableHDOP
+}
+
+// Receiver produces fixes for a world.
+type Receiver struct {
+	Con   *Constellation
+	World *world.World
+}
+
+// Fix returns the receiver's position fix at true position p, or nil if
+// no fix is possible (fewer than 4 visible satellites, e.g. indoors).
+// The reported position error is HDOP-scaled Gaussian noise plus a
+// stable per-location multipath bias.
+func (r *Receiver) Fix(p geo.Point, rnd *rand.Rand) *Fix {
+	vis := r.Con.Visible(r.World, p)
+	if len(vis) < MinSatsForFix {
+		return nil
+	}
+	hdop := HDOP(vis)
+	if math.IsInf(hdop, 1) {
+		return nil
+	}
+	scale := r.Con.ErrScaleM * hdop
+	bias := r.World.SkyBiasAt(p, r.Con.BiasScaleM*hdop)
+	est := geo.Pt(
+		p.X+bias.X+rnd.NormFloat64()*scale,
+		p.Y+bias.Y+rnd.NormFloat64()*scale,
+	)
+	return &Fix{
+		Pos:     r.World.Proj.ToGeo(est),
+		NumSats: len(vis),
+		HDOP:    hdop,
+	}
+}

@@ -1,0 +1,182 @@
+package gnss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/noise"
+	"repro/internal/world"
+)
+
+func skyWorld() *world.World {
+	return &world.World{
+		Name:  "sky",
+		Noise: noise.Field{Seed: 5},
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3, Lon: 103.7}},
+		Regions: []world.Region{
+			{Name: "open", Kind: world.KindOpenSpace, Poly: geo.RectPoly(0, 0, 100, 100), SkyOpenness: 1, LightLux: 10000, MagNoise: 0.5},
+			{Name: "office", Kind: world.KindOffice, Poly: geo.RectPoly(200, 0, 260, 24), SkyOpenness: 0.03, LightLux: 300, MagNoise: 2},
+			{Name: "corridor", Kind: world.KindCorridor, Poly: geo.RectPoly(300, 0, 360, 4), SkyOpenness: 0.22, LightLux: 1500, MagNoise: 2},
+		},
+	}
+}
+
+func TestConstellationDeterministic(t *testing.T) {
+	a := NewConstellation(1, 12)
+	b := NewConstellation(1, 12)
+	if len(a.Sats) != 12 {
+		t.Fatalf("sats = %d", len(a.Sats))
+	}
+	for i := range a.Sats {
+		if a.Sats[i] != b.Sats[i] {
+			t.Fatal("constellation not deterministic")
+		}
+	}
+	c := NewConstellation(2, 12)
+	same := true
+	for i := range a.Sats {
+		if a.Sats[i] != c.Sats[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestConstellationElevationRange(t *testing.T) {
+	c := NewConstellation(3, 32)
+	for _, s := range c.Sats {
+		if s.ElevationR < 0 || s.ElevationR > math.Pi/2 {
+			t.Errorf("elevation %v out of range", s.ElevationR)
+		}
+		if s.AzimuthR < 0 || s.AzimuthR > 2*math.Pi {
+			t.Errorf("azimuth %v out of range", s.AzimuthR)
+		}
+	}
+}
+
+func TestVisibilityByEnvironment(t *testing.T) {
+	w := skyWorld()
+	c := NewConstellation(0x5A7E111E, 12)
+	open := len(c.Visible(w, geo.Pt(50, 50)))
+	office := len(c.Visible(w, geo.Pt(230, 12)))
+	corridor := len(c.Visible(w, geo.Pt(330, 2)))
+	if open < 8 {
+		t.Errorf("open sky sees %d sats, want most of 12", open)
+	}
+	if office >= MinSatsForFix {
+		t.Errorf("office sees %d sats, should be blocked", office)
+	}
+	if corridor >= open {
+		t.Errorf("semi-open corridor (%d) should see fewer than open (%d)", corridor, open)
+	}
+}
+
+func TestVisibilityZeroOpenness(t *testing.T) {
+	w := skyWorld()
+	w.Regions[0].SkyOpenness = 0
+	c := NewConstellation(1, 12)
+	if got := c.Visible(w, geo.Pt(50, 50)); got != nil {
+		t.Errorf("zero openness should see nothing, got %d", len(got))
+	}
+}
+
+func TestHDOP(t *testing.T) {
+	// Too few satellites → +Inf.
+	if !math.IsInf(HDOP(nil), 1) {
+		t.Error("empty HDOP should be Inf")
+	}
+	// A well-spread constellation gives a reasonable HDOP (~1).
+	var sats []Satellite
+	for i := 0; i < 8; i++ {
+		sats = append(sats, Satellite{
+			ID:         i + 1,
+			AzimuthR:   float64(i) * math.Pi / 4,
+			ElevationR: 0.6,
+		})
+	}
+	sats = append(sats, Satellite{ID: 9, ElevationR: math.Pi / 2})
+	h := HDOP(sats)
+	if h < 0.5 || h > 3 {
+		t.Errorf("HDOP = %v, want ~1", h)
+	}
+	// Degenerate geometry (all satellites at the same spot) → Inf.
+	var degenerate []Satellite
+	for i := 0; i < 5; i++ {
+		degenerate = append(degenerate, Satellite{ID: i, AzimuthR: 1, ElevationR: 1})
+	}
+	if !math.IsInf(HDOP(degenerate), 1) {
+		t.Error("degenerate geometry should be Inf")
+	}
+}
+
+func TestFixReliable(t *testing.T) {
+	var nilFix *Fix
+	if nilFix.Reliable() {
+		t.Error("nil fix is not reliable")
+	}
+	if (&Fix{NumSats: 4, HDOP: 1}).Reliable() {
+		t.Error("4 sats is not > 4")
+	}
+	if (&Fix{NumSats: 8, HDOP: 7}).Reliable() {
+		t.Error("HDOP 7 is not reliable")
+	}
+	if !(&Fix{NumSats: 8, HDOP: 1.1}).Reliable() {
+		t.Error("good fix should be reliable")
+	}
+}
+
+func TestReceiverFix(t *testing.T) {
+	w := skyWorld()
+	c := NewConstellation(0x5A7E111E, 12)
+	r := &Receiver{Con: c, World: w}
+	rnd := rand.New(rand.NewSource(1))
+
+	if fix := r.Fix(geo.Pt(230, 12), rnd); fix != nil {
+		t.Error("office should have no fix")
+	}
+	fix := r.Fix(geo.Pt(50, 50), rnd)
+	if fix == nil {
+		t.Fatal("open sky should have a fix")
+	}
+	if fix.NumSats < MinSatsForFix {
+		t.Errorf("NumSats = %d", fix.NumSats)
+	}
+	local := w.Proj.ToLocal(fix.Pos)
+	err := local.Dist(geo.Pt(50, 50))
+	if err > 120 {
+		t.Errorf("fix error %v m implausible", err)
+	}
+}
+
+func TestReceiverErrorDistribution(t *testing.T) {
+	w := skyWorld()
+	c := NewConstellation(0x5A7E111E, 12)
+	r := &Receiver{Con: c, World: w}
+	rnd := rand.New(rand.NewSource(2))
+	var errs []float64
+	for i := 0; i < 400; i++ {
+		p := geo.Pt(5+rand.New(rand.NewSource(int64(i))).Float64()*90, 5+float64(i%90))
+		fix := r.Fix(p, rnd)
+		if fix == nil {
+			continue
+		}
+		errs = append(errs, w.Proj.ToLocal(fix.Pos).Dist(p))
+	}
+	if len(errs) < 300 {
+		t.Fatalf("too few fixes: %d", len(errs))
+	}
+	var sum float64
+	for _, e := range errs {
+		sum += e
+	}
+	mean := sum / float64(len(errs))
+	// The paper's urban open-space GPS error: Gaussian with mean
+	// ~13.5 m. Our simulator should land in that neighbourhood.
+	if mean < 7 || mean > 25 {
+		t.Errorf("mean GPS error = %.1f m, want ~13.5", mean)
+	}
+}

@@ -1,0 +1,141 @@
+// Package hmm implements the second-order hidden-Markov-model location
+// predictor the paper uses to estimate the user's position online when
+// computing the fingerprint-density feature β₁ (§III-B: "In our current
+// implementation, we use a second order HMM, which can provide an
+// acceptable estimation accuracy").
+//
+// States are the fingerprint locations themselves. The transition model
+// prefers physically reachable moves (bounded walking speed) and, being
+// second-order, moves consistent with the previous displacement
+// direction. The emission model converts RSSI-space distance into a
+// likelihood.
+package hmm
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Tracker is an online second-order HMM filter over a fixed set of
+// candidate locations.
+type Tracker struct {
+	states []geo.Point
+
+	// belief over (prev, cur) state pairs is too large for dense
+	// storage at survey resolution; we keep the marginal belief over
+	// the current state plus the expected previous position, which is
+	// the standard collapsed approximation for second-order motion
+	// smoothing.
+	belief []float64
+	prev   geo.Point
+	cur    geo.Point
+	init   bool
+
+	// MaxStepM bounds plausible movement between updates.
+	MaxStepM float64
+	// DirWeight controls how strongly direction consistency (the
+	// second-order term) is rewarded.
+	DirWeight float64
+	// EmissionScale converts RSSI distance to log-likelihood: larger
+	// means flatter emissions.
+	EmissionScale float64
+}
+
+// New creates a tracker over the given candidate locations.
+func New(states []geo.Point) *Tracker {
+	t := &Tracker{
+		states:        append([]geo.Point(nil), states...),
+		belief:        make([]float64, len(states)),
+		MaxStepM:      6,
+		DirWeight:     0.6,
+		EmissionScale: 12,
+	}
+	for i := range t.belief {
+		if len(states) > 0 {
+			t.belief[i] = 1 / float64(len(states))
+		}
+	}
+	return t
+}
+
+// Len returns the number of states.
+func (t *Tracker) Len() int { return len(t.states) }
+
+// Update folds in one observation given as the RSSI distance from the
+// online scan to each state's fingerprint, and returns the predicted
+// location (the belief-weighted mean).
+func (t *Tracker) Update(rssiDists []float64) geo.Point {
+	if len(rssiDists) != len(t.states) || len(t.states) == 0 {
+		return t.cur
+	}
+	next := make([]float64, len(t.states))
+	dir := t.cur.Sub(t.prev)
+	dirNorm := dir.Norm()
+	for j, sj := range t.states {
+		// Transition: sum over weighted previous belief.
+		var trans float64
+		if !t.init {
+			trans = 1
+		} else {
+			for i, si := range t.states {
+				if t.belief[i] <= 1e-12 {
+					continue
+				}
+				d := si.Dist(sj)
+				if d > t.MaxStepM*3 {
+					continue
+				}
+				g := math.Exp(-d * d / (2 * t.MaxStepM * t.MaxStepM))
+				// Second-order term: prefer continuing the previous
+				// displacement direction.
+				if dirNorm > 0.5 {
+					move := sj.Sub(si)
+					if mn := move.Norm(); mn > 0.3 {
+						cos := move.Dot(dir) / (mn * dirNorm)
+						g *= 1 + t.DirWeight*cos
+						if g < 0 {
+							g = 0
+						}
+					}
+				}
+				trans += t.belief[i] * g
+			}
+		}
+		emit := math.Exp(-rssiDists[j] / t.EmissionScale)
+		next[j] = trans * emit
+	}
+	var total float64
+	for _, v := range next {
+		total += v
+	}
+	if total <= 0 || math.IsNaN(total) {
+		// Degenerate update: reset to the emission-only belief.
+		total = 0
+		for j := range next {
+			next[j] = math.Exp(-rssiDists[j] / t.EmissionScale)
+			total += next[j]
+		}
+		if total <= 0 {
+			return t.cur
+		}
+	}
+	for j := range next {
+		next[j] /= total
+	}
+	t.belief = next
+
+	var x, y float64
+	for j, s := range t.states {
+		x += s.X * next[j]
+		y += s.Y * next[j]
+	}
+	est := geo.Pt(x, y)
+	t.prev, t.cur = t.cur, est
+	t.init = true
+	return est
+}
+
+// Predicted returns the current predicted location (zero before the
+// first update).
+func (t *Tracker) Predicted() geo.Point { return t.cur }

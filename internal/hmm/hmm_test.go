@@ -1,0 +1,130 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// lineStates builds states on a 1-D line at 3 m pitch.
+func lineStates(n int) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Pt(float64(i)*3, 0)
+	}
+	return out
+}
+
+// distsFor builds emission distances favouring state idx.
+func distsFor(states []geo.Point, truth geo.Point) []float64 {
+	out := make([]float64, len(states))
+	for i, s := range states {
+		out[i] = s.Dist(truth) * 4 // RSSI distance grows with physical distance
+	}
+	return out
+}
+
+func TestTrackerConvergesToObservation(t *testing.T) {
+	states := lineStates(20)
+	tr := New(states)
+	truth := geo.Pt(30, 0)
+	var est geo.Point
+	for i := 0; i < 5; i++ {
+		est = tr.Update(distsFor(states, truth))
+	}
+	if est.Dist(truth) > 4 {
+		t.Errorf("estimate %v far from truth %v", est, truth)
+	}
+}
+
+func TestTrackerFollowsMovement(t *testing.T) {
+	states := lineStates(30)
+	tr := New(states)
+	// Walk from x=0 to x=60 at 1.5 m per update.
+	var worst float64
+	for step := 0; step <= 40; step++ {
+		truth := geo.Pt(float64(step)*1.5, 0)
+		est := tr.Update(distsFor(states, truth))
+		if step > 3 {
+			if e := est.Dist(truth); e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > 5 {
+		t.Errorf("worst tracking error %v too large", worst)
+	}
+}
+
+func TestTrackerRejectsTeleport(t *testing.T) {
+	states := lineStates(40)
+	tr := New(states)
+	// Establish position at x=6.
+	for i := 0; i < 6; i++ {
+		tr.Update(distsFor(states, geo.Pt(6, 0)))
+	}
+	// One glitchy observation at x=90 should not teleport the belief
+	// all the way (bounded-speed transition).
+	est := tr.Update(distsFor(states, geo.Pt(90, 0)))
+	if est.X > 50 {
+		t.Errorf("teleported to %v", est)
+	}
+}
+
+func TestTrackerSecondOrderMomentum(t *testing.T) {
+	states := lineStates(40)
+	tr := New(states)
+	// Walk right for a while.
+	for step := 0; step < 12; step++ {
+		tr.Update(distsFor(states, geo.Pt(float64(step)*2, 0)))
+	}
+	before := tr.Predicted()
+	// Ambiguous observation equally near x=before±6: momentum should
+	// keep the estimate from jumping backward.
+	amb := make([]float64, len(states))
+	for i, s := range states {
+		d1 := math.Abs(s.X - (before.X - 6))
+		d2 := math.Abs(s.X - (before.X + 6))
+		amb[i] = math.Min(d1, d2) * 4
+	}
+	est := tr.Update(amb)
+	if est.X < before.X-3 {
+		t.Errorf("momentum violated: %v -> %v", before, est)
+	}
+}
+
+func TestTrackerDegenerateInputs(t *testing.T) {
+	tr := New(nil)
+	if got := tr.Update(nil); got != (geo.Point{}) {
+		t.Errorf("empty tracker Update = %v", got)
+	}
+	states := lineStates(5)
+	tr2 := New(states)
+	// Mismatched length: no-op.
+	if got := tr2.Update([]float64{1, 2}); got != (geo.Point{}) {
+		t.Errorf("mismatched Update = %v", got)
+	}
+	if tr2.Len() != 5 {
+		t.Errorf("Len = %d", tr2.Len())
+	}
+}
+
+func TestTrackerRecoverFromZeroBelief(t *testing.T) {
+	states := lineStates(10)
+	tr := New(states)
+	// Huge distances make all emissions ~0 — the tracker must not NaN.
+	huge := make([]float64, len(states))
+	for i := range huge {
+		huge[i] = 1e9
+	}
+	est := tr.Update(huge)
+	if math.IsNaN(est.X) || math.IsNaN(est.Y) {
+		t.Error("NaN estimate")
+	}
+	// And it still works afterwards.
+	est = tr.Update(distsFor(states, geo.Pt(9, 0)))
+	if math.IsNaN(est.X) {
+		t.Error("NaN after recovery")
+	}
+}

@@ -1,0 +1,224 @@
+// Package imu simulates the inertial pipeline of a smartphone carried by
+// a walking user: a per-person gait model, step detection with the
+// paper's step-period compensation mechanism (§III-B), measured step
+// lengths with multiplicative noise, and heading estimates corrupted by
+// a gyroscope bias random walk partially corrected by the magnetometer
+// (whose own disturbance grows indoors).
+//
+// The motion-based PDR scheme consumes the *processed* step events this
+// package emits — exactly the 4-byte (direction, distance) intermediate
+// results the paper's phones upload to the offload server (§IV-C).
+package imu
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+)
+
+// Step-period bounds from the paper: a human step lasts 0.4–0.7 s;
+// detections outside the window are false positives/negatives that the
+// compensation mechanism repairs.
+const (
+	MinStepPeriodS = 0.4
+	MaxStepPeriodS = 0.7
+)
+
+// Person is a gait model. The paper personalizes step models per user
+// (§III-B) and tests 6 persons aged 20s–50s.
+type Person struct {
+	Name        string
+	StepLengthM float64 // true mean step length
+	StepPeriodS float64 // true step period
+	LengthCV    float64 // coefficient of variation of per-step length
+	TrembleProb float64 // probability a step shows hand-trembling artifacts
+}
+
+// DefaultPerson returns the reference adult gait.
+func DefaultPerson() Person {
+	return Person{
+		Name:        "p1",
+		StepLengthM: 0.70,
+		StepPeriodS: 0.5,
+		LengthCV:    0.06,
+		TrembleProb: 0.05,
+	}
+}
+
+// Persons returns the six test subjects used in the paper's PDR
+// personalization experiments (different ages, genders → different
+// gaits).
+func Persons() []Person {
+	return []Person{
+		{Name: "m20s", StepLengthM: 0.74, StepPeriodS: 0.48, LengthCV: 0.05, TrembleProb: 0.04},
+		{Name: "f20s", StepLengthM: 0.66, StepPeriodS: 0.50, LengthCV: 0.06, TrembleProb: 0.05},
+		{Name: "m30s", StepLengthM: 0.72, StepPeriodS: 0.50, LengthCV: 0.06, TrembleProb: 0.05},
+		{Name: "f30s", StepLengthM: 0.64, StepPeriodS: 0.52, LengthCV: 0.07, TrembleProb: 0.06},
+		{Name: "m50s", StepLengthM: 0.68, StepPeriodS: 0.56, LengthCV: 0.08, TrembleProb: 0.07},
+		{Name: "f50s", StepLengthM: 0.62, StepPeriodS: 0.58, LengthCV: 0.08, TrembleProb: 0.07},
+	}
+}
+
+// StepEvent is one processed inertial update: the phone-side pipeline's
+// output for a single detected step.
+type StepEvent struct {
+	PeriodS   float64 // measured step duration
+	LengthM   float64 // measured step length
+	HeadingR  float64 // measured walking heading (radians)
+	Trembled  bool    // step showed trembling artifacts (before compensation)
+	FalseStep bool    // step was injected/dropped by trembling and repaired
+}
+
+// Config holds the noise parameters of the inertial pipeline.
+type Config struct {
+	GyroDriftPerStepR float64 // heading-bias random-walk std-dev per step
+	MagCorrection     float64 // per-step fraction of bias pulled toward the mag reference outdoors
+	MagIndoorFactor   float64 // how much weaker mag correction is indoors
+	MagRefSigma       float64 // per-walk magnetometer reference offset std-dev (soft-iron, declination)
+	HeadingNoiseR     float64 // white per-step heading noise
+	LengthBiasSigma   float64 // per-walk systematic step-length scale error std-dev
+	Compensation      bool    // enable the paper's step-period compensation
+}
+
+// DefaultConfig returns the pipeline parameters used across the
+// evaluation.
+func DefaultConfig() Config {
+	return Config{
+		GyroDriftPerStepR: 0.022,
+		MagCorrection:     0.10,
+		MagIndoorFactor:   0.10,
+		MagRefSigma:       0.12,
+		HeadingNoiseR:     0.05,
+		LengthBiasSigma:   0.05,
+		Compensation:      true,
+	}
+}
+
+// Pipeline is the stateful inertial processing chain for one walk.
+type Pipeline struct {
+	person Person
+	cfg    Config
+	rnd    *rand.Rand
+
+	headingBiasR float64
+	magRefR      float64 // current magnetometer reference offset
+	lengthBias   float64 // per-walk systematic step-length scale
+	lastHeading  float64
+	haveHeading  bool
+	stepCount    int
+	trueDistM    float64
+	measDistM    float64
+}
+
+// NewPipeline creates a pipeline for one person and one walk. The
+// per-walk systematic errors — the magnetometer reference offset and
+// the step-length calibration bias — are drawn here, so two walks by
+// the same person differ the way two real walks would.
+func NewPipeline(p Person, cfg Config, rnd *rand.Rand) *Pipeline {
+	return &Pipeline{
+		person:     p,
+		cfg:        cfg,
+		rnd:        rnd,
+		magRefR:    rnd.NormFloat64() * cfg.MagRefSigma,
+		lengthBias: 1 + rnd.NormFloat64()*cfg.LengthBiasSigma,
+	}
+}
+
+// StepCount returns the number of steps emitted so far.
+func (pl *Pipeline) StepCount() int { return pl.stepCount }
+
+// DistanceError returns the accumulated measured-vs-true walked
+// distance error in meters (a step-count-error proxy feature).
+func (pl *Pipeline) DistanceError() float64 { return pl.measDistM - pl.trueDistM }
+
+// Step processes one true step of the walk: trueLen meters along
+// trueHeading (radians) in an environment that is indoor or not, and
+// returns the measured step event.
+func (pl *Pipeline) Step(trueLen, trueHeading float64, indoor bool, magDisturbSigmaR float64) StepEvent {
+	pl.stepCount++
+	pl.trueDistM += trueLen
+
+	// Gyro heading bias random walk, partially corrected by the
+	// magnetometer — but the magnetometer itself carries a per-walk
+	// reference offset (soft-iron, declination, tilt), so the bias
+	// converges to that offset, not to zero. Indoors the correction is
+	// weaker and steel structures inject extra disturbance.
+	pl.headingBiasR += pl.rnd.NormFloat64() * pl.cfg.GyroDriftPerStepR
+	// The magnetometer's reference offset is heading-dependent
+	// (soft-iron distortion rotates with the device), so a sharp turn
+	// re-draws it: heading errors accumulated on one straight do NOT
+	// cancel on the next — PDR error keeps growing with walked
+	// distance, which is exactly the linear relation the error model
+	// learns (Table II's β₁).
+	if pl.haveHeading && math.Abs(geo.AngleDiff(trueHeading, pl.lastHeading)) > 0.6 {
+		pl.magRefR = pl.rnd.NormFloat64() * pl.cfg.MagRefSigma
+	}
+	pl.lastHeading = trueHeading
+	pl.haveHeading = true
+	corr := pl.cfg.MagCorrection
+	if indoor {
+		corr *= pl.cfg.MagIndoorFactor
+		// Steel-structure disturbance: µT of field variance feed
+		// through attitude estimation as a small per-step heading
+		// random walk.
+		pl.headingBiasR += pl.rnd.NormFloat64() * magDisturbSigmaR * 0.008
+	}
+	pl.headingBiasR += corr * (pl.magRefR - pl.headingBiasR)
+
+	// Trembling can corrupt the step period; the paper's compensation
+	// repairs durations outside [0.4, 0.7] s by deleting/adding a step.
+	period := pl.person.StepPeriodS + pl.rnd.NormFloat64()*0.03
+	trembled := pl.rnd.Float64() < pl.person.TrembleProb
+	falseStep := false
+	lenScale := 1.0
+	if trembled {
+		// A trembling artifact either splits one step into two short
+		// ones or merges two into one long one.
+		if pl.rnd.Float64() < 0.5 {
+			period *= 0.5
+		} else {
+			period *= 1.6
+		}
+		if period < MinStepPeriodS || period > MaxStepPeriodS {
+			falseStep = true
+			if pl.cfg.Compensation {
+				// Compensated: the spurious/missing step is repaired, so
+				// the emitted event carries only mild extra length noise.
+				lenScale = 1 + pl.rnd.NormFloat64()*0.02
+				period = clamp(period, MinStepPeriodS, MaxStepPeriodS)
+			} else {
+				// Uncompensated: the distance error materializes.
+				if period < MinStepPeriodS {
+					lenScale = 1.5 // counted an extra step's worth
+				} else {
+					lenScale = 0.55 // lost half a step
+				}
+			}
+		}
+	}
+
+	measLen := trueLen * lenScale * pl.lengthBias * (1 + pl.rnd.NormFloat64()*pl.person.LengthCV)
+	if measLen < 0 {
+		measLen = 0
+	}
+	pl.measDistM += measLen
+
+	measHeading := geo.NormalizeAngle(trueHeading + pl.headingBiasR + pl.rnd.NormFloat64()*pl.cfg.HeadingNoiseR)
+
+	return StepEvent{
+		PeriodS:   period,
+		LengthM:   measLen,
+		HeadingR:  measHeading,
+		Trembled:  trembled,
+		FalseStep: falseStep,
+	}
+}
+
+// HeadingBias exposes the current gyro bias (for tests and diagnostics
+// only; schemes never see it).
+func (pl *Pipeline) HeadingBias() float64 { return pl.headingBiasR }
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}

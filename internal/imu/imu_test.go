@@ -1,0 +1,147 @@
+package imu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestPersons(t *testing.T) {
+	ps := Persons()
+	if len(ps) != 6 {
+		t.Fatalf("persons = %d, paper tests 6 subjects", len(ps))
+	}
+	seen := make(map[string]bool)
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate person %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.StepLengthM < 0.4 || p.StepLengthM > 1.0 {
+			t.Errorf("%s step length %v implausible", p.Name, p.StepLengthM)
+		}
+		if p.StepPeriodS < MinStepPeriodS || p.StepPeriodS > MaxStepPeriodS {
+			t.Errorf("%s period %v outside human range", p.Name, p.StepPeriodS)
+		}
+	}
+}
+
+func TestPipelineStepBasics(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	pl := NewPipeline(DefaultPerson(), DefaultConfig(), rnd)
+	ev := pl.Step(0.7, 0.3, false, 0.5)
+	if ev.LengthM < 0.3 || ev.LengthM > 1.2 {
+		t.Errorf("length %v implausible", ev.LengthM)
+	}
+	if math.Abs(geo.AngleDiff(ev.HeadingR, 0.3)) > 0.5 {
+		t.Errorf("heading %v too far from truth", ev.HeadingR)
+	}
+	if pl.StepCount() != 1 {
+		t.Errorf("StepCount = %d", pl.StepCount())
+	}
+}
+
+func TestHeadingBiasBounded(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	pl := NewPipeline(DefaultPerson(), DefaultConfig(), rnd)
+	for i := 0; i < 2000; i++ {
+		pl.Step(0.7, 0, false, 0.5)
+	}
+	// With mag correction active outdoors, the bias mean-reverts and
+	// stays bounded.
+	if math.Abs(pl.HeadingBias()) > 1.0 {
+		t.Errorf("outdoor bias diverged: %v", pl.HeadingBias())
+	}
+}
+
+func TestIndoorBiasGrowsFasterThanOutdoor(t *testing.T) {
+	cfg := DefaultConfig()
+	avgAbsBias := func(indoor bool, magNoise float64) float64 {
+		var total float64
+		const trials = 30
+		for trial := 0; trial < trials; trial++ {
+			rnd := rand.New(rand.NewSource(int64(100 + trial)))
+			pl := NewPipeline(DefaultPerson(), cfg, rnd)
+			for i := 0; i < 150; i++ {
+				pl.Step(0.7, 0, indoor, magNoise)
+			}
+			total += math.Abs(pl.HeadingBias())
+		}
+		return total / trials
+	}
+	in := avgAbsBias(true, 4.5)
+	out := avgAbsBias(false, 0.5)
+	if in <= out {
+		t.Errorf("indoor bias %v should exceed outdoor %v", in, out)
+	}
+}
+
+func TestStepCompensationReducesDistanceError(t *testing.T) {
+	run := func(comp bool) float64 {
+		var total float64
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			rnd := rand.New(rand.NewSource(int64(trial)))
+			person := DefaultPerson()
+			person.TrembleProb = 0.25 // lots of trembling
+			cfg := DefaultConfig()
+			cfg.Compensation = comp
+			cfg.LengthBiasSigma = 0 // isolate trembling effects
+			pl := NewPipeline(person, cfg, rnd)
+			for i := 0; i < 400; i++ {
+				pl.Step(0.7, 0, false, 0.5)
+			}
+			total += math.Abs(pl.DistanceError())
+		}
+		return total / trials
+	}
+	with := run(true)
+	without := run(false)
+	if with >= without {
+		t.Errorf("compensation (%.2f m) should beat no compensation (%.2f m)", with, without)
+	}
+}
+
+func TestFalseStepFlagging(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	person := DefaultPerson()
+	person.TrembleProb = 1 // every step trembles
+	pl := NewPipeline(person, DefaultConfig(), rnd)
+	falseSteps := 0
+	for i := 0; i < 200; i++ {
+		ev := pl.Step(0.7, 0, false, 0.5)
+		if !ev.Trembled {
+			t.Fatal("every step should tremble")
+		}
+		if ev.FalseStep {
+			falseSteps++
+		}
+		if ev.PeriodS < MinStepPeriodS-1e-9 || ev.PeriodS > MaxStepPeriodS+1e-9 {
+			t.Errorf("compensated period %v outside bounds", ev.PeriodS)
+		}
+	}
+	if falseSteps == 0 {
+		t.Error("trembling should produce some false steps")
+	}
+}
+
+func TestPerWalkSystematicErrorsDiffer(t *testing.T) {
+	a := NewPipeline(DefaultPerson(), DefaultConfig(), rand.New(rand.NewSource(1)))
+	b := NewPipeline(DefaultPerson(), DefaultConfig(), rand.New(rand.NewSource(2)))
+	if a.lengthBias == b.lengthBias && a.magRefR == b.magRefR {
+		t.Error("two walks should draw different systematic errors")
+	}
+}
+
+func TestMeasuredLengthNonNegative(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	pl := NewPipeline(DefaultPerson(), DefaultConfig(), rnd)
+	for i := 0; i < 500; i++ {
+		ev := pl.Step(0.05, 0, true, 5)
+		if ev.LengthM < 0 {
+			t.Fatal("negative measured length")
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package iodetector reimplements the IODetector service the paper
+// relies on to switch between indoor and outdoor error models
+// (§III-A). It classifies the environment from three low-power sensing
+// modalities — ambient light, magnetic field variance, and cellular
+// signal strength — and applies hysteresis so the state does not
+// flicker at boundaries.
+package iodetector
+
+import "repro/internal/rf"
+
+// State is the detected environment.
+type State int
+
+// Detector states.
+const (
+	Unknown State = iota
+	Indoor
+	Outdoor
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Indoor:
+		return "indoor"
+	case Outdoor:
+		return "outdoor"
+	default:
+		return "unknown"
+	}
+}
+
+// Config holds classification thresholds.
+type Config struct {
+	// DaylightLux is the light level above which the user is almost
+	// certainly outdoors in daytime.
+	DaylightLux float64
+	// DimLux is the level below which the user is almost certainly
+	// under a roof.
+	DimLux float64
+	// MagVarIndoorUT is the magnetic variance above which steel
+	// structures (a building) are nearby.
+	MagVarIndoorUT float64
+	// CellDropDB: mean cellular RSSI this much below the running
+	// outdoor baseline votes indoor.
+	CellDropDB float64
+	// Votes needed to flip the state (hysteresis).
+	Votes int
+}
+
+// DefaultConfig returns thresholds tuned for the simulated campus.
+func DefaultConfig() Config {
+	return Config{
+		DaylightLux:    3000,
+		DimLux:         800,
+		MagVarIndoorUT: 1.8,
+		CellDropDB:     9,
+		Votes:          2,
+	}
+}
+
+// Detector is the stateful indoor/outdoor classifier.
+type Detector struct {
+	cfg Config
+
+	state        State
+	pendingState State
+	pendingVotes int
+
+	cellBaseline float64
+	haveBaseline bool
+}
+
+// New creates a detector.
+func New(cfg Config) *Detector {
+	if cfg.Votes <= 0 {
+		cfg.Votes = 1
+	}
+	return &Detector{cfg: cfg}
+}
+
+// State returns the current classification.
+func (d *Detector) State() State { return d.state }
+
+// Update classifies one epoch from the light reading, magnetic variance
+// and cellular scan, and returns the (hysteresis-filtered) state.
+func (d *Detector) Update(lightLux, magVarUT float64, cell rf.Vector) State {
+	meanCell := 0.0
+	if len(cell) > 0 {
+		for _, o := range cell {
+			meanCell += o.RSSI
+		}
+		meanCell /= float64(len(cell))
+	}
+
+	indoorScore := 0
+	outdoorScore := 0
+
+	switch {
+	case lightLux >= d.cfg.DaylightLux:
+		outdoorScore += 2
+	case lightLux <= d.cfg.DimLux:
+		indoorScore += 2
+	}
+	if magVarUT >= d.cfg.MagVarIndoorUT {
+		indoorScore++
+	} else {
+		outdoorScore++
+	}
+	if len(cell) > 0 {
+		if d.haveBaseline && meanCell < d.cellBaseline-d.cfg.CellDropDB {
+			indoorScore++
+		}
+		// Track the outdoor cellular baseline with a slow EWMA, updated
+		// only when the evidence says outdoors.
+		if outdoorScore > indoorScore {
+			if !d.haveBaseline {
+				d.cellBaseline = meanCell
+				d.haveBaseline = true
+			} else {
+				d.cellBaseline = 0.95*d.cellBaseline + 0.05*meanCell
+			}
+		}
+	}
+
+	vote := Unknown
+	switch {
+	case indoorScore > outdoorScore:
+		vote = Indoor
+	case outdoorScore > indoorScore:
+		vote = Outdoor
+	}
+	if vote == Unknown {
+		return d.state
+	}
+	if d.state == Unknown {
+		d.state = vote
+		d.pendingVotes = 0
+		return d.state
+	}
+	if vote == d.state {
+		d.pendingVotes = 0
+		return d.state
+	}
+	if vote == d.pendingState {
+		d.pendingVotes++
+	} else {
+		d.pendingState = vote
+		d.pendingVotes = 1
+	}
+	if d.pendingVotes >= d.cfg.Votes {
+		d.state = vote
+		d.pendingVotes = 0
+	}
+	return d.state
+}

@@ -1,0 +1,84 @@
+package iodetector
+
+import (
+	"testing"
+
+	"repro/internal/rf"
+)
+
+func cellScan(rssi float64) rf.Vector {
+	return rf.Vector{{ID: "t1", RSSI: rssi}, {ID: "t2", RSSI: rssi - 5}}
+}
+
+func TestClassifiesObviousCases(t *testing.T) {
+	d := New(DefaultConfig())
+	if got := d.Update(11000, 0.5, cellScan(-60)); got != Outdoor {
+		t.Errorf("bright daylight = %v", got)
+	}
+	d2 := New(DefaultConfig())
+	if got := d2.Update(250, 3.0, cellScan(-75)); got != Indoor {
+		t.Errorf("dim + magnetic = %v", got)
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		d.Update(11000, 0.5, cellScan(-60))
+	}
+	if d.State() != Outdoor {
+		t.Fatal("should start outdoor")
+	}
+	// One indoor-looking epoch must not flip the state (votes = 2).
+	if got := d.Update(250, 3.0, cellScan(-75)); got != Outdoor {
+		t.Errorf("single vote flipped state to %v", got)
+	}
+	// Sustained indoor evidence flips it.
+	d.Update(250, 3.0, cellScan(-75))
+	if got := d.Update(250, 3.0, cellScan(-75)); got != Indoor {
+		t.Errorf("sustained evidence did not flip: %v", got)
+	}
+}
+
+func TestCellularDropVotesIndoor(t *testing.T) {
+	d := New(DefaultConfig())
+	// Build an outdoor baseline.
+	for i := 0; i < 10; i++ {
+		d.Update(11000, 0.5, cellScan(-58))
+	}
+	// Ambiguous light (semi-open corridor) but big cellular drop and
+	// magnetic disturbance → indoor.
+	for i := 0; i < 3; i++ {
+		d.Update(1500, 2.5, cellScan(-72))
+	}
+	if d.State() != Indoor {
+		t.Errorf("corridor should classify indoor, got %v", d.State())
+	}
+}
+
+func TestUnknownStartSnapsOnFirstEvidence(t *testing.T) {
+	d := New(DefaultConfig())
+	if d.State() != Unknown {
+		t.Error("fresh detector should be Unknown")
+	}
+	// The very first vote snaps the state without hysteresis — a
+	// localization system cannot wait for consensus before its first
+	// estimate.
+	if got := d.Update(200, 3.0, cellScan(-80)); got != Indoor {
+		t.Errorf("first clear evidence = %v", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Indoor.String() != "indoor" || Outdoor.String() != "outdoor" || Unknown.String() != "unknown" {
+		t.Error("State strings wrong")
+	}
+}
+
+func TestVotesDefaulted(t *testing.T) {
+	d := New(Config{}) // zero votes must not panic or flip instantly
+	d.Update(11000, 0.1, cellScan(-60))
+	if d.State() != Outdoor {
+		t.Error("zero-config detector should still classify")
+	}
+}

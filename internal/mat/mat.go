@@ -1,0 +1,258 @@
+// Package mat implements the small dense-matrix operations needed by the
+// UniLoc reproduction: ordinary-least-squares regression (normal
+// equations) and GNSS dilution-of-precision computation both require
+// multiplication, transposition, solving, and inversion of matrices whose
+// dimensions are at most a few dozen.
+//
+// The implementation favours clarity and determinism over raw speed;
+// matrices in this codebase are tiny (p ≤ 10 regressors, ≤ 32 satellites).
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a solve or inversion encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero-initialized rows×cols matrix. It panics if either
+// dimension is non-positive, since a zero-sized matrix is always a
+// programming error in this codebase.
+func New(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal
+// length.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: FromRows requires non-empty input")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("mat: ragged row %d: got %d want %d", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Dims returns the matrix dimensions.
+func (m *Dense) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product a·b. It panics on a dimension mismatch.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		for k := 0; k < a.cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*out.cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·v as a slice.
+func (m *Dense) MulVec(v []float64) []float64 {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d · %d", m.rows, m.cols, len(v)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Scale multiplies every element of m by k in place and returns m.
+func (m *Dense) Scale(k float64) *Dense {
+	for i := range m.data {
+		m.data[i] *= k
+	}
+	return m
+}
+
+// Add returns a + b as a new matrix. It panics on a dimension mismatch.
+func Add(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("mat: Add dimension mismatch")
+	}
+	out := a.Clone()
+	for i := range out.data {
+		out.data[i] += b.data[i]
+	}
+	return out
+}
+
+// Solve solves the linear system A·x = b for x using Gaussian
+// elimination with partial pivoting. A must be square; b's length must
+// equal A's dimension.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: Solve requires square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: Solve rhs length %d != %d", len(b), n)
+	}
+	// Augmented working copies.
+	aw := a.Clone()
+	bw := make([]float64, n)
+	copy(bw, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := math.Abs(aw.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aw.At(r, col)); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				v1, v2 := aw.At(col, j), aw.At(pivot, j)
+				aw.Set(col, j, v2)
+				aw.Set(pivot, j, v1)
+			}
+			bw[col], bw[pivot] = bw[pivot], bw[col]
+		}
+		// Eliminate below.
+		pv := aw.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aw.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				aw.Set(r, j, aw.At(r, j)-f*aw.At(col, j))
+			}
+			bw[r] -= f * bw[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := bw[i]
+		for j := i + 1; j < n; j++ {
+			s -= aw.At(i, j) * x[j]
+		}
+		x[i] = s / aw.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns the inverse of square matrix a, or ErrSingular.
+func Inverse(a *Dense) (*Dense, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: Inverse requires square matrix, got %dx%d", a.rows, a.cols)
+	}
+	inv := New(n, n)
+	// Solve A·x = e_j for each basis vector.
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := Solve(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			s += fmt.Sprintf("%10.4f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

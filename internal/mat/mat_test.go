@@ -1,0 +1,222 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, -2)
+	if m.At(0, 1) != 5 || m.At(1, 2) != -2 || m.At(0, 0) != 0 {
+		t.Error("Set/At wrong")
+	}
+	r, c := m.Dims()
+	if r != 2 || c != 3 {
+		t.Errorf("Dims = %d,%d", r, c)
+	}
+	row := m.Row(0)
+	row[0] = 99 // must be a copy
+	if m.At(0, 0) == 99 {
+		t.Error("Row returned live storage")
+	}
+	col := m.Col(2)
+	if col[1] != -2 {
+		t.Errorf("Col = %v", col)
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("Mul = %v", got)
+			}
+		}
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rnd.Intn(6)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rnd.NormFloat64())
+			}
+		}
+		got := Mul(a, Identity(n))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got.At(i, j) != a.At(i, j) {
+					t.Fatalf("A·I != A at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	r, c := at.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("T dims = %d,%d", r, c)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Error("T values wrong")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Errorf("Solve = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveNonSquare(t *testing.T) {
+	a := New(2, 3)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected error for non-square")
+	}
+	b := Identity(2)
+	if _, err := Solve(b, []float64{1}); err == nil {
+		t.Error("expected error for wrong rhs length")
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rnd.Intn(8)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rnd.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rnd.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := Mul(a, inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-10 {
+				t.Fatalf("A·A⁻¹ = %v", prod)
+			}
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := Inverse(a); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestScaleAddClone(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Scale(2)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone not deep")
+	}
+	if c.At(1, 1) != 8 {
+		t.Error("Scale wrong")
+	}
+	s := Add(a, a)
+	if s.At(1, 0) != 6 {
+		t.Error("Add wrong")
+	}
+}
+
+func TestSolvePermutationProperty(t *testing.T) {
+	// Solving with a permutation matrix recovers a permuted rhs.
+	f := func(v0, v1, v2 float64) bool {
+		p := FromRows([][]float64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+		b := []float64{v0, v1, v2}
+		x, err := Solve(p, b)
+		if err != nil {
+			return false
+		}
+		// p·x = b means x = [v2, v0, v1].
+		return math.Abs(x[0]-v2) < 1e-9 && math.Abs(x[1]-v0) < 1e-9 && math.Abs(x[2]-v1) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

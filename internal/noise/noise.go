@@ -1,0 +1,102 @@
+// Package noise provides deterministic pseudo-random fields keyed by
+// discrete coordinates. The simulator uses them for quantities that must
+// be a *stable function of position* rather than a fresh random draw —
+// most importantly RF shadow fading (so the offline fingerprint survey
+// and later online measurements observe a consistent radio map) and
+// per-satellite sky visibility.
+package noise
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Field is a deterministic noise field derived from a seed. The zero
+// value is a usable field with seed 0.
+type Field struct {
+	Seed uint64
+}
+
+// hash mixes the field seed with the given keys into a uint64.
+func (f Field) hash(keys ...int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	put(f.Seed)
+	for _, k := range keys {
+		put(uint64(k))
+	}
+	return h.Sum64()
+}
+
+// Uniform returns a deterministic value in [0, 1) for the given keys.
+func (f Field) Uniform(keys ...int64) float64 {
+	// Use the top 53 bits for a uniform double.
+	return float64(f.hash(keys...)>>11) / float64(1<<53)
+}
+
+// Gaussian returns a deterministic standard-normal value for the given
+// keys, via the inverse-CDF of a hashed uniform.
+func (f Field) Gaussian(keys ...int64) float64 {
+	u := f.Uniform(keys...)
+	// Clamp away from 0/1 to keep the quantile finite.
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	if u > 1-1e-12 {
+		u = 1 - 1e-12
+	}
+	return invNorm(u)
+}
+
+// StringKey converts a string identifier into an int64 key for use with
+// Uniform/Gaussian, so noise can be keyed on e.g. an AP ID.
+func StringKey(s string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return int64(h.Sum64())
+}
+
+// QuantizeM quantizes a coordinate (meters) to a grid cell index with the
+// given cell size, for spatially-correlated fields.
+func QuantizeM(v, cell float64) int64 {
+	return int64(math.Floor(v / cell))
+}
+
+// invNorm is the Acklam inverse-normal approximation (duplicated from
+// stat to keep noise dependency-free at the bottom of the package graph).
+func invNorm(p float64) float64 {
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

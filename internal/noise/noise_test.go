@@ -1,0 +1,100 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	f := Field{Seed: 42}
+	a := f.Uniform(1, 2, 3)
+	b := f.Uniform(1, 2, 3)
+	if a != b {
+		t.Error("same keys must give same value")
+	}
+	if f.Uniform(1, 2, 4) == a {
+		t.Error("different keys should (almost surely) differ")
+	}
+	g := Field{Seed: 43}
+	if g.Uniform(1, 2, 3) == a {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestUniformRangeProperty(t *testing.T) {
+	f := Field{Seed: 7}
+	fn := func(a, b, c int64) bool {
+		u := f.Uniform(a, b, c)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformDistribution(t *testing.T) {
+	f := Field{Seed: 9}
+	var sum float64
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		sum += f.Uniform(i)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	f := Field{Seed: 11}
+	const n = 20000
+	var sum, sumSq float64
+	for i := int64(0); i < n; i++ {
+		g := f.Gaussian(i)
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestGaussianFinite(t *testing.T) {
+	f := Field{Seed: 13}
+	fn := func(a, b int64) bool {
+		g := f.Gaussian(a, b)
+		return !math.IsNaN(g) && !math.IsInf(g, 0)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringKeyStable(t *testing.T) {
+	if StringKey("AP01") != StringKey("AP01") {
+		t.Error("StringKey must be stable")
+	}
+	if StringKey("AP01") == StringKey("AP02") {
+		t.Error("different strings should differ")
+	}
+}
+
+func TestQuantizeM(t *testing.T) {
+	cases := []struct {
+		v, cell float64
+		want    int64
+	}{
+		{0, 3, 0}, {2.9, 3, 0}, {3, 3, 1}, {-0.1, 3, -1}, {-3, 3, -1}, {-3.1, 3, -2},
+	}
+	for _, c := range cases {
+		if got := QuantizeM(c.v, c.cell); got != c.want {
+			t.Errorf("QuantizeM(%v,%v) = %d want %d", c.v, c.cell, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package offload
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/geo"
+	"repro/internal/sensing"
+)
+
+// Client is the phone side of the offloading protocol: it uploads one
+// epoch's pre-processed sensor data and receives the fused position.
+type Client struct {
+	conn net.Conn
+
+	bytesUp   int
+	bytesDown int
+	epochs    int
+}
+
+// NewClient wraps an established connection to the server.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// BytesUp returns the total bytes uploaded (including framing).
+func (c *Client) BytesUp() int { return c.bytesUp }
+
+// BytesDown returns the total bytes downloaded (including framing).
+func (c *Client) BytesDown() int { return c.bytesDown }
+
+// Epochs returns the number of epochs localized.
+func (c *Client) Epochs() int { return c.epochs }
+
+// Localize uploads one snapshot and returns the server's result. The
+// inertial step travels as the paper's 4-byte intermediate result; the
+// GNSS fix is uploaded only when it meets the reliability criterion
+// (§IV-C).
+func (c *Client) Localize(snap *sensing.Snapshot) (*Result, error) {
+	write := func(t MsgType, payload []byte) error {
+		n, err := WriteFrame(c.conn, t, payload)
+		c.bytesUp += n
+		return err
+	}
+	if snap.Step != nil {
+		if err := write(MsgStepUpdate, EncodeStep(snap.Step)); err != nil {
+			return nil, err
+		}
+	}
+	if len(snap.WiFi) > 0 {
+		if err := write(MsgWiFiVector, EncodeVector(snap.WiFi)); err != nil {
+			return nil, err
+		}
+	}
+	if len(snap.Cell) > 0 {
+		if err := write(MsgCellVector, EncodeVector(snap.Cell)); err != nil {
+			return nil, err
+		}
+	}
+	if snap.GNSS.Reliable() {
+		if err := write(MsgGNSSFix, EncodeFix(snap.GNSS)); err != nil {
+			return nil, err
+		}
+	}
+	if snap.Landmark != nil {
+		if err := write(MsgLandmark, EncodeLandmark(snap.Landmark)); err != nil {
+			return nil, err
+		}
+	}
+	if err := write(MsgContext, EncodeContext(snap)); err != nil {
+		return nil, err
+	}
+	if err := write(MsgEpochEnd, nil); err != nil {
+		return nil, err
+	}
+
+	t, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	c.bytesDown += 3 + len(payload)
+	if t != MsgResult {
+		return nil, fmt.Errorf("%w: expected result, got type %d", ErrProtocol, t)
+	}
+	res, err := DecodeResult(payload)
+	if err != nil {
+		return nil, err
+	}
+	c.epochs++
+	return res, nil
+}
+
+// Pos converts a result into a local-map point.
+func (r *Result) Pos() geo.Point { return geo.Pt(r.X, r.Y) }
+
+// BestPos converts a result's UniLoc1 output into a local-map point.
+func (r *Result) BestPos() geo.Point { return geo.Pt(r.BestX, r.BestY) }

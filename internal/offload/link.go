@@ -1,0 +1,31 @@
+package offload
+
+import "time"
+
+// LinkModel models the phone↔server radio link for the response-time
+// decomposition (Table V). Transfer time = base latency + payload ÷
+// bandwidth. WiFi and cellular links differ mainly in latency.
+type LinkModel struct {
+	Name        string
+	BaseLatency time.Duration // one-way latency
+	Bandwidth   float64       // bytes per second
+}
+
+// WiFiLink returns a campus-WLAN-like link.
+func WiFiLink() LinkModel {
+	return LinkModel{Name: "wifi", BaseLatency: 18 * time.Millisecond, Bandwidth: 2.0e6}
+}
+
+// CellLink returns a cellular-data-like link (used where WiFi is not
+// available; pervasively available per §IV-C).
+func CellLink() LinkModel {
+	return LinkModel{Name: "cellular", BaseLatency: 55 * time.Millisecond, Bandwidth: 0.6e6}
+}
+
+// TransferTime returns the modeled one-way transfer time for n bytes.
+func (l LinkModel) TransferTime(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return l.BaseLatency + time.Duration(float64(n)/l.Bandwidth*float64(time.Second))
+}

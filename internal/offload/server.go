@@ -1,0 +1,141 @@
+package offload
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sensing"
+)
+
+// Server runs the UniLoc framework (all localization schemes, error
+// prediction, and BMA) on behalf of phones. One framework instance
+// serves one walk at a time; the paper's workstation similarly hosts
+// the particle-filter state per user.
+type Server struct {
+	mu sync.Mutex
+	fw *core.Framework
+}
+
+// NewServer wraps a framework.
+func NewServer(fw *core.Framework) *Server { return &Server{fw: fw} }
+
+// Serve processes epochs from one connection until EOF or error. It
+// returns nil on clean shutdown (client closed the connection between
+// epochs).
+func (s *Server) Serve(conn net.Conn) error {
+	defer func() { _ = conn.Close() }()
+	for {
+		snap, err := s.readEpoch(conn)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		res := s.fw.Step(snap)
+		s.mu.Unlock()
+
+		out := &Result{
+			X: res.BMA.X, Y: res.BMA.Y,
+			BestX: res.Best.X, BestY: res.Best.Y,
+			Env: byte(res.Env),
+		}
+		if res.BestIdx >= 0 {
+			out.Selected = res.Schemes[res.BestIdx].Name
+		}
+		if _, err := WriteFrame(conn, MsgResult, EncodeResult(out)); err != nil {
+			return err
+		}
+	}
+}
+
+// readEpoch assembles one snapshot from frames up to MsgEpochEnd.
+func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, error) {
+	snap := &sensing.Snapshot{}
+	gotContext := false
+	for {
+		t, payload, err := ReadFrame(r)
+		if err != nil {
+			if err == io.EOF && !gotContext {
+				return nil, io.EOF
+			}
+			if err == io.ErrUnexpectedEOF {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		switch t {
+		case MsgContext:
+			ctx, err := DecodeContext(payload)
+			if err != nil {
+				return nil, err
+			}
+			ctx.WiFi, ctx.Cell = snap.WiFi, snap.Cell
+			ctx.Step, ctx.GNSS, ctx.Landmark = snap.Step, snap.GNSS, snap.Landmark
+			snap = ctx
+			gotContext = true
+		case MsgStepUpdate:
+			step, err := DecodeStep(payload)
+			if err != nil {
+				return nil, err
+			}
+			snap.Step = step
+		case MsgWiFiVector:
+			v, err := DecodeVector(payload)
+			if err != nil {
+				return nil, err
+			}
+			snap.WiFi = v
+		case MsgCellVector:
+			v, err := DecodeVector(payload)
+			if err != nil {
+				return nil, err
+			}
+			snap.Cell = v
+		case MsgGNSSFix:
+			f, err := DecodeFix(payload)
+			if err != nil {
+				return nil, err
+			}
+			snap.GNSS = f
+		case MsgLandmark:
+			l, err := DecodeLandmark(payload)
+			if err != nil {
+				return nil, err
+			}
+			snap.Landmark = l
+		case MsgEpochEnd:
+			if !gotContext {
+				return nil, fmt.Errorf("%w: epoch ended without context", ErrProtocol)
+			}
+			return snap, nil
+		default:
+			return nil, fmt.Errorf("%w: unexpected message type %d", ErrProtocol, t)
+		}
+	}
+}
+
+// ListenAndServe accepts connections on ln and serves each until it
+// closes. It returns when the listener is closed. Connection-level
+// errors are reported through errf (may be nil).
+func (s *Server) ListenAndServe(ln net.Listener, errf func(error)) {
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Serve(conn); err != nil && errf != nil {
+				errf(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,95 @@
+package offload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/imu"
+	"repro/internal/noise"
+	"repro/internal/regress"
+	"repro/internal/rf"
+	"repro/internal/schemes"
+	"repro/internal/sensing"
+	"repro/internal/world"
+)
+
+// offloadWorld builds a corridor world plus a minimal trained
+// framework with the wifi and motion schemes.
+func offloadFramework(t *testing.T) (*core.Framework, *world.World) {
+	t.Helper()
+	w := &world.World{
+		Name:  "off",
+		Noise: noise.Field{Seed: 8},
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3, Lon: 103.7}},
+		Regions: []world.Region{
+			{Name: "hall", Kind: world.KindOffice, Poly: geo.RectPoly(0, 0, 40, 4), SkyOpenness: 0.05, LightLux: 300, MagNoise: 2, CorridorWidth: 2.5},
+		},
+		APs: []world.Site{
+			{ID: "a0", Pos: geo.Pt(5, 3), TxPowerDBm: 16},
+			{ID: "a1", Pos: geo.Pt(20, 1), TxPowerDBm: 16},
+			{ID: "a2", Pos: geo.Pt(35, 3), TxPowerDBm: 16},
+		},
+	}
+	db := fingerprint.Survey(w, rf.WiFiModel(), w.APs, 3, rand.New(rand.NewSource(1)))
+	ss := []schemes.Scheme{
+		schemes.NewWiFi(db),
+		schemes.NewPDR(w, schemes.DefaultPDRConfig(), rand.New(rand.NewSource(2))),
+	}
+	ms := core.NewModelSet()
+	for _, name := range []string{schemes.NameWiFi, schemes.NameMotion} {
+		for _, env := range []core.EnvClass{core.EnvIndoor, core.EnvOutdoor} {
+			ms.Put(&core.ErrorModel{
+				Scheme: name, Env: env, Features: nil,
+				Reg: &regress.Result{HasIntercept: true, Intercept: 3, ResidStd: 2},
+			})
+		}
+	}
+	fw, err := core.NewFramework(ss, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Reset(geo.Pt(2, 2))
+	return fw, w
+}
+
+func TestClientServerEndToEnd(t *testing.T) {
+	fw, w := offloadFramework(t)
+	client := pipeClient(t, NewServer(fw))
+
+	rnd := rand.New(rand.NewSource(3))
+	model := rf.WiFiModel()
+	pos := geo.Pt(2, 2)
+	var lastErr float64
+	for i := 0; i < 30; i++ {
+		pos = pos.Add(geo.Pt(0.7, 0))
+		snap := &sensing.Snapshot{
+			Epoch:    i,
+			WiFi:     model.Scan(w, w.APs, pos, rf.Reference(), rnd),
+			Step:     &imu.StepEvent{LengthM: 0.7, HeadingR: 0, PeriodS: 0.5},
+			LightLux: 300,
+			MagVarUT: 2.2,
+		}
+		res, err := client.Localize(snap)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		lastErr = geo.Pt(res.X, res.Y).Dist(pos)
+	}
+	if lastErr > 10 {
+		t.Errorf("fused error after walk = %v m", lastErr)
+	}
+	if client.Epochs() != 30 {
+		t.Errorf("epochs = %d", client.Epochs())
+	}
+	if client.BytesUp() == 0 || client.BytesDown() == 0 {
+		t.Error("byte counters should advance")
+	}
+	// The per-epoch upload should be compact (tens of bytes, not KB).
+	perEpoch := client.BytesUp() / client.Epochs()
+	if perEpoch > 300 {
+		t.Errorf("upload %d B/epoch too large", perEpoch)
+	}
+}

@@ -1,0 +1,170 @@
+// Package particle implements the generic sequential-importance-
+// resampling particle filter shared by the motion-based PDR scheme and
+// the sensor-fusion scheme. The paper maintains 300 particles per step
+// and updates them every 0.5 s.
+package particle
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+)
+
+// DefaultCount is the particle count from the paper's implementation.
+const DefaultCount = 300
+
+// Particle is one weighted position hypothesis.
+type Particle struct {
+	Pos geo.Point
+	W   float64
+}
+
+// Filter is a 2-D position particle filter.
+type Filter struct {
+	Particles []Particle
+	rnd       *rand.Rand
+}
+
+// New creates a filter with n particles initialized around center with
+// the given isotropic Gaussian spread.
+func New(n int, center geo.Point, sigma float64, rnd *rand.Rand) *Filter {
+	f := &Filter{Particles: make([]Particle, n), rnd: rnd}
+	f.Reset(center, sigma)
+	return f
+}
+
+// Reset re-initializes all particles around center with the given
+// spread and uniform weights.
+func (f *Filter) Reset(center geo.Point, sigma float64) {
+	n := len(f.Particles)
+	for i := range f.Particles {
+		f.Particles[i] = Particle{
+			Pos: geo.Pt(
+				center.X+f.rnd.NormFloat64()*sigma,
+				center.Y+f.rnd.NormFloat64()*sigma,
+			),
+			W: 1 / float64(n),
+		}
+	}
+}
+
+// Propagate moves every particle through the motion function, which
+// maps an old position to a new one (sampling its own per-particle
+// noise).
+func (f *Filter) Propagate(move func(geo.Point) geo.Point) {
+	for i := range f.Particles {
+		f.Particles[i].Pos = move(f.Particles[i].Pos)
+	}
+}
+
+// Weight multiplies each particle's weight by the likelihood function.
+// A likelihood of 0 kills the particle (e.g. a map-constraint
+// violation).
+func (f *Filter) Weight(likelihood func(geo.Point) float64) {
+	for i := range f.Particles {
+		f.Particles[i].W *= likelihood(f.Particles[i].Pos)
+	}
+}
+
+// PropagateWeighted combines Propagate and Weight in one pass: move
+// each particle from old to new position and scale its weight by the
+// returned likelihood of the move.
+func (f *Filter) PropagateWeighted(step func(geo.Point) (geo.Point, float64)) {
+	for i := range f.Particles {
+		np, l := step(f.Particles[i].Pos)
+		f.Particles[i].Pos = np
+		f.Particles[i].W *= l
+	}
+}
+
+// TotalWeight returns the sum of particle weights.
+func (f *Filter) TotalWeight() float64 {
+	var s float64
+	for i := range f.Particles {
+		s += f.Particles[i].W
+	}
+	return s
+}
+
+// Normalize rescales weights to sum to 1. It returns false (leaving
+// weights untouched) when the total weight is zero or not finite,
+// signalling filter collapse.
+func (f *Filter) Normalize() bool {
+	total := f.TotalWeight()
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return false
+	}
+	for i := range f.Particles {
+		f.Particles[i].W /= total
+	}
+	return true
+}
+
+// EffectiveN returns the effective sample size 1/Σw². Weights must be
+// normalized.
+func (f *Filter) EffectiveN() float64 {
+	var ss float64
+	for i := range f.Particles {
+		w := f.Particles[i].W
+		ss += w * w
+	}
+	if ss == 0 {
+		return 0
+	}
+	return 1 / ss
+}
+
+// Resample performs systematic resampling, leaving uniform weights.
+// Weights must be normalized first.
+func (f *Filter) Resample() {
+	n := len(f.Particles)
+	if n == 0 {
+		return
+	}
+	out := make([]Particle, n)
+	step := 1.0 / float64(n)
+	u := f.rnd.Float64() * step
+	var cum float64
+	j := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)*step
+		for cum+f.Particles[j].W < target && j < n-1 {
+			cum += f.Particles[j].W
+			j++
+		}
+		out[i] = Particle{Pos: f.Particles[j].Pos, W: step}
+	}
+	f.Particles = out
+}
+
+// Estimate returns the weighted mean position. Call after Normalize.
+func (f *Filter) Estimate() geo.Point {
+	var x, y, w float64
+	for i := range f.Particles {
+		p := &f.Particles[i]
+		x += p.Pos.X * p.W
+		y += p.Pos.Y * p.W
+		w += p.W
+	}
+	if w == 0 {
+		return geo.Point{}
+	}
+	return geo.Pt(x/w, y/w)
+}
+
+// Spread returns the weighted RMS distance of particles from the
+// estimate — a cheap uncertainty proxy.
+func (f *Filter) Spread() float64 {
+	est := f.Estimate()
+	var ss, w float64
+	for i := range f.Particles {
+		p := &f.Particles[i]
+		ss += p.Pos.DistSq(est) * p.W
+		w += p.W
+	}
+	if w == 0 {
+		return 0
+	}
+	return math.Sqrt(ss / w)
+}

@@ -1,0 +1,160 @@
+package particle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestNewInitializesAroundCenter(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	f := New(300, geo.Pt(10, 20), 1, rnd)
+	if len(f.Particles) != 300 {
+		t.Fatalf("count = %d", len(f.Particles))
+	}
+	est := f.Estimate()
+	if est.Dist(geo.Pt(10, 20)) > 0.5 {
+		t.Errorf("estimate %v far from center", est)
+	}
+	if math.Abs(f.TotalWeight()-1) > 1e-9 {
+		t.Errorf("weights should sum to 1, got %v", f.TotalWeight())
+	}
+}
+
+func TestPropagateShiftsCloud(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	f := New(200, geo.Pt(0, 0), 0.5, rnd)
+	f.Propagate(func(p geo.Point) geo.Point { return p.Add(geo.Pt(3, 4)) })
+	est := f.Estimate()
+	if est.Dist(geo.Pt(3, 4)) > 0.3 {
+		t.Errorf("estimate %v, want near (3,4)", est)
+	}
+}
+
+func TestWeightAndNormalize(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	f := New(500, geo.Pt(0, 0), 5, rnd)
+	// Kill the left half.
+	f.Weight(func(p geo.Point) float64 {
+		if p.X < 0 {
+			return 0
+		}
+		return 1
+	})
+	if !f.Normalize() {
+		t.Fatal("normalize failed")
+	}
+	est := f.Estimate()
+	if est.X <= 0 {
+		t.Errorf("estimate %v should move right", est)
+	}
+}
+
+func TestNormalizeCollapse(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	f := New(10, geo.Pt(0, 0), 1, rnd)
+	f.Weight(func(geo.Point) float64 { return 0 })
+	if f.Normalize() {
+		t.Error("all-zero weights should report collapse")
+	}
+}
+
+func TestResamplePreservesDistribution(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	f := New(1000, geo.Pt(0, 0), 1, rnd)
+	// Concentrate weight at particles with x > 1.
+	f.Weight(func(p geo.Point) float64 {
+		if p.X > 1 {
+			return 10
+		}
+		return 0.01
+	})
+	if !f.Normalize() {
+		t.Fatal("normalize")
+	}
+	before := f.Estimate()
+	f.Resample()
+	if math.Abs(f.TotalWeight()-1) > 1e-9 {
+		t.Errorf("resampled weights sum to %v", f.TotalWeight())
+	}
+	after := f.Estimate()
+	if after.Dist(before) > 0.4 {
+		t.Errorf("resampling moved the estimate %v -> %v", before, after)
+	}
+	// Uniform weights afterwards.
+	w0 := f.Particles[0].W
+	for _, p := range f.Particles {
+		if p.W != w0 {
+			t.Fatal("weights not uniform after resample")
+		}
+	}
+}
+
+func TestEffectiveN(t *testing.T) {
+	rnd := rand.New(rand.NewSource(6))
+	f := New(100, geo.Pt(0, 0), 1, rnd)
+	if n := f.EffectiveN(); math.Abs(n-100) > 1e-6 {
+		t.Errorf("uniform effective N = %v", n)
+	}
+	// All weight on one particle.
+	for i := range f.Particles {
+		f.Particles[i].W = 0
+	}
+	f.Particles[0].W = 1
+	if n := f.EffectiveN(); math.Abs(n-1) > 1e-9 {
+		t.Errorf("degenerate effective N = %v", n)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	tight := New(500, geo.Pt(0, 0), 0.5, rnd)
+	loose := New(500, geo.Pt(0, 0), 5, rnd)
+	if tight.Spread() >= loose.Spread() {
+		t.Errorf("tight %v should be below loose %v", tight.Spread(), loose.Spread())
+	}
+}
+
+func TestReset(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	f := New(100, geo.Pt(0, 0), 1, rnd)
+	f.Reset(geo.Pt(50, 50), 2)
+	if f.Estimate().Dist(geo.Pt(50, 50)) > 1.5 {
+		t.Errorf("reset estimate = %v", f.Estimate())
+	}
+}
+
+func TestPropagateWeighted(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	f := New(400, geo.Pt(0, 0), 1, rnd)
+	// Move right; kill anything ending up above y=0.
+	f.PropagateWeighted(func(p geo.Point) (geo.Point, float64) {
+		np := p.Add(geo.Pt(2, 0))
+		if np.Y > 0 {
+			return np, 0
+		}
+		return np, 1
+	})
+	if !f.Normalize() {
+		t.Fatal("normalize")
+	}
+	est := f.Estimate()
+	if est.Y > 0 {
+		t.Errorf("estimate %v should be at/below y=0", est)
+	}
+	if est.X < 1 {
+		t.Errorf("estimate %v should have moved right", est)
+	}
+}
+
+func TestEstimateEmptyWeights(t *testing.T) {
+	f := &Filter{Particles: []Particle{{Pos: geo.Pt(1, 1), W: 0}}}
+	if got := f.Estimate(); got != (geo.Point{}) {
+		t.Errorf("zero-weight estimate = %v", got)
+	}
+	if got := f.Spread(); got != 0 {
+		t.Errorf("zero-weight spread = %v", got)
+	}
+}

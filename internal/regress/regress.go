@@ -1,0 +1,208 @@
+// Package regress implements the multiple linear regression workflow
+// from the paper's error modeling (§III): ordinary least squares over
+// (feature, localization-error) tuples, coefficient standard errors and
+// two-sided t-test p-values (Table II's significance column), R², and
+// the residual mean/deviation that parameterizes the Gaussian error
+// prediction (Eq. 2).
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/mat"
+	"repro/internal/stat"
+)
+
+// ErrInsufficientData is returned when there are not enough rows to fit
+// the requested number of coefficients.
+var ErrInsufficientData = errors.New("regress: insufficient data")
+
+// Result is a fitted linear model.
+type Result struct {
+	Names        []string  // feature names, aligned with Beta (excluding intercept)
+	Beta         []float64 // coefficients for each feature
+	Intercept    float64   // β₀ (0 when fitted without intercept)
+	HasIntercept bool
+
+	SE []float64 // standard error per coefficient (aligned with Beta)
+	T  []float64 // t statistic per coefficient
+	P  []float64 // two-sided p-value per coefficient
+
+	R2        float64 // coefficient of determination
+	ResidMean float64 // μ_ε
+	ResidStd  float64 // σ_ε
+	N         int     // number of training rows
+}
+
+// Fit performs OLS of y on X (rows = observations, columns = features,
+// aligned with names). When intercept is true a constant column is
+// added; the paper fits its error models through the origin (the
+// localization error is zero when all factors are zero), so most
+// callers pass false.
+func Fit(x [][]float64, y []float64, names []string, intercept bool) (*Result, error) {
+	return FitRidge(x, y, names, intercept, 0)
+}
+
+// FitRidge is Fit with an L2 penalty lambda added to the normal
+// equations' diagonal. A small lambda regularizes nearly-collinear
+// feature sets (e.g. a constant corridor width in a single-region
+// outdoor training world) at negligible bias. The reported p-values
+// are the usual OLS approximations.
+func FitRidge(x [][]float64, y []float64, names []string, intercept bool, lambda float64) (*Result, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("%w: %d rows, %d targets", ErrInsufficientData, n, len(y))
+	}
+	p := len(x[0])
+	if p == 0 && !intercept {
+		return nil, fmt.Errorf("%w: no features and no intercept", ErrInsufficientData)
+	}
+	if len(names) != p {
+		return nil, fmt.Errorf("regress: %d names for %d features", len(names), p)
+	}
+	cols := p
+	if intercept {
+		cols++
+	}
+	if n <= cols {
+		return nil, fmt.Errorf("%w: %d rows for %d coefficients", ErrInsufficientData, n, cols)
+	}
+
+	xm := mat.New(n, cols)
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("regress: ragged row %d: %d features, want %d", i, len(row), p)
+		}
+		off := 0
+		if intercept {
+			xm.Set(i, 0, 1)
+			off = 1
+		}
+		for j, v := range row {
+			xm.Set(i, j+off, v)
+		}
+	}
+
+	xt := xm.T()
+	xtx := mat.Mul(xt, xm)
+	if lambda > 0 {
+		for j := 0; j < cols; j++ {
+			if intercept && j == 0 {
+				continue
+			}
+			xtx.Set(j, j, xtx.At(j, j)+lambda)
+		}
+	}
+	xty := xt.MulVec(y)
+	beta, err := mat.Solve(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("regress: normal equations: %w", err)
+	}
+
+	// Residuals.
+	resid := make([]float64, n)
+	pred := xm.MulVec(beta)
+	var rss float64
+	for i := range y {
+		resid[i] = y[i] - pred[i]
+		rss += resid[i] * resid[i]
+	}
+
+	// Total sum of squares: centered when an intercept is present,
+	// uncentered otherwise (standard no-intercept R² definition).
+	var tss float64
+	if intercept {
+		my := stat.Mean(y)
+		for _, v := range y {
+			d := v - my
+			tss += d * d
+		}
+	} else {
+		for _, v := range y {
+			tss += v * v
+		}
+	}
+	r2 := 0.0
+	if tss > 0 {
+		r2 = 1 - rss/tss
+	}
+
+	df := float64(n - cols)
+	sigma2 := rss / df
+	xtxInv, err := mat.Inverse(xtx)
+	if err != nil {
+		return nil, fmt.Errorf("regress: covariance: %w", err)
+	}
+
+	res := &Result{
+		Names:        append([]string(nil), names...),
+		Beta:         make([]float64, p),
+		HasIntercept: intercept,
+		SE:           make([]float64, p),
+		T:            make([]float64, p),
+		P:            make([]float64, p),
+		R2:           r2,
+		ResidMean:    stat.Mean(resid),
+		ResidStd:     math.Sqrt(rss / df),
+		N:            n,
+	}
+	off := 0
+	if intercept {
+		res.Intercept = beta[0]
+		off = 1
+	}
+	for j := 0; j < p; j++ {
+		res.Beta[j] = beta[j+off]
+		se := math.Sqrt(sigma2 * xtxInv.At(j+off, j+off))
+		res.SE[j] = se
+		if se > 0 {
+			res.T[j] = res.Beta[j] / se
+			res.P[j] = stat.TTestPValue(res.T[j], df)
+		} else {
+			res.T[j] = math.Inf(1)
+			res.P[j] = 0
+		}
+	}
+	return res, nil
+}
+
+// Predict evaluates the fitted model at the feature vector x (paper
+// Eq. 6: ê = β₀ + β₁x₁ + ... + β_p x_p).
+func (r *Result) Predict(x []float64) float64 {
+	if len(x) != len(r.Beta) {
+		panic(fmt.Sprintf("regress: Predict got %d features, model has %d", len(x), len(r.Beta)))
+	}
+	v := r.Intercept
+	for j, b := range r.Beta {
+		v += b * x[j]
+	}
+	return v
+}
+
+// Significant returns the names of features whose p-value is below
+// alpha (the paper uses 0.05).
+func (r *Result) Significant(alpha float64) []string {
+	var out []string
+	for j, p := range r.P {
+		if p < alpha {
+			out = append(out, r.Names[j])
+		}
+	}
+	return out
+}
+
+// String renders the model like a row group of the paper's Table II.
+func (r *Result) String() string {
+	var b strings.Builder
+	if r.HasIntercept {
+		fmt.Fprintf(&b, "  %-28s % 9.3f\n", "(intercept)", r.Intercept)
+	}
+	for j, name := range r.Names {
+		fmt.Fprintf(&b, "  %-28s % 9.3f  (p=%.3f)\n", name, r.Beta[j], r.P[j])
+	}
+	fmt.Fprintf(&b, "  R²=%.2f  μ_ε=%.2f  σ_ε=%.2f  n=%d\n", r.R2, r.ResidMean, r.ResidStd, r.N)
+	return b.String()
+}

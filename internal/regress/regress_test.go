@@ -1,0 +1,199 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth builds y = X·beta + noise.
+func synth(rnd *rand.Rand, n int, beta []float64, intercept, noise float64) ([][]float64, []float64) {
+	p := len(beta)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, p)
+		v := intercept
+		for j := range row {
+			row[j] = rnd.NormFloat64()*2 + 3
+			v += beta[j] * row[j]
+		}
+		x[i] = row
+		y[i] = v + rnd.NormFloat64()*noise
+	}
+	return x, y
+}
+
+func TestFitRecoversCoefficients(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	beta := []float64{1.5, -0.7, 0.2}
+	x, y := synth(rnd, 500, beta, 0, 0.1)
+	res, err := Fit(x, y, []string{"a", "b", "c"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range beta {
+		if math.Abs(res.Beta[j]-beta[j]) > 0.05 {
+			t.Errorf("beta[%d] = %v want %v", j, res.Beta[j], beta[j])
+		}
+	}
+	if res.R2 < 0.99 {
+		t.Errorf("R2 = %v", res.R2)
+	}
+	if math.Abs(res.ResidStd-0.1) > 0.03 {
+		t.Errorf("sigma = %v", res.ResidStd)
+	}
+	if math.Abs(res.ResidMean) > 0.02 {
+		t.Errorf("resid mean = %v", res.ResidMean)
+	}
+}
+
+func TestFitWithIntercept(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	x, y := synth(rnd, 300, []float64{2}, 5, 0.2)
+	res, err := Fit(x, y, []string{"a"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Intercept-5) > 0.2 {
+		t.Errorf("intercept = %v", res.Intercept)
+	}
+	if math.Abs(res.Beta[0]-2) > 0.05 {
+		t.Errorf("beta = %v", res.Beta[0])
+	}
+}
+
+func TestFitInterceptOnly(t *testing.T) {
+	// The GPS error model: no features, just a constant.
+	rnd := rand.New(rand.NewSource(3))
+	y := make([]float64, 400)
+	for i := range y {
+		y[i] = 13.5 + rnd.NormFloat64()*9.4
+	}
+	x := make([][]float64, len(y))
+	for i := range x {
+		x[i] = nil
+	}
+	res, err := Fit(x, y, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Intercept-13.5) > 1.5 {
+		t.Errorf("intercept = %v", res.Intercept)
+	}
+	if math.Abs(res.ResidStd-9.4) > 1.0 {
+		t.Errorf("sigma = %v", res.ResidStd)
+	}
+}
+
+func TestSignificance(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	// One real feature, one pure-noise feature.
+	n := 400
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		real := rnd.NormFloat64()*2 + 5
+		junk := rnd.NormFloat64()*2 + 5
+		x[i] = []float64{real, junk}
+		y[i] = 2*real + rnd.NormFloat64()
+	}
+	res, err := Fit(x, y, []string{"real", "junk"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := res.Significant(0.05)
+	found := false
+	for _, s := range sig {
+		if s == "real" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("real feature not significant: p=%v", res.P)
+	}
+	if res.P[0] > 0.05 {
+		t.Errorf("real p = %v", res.P[0])
+	}
+	// The junk feature usually has p > 0.05. (Not guaranteed on every
+	// seed; this seed is checked to satisfy it.)
+	if res.P[1] < 0.05 {
+		t.Errorf("junk p = %v (seed-dependent check failed)", res.P[1])
+	}
+}
+
+func TestPredict(t *testing.T) {
+	res := &Result{Beta: []float64{2, -1}, Intercept: 3, Names: []string{"a", "b"}}
+	if got := res.Predict([]float64{4, 5}); got != 3+8-5 {
+		t.Errorf("Predict = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	res.Predict([]float64{1})
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, nil, false); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("empty: %v", err)
+	}
+	// More coefficients than rows.
+	x := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	y := []float64{1, 2}
+	if _, err := Fit(x, y, []string{"a", "b", "c"}, false); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("underdetermined: %v", err)
+	}
+	// Name count mismatch.
+	x2 := [][]float64{{1}, {2}, {3}, {4}}
+	y2 := []float64{1, 2, 3, 4}
+	if _, err := Fit(x2, y2, []string{"a", "b"}, false); err == nil {
+		t.Error("expected name mismatch error")
+	}
+	// Ragged rows.
+	x3 := [][]float64{{1, 2}, {3}}
+	if _, err := Fit(x3, []float64{1, 2}, []string{"a", "b"}, true); err == nil {
+		t.Error("expected ragged error")
+	}
+}
+
+func TestFitSingularWithoutRidge(t *testing.T) {
+	// Perfectly collinear features.
+	n := 50
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	rnd := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		v := rnd.NormFloat64()
+		x[i] = []float64{v, 2 * v}
+		y[i] = v
+	}
+	if _, err := Fit(x, y, []string{"a", "b"}, false); err == nil {
+		t.Error("expected singular error")
+	}
+	// Ridge fixes it.
+	res, err := FitRidge(x, y, []string{"a", "b"}, false, 1e-3)
+	if err != nil {
+		t.Fatalf("ridge: %v", err)
+	}
+	// Prediction still works even though individual coefficients are
+	// not identified.
+	if got := res.Predict([]float64{1, 2}); math.Abs(got-1) > 0.05 {
+		t.Errorf("ridge predict = %v", got)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	rnd := rand.New(rand.NewSource(6))
+	x, y := synth(rnd, 100, []float64{1}, 0, 0.1)
+	res, err := Fit(x, y, []string{"feat"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if s == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,197 @@
+// Package rf simulates received signal strength (RSSI) observations
+// from WiFi access points and cellular towers using a log-distance
+// path-loss model with wall attenuation, deterministic
+// spatially-correlated shadow fading, and temporal measurement noise.
+//
+// Shadow fading is a pure function of (transmitter, quantized receiver
+// cell) via the world's noise field, so the offline fingerprint survey
+// and online measurements observe a consistent radio map — the property
+// that makes RSSI fingerprinting work at all.
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/noise"
+	"repro/internal/world"
+)
+
+// Obs is one RSSI observation from a single transmitter.
+type Obs struct {
+	ID   string  // transmitter identifier
+	RSSI float64 // dBm
+}
+
+// Vector is a full scan: one Obs per audible transmitter, sorted by ID
+// for determinism.
+type Vector []Obs
+
+// Map converts the vector to an ID→RSSI map.
+func (v Vector) Map() map[string]float64 {
+	m := make(map[string]float64, len(v))
+	for _, o := range v {
+		m[o.ID] = o.RSSI
+	}
+	return m
+}
+
+// IDs returns the transmitter IDs in the vector, in order.
+func (v Vector) IDs() []string {
+	out := make([]string, len(v))
+	for i, o := range v {
+		out[i] = o.ID
+	}
+	return out
+}
+
+// Device models smartphone RSSI measurement heterogeneity: a device
+// observes measured = Alpha·true + Delta dB (paper §III-B). The zero
+// value is not valid; use Reference for the fingerprinting device.
+type Device struct {
+	Name  string
+	Alpha float64
+	Delta float64
+}
+
+// Reference is the device used to collect fingerprints (the paper's
+// Google Nexus 5X); it observes true RSSI.
+func Reference() Device { return Device{Name: "nexus5x", Alpha: 1, Delta: 0} }
+
+// Heterogeneous returns a second device model with a linear RSSI offset
+// (the paper's LG G3: alpha close to 1 plus a dB offset).
+func Heterogeneous() Device { return Device{Name: "lgg3", Alpha: 1.06, Delta: -4.5} }
+
+// Apply transforms a true RSSI into this device's measured RSSI.
+func (d Device) Apply(rssi float64) float64 { return d.Alpha*rssi + d.Delta }
+
+// Model is a log-distance path-loss channel model.
+type Model struct {
+	RefLossDB      float64 // path loss at the 1 m reference distance
+	Exponent       float64 // path-loss exponent n
+	ShadowSigmaDB  float64 // spatial shadow-fading std-dev
+	ShadowCellM    float64 // spatial correlation cell size for shadowing
+	TempSigmaDB    float64 // temporal per-measurement noise std-dev
+	SensitivityDBm float64 // audibility floor: weaker signals are not observed
+	NoiseKey       int64   // namespace for the world noise field (separate WiFi/cell maps)
+}
+
+// WiFiModel returns the channel model used for 2.4/5 GHz WiFi in the
+// simulated deployments.
+func WiFiModel() Model {
+	return Model{
+		RefLossDB:      40,
+		Exponent:       3.0,
+		ShadowSigmaDB:  4.0,
+		ShadowCellM:    6.0,
+		TempSigmaDB:    3.2,
+		SensitivityDBm: -92,
+		NoiseKey:       1,
+	}
+}
+
+// CellModel returns the channel model used for cellular (GSM-band)
+// signals: lower frequency, better penetration, much longer range.
+func CellModel() Model {
+	return Model{
+		RefLossDB:      32,
+		Exponent:       2.7,
+		ShadowSigmaDB:  6.0,
+		ShadowCellM:    18.0,
+		TempSigmaDB:    3.0,
+		SensitivityDBm: -110,
+		NoiseKey:       2,
+	}
+}
+
+// TrueRSSI returns the noiseless-in-time RSSI of site s at rx: path loss
+// plus wall attenuation plus spatial shadowing. This is what an
+// idealized long-term average measurement would converge to.
+func (m Model) TrueRSSI(w *world.World, s world.Site, rx geo.Point) float64 {
+	d := math.Max(s.Pos.Dist(rx), 1)
+	pl := m.RefLossDB + 10*m.Exponent*math.Log10(d)
+	att := w.WallAttenuationDB(s.Pos, rx)
+	// Bulk penetration loss (underground floors, thick structures):
+	// charged when the link crosses a penetration boundary.
+	att += math.Abs(w.PenetrationAt(rx) - w.PenetrationAt(s.Pos))
+	shadow := m.shadow(w, s, rx)
+	return s.TxPowerDBm - pl - att + shadow
+}
+
+// shadow returns the deterministic spatial shadow fading for (site, rx).
+func (m Model) shadow(w *world.World, s world.Site, rx geo.Point) float64 {
+	cell := m.ShadowCellM
+	if cell <= 0 {
+		cell = 3
+	}
+	cx := noise.QuantizeM(rx.X, cell)
+	cy := noise.QuantizeM(rx.Y, cell)
+	return w.Noise.Gaussian(m.NoiseKey, noise.StringKey(s.ID), cx, cy) * m.ShadowSigmaDB
+}
+
+// Measure returns one noisy measurement of site s at rx through device
+// dev, and whether the signal is audible. The temporal noise includes
+// any region-specific extra noise (e.g. a crowded mall).
+func (m Model) Measure(w *world.World, s world.Site, rx geo.Point, dev Device, rnd *rand.Rand) (float64, bool) {
+	rssi := m.TrueRSSI(w, s, rx)
+	sigma := m.TempSigmaDB + w.RSSINoiseAt(rx)
+	rssi += rnd.NormFloat64() * sigma
+	rssi = dev.Apply(rssi)
+	if rssi < m.SensitivityDBm {
+		return 0, false
+	}
+	return rssi, true
+}
+
+// Scan measures every site in sites at rx and returns the audible
+// observations sorted by ID.
+func (m Model) Scan(w *world.World, sites []world.Site, rx geo.Point, dev Device, rnd *rand.Rand) Vector {
+	var out Vector
+	for _, s := range sites {
+		if rssi, ok := m.Measure(w, s, rx, dev, rnd); ok {
+			out = append(out, Obs{ID: s.ID, RSSI: rssi})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Distance computes the Euclidean RSSI distance between two scans over
+// the union of their transmitter sets, imputing missing transmitters at
+// the floor value. This is the RADAR matching metric.
+//
+// Both vectors are ID-sorted (Scan guarantees it), so a merge walk
+// computes the union deterministically — float summation order never
+// depends on map iteration, keeping whole-experiment results bitwise
+// reproducible across process runs.
+func Distance(a, b Vector, floor float64) float64 {
+	var sum float64
+	add := func(x, y float64) {
+		d := x - y
+		sum += d * d
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ID == b[j].ID:
+			add(a[i].RSSI, b[j].RSSI)
+			i++
+			j++
+		case a[i].ID < b[j].ID:
+			add(a[i].RSSI, floor)
+			i++
+		default:
+			add(floor, b[j].RSSI)
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		add(a[i].RSSI, floor)
+	}
+	for ; j < len(b); j++ {
+		add(floor, b[j].RSSI)
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,227 @@
+// Package scenario constructs the deterministic worlds the evaluation
+// runs in: the campus hosting the daily path and the eight paths of
+// §V-B, the shopping-mall basement floor and urban open space of §V-B3,
+// and the office/open-space training places of §III-B. It also bundles
+// the per-place runtime assets (fingerprint databases, GNSS receiver,
+// scheme instances).
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/world"
+)
+
+// Region property presets per kind.
+func regionDefaults(kind world.Kind) world.Region {
+	switch kind {
+	case world.KindOffice:
+		return world.Region{Kind: kind, CorridorWidth: 2.5, SkyOpenness: 0.03, LightLux: 320, MagNoise: 2.2, RSSINoise: 0}
+	case world.KindCorridor:
+		return world.Region{Kind: kind, CorridorWidth: 3, SkyOpenness: 0.22, LightLux: 1600, MagNoise: 1.9, RSSINoise: 0}
+	case world.KindBasement:
+		return world.Region{Kind: kind, CorridorWidth: 3, SkyOpenness: 0, LightLux: 140, MagNoise: 2.6, RSSINoise: 0}
+	case world.KindCarPark:
+		return world.Region{Kind: kind, CorridorWidth: 14, SkyOpenness: 0.15, LightLux: 420, MagNoise: 2.4, RSSINoise: 0}
+	case world.KindOpenSpace:
+		return world.Region{Kind: kind, CorridorWidth: 26, SkyOpenness: 1, LightLux: 11000, MagNoise: 0.5, RSSINoise: 0}
+	case world.KindMall:
+		return world.Region{Kind: kind, CorridorWidth: 4, SkyOpenness: 0, LightLux: 600, MagNoise: 3.1, RSSINoise: 2.0}
+	case world.KindWalkway:
+		return world.Region{Kind: kind, CorridorWidth: 5, SkyOpenness: 0.9, LightLux: 9000, MagNoise: 0.7, RSSINoise: 0}
+	default:
+		return world.Region{Kind: kind, CorridorWidth: 10, SkyOpenness: 0.5, LightLux: 1000, MagNoise: 1, RSSINoise: 0}
+	}
+}
+
+// room creates a rectangular region of the given kind with kind-default
+// properties.
+func room(name string, kind world.Kind, x0, y0, x1, y1 float64) world.Region {
+	r := regionDefaults(kind)
+	r.Name = name
+	r.Poly = geo.RectPoly(x0, y0, x1, y1)
+	return r
+}
+
+// shellWalls returns the four walls of a rectangle with door gaps cut
+// out. Each gap is specified by a perimeter side ("n","s","e","w"), a
+// coordinate along that side, and a width.
+type doorGap struct {
+	side  byte // 'n','s','e','w'
+	at    float64
+	width float64
+}
+
+func shellWalls(x0, y0, x1, y1, attDB float64, gaps ...doorGap) []world.Wall {
+	var walls []world.Wall
+	addRun := func(a, b geo.Point) {
+		if a.Dist(b) < 1e-9 {
+			return
+		}
+		walls = append(walls, world.Wall{Seg: geo.Seg(a, b), AttenuationDB: attDB})
+	}
+	// For each side, collect sorted gap intervals and emit the
+	// remaining runs.
+	side := func(fixed float64, lo, hi float64, vertical bool, sideID byte) {
+		type iv struct{ a, b float64 }
+		var ivs []iv
+		for _, g := range gaps {
+			if g.side != sideID {
+				continue
+			}
+			ivs = append(ivs, iv{g.at - g.width/2, g.at + g.width/2})
+		}
+		// Insertion-sort the few gaps.
+		for i := 1; i < len(ivs); i++ {
+			for j := i; j > 0 && ivs[j].a < ivs[j-1].a; j-- {
+				ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+			}
+		}
+		cur := lo
+		emit := func(a, b float64) {
+			a = math.Max(a, lo)
+			b = math.Min(b, hi)
+			if b <= a {
+				return
+			}
+			if vertical {
+				addRun(geo.Pt(fixed, a), geo.Pt(fixed, b))
+			} else {
+				addRun(geo.Pt(a, fixed), geo.Pt(b, fixed))
+			}
+		}
+		for _, g := range ivs {
+			emit(cur, g.a)
+			if g.b > cur {
+				cur = g.b
+			}
+		}
+		emit(cur, hi)
+	}
+	side(y0, x0, x1, false, 's')
+	side(y1, x0, x1, false, 'n')
+	side(x0, y0, y1, true, 'w')
+	side(x1, y0, y1, true, 'e')
+	return walls
+}
+
+// apGrid places access points on a grid inside a rectangle.
+func apGrid(prefix string, x0, y0, x1, y1, spacing, txDBm float64) []world.Site {
+	var sites []world.Site
+	i := 0
+	for y := y0 + spacing/2; y < y1; y += spacing {
+		for x := x0 + spacing/2; x < x1; x += spacing {
+			sites = append(sites, world.Site{
+				ID:         fmt.Sprintf("%s%02d", prefix, i),
+				Pos:        geo.Pt(x, y),
+				TxPowerDBm: txDBm,
+			})
+			i++
+		}
+	}
+	return sites
+}
+
+// Path is a named walking trajectory.
+type Path struct {
+	Name string
+	Line geo.Polyline
+}
+
+// Place is a complete experimental site: a world plus its walking
+// paths.
+type Place struct {
+	Name  string
+	World *world.World
+	Paths []Path
+}
+
+// PathByName returns the named path, or false.
+func (p *Place) PathByName(name string) (Path, bool) {
+	for _, pt := range p.Paths {
+		if pt.Name == name {
+			return pt, true
+		}
+	}
+	return Path{}, false
+}
+
+// autoLandmarks places calibration landmarks along a path the way the
+// paper's PDR finds them: a turn landmark at every roofed path vertex
+// with a significant heading change, and a door landmark wherever the
+// path crosses between roofed and open regions. Landmarks within
+// minSep of an existing one are skipped. Outdoor turns yield no
+// landmark — the paper observes it is hard to find sufficient
+// signatures outdoors.
+func autoLandmarks(w *world.World, line geo.Polyline, minSep float64) {
+	add := func(kind world.LandmarkKind, pos geo.Point) {
+		for _, lm := range w.Landmarks {
+			if lm.Pos.Dist(pos) < minSep {
+				return
+			}
+		}
+		w.Landmarks = append(w.Landmarks, world.Landmark{
+			ID:     fmt.Sprintf("lm%02d-%s", len(w.Landmarks), kind),
+			Kind:   kind,
+			Pos:    pos,
+			Radius: 2.0,
+		})
+	}
+	pts := line.Points
+	for i := 1; i < len(pts)-1; i++ {
+		h1 := pts[i].Sub(pts[i-1]).Heading()
+		h2 := pts[i+1].Sub(pts[i]).Heading()
+		if math.Abs(geo.AngleDiff(h2, h1)) > 30*math.Pi/180 && w.Indoor(pts[i]) {
+			add(world.LandmarkTurn, pts[i])
+		}
+	}
+	// Doors: scan along the path for roofed/unroofed transitions.
+	const ds = 0.5
+	total := line.Length()
+	prevIndoor := false
+	first := true
+	for d := 0.0; d <= total; d += ds {
+		p, _ := line.At(d)
+		in := w.Indoor(p)
+		if !first && in != prevIndoor {
+			add(world.LandmarkDoor, p)
+		}
+		prevIndoor = in
+		first = false
+	}
+}
+
+// addSignatures sprinkles WiFi/structure signature landmarks along the
+// indoor portion of a path every sigEvery meters (UnLoc [12]). The
+// allow predicate restricts where signatures exist — e.g. a featureless
+// basement passageway offers none, which is why PDR error accumulates
+// there (§II).
+func addSignatures(w *world.World, line geo.Polyline, sigEvery float64, allow func(geo.Point) bool) {
+	total := line.Length()
+	for d := sigEvery; d < total; d += sigEvery {
+		p, _ := line.At(d)
+		if !w.Indoor(p) {
+			continue
+		}
+		if allow != nil && !allow(p) {
+			continue
+		}
+		skip := false
+		for _, lm := range w.Landmarks {
+			if lm.Pos.Dist(p) < sigEvery/2 {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			w.Landmarks = append(w.Landmarks, world.Landmark{
+				ID:     fmt.Sprintf("lm%02d-signature", len(w.Landmarks)),
+				Kind:   world.LandmarkSignature,
+				Pos:    p,
+				Radius: 2.0,
+			})
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"repro/internal/geo"
+	"repro/internal/noise"
+	"repro/internal/world"
+)
+
+// Campus builds the campus place: four buildings (office A, library L,
+// auditorium D, restaurant R), a semi-open corridor, a basement
+// passageway, a covered car park, walkways, and a large open space.
+// The eight daily paths of §V-B run through it; Path 1 is the daily
+// path of §II (office → corridor → basement → car park → open space,
+// ~330 m).
+func Campus() *Place {
+	w := &world.World{
+		Name:  "campus",
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3483, Lon: 103.6831}},
+		Noise: noise.Field{Seed: 0xCA11B5},
+	}
+
+	// ---- Building A: the office (56×20 m² interior, three corridors).
+	addRegions(w,
+		room("A-C1", world.KindOffice, 2, 2, 58, 5),
+		room("A-C2", world.KindOffice, 2, 9, 58, 12),
+		room("A-C3", world.KindOffice, 2, 16, 58, 19),
+		room("A-V1", world.KindOffice, 2, 2, 5, 19),
+		room("A-V2", world.KindOffice, 55, 2, 58, 19),
+		room("A-Vm", world.KindOffice, 28, 2, 31, 24),
+	)
+	w.Walls = append(w.Walls, shellWalls(0, 0, 60, 24, 12,
+		doorGap{side: 'e', at: 10.5, width: 3},
+		doorGap{side: 'n', at: 29.5, width: 3},
+	)...)
+
+	// ---- Semi-open corridor along the building edge (roofed, one
+	// side open to the sky).
+	addRegions(w, room("corridor", world.KindCorridor, 58, 9, 120, 12))
+
+	// ---- Basement passageway: underground (heavy penetration loss
+	// kills WiFi and GPS, cellular survives weakly), magnetically
+	// noisy, wide and featureless (no landmarks) — PDR error
+	// accumulates here (§II).
+	bas := room("basement", world.KindBasement, 120, -2, 180, 17)
+	bas.CorridorWidth = 19
+	bas.MagNoise = 7
+	addRegions(w, bas)
+	w.Zones = append(w.Zones, world.PenetrationZone{
+		Name:   "basement-floor",
+		Poly:   geo.RectPoly(120, -2.5, 180, 17.5),
+		LossDB: 38,
+	})
+	w.Walls = append(w.Walls, shellWalls(120, -2.5, 180, 17.5, 20,
+		doorGap{side: 'w', at: 10.5, width: 3},
+		doorGap{side: 'e', at: 10.5, width: 3},
+	)...)
+
+	// ---- Covered car park.
+	addRegions(w, room("carpark", world.KindCarPark, 180, -8, 226, 26))
+	w.Walls = append(w.Walls, shellWalls(180, -8, 226, 26, 6,
+		doorGap{side: 'w', at: 10.5, width: 3},
+		doorGap{side: 'e', at: 0, width: 4},
+	)...)
+
+	// ---- Open space.
+	addRegions(w, room("openspace", world.KindOpenSpace, 226, -24, 340, 44))
+
+	// ---- Building L: the library.
+	addRegions(w,
+		room("L-C1", world.KindOffice, 72, 32, 128, 35),
+		room("L-C2", world.KindOffice, 72, 44, 128, 47),
+		room("L-C3", world.KindOffice, 72, 57, 128, 60),
+		room("L-V1", world.KindOffice, 72, 32, 75, 60),
+		room("L-V2", world.KindOffice, 125, 32, 128, 60),
+		room("L-Vm", world.KindOffice, 98.5, 30, 101.5, 47),
+		room("L-Vw", world.KindOffice, 70, 44.5, 72, 47.5), // west-door vestibule
+	)
+	w.Walls = append(w.Walls, shellWalls(70, 30, 130, 62, 12,
+		doorGap{side: 's', at: 100, width: 3},
+		doorGap{side: 'w', at: 46, width: 3},
+	)...)
+
+	// ---- Building D: the auditorium.
+	addRegions(w,
+		room("D-C1", world.KindOffice, 2, 42, 48, 45),
+		room("D-C2", world.KindOffice, 2, 54, 48, 57),
+		room("D-C3", world.KindOffice, 2, 67, 48, 70),
+		room("D-V1", world.KindOffice, 2, 42, 5, 70),
+		room("D-V2", world.KindOffice, 45, 42, 48, 70),
+	)
+	w.Walls = append(w.Walls, shellWalls(0, 40, 50, 72, 12,
+		doorGap{side: 'e', at: 56, width: 3},
+	)...)
+
+	// ---- Building R: the restaurant.
+	addRegions(w,
+		room("R-C1", world.KindOffice, 242, 62, 298, 65),
+		room("R-C2", world.KindOffice, 242, 72, 298, 75),
+		room("R-C3", world.KindOffice, 242, 83, 298, 86),
+		room("R-V1", world.KindOffice, 242, 62, 245, 86),
+		room("R-V2", world.KindOffice, 295, 62, 298, 86),
+		room("R-Vm", world.KindOffice, 268.5, 60, 271.5, 65),
+	)
+	w.Walls = append(w.Walls, shellWalls(240, 60, 300, 88, 12,
+		doorGap{side: 's', at: 270, width: 3},
+	)...)
+
+	// ---- Outdoor walkways connecting the buildings.
+	addRegions(w,
+		room("WK-north", world.KindWalkway, 24, 24, 104, 30), // A north door ↔ L south door
+		room("WK-west", world.KindWalkway, 60, 12, 66, 60),   // corridor ↔ D area
+		room("WK-D", world.KindWalkway, 48, 54, 66, 60),      // spur to D east door
+		room("WK-L", world.KindWalkway, 66, 44, 72, 48),      // spur to L west door
+		room("WK-R", world.KindWalkway, 266, 44, 274, 61),    // open space ↔ R south door
+	)
+
+	// ---- WiFi access points.
+	w.APs = append(w.APs, apGrid("A", 4, 2, 58, 22, 15, 16)...)
+	w.APs = append(w.APs, apGrid("L", 74, 32, 126, 60, 15, 16)...)
+	w.APs = append(w.APs, apGrid("D", 4, 42, 46, 70, 15, 16)...)
+	w.APs = append(w.APs, apGrid("R", 244, 62, 296, 86, 15, 16)...)
+	w.APs = append(w.APs,
+		world.Site{ID: "COR0", Pos: geo.Pt(75, 13.5), TxPowerDBm: 15},
+		world.Site{ID: "COR1", Pos: geo.Pt(105, 13.5), TxPowerDBm: 15},
+		world.Site{ID: "CP0", Pos: geo.Pt(184, 24), TxPowerDBm: 14},
+		world.Site{ID: "CP1", Pos: geo.Pt(222, -6), TxPowerDBm: 14},
+		world.Site{ID: "OS0", Pos: geo.Pt(232, 46), TxPowerDBm: 16},
+		world.Site{ID: "OS1", Pos: geo.Pt(300, 47), TxPowerDBm: 16},
+		world.Site{ID: "OS2", Pos: geo.Pt(338, -22), TxPowerDBm: 16},
+		world.Site{ID: "WK0", Pos: geo.Pt(63, 36), TxPowerDBm: 14},
+	)
+
+	// ---- Cellular towers.
+	w.Towers = []world.Site{
+		{ID: "T1", Pos: geo.Pt(-220, 260), TxPowerDBm: 43},
+		{ID: "T2", Pos: geo.Pt(520, 380), TxPowerDBm: 43},
+		{ID: "T3", Pos: geo.Pt(300, -340), TxPowerDBm: 43},
+		{ID: "T4", Pos: geo.Pt(-180, -260), TxPowerDBm: 43},
+		{ID: "T5", Pos: geo.Pt(160, 640), TxPowerDBm: 43},
+		{ID: "T6", Pos: geo.Pt(650, 40), TxPowerDBm: 43},
+	}
+
+	p := &Place{Name: "campus", World: w}
+	p.Paths = campusPaths()
+
+	// Landmarks: turns and doors along every path, plus signatures
+	// inside the office buildings only (the semi-open corridor and the
+	// basement passageway are featureless, and outdoors signatures are
+	// hard to find — §V-B2), so PDR error accumulates along the
+	// corridor–basement stretch as in the paper's Figure 2.
+	inBuilding := func(pt geo.Point) bool {
+		r := w.RegionAt(pt)
+		return r != nil && r.Kind == world.KindOffice
+	}
+	for _, path := range p.Paths {
+		autoLandmarks(w, path.Line, 4)
+		addSignatures(w, path.Line, 35, inBuilding)
+	}
+	return p
+}
+
+// addRegions appends regions to a world.
+func addRegions(w *world.World, rs ...world.Region) {
+	w.Regions = append(w.Regions, rs...)
+}
+
+// campusPaths defines the eight daily paths (Figure 4). Lengths are
+// campus-scale approximations of the paper's 290–415 m paths totalling
+// ~2.8 km.
+func campusPaths() []Path {
+	pt := geo.Pt
+	return []Path{
+		// Path 1 — the daily path of §II: office, semi-open corridor,
+		// basement, car park, open space (~333 m).
+		{Name: "path1", Line: geo.Line(
+			pt(4, 3.5), pt(56.5, 3.5), pt(56.5, 10.5), pt(180, 10.5),
+			pt(200, 10.5), pt(200, 0), pt(226, 0), pt(290, 0), pt(290, 30),
+		)},
+		// Path 2 — office A to the library reading rooms (~290 m).
+		{Name: "path2", Line: geo.Line(
+			pt(4, 17.5), pt(27, 17.5), pt(29.5, 17.5), pt(29.5, 27),
+			pt(100, 27), pt(100, 45.5), pt(74, 45.5), pt(74, 33.5),
+			pt(126.5, 33.5), pt(126.5, 58.5), pt(74, 58.5),
+		)},
+		// Path 3 — office A through the corridor, north walkway, into
+		// the auditorium and a loop of its corridors (~390 m).
+		{Name: "path3", Line: geo.Line(
+			pt(4, 3.5), pt(56.5, 3.5), pt(56.5, 10.5), pt(63, 10.5),
+			pt(63, 56), pt(46.5, 56), pt(46.5, 43.5), pt(4, 43.5),
+			pt(3.5, 55.5), pt(46.5, 55.5), pt(46.5, 68.5), pt(4, 68.5),
+			pt(3.5, 43.5), pt(30, 43.5),
+		)},
+		// Path 4 — the full daily route extended to the restaurant
+		// (~415 m): office → corridor → basement → car park → open
+		// space → restaurant.
+		{Name: "path4", Line: geo.Line(
+			pt(4, 3.5), pt(56.5, 3.5), pt(56.5, 10.5), pt(180, 10.5),
+			pt(200, 10.5), pt(200, 0), pt(226, 0), pt(270, 0),
+			pt(270, 63.5), pt(244, 63.5), pt(244, 73.5), pt(296, 73.5),
+		)},
+		// Path 5 — library loop plus walkways to the auditorium
+		// (~376 m).
+		{Name: "path5", Line: geo.Line(
+			pt(126.5, 33.5), pt(74, 33.5), pt(74, 45.5), pt(126.5, 45.5),
+			pt(126.5, 58.5), pt(74, 58.5), pt(73.5, 46), pt(69, 46),
+			pt(63, 46), pt(63, 56), pt(46.5, 56), pt(46.5, 43.5),
+			pt(4, 43.5), pt(3.5, 68.5), pt(46.5, 68.5),
+		)},
+		// Path 6 — office A, corridor, basement, and a car-park loop
+		// (~343 m).
+		{Name: "path6", Line: geo.Line(
+			pt(4, 10.5), pt(56.5, 10.5), pt(180, 10.5), pt(200, 10.5),
+			pt(200, 22), pt(220, 22), pt(220, -4), pt(190, -4),
+			pt(190, 10.5), pt(123, 10.5),
+		)},
+		// Path 7 — open-space wander ending in the restaurant (~372 m).
+		{Name: "path7", Line: geo.Line(
+			pt(230, 0), pt(330, 0), pt(330, 35), pt(270, 35), pt(270, 63.5),
+			pt(296, 63.5), pt(296, 73.5),
+		)},
+		// Path 8 — a long interior snake of office A, exiting north to
+		// the walkway and back (~290 m).
+		{Name: "path8", Line: geo.Line(
+			pt(4, 3.5), pt(56.5, 3.5), pt(56.5, 10.5), pt(4, 10.5),
+			pt(3.5, 17.5), pt(56.5, 17.5), pt(56.5, 10.8), pt(29.5, 10.8),
+			pt(29.5, 27), pt(100, 27), pt(40, 27),
+		)},
+	}
+}

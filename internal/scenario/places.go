@@ -1,0 +1,250 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/noise"
+	"repro/internal/world"
+)
+
+// Mall builds the shopping-mall place: one basement floor (95×27 m²,
+// §V) with two main aisles and three cross aisles, crowded (extra
+// temporal RSSI noise), magnetically noisy, no sky, and only two
+// cellular towers effectively audible through the heavy structure —
+// matching the paper's observation that cellular accuracy is low there.
+func Mall() *Place {
+	w := &world.World{
+		Name:  "mall",
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3521, Lon: 103.8198}},
+		Noise: noise.Field{Seed: 0x3A11},
+	}
+	addRegions(w,
+		room("M-A1", world.KindMall, 2, 4, 93, 8),
+		room("M-A2", world.KindMall, 2, 19, 93, 23),
+		room("M-V1", world.KindMall, 2, 4, 6, 23),
+		room("M-V2", world.KindMall, 44, 4, 48, 23),
+		room("M-V3", world.KindMall, 89, 4, 93, 23),
+	)
+	// The whole floor is underground: every shop AP shares the zone,
+	// but outside towers pay the penetration loss.
+	w.Zones = append(w.Zones, world.PenetrationZone{
+		Name:   "mall-basement",
+		Poly:   geo.RectPoly(0, 0, 95, 27),
+		LossDB: 34,
+	})
+	w.Walls = append(w.Walls, shellWalls(0, 0, 95, 27, 15,
+		doorGap{side: 'w', at: 6, width: 3},
+	)...)
+	w.APs = apGrid("M", 3, 3, 93, 25, 15, 14)
+	w.Towers = []world.Site{
+		{ID: "MT1", Pos: geo.Pt(260, 310), TxPowerDBm: 43},
+		{ID: "MT2", Pos: geo.Pt(-210, -260), TxPowerDBm: 43},
+		{ID: "MT3", Pos: geo.Pt(1400, -200), TxPowerDBm: 43}, // too far through walls
+		{ID: "MT4", Pos: geo.Pt(-1200, 900), TxPowerDBm: 43},
+	}
+
+	p := &Place{Name: "mall", World: w}
+	// Ten ~300 m trajectories: offsets around the main loop.
+	loop := geo.Line(
+		geo.Pt(4, 6), geo.Pt(91, 6), geo.Pt(91, 21), geo.Pt(46, 21),
+		geo.Pt(46, 6.5), geo.Pt(45, 6.5), geo.Pt(45, 21), geo.Pt(4, 21),
+		geo.Pt(4, 6),
+	)
+	p.Paths = loopPaths("mall", loop, 10, 300)
+	for _, path := range p.Paths {
+		autoLandmarks(w, path.Line, 4)
+		addSignatures(w, path.Line, 24, nil)
+	}
+	return p
+}
+
+// UrbanOpenSpace builds the urban open-space place: a flat plaza with
+// facade-mounted APs around it, full sky view, and sparse outdoor
+// fingerprints.
+func UrbanOpenSpace() *Place {
+	w := &world.World{
+		Name:  "urban-open",
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3000, Lon: 103.8500}},
+		Noise: noise.Field{Seed: 0x0BE2},
+	}
+	addRegions(w, room("plaza", world.KindOpenSpace, 0, 0, 80, 72))
+	w.APs = []world.Site{
+		{ID: "U0", Pos: geo.Pt(2, 2), TxPowerDBm: 16},
+		{ID: "U1", Pos: geo.Pt(78, 2), TxPowerDBm: 16},
+		{ID: "U2", Pos: geo.Pt(2, 70), TxPowerDBm: 16},
+		{ID: "U3", Pos: geo.Pt(78, 70), TxPowerDBm: 16},
+		{ID: "U4", Pos: geo.Pt(40, 71), TxPowerDBm: 16},
+	}
+	w.Towers = []world.Site{
+		{ID: "UT1", Pos: geo.Pt(-260, 180), TxPowerDBm: 43},
+		{ID: "UT2", Pos: geo.Pt(340, 300), TxPowerDBm: 43},
+		{ID: "UT3", Pos: geo.Pt(200, -280), TxPowerDBm: 43},
+		{ID: "UT4", Pos: geo.Pt(-180, -240), TxPowerDBm: 43},
+	}
+
+	p := &Place{Name: "urban-open", World: w}
+	loop := geo.Line(
+		geo.Pt(5, 5), geo.Pt(75, 5), geo.Pt(75, 23), geo.Pt(5, 23),
+		geo.Pt(5, 41), geo.Pt(75, 41), geo.Pt(75, 59), geo.Pt(5, 59),
+		geo.Pt(5, 5),
+	)
+	p.Paths = loopPaths("open", loop, 10, 300)
+	// Outdoors there are no calibration landmarks; PDR must survive on
+	// its own (as the paper observes).
+	return p
+}
+
+// TrainingOffice builds the error-model training office (§III-B: an
+// indoor office of 56×20 m²). It reuses building A's layout standalone.
+func TrainingOffice() *Place {
+	w := &world.World{
+		Name:  "training-office",
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3400, Lon: 103.6800}},
+		Noise: noise.Field{Seed: 0x0FF1CE},
+	}
+	addRegions(w,
+		room("T-C1", world.KindOffice, 2, 2, 58, 5),
+		room("T-C2", world.KindOffice, 2, 9, 58, 12),
+		room("T-C3", world.KindOffice, 2, 16, 58, 19),
+		room("T-V1", world.KindOffice, 2, 2, 5, 19),
+		room("T-V2", world.KindOffice, 55, 2, 58, 19),
+		room("T-Vm", world.KindOffice, 28, 2, 31, 19),
+	)
+	w.Walls = shellWalls(0, 0, 60, 21, 12)
+	// The west wing is a signal-dead zone (server rooms, thick
+	// shielding): WiFi is unusable and only a subset of towers remain
+	// audible. Without such variety in the training place the error
+	// models could not learn how scheme accuracy degrades when signals
+	// weaken — the condition they must recognize in basements later.
+	w.Zones = append(w.Zones, world.PenetrationZone{
+		Name:   "dead-wing",
+		Poly:   geo.RectPoly(0, 0, 20, 21),
+		LossDB: 45,
+	})
+	w.APs = apGrid("T", 22, 2, 58, 20, 15, 16)
+	w.Towers = []world.Site{
+		{ID: "TT1", Pos: geo.Pt(-240, 210), TxPowerDBm: 43},
+		{ID: "TT2", Pos: geo.Pt(420, 330), TxPowerDBm: 43},
+		{ID: "TT3", Pos: geo.Pt(260, -300), TxPowerDBm: 43},
+		{ID: "TT4", Pos: geo.Pt(-200, -230), TxPowerDBm: 43},
+		{ID: "TT5", Pos: geo.Pt(130, 560), TxPowerDBm: 43},
+	}
+
+	p := &Place{Name: "training-office", World: w}
+	pt := geo.Pt
+	p.Paths = []Path{
+		{Name: "train-a", Line: geo.Line(
+			pt(4, 3.5), pt(56.5, 3.5), pt(56.5, 10.5), pt(4, 10.5),
+			pt(3.5, 17.5), pt(56.5, 17.5), pt(56.5, 10.8), pt(29.5, 10.8),
+			pt(29.5, 3.8), pt(54, 3.8),
+		)},
+		{Name: "train-b", Line: geo.Line(
+			pt(56.5, 17.5), pt(4, 17.5), pt(3.5, 3.5), pt(29.5, 3.5),
+			pt(29.5, 17.2), pt(56.5, 17.2), pt(56.5, 3.5), pt(31, 3.5),
+		)},
+	}
+	for _, path := range p.Paths {
+		autoLandmarks(w, path.Line, 4)
+		addSignatures(w, path.Line, 22, nil)
+	}
+	return p
+}
+
+// TrainingOpenSpace builds the outdoor training place (§III-B: an open
+// space of ~100×100 m² on campus, plus the GPS characterization of two
+// urban open spaces).
+func TrainingOpenSpace() *Place {
+	w := &world.World{
+		Name:  "training-open",
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3450, Lon: 103.6900}},
+		Noise: noise.Field{Seed: 0x09E2},
+	}
+	addRegions(w, room("field", world.KindOpenSpace, 0, 0, 100, 100))
+	w.APs = []world.Site{
+		{ID: "F0", Pos: geo.Pt(2, 2), TxPowerDBm: 16},
+		{ID: "F1", Pos: geo.Pt(98, 2), TxPowerDBm: 16},
+		{ID: "F2", Pos: geo.Pt(2, 98), TxPowerDBm: 16},
+		{ID: "F3", Pos: geo.Pt(98, 98), TxPowerDBm: 16},
+		{ID: "F4", Pos: geo.Pt(50, 99), TxPowerDBm: 16},
+	}
+	w.Towers = []world.Site{
+		{ID: "FT1", Pos: geo.Pt(-230, 240), TxPowerDBm: 43},
+		{ID: "FT2", Pos: geo.Pt(430, 310), TxPowerDBm: 43},
+		{ID: "FT3", Pos: geo.Pt(280, -290), TxPowerDBm: 43},
+		{ID: "FT4", Pos: geo.Pt(-190, -250), TxPowerDBm: 43},
+	}
+
+	p := &Place{Name: "training-open", World: w}
+	pt := geo.Pt
+	p.Paths = []Path{
+		{Name: "train-out-a", Line: geo.Line(
+			pt(5, 5), pt(95, 5), pt(95, 30), pt(5, 30), pt(5, 55),
+			pt(95, 55), pt(95, 80), pt(5, 80),
+		)},
+		{Name: "train-out-b", Line: geo.Line(
+			pt(95, 90), pt(10, 90), pt(10, 65), pt(90, 65), pt(90, 40),
+			pt(10, 40), pt(10, 15), pt(90, 15),
+		)},
+	}
+	// Surveyor calibration checkpoints at alternating path corners:
+	// during training the surveyor knows the truth and re-anchors PDR
+	// periodically, so the motion model sees the same 0–100 m
+	// distance-from-landmark range it will see between landmarks in
+	// evaluation places.
+	for _, path := range p.Paths {
+		for i := 1; i < len(path.Line.Points)-1; i += 2 {
+			v := path.Line.Points[i]
+			w.Landmarks = append(w.Landmarks, world.Landmark{
+				ID:     fmt.Sprintf("cal%02d", len(w.Landmarks)),
+				Kind:   world.LandmarkSignature,
+				Pos:    v,
+				Radius: 2.0,
+			})
+		}
+	}
+	return p
+}
+
+// loopPaths cuts n paths of the given length from a closed loop,
+// starting at evenly spaced offsets and alternating direction.
+func loopPaths(prefix string, loop geo.Polyline, n int, lengthM float64) []Path {
+	total := loop.Length()
+	paths := make([]Path, 0, n)
+	for i := 0; i < n; i++ {
+		offset := total * float64(i) / float64(n)
+		reverse := i%2 == 1
+		line := cutLoop(loop, offset, lengthM, reverse)
+		paths = append(paths, Path{Name: fmt.Sprintf("%s-%02d", prefix, i), Line: line})
+	}
+	return paths
+}
+
+// cutLoop walks the closed loop starting at arc-length offset for
+// lengthM meters (wrapping), optionally in reverse, sampling a
+// polyline every 2 m to keep turn structure.
+func cutLoop(loop geo.Polyline, offset, lengthM float64, reverse bool) geo.Polyline {
+	total := loop.Length()
+	const ds = 2.0
+	var pts []geo.Point
+	for d := 0.0; d <= lengthM; d += ds {
+		pos := offset + d
+		if reverse {
+			pos = offset - d
+		}
+		pos = wrap(pos, total)
+		p, _ := loop.At(pos)
+		pts = append(pts, p)
+	}
+	return geo.Polyline{Points: pts}
+}
+
+func wrap(v, mod float64) float64 {
+	for v < 0 {
+		v += mod
+	}
+	for v >= mod {
+		v -= mod
+	}
+	return v
+}

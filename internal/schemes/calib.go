@@ -1,0 +1,96 @@
+package schemes
+
+import "repro/internal/rf"
+
+// Calibrator performs the online RSSI offset calibration for device
+// heterogeneity described in §III-B and evaluated in Figure 8d: two
+// devices observe RSSI_A ≈ α·RSSI_B + δ with α close to 1, and the
+// mapping is learned online by pairing the current device's
+// measurements with the matched fingerprint's reference-device values.
+//
+// The estimator is a streaming simple linear regression of reference
+// RSSI on measured RSSI with exponential forgetting, so it adapts if
+// the offset drifts and costs O(1) per observation.
+type Calibrator struct {
+	// Forget is the exponential forgetting factor per pair in (0, 1];
+	// 1 means never forget.
+	Forget float64
+	// MinPairs is the number of pairs required before Transform starts
+	// applying the learned mapping.
+	MinPairs int
+
+	n, sx, sy, sxx, sxy float64
+	pairs               int
+	alpha, delta        float64
+	ready               bool
+}
+
+// NewCalibrator returns a calibrator with standard parameters.
+func NewCalibrator() *Calibrator {
+	return &Calibrator{Forget: 0.995, MinPairs: 30}
+}
+
+// Pairs returns how many (measured, reference) pairs have been folded
+// in.
+func (c *Calibrator) Pairs() int { return c.pairs }
+
+// Params returns the current learned mapping reference = α·measured + δ
+// and whether enough data has accumulated to apply it.
+func (c *Calibrator) Params() (alpha, delta float64, ok bool) {
+	return c.alpha, c.delta, c.ready
+}
+
+// Observe folds in one matching: the device's raw scan and the matched
+// offline fingerprint vector (reference device). Transmitters present
+// in both contribute a calibration pair.
+func (c *Calibrator) Observe(measured, reference rf.Vector) {
+	refMap := reference.Map()
+	for _, o := range measured {
+		ref, ok := refMap[o.ID]
+		if !ok {
+			continue
+		}
+		c.n = c.n*c.Forget + 1
+		c.sx = c.sx*c.Forget + o.RSSI
+		c.sy = c.sy*c.Forget + ref
+		c.sxx = c.sxx*c.Forget + o.RSSI*o.RSSI
+		c.sxy = c.sxy*c.Forget + o.RSSI*ref
+		c.pairs++
+	}
+	if c.pairs < c.MinPairs || c.n < 2 {
+		return
+	}
+	den := c.n*c.sxx - c.sx*c.sx
+	if den <= 1e-6 {
+		// Degenerate spread: fall back to a pure offset (α=1).
+		c.alpha = 1
+		c.delta = (c.sy - c.sx) / c.n
+		c.ready = true
+		return
+	}
+	alpha := (c.n*c.sxy - c.sx*c.sy) / den
+	// Physical α is close to 1 ([38]); clamp to reject wild transients.
+	if alpha < 0.7 {
+		alpha = 0.7
+	}
+	if alpha > 1.4 {
+		alpha = 1.4
+	}
+	c.alpha = alpha
+	c.delta = (c.sy - alpha*c.sx) / c.n
+	c.ready = true
+}
+
+// Transform maps a raw scan from the current device into the reference
+// device's RSSI scale. Before enough pairs accumulate it returns the
+// scan unchanged.
+func (c *Calibrator) Transform(obs rf.Vector) rf.Vector {
+	if !c.ready {
+		return obs
+	}
+	out := make(rf.Vector, len(obs))
+	for i, o := range obs {
+		out[i] = rf.Obs{ID: o.ID, RSSI: c.alpha*o.RSSI + c.delta}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package schemes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rf"
+)
+
+func TestCalibratorLearnsLinearOffset(t *testing.T) {
+	c := NewCalibrator()
+	dev := rf.Heterogeneous() // measured = 1.06·true − 4.5
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		truth := -40 - rnd.Float64()*45
+		measured := rf.Vector{{ID: "a", RSSI: dev.Apply(truth)}}
+		reference := rf.Vector{{ID: "a", RSSI: truth}}
+		c.Observe(measured, reference)
+	}
+	alpha, delta, ok := c.Params()
+	if !ok {
+		t.Fatal("calibrator should be ready after 40 pairs")
+	}
+	// reference = α·measured + δ with α = 1/1.06, δ = 4.5/1.06.
+	wantAlpha := 1 / 1.06
+	wantDelta := 4.5 / 1.06
+	if math.Abs(alpha-wantAlpha) > 0.03 {
+		t.Errorf("alpha = %v want %v", alpha, wantAlpha)
+	}
+	if math.Abs(delta-wantDelta) > 2 {
+		t.Errorf("delta = %v want %v", delta, wantDelta)
+	}
+}
+
+func TestCalibratorTransformUndoesOffset(t *testing.T) {
+	c := NewCalibrator()
+	dev := rf.Heterogeneous()
+	rnd := rand.New(rand.NewSource(2))
+	for i := 0; i < 60; i++ {
+		truth := -35 - rnd.Float64()*50
+		c.Observe(rf.Vector{{ID: "x", RSSI: dev.Apply(truth)}}, rf.Vector{{ID: "x", RSSI: truth}})
+	}
+	truth := -62.0
+	out := c.Transform(rf.Vector{{ID: "x", RSSI: dev.Apply(truth)}})
+	if math.Abs(out[0].RSSI-truth) > 1.5 {
+		t.Errorf("transformed %v want %v", out[0].RSSI, truth)
+	}
+}
+
+func TestCalibratorIdentityBeforeReady(t *testing.T) {
+	c := NewCalibrator()
+	in := rf.Vector{{ID: "a", RSSI: -50}}
+	out := c.Transform(in)
+	if out[0].RSSI != -50 {
+		t.Error("not ready → identity")
+	}
+	if _, _, ok := c.Params(); ok {
+		t.Error("fresh calibrator must not be ready")
+	}
+}
+
+func TestCalibratorIgnoresUnmatchedTransmitters(t *testing.T) {
+	c := NewCalibrator()
+	c.Observe(rf.Vector{{ID: "a", RSSI: -50}}, rf.Vector{{ID: "b", RSSI: -60}})
+	if c.Pairs() != 0 {
+		t.Errorf("pairs = %d, want 0", c.Pairs())
+	}
+}
+
+func TestCalibratorClampsWildAlpha(t *testing.T) {
+	c := NewCalibrator()
+	rnd := rand.New(rand.NewSource(3))
+	// Garbage pairs with inverted slope.
+	for i := 0; i < 60; i++ {
+		x := -40 - rnd.Float64()*40
+		c.Observe(rf.Vector{{ID: "a", RSSI: x}}, rf.Vector{{ID: "a", RSSI: -120 - x}})
+	}
+	alpha, _, ok := c.Params()
+	if !ok {
+		t.Fatal("should be ready")
+	}
+	if alpha < 0.7 || alpha > 1.4 {
+		t.Errorf("alpha %v outside physical clamp", alpha)
+	}
+}
+
+func TestCalibratorDegenerateSpread(t *testing.T) {
+	c := NewCalibrator()
+	// All pairs at the same RSSI: slope unidentifiable → offset-only.
+	for i := 0; i < 60; i++ {
+		c.Observe(rf.Vector{{ID: "a", RSSI: -60}}, rf.Vector{{ID: "a", RSSI: -55}})
+	}
+	alpha, delta, ok := c.Params()
+	if !ok {
+		t.Fatal("should be ready")
+	}
+	if alpha != 1 || math.Abs(delta-5) > 0.5 {
+		t.Errorf("degenerate fit: alpha=%v delta=%v", alpha, delta)
+	}
+}

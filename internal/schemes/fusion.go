@@ -1,0 +1,190 @@
+package schemes
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/particle"
+	"repro/internal/rf"
+	"repro/internal/sensing"
+	"repro/internal/world"
+)
+
+// FusionConfig holds the fusion scheme's parameters on top of the PDR
+// filter parameters.
+type FusionConfig struct {
+	PDR PDRConfig
+	// RSSIScaleDB converts the RSSI distance between the online scan
+	// and a particle's nearest fingerprint into a likelihood:
+	// exp(-(d/scale)²/2). Larger is flatter.
+	RSSIScaleDB float64
+	// MaxUsefulFPDistM gates the RSSI weighting on local fingerprint
+	// density: when the average distance to the nearest fingerprints
+	// around the current estimate exceeds this, the grid is too coarse
+	// to discriminate between particles and the weighting is skipped
+	// (the fusion scheme degenerates to pure PDR, as the paper observes
+	// outdoors).
+	MaxUsefulFPDistM float64
+}
+
+// DefaultFusionConfig returns the parameters used across the
+// evaluation.
+func DefaultFusionConfig() FusionConfig {
+	return FusionConfig{
+		PDR:              DefaultPDRConfig(),
+		RSSIScaleDB:      15,
+		MaxUsefulFPDistM: 5,
+	}
+}
+
+// Fusion is the sensor-data-fusion scheme (Travi-Navi [11] style): the
+// motion-based PDR particle filter whose particles are additionally
+// weighted by the RSSI distance between the online WiFi vector and the
+// offline fingerprint nearest each particle (§II).
+//
+// Like the paper's implementation it processes RSSI identically at
+// every location — it has no notion of RSSI quality — which is exactly
+// the blind spot UniLoc's error models compensate for.
+type Fusion struct {
+	cfg FusionConfig
+	w   *world.World
+	db  *fingerprint.DB
+	rnd *rand.Rand
+
+	filter       *particle.Filter
+	lastEst      geo.Point
+	distLandmark float64
+	headings     []float64
+}
+
+// NewFusion creates the fusion scheme over world w and the WiFi
+// fingerprint database db.
+func NewFusion(w *world.World, db *fingerprint.DB, cfg FusionConfig, rnd *rand.Rand) *Fusion {
+	return &Fusion{cfg: cfg, w: w, db: db, rnd: rnd}
+}
+
+// Name implements Scheme.
+func (f *Fusion) Name() string { return NameFusion }
+
+// Reset implements Scheme.
+func (f *Fusion) Reset(start geo.Point) {
+	f.filter = particle.New(f.cfg.PDR.Particles, start, f.cfg.PDR.InitSigma, f.rnd)
+	f.lastEst = start
+	f.distLandmark = 0
+	f.headings = f.headings[:0]
+}
+
+// RegressionFeatures implements Scheme (Table I: the motion factors
+// plus the spatial density of RSSI fingerprints β₃; the RSSI distance
+// deviation becomes insignificant, which the fitted p-value shows).
+func (f *Fusion) RegressionFeatures() []string {
+	return []string{FeatDistLandmark, FeatCorridorWidth, FeatFPDensity, FeatRSSIDev}
+}
+
+// Sensors implements Scheme.
+func (f *Fusion) Sensors() []string { return []string{SensorIMU, SensorWiFi} }
+
+// Estimate implements Scheme.
+func (f *Fusion) Estimate(snap *sensing.Snapshot) Estimate {
+	if f.filter == nil {
+		return Estimate{OK: false}
+	}
+	if snap.Step != nil {
+		f.propagate(snap)
+	}
+	if snap.Landmark != nil {
+		lm := geo.Pt(snap.Landmark.Pos.X, snap.Landmark.Pos.Y)
+		f.filter.Reset(lm, f.cfg.PDR.LandmarkSigma)
+		f.distLandmark = 0
+	}
+
+	// RSSI weighting of particles — applied uniformly, good data or
+	// bad, as in Travi-Navi, but only where the fingerprint grid is
+	// fine enough to discriminate between particles. Where fingerprints
+	// are coarse (outdoor 12 m grids), RSSI cannot refine the cloud and
+	// the fusion scheme degenerates to the motion scheme, exactly as
+	// the paper observes ("the fusion-based scheme has the same error
+	// model with the motion-based scheme in the outdoor environments").
+	if len(snap.WiFi) >= MinAPsForFix && len(f.db.Points) > 0 &&
+		f.db.DensityAround(f.lastEst, 3) <= f.cfg.MaxUsefulFPDistM {
+		f.weightByRSSI(snap.WiFi)
+		// Fine-grained RSSI weighting continuously re-calibrates the
+		// cloud, so the "distance since calibration" feature decays
+		// while it is active and starts growing where WiFi is lost —
+		// which is when fusion error actually accumulates.
+		f.distLandmark *= 0.8
+	}
+
+	if !f.filter.Normalize() {
+		f.filter.Reset(f.lastEst, f.cfg.PDR.LandmarkSigma)
+		f.filter.Normalize()
+	}
+	if f.filter.EffectiveN() < float64(f.cfg.PDR.Particles)*f.cfg.PDR.ResampleFrac {
+		f.filter.Resample()
+	}
+	est := f.filter.Estimate()
+	f.lastEst = est
+
+	feats := map[string]float64{
+		FeatDistLandmark:  f.distLandmark,
+		FeatCorridorWidth: f.w.CorridorWidthAt(est),
+		FeatFPDensity:     f.db.DensityAround(est, 3),
+		FeatRSSIDev:       f.rssiDev(snap.WiFi),
+	}
+	return Estimate{Pos: est, OK: true, Features: feats}
+}
+
+func (f *Fusion) propagate(snap *sensing.Snapshot) {
+	step := snap.Step
+	f.distLandmark += step.LengthM
+	f.headings = append(f.headings, step.HeadingR)
+	if len(f.headings) > headingWindow {
+		f.headings = f.headings[1:]
+	}
+	f.filter.PropagateWeighted(func(pos geo.Point) (geo.Point, float64) {
+		h := step.HeadingR + f.rnd.NormFloat64()*f.cfg.PDR.HeadingSigma
+		l := step.LengthM * (1 + f.rnd.NormFloat64()*f.cfg.PDR.StepLenSigma)
+		if l < 0 {
+			l = 0
+		}
+		next := pos.Add(geo.FromHeading(h).Scale(l))
+		if f.w.BlocksMotion(pos, next) {
+			return pos, 0
+		}
+		return next, 1
+	})
+}
+
+// weightByRSSI multiplies each particle's weight by the likelihood of
+// the online scan given the fingerprint nearest the particle.
+func (f *Fusion) weightByRSSI(obs rf.Vector) {
+	scale := f.cfg.RSSIScaleDB
+	f.filter.Weight(func(pos geo.Point) float64 {
+		vec, _, ok := f.db.VectorAt(pos)
+		if !ok {
+			return 1
+		}
+		d := rf.Distance(obs, vec, f.db.Floor)
+		l := math.Exp(-d * d / (2 * scale * scale))
+		// Keep a small floor so one bad scan cannot annihilate the
+		// cloud outright; the filter still shifts mass strongly.
+		return math.Max(l, 1e-3)
+	})
+}
+
+// rssiDev computes the top-k RSSI distance deviation against the
+// database for the (insignificant, per the paper) β feature.
+func (f *Fusion) rssiDev(obs rf.Vector) float64 {
+	if len(obs) < MinAPsForFix || len(f.db.Points) == 0 {
+		return 0
+	}
+	dists := f.db.Distances(obs)
+	idx := topKIdx(dists, TopK)
+	matches := make([]fingerprint.Match, len(idx))
+	for i, j := range idx {
+		matches[i] = fingerprint.Match{Pos: f.db.Points[j].Pos, Dist: dists[j]}
+	}
+	return fingerprint.TopKDeviation(matches)
+}

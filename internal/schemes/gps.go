@@ -1,0 +1,59 @@
+package schemes
+
+import (
+	"repro/internal/geo"
+	"repro/internal/gnss"
+	"repro/internal/sensing"
+)
+
+// GPS wraps the smartphone GPS module as a localization scheme. It
+// converts geographic fixes into the local map frame via the public
+// digital map projection (§IV-B) and reports a usable estimate only
+// when the fix meets the paper's reliability criterion (more than 4
+// satellites, HDOP below 6).
+//
+// Its error model is intercept-only: outdoors the GPS error is
+// predicted as a constant (β₀ ≈ 13.5 m in the paper) with no input
+// from the GPS sensor itself, which is what allows UniLoc to predict
+// GPS error with the radio off (§IV-C).
+type GPS struct {
+	Proj geo.Projection
+}
+
+// NewGPS creates the GPS scheme for a world using the given map
+// projection.
+func NewGPS(proj geo.Projection) *GPS { return &GPS{Proj: proj} }
+
+// Name implements Scheme.
+func (g *GPS) Name() string { return NameGPS }
+
+// Reset implements Scheme. GPS is stateless.
+func (g *GPS) Reset(geo.Point) {}
+
+// RegressionFeatures implements Scheme: the outdoor GPS error model is
+// intercept-only.
+func (g *GPS) RegressionFeatures() []string { return nil }
+
+// Sensors implements Scheme.
+func (g *GPS) Sensors() []string { return []string{SensorGPS} }
+
+// Estimate implements Scheme.
+func (g *GPS) Estimate(snap *sensing.Snapshot) Estimate {
+	fix := snap.GNSS
+	if !fix.Reliable() {
+		return Estimate{OK: false}
+	}
+	feats := map[string]float64{
+		FeatHDOP:    fix.HDOP,
+		FeatNumSats: float64(fix.NumSats),
+	}
+	return Estimate{
+		Pos:      g.Proj.ToLocal(fix.Pos),
+		OK:       true,
+		Features: feats,
+	}
+}
+
+// Reliable re-exports the GNSS reliability thresholds for callers that
+// gate on raw fixes.
+func Reliable(f *gnss.Fix) bool { return f.Reliable() }

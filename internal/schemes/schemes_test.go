@@ -1,0 +1,317 @@
+package schemes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/gnss"
+	"repro/internal/imu"
+	"repro/internal/noise"
+	"repro/internal/rf"
+	"repro/internal/sensing"
+	"repro/internal/world"
+)
+
+// corridorWorld is a 60 m straight indoor corridor with APs and
+// distant towers.
+func corridorWorld() *world.World {
+	return &world.World{
+		Name:  "corridor",
+		Noise: noise.Field{Seed: 6},
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3, Lon: 103.7}},
+		Regions: []world.Region{
+			{Name: "hall", Kind: world.KindOffice, Poly: geo.RectPoly(0, 0, 60, 4), SkyOpenness: 0.03, LightLux: 300, MagNoise: 2, CorridorWidth: 2.5},
+		},
+		APs: []world.Site{
+			{ID: "a0", Pos: geo.Pt(5, 3.5), TxPowerDBm: 16},
+			{ID: "a1", Pos: geo.Pt(25, 0.5), TxPowerDBm: 16},
+			{ID: "a2", Pos: geo.Pt(45, 3.5), TxPowerDBm: 16},
+		},
+		Towers: []world.Site{
+			{ID: "t0", Pos: geo.Pt(400, 300), TxPowerDBm: 43},
+			{ID: "t1", Pos: geo.Pt(-350, 200), TxPowerDBm: 43},
+			{ID: "t2", Pos: geo.Pt(100, -500), TxPowerDBm: 43},
+		},
+		Landmarks: []world.Landmark{
+			{ID: "lm0", Kind: world.LandmarkSignature, Pos: geo.Pt(30, 2), Radius: 2},
+		},
+	}
+}
+
+func wifiDBFor(w *world.World, spacing float64, seed int64) *fingerprint.DB {
+	return fingerprint.Survey(w, rf.WiFiModel(), w.APs, spacing, rand.New(rand.NewSource(seed)))
+}
+
+func scanAt(w *world.World, p geo.Point, seed int64) *sensing.Snapshot {
+	rnd := rand.New(rand.NewSource(seed))
+	return &sensing.Snapshot{
+		WiFi: rf.WiFiModel().Scan(w, w.APs, p, rf.Reference(), rnd),
+		Cell: rf.CellModel().Scan(w, w.Towers, p, rf.Reference(), rnd),
+	}
+}
+
+func TestWiFiSchemeEstimates(t *testing.T) {
+	w := corridorWorld()
+	db := wifiDBFor(w, 3, 1)
+	s := NewWiFi(db)
+	if s.Name() != NameWiFi {
+		t.Error("name wrong")
+	}
+	var errs []float64
+	for i := 0; i < 20; i++ {
+		truth := geo.Pt(3+float64(i)*2.7, 2)
+		est := s.Estimate(scanAt(w, truth, int64(i)))
+		if !est.OK {
+			t.Fatalf("wifi unavailable at %v", truth)
+		}
+		errs = append(errs, est.Pos.Dist(truth))
+		// Features present and sane.
+		if est.Features[FeatFPDensity] <= 0 || est.Features[FeatNumAPs] < 2 {
+			t.Fatalf("features = %v", est.Features)
+		}
+	}
+	if m := meanOf(errs); m > 8 {
+		t.Errorf("wifi mean error %v too large", m)
+	}
+}
+
+func TestWiFiUnavailableWithoutAPs(t *testing.T) {
+	w := corridorWorld()
+	db := wifiDBFor(w, 3, 1)
+	s := NewWiFi(db)
+	if est := s.Estimate(&sensing.Snapshot{}); est.OK {
+		t.Error("no scan should be unavailable")
+	}
+	one := &sensing.Snapshot{WiFi: rf.Vector{{ID: "a0", RSSI: -50}}}
+	if est := s.Estimate(one); est.OK {
+		t.Error("single AP should be below MinAPsForFix")
+	}
+	empty := NewWiFi(&fingerprint.DB{})
+	if est := empty.Estimate(scanAt(w, geo.Pt(5, 2), 3)); est.OK {
+		t.Error("empty DB should be unavailable")
+	}
+}
+
+func TestCellularScheme(t *testing.T) {
+	w := corridorWorld()
+	db := fingerprint.Survey(w, rf.CellModel(), w.Towers, 3, rand.New(rand.NewSource(2)))
+	s := NewCellular(db)
+	if s.Name() != NameCellular {
+		t.Error("name")
+	}
+	est := s.Estimate(scanAt(w, geo.Pt(30, 2), 5))
+	if !est.OK {
+		t.Fatal("cellular should be available")
+	}
+	if _, ok := est.Features[FeatNumTowers]; !ok {
+		t.Error("cellular must report num_towers")
+	}
+	// Cellular is coarse but bounded by the corridor extent.
+	if est.Pos.Dist(geo.Pt(30, 2)) > 65 {
+		t.Errorf("cellular error implausible: %v", est.Pos)
+	}
+}
+
+func TestGPSScheme(t *testing.T) {
+	proj := geo.Projection{Origin: geo.LatLon{Lat: 1.3, Lon: 103.7}}
+	g := NewGPS(proj)
+	if g.Name() != NameGPS || len(g.RegressionFeatures()) != 0 {
+		t.Error("gps metadata wrong")
+	}
+	if est := g.Estimate(&sensing.Snapshot{}); est.OK {
+		t.Error("nil fix should be unavailable")
+	}
+	bad := &sensing.Snapshot{GNSS: &gnss.Fix{NumSats: 4, HDOP: 1}}
+	if est := g.Estimate(bad); est.OK {
+		t.Error("4 sats is not reliable")
+	}
+	truth := geo.Pt(100, 50)
+	good := &sensing.Snapshot{GNSS: &gnss.Fix{Pos: proj.ToGeo(truth), NumSats: 9, HDOP: 1.1}}
+	est := g.Estimate(good)
+	if !est.OK {
+		t.Fatal("reliable fix should estimate")
+	}
+	if est.Pos.Dist(truth) > 0.01 {
+		t.Errorf("round trip error %v", est.Pos.Dist(truth))
+	}
+	if est.Features[FeatNumSats] != 9 {
+		t.Error("num_sats feature missing")
+	}
+}
+
+// driveMotion walks the corridor and feeds a PDR (or fusion) scheme.
+func driveMotion(t *testing.T, s Scheme, w *world.World, withLandmark bool, seed int64) []float64 {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	pl := imu.NewPipeline(imu.DefaultPerson(), imu.DefaultConfig(), rnd)
+	s.Reset(geo.Pt(2, 2))
+	var errs []float64
+	pos := geo.Pt(2, 2)
+	for i := 0; i < 75; i++ {
+		stepLen := 0.7
+		if pos.X+stepLen > 58 {
+			break
+		}
+		pos = pos.Add(geo.Pt(stepLen, 0))
+		ev := pl.Step(stepLen, 0, true, 2)
+		snap := scanAt(w, pos, seed*1000+int64(i))
+		snap.Step = &ev
+		if withLandmark {
+			if lm := w.LandmarkNear(pos); lm != nil {
+				snap.Landmark = &sensing.LandmarkHit{
+					ID: lm.ID, Pos: sensing.Landmark2D{X: lm.Pos.X, Y: lm.Pos.Y}, Kind: lm.Kind.String(),
+				}
+			}
+		}
+		est := s.Estimate(snap)
+		if !est.OK {
+			t.Fatal("motion scheme must always be available after Reset")
+		}
+		errs = append(errs, est.Pos.Dist(pos))
+	}
+	return errs
+}
+
+func TestPDRTracksCorridor(t *testing.T) {
+	w := corridorWorld()
+	pdr := NewPDR(w, DefaultPDRConfig(), rand.New(rand.NewSource(3)))
+	errs := driveMotion(t, pdr, w, true, 11)
+	if m := meanOf(errs); m > 6 {
+		t.Errorf("PDR mean error %v", m)
+	}
+	// Map constraint: the corridor is 4 m tall, so cross-track error
+	// is bounded; total error should never explode.
+	for _, e := range errs {
+		if e > 25 {
+			t.Fatalf("PDR error %v exploded", e)
+		}
+	}
+}
+
+func TestPDRFeaturesGrowWithoutLandmarks(t *testing.T) {
+	w := corridorWorld()
+	w.Landmarks = nil
+	pdr := NewPDR(w, DefaultPDRConfig(), rand.New(rand.NewSource(4)))
+	pdr.Reset(geo.Pt(2, 2))
+	rnd := rand.New(rand.NewSource(5))
+	pl := imu.NewPipeline(imu.DefaultPerson(), imu.DefaultConfig(), rnd)
+	var lastDist float64
+	pos := geo.Pt(2, 2)
+	for i := 0; i < 60; i++ {
+		pos = pos.Add(geo.Pt(0.7, 0))
+		ev := pl.Step(0.7, 0, true, 2)
+		snap := &sensing.Snapshot{Step: &ev}
+		est := pdr.Estimate(snap)
+		d := est.Features[FeatDistLandmark]
+		if d < lastDist {
+			t.Fatalf("dist_landmark decreased %v -> %v without landmark", lastDist, d)
+		}
+		lastDist = d
+		if cw := est.Features[FeatCorridorWidth]; cw != 2.5 && cw != 30 {
+			t.Fatalf("corridor width = %v", cw)
+		}
+	}
+	if lastDist < 35 {
+		t.Errorf("dist_landmark = %v after ~42 m", lastDist)
+	}
+}
+
+func TestPDRLandmarkResetsDistance(t *testing.T) {
+	w := corridorWorld()
+	pdr := NewPDR(w, DefaultPDRConfig(), rand.New(rand.NewSource(6)))
+	pdr.Reset(geo.Pt(2, 2))
+	ev := imu.StepEvent{LengthM: 0.7, HeadingR: 0, PeriodS: 0.5}
+	for i := 0; i < 10; i++ {
+		pdr.Estimate(&sensing.Snapshot{Step: &ev})
+	}
+	snap := &sensing.Snapshot{
+		Step:     &ev,
+		Landmark: &sensing.LandmarkHit{ID: "lm0", Pos: sensing.Landmark2D{X: 30, Y: 2}},
+	}
+	est := pdr.Estimate(snap)
+	if est.Features[FeatDistLandmark] != 0 {
+		t.Errorf("dist after landmark = %v", est.Features[FeatDistLandmark])
+	}
+	if est.Pos.Dist(geo.Pt(30, 2)) > 2 {
+		t.Errorf("estimate %v should re-anchor at the landmark", est.Pos)
+	}
+}
+
+func TestPDRUnavailableBeforeReset(t *testing.T) {
+	w := corridorWorld()
+	pdr := NewPDR(w, DefaultPDRConfig(), rand.New(rand.NewSource(7)))
+	ev := imu.StepEvent{LengthM: 0.7, PeriodS: 0.5}
+	if est := pdr.Estimate(&sensing.Snapshot{Step: &ev}); est.OK {
+		t.Error("PDR without Reset should be unavailable")
+	}
+}
+
+func TestFusionBeatsOrMatchesPDR(t *testing.T) {
+	w := corridorWorld()
+	var pdrMean, fusionMean float64
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		db := wifiDBFor(w, 3, 20+int64(trial))
+		pdr := NewPDR(w, DefaultPDRConfig(), rand.New(rand.NewSource(30+int64(trial))))
+		fus := NewFusion(w, db, DefaultFusionConfig(), rand.New(rand.NewSource(40+int64(trial))))
+		pdrMean += meanOf(driveMotion(t, pdr, w, false, 50+int64(trial)))
+		fusionMean += meanOf(driveMotion(t, fus, w, false, 50+int64(trial)))
+	}
+	pdrMean /= trials
+	fusionMean /= trials
+	// With dense fingerprints and no landmarks, the RSSI weighting
+	// must help (the paper's premise for the fusion scheme indoors).
+	if fusionMean > pdrMean {
+		t.Errorf("fusion %v should beat landmark-less PDR %v", fusionMean, pdrMean)
+	}
+}
+
+func TestFusionFeatureSet(t *testing.T) {
+	w := corridorWorld()
+	db := wifiDBFor(w, 3, 8)
+	fus := NewFusion(w, db, DefaultFusionConfig(), rand.New(rand.NewSource(9)))
+	feats := fus.RegressionFeatures()
+	want := map[string]bool{FeatDistLandmark: true, FeatCorridorWidth: true, FeatFPDensity: true, FeatRSSIDev: true}
+	for _, f := range feats {
+		if !want[f] {
+			t.Errorf("unexpected feature %q", f)
+		}
+	}
+	if len(feats) != 4 {
+		t.Errorf("features = %v", feats)
+	}
+	if got := fus.Sensors(); len(got) != 2 {
+		t.Errorf("fusion sensors = %v", got)
+	}
+}
+
+func TestFeatureVectorOrder(t *testing.T) {
+	w := corridorWorld()
+	db := wifiDBFor(w, 3, 10)
+	s := NewWiFi(db)
+	est := s.Estimate(scanAt(w, geo.Pt(10, 2), 11))
+	vec := FeatureVector(s, est)
+	names := s.RegressionFeatures()
+	if len(vec) != len(names) {
+		t.Fatal("length mismatch")
+	}
+	for i, n := range names {
+		if vec[i] != est.Features[n] {
+			t.Errorf("vec[%d] != feature %q", i, n)
+		}
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,150 @@
+package schemes
+
+import (
+	"sort"
+
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/hmm"
+	"repro/internal/sensing"
+)
+
+// TopK is the number of candidate locations whose RSSI-distance
+// deviation forms the β₂ feature (k=3 in the paper's setting).
+const TopK = 3
+
+// MinAPsForFix is the minimum number of audible transmitters for RSSI
+// fingerprinting to produce a meaningful result (the paper observes
+// that fewer than 3 audible APs rarely yields one; we require 2 so the
+// scheme degrades before it disappears).
+const MinAPsForFix = 2
+
+// Fingerprinting is the RADAR-style RSSI fingerprinting scheme, used
+// both for WiFi (over access points) and cellular (over towers): it
+// matches the online RSSI vector against an offline fingerprint
+// database by Euclidean distance and reports the closest fingerprint's
+// location (§II).
+//
+// A second-order HMM smooths the raw matches into a predicted location
+// used only to evaluate the local fingerprint-density feature β₁
+// online (§III-B); the reported estimate remains the raw RADAR match,
+// keeping the scheme faithful to the paper.
+type Fingerprinting struct {
+	name       string
+	db         *fingerprint.DB
+	tracker    *hmm.Tracker
+	countFeat  string // FeatNumAPs or FeatNumTowers
+	sensor     string
+	calibrator *Calibrator // optional device-heterogeneity calibration
+}
+
+// NewWiFi creates the WiFi RADAR scheme over the given fingerprint
+// database.
+func NewWiFi(db *fingerprint.DB) *Fingerprinting {
+	return &Fingerprinting{
+		name:      NameWiFi,
+		db:        db,
+		tracker:   hmm.New(db.Positions()),
+		countFeat: FeatNumAPs,
+		sensor:    SensorWiFi,
+	}
+}
+
+// NewCellular creates the cellular fingerprinting scheme (Otsason et
+// al. [22]: RADAR's algorithm on GSM signals) over a tower fingerprint
+// database.
+func NewCellular(db *fingerprint.DB) *Fingerprinting {
+	return &Fingerprinting{
+		name:      NameCellular,
+		db:        db,
+		tracker:   hmm.New(db.Positions()),
+		countFeat: FeatNumTowers,
+		sensor:    SensorCell,
+	}
+}
+
+// SetCalibrator attaches an online device-offset calibrator (nil
+// disables calibration). See Figure 8d.
+func (f *Fingerprinting) SetCalibrator(c *Calibrator) { f.calibrator = c }
+
+// Name implements Scheme.
+func (f *Fingerprinting) Name() string { return f.name }
+
+// Reset implements Scheme: the tracker's belief is re-initialized for
+// a new walk.
+func (f *Fingerprinting) Reset(geo.Point) {
+	f.tracker = hmm.New(f.db.Positions())
+}
+
+// RegressionFeatures implements Scheme (Table I: spatial density of
+// fingerprints, RSSI distance deviation, number of audible
+// transmitters).
+func (f *Fingerprinting) RegressionFeatures() []string {
+	return []string{FeatFPDensity, FeatRSSIDev, f.countFeat}
+}
+
+// Sensors implements Scheme.
+func (f *Fingerprinting) Sensors() []string { return []string{f.sensor} }
+
+// Estimate implements Scheme.
+func (f *Fingerprinting) Estimate(snap *sensing.Snapshot) Estimate {
+	raw := snap.WiFi
+	if f.name == NameCellular {
+		raw = snap.Cell
+	}
+	if len(raw) < MinAPsForFix || len(f.db.Points) == 0 {
+		return Estimate{OK: false}
+	}
+	obs := raw
+	if f.calibrator != nil {
+		obs = f.calibrator.Transform(raw)
+	}
+	dists := f.db.Distances(obs)
+
+	// Raw RADAR match: the fingerprint at minimum RSSI distance, with
+	// the top-k kept for the deviation feature.
+	idx := topKIdx(dists, TopK)
+	best := idx[0]
+	matches := make([]fingerprint.Match, len(idx))
+	for i, j := range idx {
+		matches[i] = fingerprint.Match{Pos: f.db.Points[j].Pos, Dist: dists[j]}
+	}
+
+	// Online calibrator learning: the matched fingerprint supplies the
+	// expected reference-device RSSI for each transmitter heard.
+	if f.calibrator != nil {
+		f.calibrator.Observe(raw, f.db.Points[best].Vec)
+	}
+
+	// HMM-predicted location for the density feature.
+	pred := f.tracker.Update(dists)
+
+	feats := map[string]float64{
+		FeatFPDensity: f.db.DensityAround(pred, 3),
+		FeatRSSIDev:   fingerprint.TopKDeviation(matches),
+		f.countFeat:   float64(len(obs)),
+	}
+	return Estimate{Pos: f.db.Points[best].Pos, OK: true, Features: feats}
+}
+
+// DB exposes the underlying fingerprint database (read-only use).
+func (f *Fingerprinting) DB() *fingerprint.DB { return f.db }
+
+// topKIdx returns the indices of the k smallest values of xs,
+// ascending, with deterministic tie-breaking.
+func topKIdx(xs []float64, k int) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if xs[idx[a]] != xs[idx[b]] {
+			return xs[idx[a]] < xs[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	return idx
+}

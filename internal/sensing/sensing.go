@@ -1,0 +1,54 @@
+// Package sensing defines the Snapshot type: everything a smartphone's
+// sensors report during one sensing epoch (0.5 s in the paper's
+// implementation). Localization schemes consume snapshots as black
+// boxes; the ground-truth position is deliberately NOT part of the
+// snapshot so schemes cannot cheat.
+package sensing
+
+import (
+	"time"
+
+	"repro/internal/gnss"
+	"repro/internal/imu"
+	"repro/internal/rf"
+)
+
+// EpochPeriod is the sensing/update period used throughout: the paper's
+// implementation updates particle states every 0.5 s.
+const EpochPeriod = 500 * time.Millisecond
+
+// LandmarkHit reports that the phone sensed a calibration-landmark
+// signature (a turn pattern, a door transition, a WiFi/structure
+// signature) during the epoch. The position is the landmark's known map
+// position (from the signature database), not the user's true position.
+type LandmarkHit struct {
+	ID   string
+	Pos  Landmark2D
+	Kind string
+}
+
+// Landmark2D mirrors geo.Point without importing it, keeping the wire
+// type minimal for the offload protocol.
+type Landmark2D struct {
+	X, Y float64
+}
+
+// Snapshot is one epoch of sensor data.
+type Snapshot struct {
+	Epoch int           // epoch index since the walk started
+	T     time.Duration // time since the walk started
+
+	WiFi rf.Vector // audible WiFi RSSI scan (empty when WiFi off/unavailable)
+	Cell rf.Vector // audible cellular RSSI scan
+
+	GNSS *gnss.Fix // GPS fix, nil when GPS is off or has no fix
+
+	Step *imu.StepEvent // processed inertial step, nil if the user did not step
+
+	Landmark *LandmarkHit // sensed calibration landmark, nil if none
+
+	LightLux float64 // ambient light sensor reading
+	MagVarUT float64 // magnetic field variance over the epoch (µT)
+
+	GPSEnabled bool // whether the GPS radio was powered this epoch
+}

@@ -1,0 +1,219 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x, mu, sigma, want float64
+	}{
+		{0, 0, 1, 0.5},
+		{1.96, 0, 1, 0.975},
+		{-1.96, 0, 1, 0.025},
+		{13.5, 13.5, 9.4, 0.5},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x, c.mu, c.sigma); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("NormalCDF(%v,%v,%v) = %v want %v", c.x, c.mu, c.sigma, got, c.want)
+		}
+	}
+}
+
+func TestNormalCDFDegenerateSigma(t *testing.T) {
+	if got := NormalCDF(1, 2, 0); got != 0 {
+		t.Errorf("below-mean step = %v", got)
+	}
+	if got := NormalCDF(3, 2, 0); got != 1 {
+		t.Errorf("above-mean step = %v", got)
+	}
+}
+
+func TestNormalCDFMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return NormalCDF(lo, 0, 2) <= NormalCDF(hi, 0, 2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999} {
+		x := NormalQuantile(p, 3, 2)
+		if got := NormalCDF(x, 3, 2); math.Abs(got-p) > 1e-6 {
+			t.Errorf("round trip p=%v: got %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0, 0, 1), -1) || !math.IsInf(NormalQuantile(1, 0, 1), 1) {
+		t.Error("extreme quantiles should be infinite")
+	}
+}
+
+func TestStudentTCDF(t *testing.T) {
+	// Symmetry and known quantiles.
+	if got := StudentTCDF(0, 5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("T(0) = %v", got)
+	}
+	// t=2.571 is the 97.5th percentile for df=5.
+	if got := StudentTCDF(2.571, 5); math.Abs(got-0.975) > 1e-3 {
+		t.Errorf("T(2.571, df=5) = %v", got)
+	}
+	// Approaches the normal for large df.
+	if got := StudentTCDF(1.96, 10000); math.Abs(got-0.975) > 1e-3 {
+		t.Errorf("T(1.96, df=1e4) = %v", got)
+	}
+	if !math.IsNaN(StudentTCDF(1, 0)) {
+		t.Error("df<=0 should be NaN")
+	}
+}
+
+func TestTTestPValue(t *testing.T) {
+	// Two-sided p for |t|=2.571, df=5 is 0.05.
+	if got := TTestPValue(2.571, 5); math.Abs(got-0.05) > 2e-3 {
+		t.Errorf("p = %v", got)
+	}
+	if got := TTestPValue(-2.571, 5); math.Abs(got-0.05) > 2e-3 {
+		t.Errorf("p (negative t) = %v", got)
+	}
+	if got := TTestPValue(0, 5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("p(0) = %v", got)
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-9 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	if got := RegIncBeta(2, 3, 0.4) + RegIncBeta(3, 2, 0.6); math.Abs(got-1) > 1e-9 {
+		t.Errorf("symmetry sum = %v", got)
+	}
+}
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-9 {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7)) > 1e-9 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate cases wrong")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 4, 3}
+	if got := RMSE(pred, truth); math.Abs(got-2.0/math.Sqrt(3)) > 1e-9 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if RMSE(nil, nil) != 0 {
+		t.Error("empty RMSE should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("Median wrong")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input was sorted in place")
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	pts := EmpiricalCDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].Value != 1 || math.Abs(pts[0].P-1.0/3) > 1e-9 {
+		t.Errorf("first = %+v", pts[0])
+	}
+	if pts[2].Value != 3 || pts[2].P != 1 {
+		t.Errorf("last = %+v", pts[2])
+	}
+	if EmpiricalCDF(nil) != nil {
+		t.Error("empty should be nil")
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	got := CDFSeries(xs, []float64{0, 1, 2, 3, 4})
+	want := []float64{0, 0.25, 0.75, 1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("CDFSeries[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCDFSeriesMonotoneProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		vals := []float64{-10, -1, 0, 1, 10, 100}
+		s := CDFSeries(xs, vals)
+		for i := 1; i < len(s); i++ {
+			if s[i] < s[i-1] {
+				return false
+			}
+		}
+		return s[len(s)-1] <= 1 && s[0] >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0.5, 1.5, 1.6, 9.9, -5, 20}, 0, 10, 10)
+	if counts[0] != 2 { // 0.5 and clamped -5
+		t.Errorf("bin0 = %d", counts[0])
+	}
+	if counts[1] != 2 {
+		t.Errorf("bin1 = %d", counts[1])
+	}
+	if counts[9] != 2 { // 9.9 and clamped 20
+		t.Errorf("bin9 = %d", counts[9])
+	}
+	if Histogram(nil, 0, 0, 5) != nil || Histogram(nil, 0, 10, 0) != nil {
+		t.Error("degenerate histogram should be nil")
+	}
+}

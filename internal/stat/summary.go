@@ -1,0 +1,144 @@
+package stat
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs; 0 when fewer than
+// two samples are present.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// RMSE returns the root-mean-square error between predictions and
+// ground-truth values. Both slices must have equal length; an empty
+// input yields 0.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("stat: RMSE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation between closest ranks. An empty input yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value float64 // sample value
+	P     float64 // cumulative probability in (0, 1]
+}
+
+// EmpiricalCDF returns the empirical CDF of xs as sorted (value, P)
+// points.
+func EmpiricalCDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, P: float64(i+1) / n}
+	}
+	return out
+}
+
+// CDFSeries samples an empirical CDF at regularly spaced values, which
+// is how the paper's CDF figures (Figures 7 and 8) are rendered. It
+// returns P(X ≤ v) for each v in values.
+func CDFSeries(xs, values []float64) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(values))
+	for i, v := range values {
+		// Count of samples ≤ v via binary search.
+		k := sort.SearchFloat64s(sorted, math.Nextafter(v, math.Inf(1)))
+		if len(sorted) == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = float64(k) / float64(len(sorted))
+	}
+	return out
+}
+
+// Histogram counts xs into nbins equal-width bins over [min, max].
+// Values outside the range are clamped into the first/last bin.
+func Histogram(xs []float64, min, max float64, nbins int) []int {
+	if nbins <= 0 || max <= min {
+		return nil
+	}
+	counts := make([]int, nbins)
+	w := (max - min) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - min) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}

@@ -1,0 +1,167 @@
+// Package walker turns a world plus a walking path into the per-epoch
+// sensor snapshots a smartphone would produce: one step every sensing
+// epoch, WiFi/cellular scans, GPS fixes (when the radio is powered),
+// ambient light, magnetic variance, and landmark-signature detections.
+//
+// The walker owns the ground truth; schemes only ever see the Snapshot.
+package walker
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/gnss"
+	"repro/internal/imu"
+	"repro/internal/rf"
+	"repro/internal/sensing"
+	"repro/internal/world"
+)
+
+// Config configures a walk.
+type Config struct {
+	Person imu.Person
+	IMU    imu.Config
+	Device rf.Device
+	WiFi   rf.Model
+	Cell   rf.Model
+	GPS    *gnss.Receiver // nil disables GNSS entirely
+	// LandmarkDetectProb is the chance a landmark signature is actually
+	// sensed while within its radius.
+	LandmarkDetectProb float64
+}
+
+// DefaultConfig returns a walk configuration with the reference person
+// and device and standard channel models.
+func DefaultConfig() Config {
+	return Config{
+		Person:             imu.DefaultPerson(),
+		IMU:                imu.DefaultConfig(),
+		Device:             rf.Reference(),
+		WiFi:               rf.WiFiModel(),
+		Cell:               rf.CellModel(),
+		LandmarkDetectProb: 0.9,
+	}
+}
+
+// Walker generates snapshots along a path. Create one per walk.
+type Walker struct {
+	w    *world.World
+	path geo.Polyline
+	cfg  Config
+	rnd  *rand.Rand
+
+	pipeline *imu.Pipeline
+	total    float64
+	dist     float64
+	epoch    int
+	prevPos  geo.Point
+	lastLM   string
+}
+
+// New creates a walker over the path in world w.
+func New(w *world.World, path geo.Polyline, cfg Config, rnd *rand.Rand) *Walker {
+	start, _ := path.At(0)
+	return &Walker{
+		w:        w,
+		path:     path,
+		cfg:      cfg,
+		rnd:      rnd,
+		pipeline: imu.NewPipeline(cfg.Person, cfg.IMU, rnd),
+		total:    path.Length(),
+		prevPos:  start,
+	}
+}
+
+// Done reports whether the walk has reached the end of the path.
+func (wk *Walker) Done() bool { return wk.dist >= wk.total }
+
+// Distance returns the true distance walked so far, in meters.
+func (wk *Walker) Distance() float64 { return wk.dist }
+
+// Epoch returns the number of epochs generated so far.
+func (wk *Walker) Epoch() int { return wk.epoch }
+
+// Next advances one sensing epoch (one step) and returns the sensor
+// snapshot plus the user's true position. gpsOn controls whether the
+// GPS radio is powered this epoch (UniLoc's energy manager decides
+// this). Next must not be called after Done reports true.
+func (wk *Walker) Next(gpsOn bool) (*sensing.Snapshot, geo.Point) {
+	// True step: mean gait length with small genuine variation.
+	stepLen := wk.cfg.Person.StepLengthM * (1 + wk.rnd.NormFloat64()*0.03)
+	if stepLen < 0.1 {
+		stepLen = 0.1
+	}
+	if wk.dist+stepLen > wk.total {
+		stepLen = wk.total - wk.dist
+	}
+	wk.dist += stepLen
+	pos, _ := wk.path.At(wk.dist)
+	// The true heading of this step is the direction actually moved,
+	// which differs from the segment tangent at corners.
+	moved := pos.Sub(wk.prevPos)
+	trueHeading := moved.Heading()
+	if moved.Norm() < 1e-9 {
+		_, trueHeading = wk.path.At(wk.dist)
+	}
+	wk.prevPos = pos
+
+	reg := wk.w.RegionAt(pos)
+	indoor := wk.w.Indoor(pos)
+	magNoise := wk.w.MagNoiseAt(pos)
+
+	step := wk.pipeline.Step(stepLen, trueHeading, indoor, magNoise)
+
+	snap := &sensing.Snapshot{
+		Epoch:      wk.epoch,
+		T:          time.Duration(wk.epoch) * sensing.EpochPeriod,
+		Step:       &step,
+		GPSEnabled: gpsOn,
+	}
+	wk.epoch++
+
+	// RF scans.
+	snap.WiFi = wk.cfg.WiFi.Scan(wk.w, wk.w.APs, pos, wk.cfg.Device, wk.rnd)
+	snap.Cell = wk.cfg.Cell.Scan(wk.w, wk.w.Towers, pos, wk.cfg.Device, wk.rnd)
+
+	// GNSS.
+	if gpsOn && wk.cfg.GPS != nil {
+		snap.GNSS = wk.cfg.GPS.Fix(pos, wk.rnd)
+	}
+
+	// Low-power context sensors.
+	light := wk.w.LightAt(pos)
+	snap.LightLux = light * (1 + wk.rnd.NormFloat64()*0.1)
+	if snap.LightLux < 0 {
+		snap.LightLux = 0
+	}
+	base := 0.4
+	if reg != nil {
+		base += reg.MagNoise
+	}
+	snap.MagVarUT = base * (1 + absf(wk.rnd.NormFloat64())*0.3)
+
+	// Landmark signatures: sensed when physically within a landmark's
+	// radius, at most once per landmark visit.
+	if lm := wk.w.LandmarkNear(pos); lm != nil {
+		if lm.ID != wk.lastLM && wk.rnd.Float64() < wk.cfg.LandmarkDetectProb {
+			snap.Landmark = &sensing.LandmarkHit{
+				ID:   lm.ID,
+				Pos:  sensing.Landmark2D{X: lm.Pos.X, Y: lm.Pos.Y},
+				Kind: lm.Kind.String(),
+			}
+			wk.lastLM = lm.ID
+		}
+	} else {
+		wk.lastLM = ""
+	}
+
+	return snap, pos
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,183 @@
+package walker
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/gnss"
+	"repro/internal/noise"
+	"repro/internal/world"
+)
+
+func walkWorld() *world.World {
+	return &world.World{
+		Name:  "walk",
+		Noise: noise.Field{Seed: 4},
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3, Lon: 103.7}},
+		Regions: []world.Region{
+			{Name: "room", Kind: world.KindOffice, Poly: geo.RectPoly(0, 0, 40, 6), SkyOpenness: 0.03, LightLux: 300, MagNoise: 2, CorridorWidth: 2.5},
+			{Name: "yard", Kind: world.KindOpenSpace, Poly: geo.RectPoly(40, 0, 100, 6), SkyOpenness: 1, LightLux: 10000, MagNoise: 0.5, CorridorWidth: 20},
+		},
+		Landmarks: []world.Landmark{
+			{ID: "door", Kind: world.LandmarkDoor, Pos: geo.Pt(40, 3), Radius: 2},
+		},
+		APs: []world.Site{{ID: "ap", Pos: geo.Pt(20, 5), TxPowerDBm: 16}},
+		Towers: []world.Site{
+			{ID: "t1", Pos: geo.Pt(300, 300), TxPowerDBm: 43},
+			{ID: "t2", Pos: geo.Pt(-300, 100), TxPowerDBm: 43},
+		},
+	}
+}
+
+func walkCfg(w *world.World) Config {
+	cfg := DefaultConfig()
+	cfg.GPS = &gnss.Receiver{Con: gnss.NewConstellation(0x5A7E111E, 12), World: w}
+	return cfg
+}
+
+func TestWalkerTraversesFullPath(t *testing.T) {
+	w := walkWorld()
+	path := geo.Line(geo.Pt(2, 3), geo.Pt(95, 3))
+	wk := New(w, path, walkCfg(w), rand.New(rand.NewSource(1)))
+	steps := 0
+	var last geo.Point
+	for !wk.Done() {
+		snap, truth := wk.Next(true)
+		if snap == nil {
+			t.Fatal("nil snapshot")
+		}
+		if snap.Step == nil {
+			t.Fatal("every epoch should carry a step")
+		}
+		last = truth
+		steps++
+		if steps > 1000 {
+			t.Fatal("walk did not terminate")
+		}
+	}
+	if last.Dist(geo.Pt(95, 3)) > 1 {
+		t.Errorf("walk ended at %v", last)
+	}
+	// ~93 m at ~0.7 m per step.
+	if steps < 100 || steps > 220 {
+		t.Errorf("steps = %d", steps)
+	}
+	if wk.Distance() < 92 || wk.Distance() > 94 {
+		t.Errorf("Distance = %v", wk.Distance())
+	}
+}
+
+func TestWalkerSensorContext(t *testing.T) {
+	w := walkWorld()
+	path := geo.Line(geo.Pt(2, 3), geo.Pt(95, 3))
+	wk := New(w, path, walkCfg(w), rand.New(rand.NewSource(2)))
+	var indoorLight, outdoorLight []float64
+	indoorFix, outdoorFix := 0, 0
+	for !wk.Done() {
+		snap, truth := wk.Next(true)
+		if w.Indoor(truth) {
+			indoorLight = append(indoorLight, snap.LightLux)
+			if snap.GNSS != nil {
+				indoorFix++
+			}
+		} else {
+			outdoorLight = append(outdoorLight, snap.LightLux)
+			if snap.GNSS != nil {
+				outdoorFix++
+			}
+		}
+	}
+	if len(indoorLight) == 0 || len(outdoorLight) == 0 {
+		t.Fatal("walk should cover both environments")
+	}
+	if mean(indoorLight) >= mean(outdoorLight) {
+		t.Error("indoor light should be dimmer")
+	}
+	if indoorFix > 2 {
+		t.Errorf("indoor GPS fixes = %d", indoorFix)
+	}
+	if outdoorFix < len(outdoorLight)/2 {
+		t.Errorf("outdoor fixes = %d of %d", outdoorFix, len(outdoorLight))
+	}
+}
+
+func TestWalkerGPSGate(t *testing.T) {
+	w := walkWorld()
+	path := geo.Line(geo.Pt(45, 3), geo.Pt(95, 3)) // fully outdoor
+	wk := New(w, path, walkCfg(w), rand.New(rand.NewSource(3)))
+	for !wk.Done() {
+		snap, _ := wk.Next(false)
+		if snap.GNSS != nil {
+			t.Fatal("gpsOn=false must not produce fixes")
+		}
+		if snap.GPSEnabled {
+			t.Fatal("GPSEnabled should be false")
+		}
+	}
+}
+
+func TestWalkerLandmarkDetection(t *testing.T) {
+	w := walkWorld()
+	path := geo.Line(geo.Pt(2, 3), geo.Pt(95, 3))
+	cfg := walkCfg(w)
+	cfg.LandmarkDetectProb = 1
+	wk := New(w, path, cfg, rand.New(rand.NewSource(4)))
+	hits := 0
+	for !wk.Done() {
+		snap, _ := wk.Next(false)
+		if snap.Landmark != nil {
+			hits++
+			if snap.Landmark.ID != "door" {
+				t.Errorf("unexpected landmark %q", snap.Landmark.ID)
+			}
+		}
+	}
+	if hits != 1 {
+		t.Errorf("door should be detected exactly once, got %d", hits)
+	}
+}
+
+func TestWalkerDeterministicPerSeed(t *testing.T) {
+	w := walkWorld()
+	path := geo.Line(geo.Pt(2, 3), geo.Pt(60, 3))
+	run := func(seed int64) []geo.Point {
+		wk := New(w, path, walkCfg(w), rand.New(rand.NewSource(seed)))
+		var out []geo.Point
+		for !wk.Done() {
+			_, truth := wk.Next(true)
+			out = append(out, truth)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical walks")
+		}
+	}
+	c := run(8)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds should differ")
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

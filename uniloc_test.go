@@ -1,0 +1,140 @@
+package uniloc
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+)
+
+// sharedTrained caches the trained models for the root-package tests.
+var sharedTrained *Trained
+
+func trainedOnce(t *testing.T) *Trained {
+	t.Helper()
+	if sharedTrained == nil {
+		tr, err := Train(42)
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		sharedTrained = tr
+	}
+	return sharedTrained
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	tr := trainedOnce(t)
+	place := Campus()
+	assets := NewAssets(place, 142)
+	path := place.Paths[0]
+	run, err := RunPath(assets, path, tr, RunConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Truth) == 0 {
+		t.Fatal("no epochs")
+	}
+	if s := Summary(run); s == "" {
+		t.Error("empty summary")
+	}
+	// The headline qualitative property through the public API: the
+	// ensemble beats the weak schemes by a wide margin.
+	u2 := 0.0
+	n := 0
+	for _, v := range run.UniLoc2 {
+		if v == v {
+			u2 += v
+			n++
+		}
+	}
+	u2 /= float64(n)
+	cell := 0.0
+	cn := 0
+	for i, v := range run.Schemes["cellular"].Err {
+		if run.Schemes["cellular"].Avail[i] {
+			cell += v
+			cn++
+		}
+	}
+	cell /= float64(cn)
+	if u2 >= cell {
+		t.Errorf("uniloc2 (%.2f) should beat cellular (%.2f)", u2, cell)
+	}
+}
+
+func TestPublicFrameworkConstruction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs training")
+	}
+	tr := trainedOnce(t)
+	place := TrainingOffice()
+	assets := NewAssets(place, 42)
+	ss := NewSchemes(assets, rand.New(rand.NewSource(1)))
+	fw, err := NewFramework(ss, tr.Models,
+		WithGPSGating(false),
+		WithWeighting(WeightConfOnly),
+		WithPruneFrac(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, _ := place.Paths[0].Line.At(0)
+	fw.Reset(start)
+	if !fw.GPSWanted() {
+		t.Error("gating disabled should always want GPS")
+	}
+}
+
+func TestPublicOffloadOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs training")
+	}
+	tr := trainedOnce(t)
+	place := TrainingOffice()
+	assets := NewAssets(place, 42)
+	ss := NewSchemes(assets, rand.New(rand.NewSource(2)))
+	fw, err := NewFramework(ss, tr.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := place.Paths[0]
+	start, _ := path.Line.At(0)
+	fw.Reset(start)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewOffloadServer(fw)
+	go srv.ListenAndServe(ln, nil)
+	defer func() { _ = ln.Close() }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewOffloadClient(conn)
+	defer func() { _ = client.Close() }()
+
+	rnd := rand.New(rand.NewSource(3))
+	wk := NewWalker(place.World, path, assets.DefaultWalkerConfig(), rnd)
+	epochs := 0
+	var lastErr float64
+	for !wk.Done() && epochs < 60 {
+		snap, truth := wk.Next(false)
+		res, err := client.Localize(snap)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epochs, err)
+		}
+		lastErr = res.Pos().Dist(truth)
+		epochs++
+	}
+	if epochs == 0 {
+		t.Fatal("no epochs localized")
+	}
+	if lastErr > 15 {
+		t.Errorf("final fused error %.1f m over TCP", lastErr)
+	}
+}
