@@ -1,8 +1,10 @@
 // Command uniloc-server hosts the UniLoc offload server (§IV-C): it
-// trains the error models, builds the campus schemes, and serves the
-// binary offloading protocol over TCP. Phones (see examples/offload)
-// connect, upload pre-processed sensor epochs, and receive fused
-// positions.
+// trains the error models, builds the campus scheme assets, and serves
+// the binary offloading protocol over TCP. Phones (see
+// examples/offload) connect, perform the session handshake, upload
+// pre-processed sensor epochs, and receive fused positions. Every
+// connection gets its own framework instance, so any number of phones
+// can walk concurrently without sharing localization state.
 package main
 
 import (
@@ -11,6 +13,8 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -21,33 +25,61 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7031", "listen address")
 	seed := flag.Int64("seed", 42, "master random seed")
+	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "evict sessions idle this long (0 = never)")
+	statsEvery := flag.Duration("stats-every", 30*time.Second, "log session stats this often (0 = never)")
 	flag.Parse()
 
-	if err := run(*addr, *seed); err != nil {
+	if err := run(*addr, *seed, *maxSessions, *idleTimeout, *statsEvery); err != nil {
 		log.Fatalf("uniloc-server: %v", err)
 	}
 }
 
-func run(addr string, seed int64) error {
+func run(addr string, seed int64, maxSessions int, idleTimeout, statsEvery time.Duration) error {
 	tr, err := eval.Train(seed)
 	if err != nil {
 		return fmt.Errorf("training: %w", err)
 	}
 	campus := scenario.NewAssets(scenario.Campus(), seed+100)
-	ss := campus.Schemes(rand.New(rand.NewSource(seed + 7)))
-	fw, err := core.NewFramework(ss, tr.Models)
+
+	// One fresh framework per session: the shared campus assets
+	// (fingerprint databases, constellation) are read-only, while the
+	// scheme instances and their particle-filter randomness are
+	// private to the session.
+	var sessionSeq atomic.Int64
+	factory := func() (*core.Framework, error) {
+		n := sessionSeq.Add(1)
+		ss := campus.Schemes(rand.New(rand.NewSource(seed + 7 + n)))
+		return core.NewFramework(ss, tr.Models)
+	}
+
+	srv, err := offload.NewServer(offload.ServerConfig{
+		Factory:     factory,
+		MaxSessions: maxSessions,
+		IdleTimeout: idleTimeout,
+	})
 	if err != nil {
 		return err
 	}
-	start, _ := campus.Place.Paths[0].Line.At(0)
-	fw.Reset(start)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("uniloc-server listening on %s (campus, %d schemes)", ln.Addr(), len(ss))
-	srv := offload.NewServer(fw)
+	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v)",
+		ln.Addr(), maxSessions, idleTimeout)
+
+	if statsEvery > 0 {
+		go func() {
+			for range time.Tick(statsEvery) {
+				st := srv.Stats()
+				log.Printf("sessions: active=%d opened=%d closed=%d rejected=%d evicted=%d epochs=%d avg-step=%v",
+					st.Active, st.Opened, st.Closed, st.Rejected, st.Evicted,
+					st.EpochsServed, st.EpochLatencyAvg)
+			}
+		}()
+	}
+
 	srv.ListenAndServe(ln, func(err error) { log.Printf("conn error: %v", err) })
 	return nil
 }

@@ -1,8 +1,9 @@
 // Offload demonstrates UniLoc's computation-offloading architecture
-// (§IV-C) over a real TCP connection: a server process hosts the five
-// schemes plus the ensemble; the "phone" walks the daily path,
-// pre-processes its inertial data into 4-byte step updates, uploads
-// each epoch's compact sensor summary, and receives fused positions.
+// (§IV-C) over real TCP connections: a server process hosts the five
+// schemes plus the ensemble, building one private framework per
+// session; two "phones" walk different daily paths at the same time,
+// pre-process their inertial data into 4-byte step updates, upload
+// each epoch's compact sensor summary, and receive fused positions.
 package main
 
 import (
@@ -10,6 +11,8 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
 
 	uniloc "repro"
 	"repro/internal/geo"
@@ -23,54 +26,76 @@ func main() {
 	}
 	place := uniloc.Campus()
 	assets := uniloc.NewAssets(place, seed+100)
-	path := place.Paths[0]
 
-	// --- Server side: framework behind a TCP listener.
-	ss := uniloc.NewSchemes(assets, rand.New(rand.NewSource(seed+7)))
-	fw, err := uniloc.NewFramework(ss, trained.Models)
-	if err != nil {
-		log.Fatalf("framework: %v", err)
+	// --- Server side: one fresh framework per connecting phone.
+	var sessionSeq atomic.Int64
+	factory := func() (*uniloc.Framework, error) {
+		n := sessionSeq.Add(1)
+		ss := uniloc.NewSchemes(assets, rand.New(rand.NewSource(seed+7+n)))
+		return uniloc.NewFramework(ss, trained.Models)
 	}
-	start, _ := path.Line.At(0)
-	fw.Reset(start)
+	srv, err := uniloc.NewOffloadServer(uniloc.OffloadServerConfig{Factory: factory})
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	srv := uniloc.NewOffloadServer(fw)
 	go srv.ListenAndServe(ln, func(err error) { log.Printf("server: %v", err) })
 	fmt.Println("offload server on", ln.Addr())
 
-	// --- Phone side: walk, upload, localize.
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		log.Fatalf("dial: %v", err)
-	}
-	client := uniloc.NewOffloadClient(conn)
-	defer func() { _ = client.Close() }()
+	// --- Phone side: two concurrent walks on different paths.
+	var wg sync.WaitGroup
+	for i, pathIdx := range []int{0, 1} {
+		wg.Add(1)
+		go func(phone, pathIdx int) {
+			defer wg.Done()
+			path := place.Paths[pathIdx]
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				log.Fatalf("phone %d dial: %v", phone, err)
+			}
+			client := uniloc.NewOffloadClient(conn, fmt.Sprintf("phone-%d", phone))
+			defer func() { _ = client.Close() }()
 
-	rnd := rand.New(rand.NewSource(99))
-	wk := uniloc.NewWalker(place.World, path, assets.DefaultWalkerConfig(), rnd)
+			start, _ := path.Line.At(0)
+			if err := client.Hello(start); err != nil {
+				log.Fatalf("phone %d hello: %v", phone, err)
+			}
 
-	var sumErr float64
-	var n int
-	for !wk.Done() {
-		snap, truth := wk.Next(true)
-		res, err := client.Localize(snap)
-		if err != nil {
-			log.Fatalf("localize: %v", err)
-		}
-		e := geo.Pt(res.X, res.Y).Dist(truth)
-		sumErr += e
-		n++
-		if n%120 == 0 {
-			fmt.Printf("epoch %4d: fused=(%.1f, %.1f) true=%v err=%.2f m (selected: %s)\n",
-				n, res.X, res.Y, truth, e, res.Selected)
-		}
+			rnd := rand.New(rand.NewSource(int64(99 + phone)))
+			wk := uniloc.NewWalker(place.World, path, assets.DefaultWalkerConfig(), rnd)
+
+			var sumErr float64
+			var n int
+			for !wk.Done() {
+				snap, truth := wk.Next(true)
+				res, err := client.Localize(snap)
+				if err != nil {
+					log.Fatalf("phone %d localize: %v", phone, err)
+				}
+				if !res.OK {
+					continue // no scheme available this epoch
+				}
+				e := geo.Pt(res.X, res.Y).Dist(truth)
+				sumErr += e
+				n++
+				if n%240 == 0 {
+					fmt.Printf("phone %d (session %d) epoch %4d: fused=(%.1f, %.1f) err=%.2f m (selected: %s)\n",
+						phone, client.SessionID(), n, res.X, res.Y, e, res.Selected)
+				}
+			}
+			fmt.Printf("phone %d (%s): %d epochs, mean fused error %.2f m, %.1f B up/epoch\n",
+				phone, path.Name, n, sumErr/float64(n),
+				float64(client.BytesUp())/float64(n))
+		}(i, pathIdx)
 	}
+	wg.Wait()
 	_ = ln.Close()
-	fmt.Printf("\nwalk complete: %d epochs, mean fused error %.2f m\n", n, sumErr/float64(n))
-	fmt.Printf("traffic: %d B up (%.1f B/epoch), %d B down\n",
-		client.BytesUp(), float64(client.BytesUp())/float64(n), client.BytesDown())
+
+	st := srv.Stats()
+	fmt.Printf("\nserver stats: opened=%d closed=%d rejected=%d epochs=%d avg-step=%v\n",
+		st.Opened, st.Closed, st.Rejected, st.EpochsServed, st.EpochLatencyAvg)
 }

@@ -33,6 +33,14 @@ type StepResult struct {
 // Option configures a Framework.
 type Option func(*Framework)
 
+// FrameworkFactory builds a fresh, independent Framework. Servers that
+// host many users concurrently (internal/offload) call the factory
+// once per session so that no particle-filter, IODetector, or
+// gating state is shared between walks. Implementations must be safe
+// for concurrent use; the frameworks they return need not be (each
+// session drives its framework from a single goroutine).
+type FrameworkFactory func() (*Framework, error)
+
 // WithIODetector replaces the default indoor/outdoor detector.
 func WithIODetector(d *iodetector.Detector) Option {
 	return func(f *Framework) { f.iod = d }
@@ -174,6 +182,12 @@ func (f *Framework) Step(snap *sensing.Snapshot) StepResult {
 				sr.PredErr, sr.Sigma = 10, 5
 			}
 			f.lastPred[s.Name()] = sr.PredErr
+		} else {
+			// A scheme that produced no estimate this epoch must not
+			// keep its last prediction alive: a stale entry would bias
+			// the GPSWanted comparison forever (e.g. WiFi leaves
+			// coverage but its old 2 m prediction keeps GPS gated off).
+			delete(f.lastPred, s.Name())
 		}
 		res.Schemes[i] = sr
 	}

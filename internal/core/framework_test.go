@@ -210,6 +210,45 @@ func TestGPSGating(t *testing.T) {
 	}
 }
 
+// TestGPSGatingForgetsUnavailableSchemes is the regression for the
+// stale-lastPred bug: a scheme that left coverage kept its last
+// predicted error forever, permanently gating GPS off.
+func TestGPSGatingForgetsUnavailableSchemes(t *testing.T) {
+	gps := &fakeScheme{name: schemes.NameGPS, pos: geo.Pt(0, 0), ok: true, feats: map[string]float64{}}
+	other := &fakeScheme{name: "other", pos: geo.Pt(1, 1), ok: true, feats: map[string]float64{"x": 1}}
+	ms := NewModelSet()
+	ms.Put(&ErrorModel{
+		Scheme: schemes.NameGPS, Env: EnvOutdoor, Features: nil,
+		Reg: &regress.Result{HasIntercept: true, Intercept: 13.5, ResidStd: 9.4},
+	})
+	ms.Put(modelFor("other", EnvOutdoor, 2, 1)) // predicts 2 m while available
+	ms.Put(modelFor("other", EnvIndoor, 2, 1))
+	fw, err := NewFramework([]schemes.Scheme{gps, other}, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Reset(geo.Pt(0, 0))
+
+	// While the other scheme predicts 2 m < 13.5 m, GPS is gated off.
+	fw.Step(outdoorSnap())
+	if fw.GPSWanted() {
+		t.Fatal("GPS should be off while a better scheme is available")
+	}
+	// The other scheme leaves coverage: its stale 2 m prediction must
+	// not keep biasing the gate — GPS is now the only candidate.
+	other.ok = false
+	fw.Step(outdoorSnap())
+	if !fw.GPSWanted() {
+		t.Error("stale prediction of an unavailable scheme must not gate GPS off")
+	}
+	// Coverage returns: gating resumes from the fresh prediction.
+	other.ok = true
+	fw.Step(outdoorSnap())
+	if fw.GPSWanted() {
+		t.Error("gating should resume when the scheme becomes available again")
+	}
+}
+
 func TestModelSetLookupFallback(t *testing.T) {
 	ms := NewModelSet()
 	m := modelFor("s", EnvOutdoor, 1, 1)

@@ -1,6 +1,7 @@
 package offload
 
 import (
+	"errors"
 	"fmt"
 	"net"
 
@@ -8,18 +9,35 @@ import (
 	"repro/internal/sensing"
 )
 
-// Client is the phone side of the offloading protocol: it uploads one
-// epoch's pre-processed sensor data and receives the fused position.
+// ErrRejected reports that the server refused the session handshake;
+// the wrapped message carries the server's reason.
+var ErrRejected = errors.New("offload: session rejected")
+
+// Client is the phone side of the offloading protocol: it opens a
+// session with a hello frame, uploads one epoch's pre-processed sensor
+// data at a time, and receives the fused position.
 type Client struct {
 	conn net.Conn
+
+	clientID  string
+	sessionID uint32
+	helloed   bool
 
 	bytesUp   int
 	bytesDown int
 	epochs    int
 }
 
-// NewClient wraps an established connection to the server.
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+// NewClient wraps an established connection to the server. The
+// optional clientID labels this phone in the server's per-session
+// stats.
+func NewClient(conn net.Conn, clientID ...string) *Client {
+	c := &Client{conn: conn}
+	if len(clientID) > 0 {
+		c.clientID = clientID[0]
+	}
+	return c
+}
 
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -33,11 +51,54 @@ func (c *Client) BytesDown() int { return c.bytesDown }
 // Epochs returns the number of epochs localized.
 func (c *Client) Epochs() int { return c.epochs }
 
+// SessionID returns the server-assigned session ID (0 before Hello).
+func (c *Client) SessionID() uint32 { return c.sessionID }
+
+// Hello performs the session handshake: it announces the protocol
+// version and the walk's starting position, and waits for the server's
+// welcome. It returns ErrRejected (with the server's reason) when the
+// server refuses the session, e.g. at its session limit.
+func (c *Client) Hello(start geo.Point) error {
+	if c.helloed {
+		return fmt.Errorf("%w: hello already sent", ErrProtocol)
+	}
+	h := &Hello{Version: ProtocolVersion, StartX: start.X, StartY: start.Y, ClientID: c.clientID}
+	n, err := WriteFrame(c.conn, MsgHello, EncodeHello(h))
+	c.bytesUp += n
+	if err != nil {
+		return err
+	}
+	t, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	c.bytesDown += 3 + len(payload)
+	if t != MsgWelcome {
+		return fmt.Errorf("%w: expected welcome, got type %d", ErrProtocol, t)
+	}
+	w, err := DecodeWelcome(payload)
+	if err != nil {
+		return err
+	}
+	if !w.OK {
+		return fmt.Errorf("%w: %s", ErrRejected, w.Reason)
+	}
+	c.sessionID = w.SessionID
+	c.helloed = true
+	return nil
+}
+
 // Localize uploads one snapshot and returns the server's result. The
 // inertial step travels as the paper's 4-byte intermediate result; the
 // GNSS fix is uploaded only when it meets the reliability criterion
-// (§IV-C).
+// (§IV-C). If Hello has not been called, a handshake starting at the
+// map origin is performed first.
 func (c *Client) Localize(snap *sensing.Snapshot) (*Result, error) {
+	if !c.helloed {
+		if err := c.Hello(geo.Pt(0, 0)); err != nil {
+			return nil, err
+		}
+	}
 	write := func(t MsgType, payload []byte) error {
 		n, err := WriteFrame(c.conn, t, payload)
 		c.bytesUp += n

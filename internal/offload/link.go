@@ -29,3 +29,19 @@ func (l LinkModel) TransferTime(n int) time.Duration {
 	}
 	return l.BaseLatency + time.Duration(float64(n)/l.Bandwidth*float64(time.Second))
 }
+
+// RoundTrip returns the modeled time to upload up bytes and receive
+// down bytes (one request/response exchange of the offload protocol).
+func (l LinkModel) RoundTrip(up, down int) time.Duration {
+	return l.TransferTime(up) + l.TransferTime(down)
+}
+
+// HandshakeTime returns the modeled one-off cost of the protocol-v2
+// session handshake (hello up, welcome down) for a client with the
+// given ID. It is paid once per walk, not per epoch.
+func HandshakeTime(l LinkModel, clientID string) time.Duration {
+	const frame = 3 // [type][uint16 length]
+	up := frame + len(EncodeHello(&Hello{Version: ProtocolVersion, ClientID: clientID}))
+	down := frame + len(EncodeWelcome(&Welcome{Version: ProtocolVersion, OK: true}))
+	return l.RoundTrip(up, down)
+}

@@ -163,13 +163,25 @@ func TestLandmarkCodec(t *testing.T) {
 }
 
 func TestResultCodec(t *testing.T) {
-	r := &Result{X: 12.5, Y: -3.25, BestX: 11, BestY: -2, Selected: "fusion", Env: 1}
+	r := &Result{X: 12.5, Y: -3.25, BestX: 11, BestY: -2, Selected: "fusion", Env: 1, OK: true}
 	back, err := DecodeResult(EncodeResult(r))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if back.Selected != "fusion" || back.Env != 1 {
 		t.Error("result meta wrong")
+	}
+	if !back.OK {
+		t.Error("OK flag must round-trip")
+	}
+	// An unavailable epoch round-trips OK=false so the client can
+	// distinguish "no scheme available" from a fix at the origin.
+	unavail, err := DecodeResult(EncodeResult(&Result{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unavail.OK {
+		t.Error("zero result must decode with OK=false")
 	}
 	if math.Abs(back.X-12.5) > 1e-3 || math.Abs(back.BestY+2) > 1e-3 {
 		t.Error("result coordinates wrong")
@@ -179,6 +191,52 @@ func TestResultCodec(t *testing.T) {
 	}
 	if _, err := DecodeResult([]byte{1, 2}); err == nil {
 		t.Error("short result should fail")
+	}
+}
+
+func TestHelloCodec(t *testing.T) {
+	h := &Hello{Version: ProtocolVersion, StartX: 12.25, StartY: -4.5, ClientID: "phone-7"}
+	back, err := DecodeHello(EncodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != ProtocolVersion || back.ClientID != "phone-7" {
+		t.Errorf("hello meta = %+v", back)
+	}
+	if math.Abs(back.StartX-12.25) > 1e-3 || math.Abs(back.StartY+4.5) > 1e-3 {
+		t.Error("hello start wrong")
+	}
+	// Anonymous client (no ID) round-trips.
+	anon, err := DecodeHello(EncodeHello(&Hello{Version: ProtocolVersion}))
+	if err != nil || anon.ClientID != "" {
+		t.Errorf("anonymous hello: %+v %v", anon, err)
+	}
+	if _, err := DecodeHello([]byte{2, 0}); err == nil {
+		t.Error("short hello should fail")
+	}
+	if _, err := DecodeHello(EncodeHello(h)[:11]); err == nil {
+		t.Error("truncated hello should fail")
+	}
+}
+
+func TestWelcomeCodec(t *testing.T) {
+	w := &Welcome{Version: ProtocolVersion, OK: true, SessionID: 90210}
+	back, err := DecodeWelcome(EncodeWelcome(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.OK || back.SessionID != 90210 || back.Version != ProtocolVersion {
+		t.Errorf("welcome = %+v", back)
+	}
+	rej, err := DecodeWelcome(EncodeWelcome(&Welcome{Version: ProtocolVersion, Reason: "offload: server full"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej.OK || rej.Reason != "offload: server full" {
+		t.Errorf("rejection = %+v", rej)
+	}
+	if _, err := DecodeWelcome([]byte{2, 1}); err == nil {
+		t.Error("short welcome should fail")
 	}
 }
 
@@ -197,6 +255,16 @@ func TestLinkModel(t *testing.T) {
 	}
 	if CellLink().TransferTime(1000) <= WiFiLink().TransferTime(1000) {
 		t.Error("cellular link should be slower")
+	}
+	if l.RoundTrip(100, 50) != l.TransferTime(100)+l.TransferTime(50) {
+		t.Error("RoundTrip must sum both directions")
+	}
+	hs := HandshakeTime(l, "phone-1")
+	if hs < 2*l.BaseLatency {
+		t.Errorf("handshake %v must pay latency both ways", hs)
+	}
+	if HandshakeTime(l, "a-much-longer-client-identifier") <= hs-time.Millisecond {
+		t.Error("longer client IDs cannot make the handshake cheaper")
 	}
 }
 

@@ -38,7 +38,14 @@ const (
 	MsgLandmark                      // detected landmark signature
 	MsgEpochEnd                      // end of one epoch's upload
 	MsgResult                        // server → phone: fused location
+	MsgHello                         // phone → server: session handshake (v2)
+	MsgWelcome                       // server → phone: handshake reply (v2)
 )
+
+// ProtocolVersion is the current wire version. Version 2 added the
+// session handshake (MsgHello/MsgWelcome) and the availability flag on
+// Result.
+const ProtocolVersion = 2
 
 // ErrProtocol reports a malformed frame.
 var ErrProtocol = errors.New("offload: protocol error")
@@ -244,6 +251,99 @@ func DecodeLandmark(b []byte) (*sensing.LandmarkHit, error) {
 	return l, nil
 }
 
+// Hello is the client's session handshake: the protocol version it
+// speaks, the walk's starting position in the local map frame (the
+// server resets the session's fresh framework there), and an optional
+// client identifier surfaced in the server's per-session stats.
+type Hello struct {
+	Version  byte
+	StartX   float64
+	StartY   float64
+	ClientID string
+}
+
+// EncodeHello packs a hello frame: [version][float32 startX]
+// [float32 startY][uint8 idLen][clientID].
+func EncodeHello(h *Hello) []byte {
+	id := h.ClientID
+	if len(id) > 255 {
+		id = id[:255]
+	}
+	out := make([]byte, 0, 1+8+1+len(id))
+	out = append(out, h.Version)
+	var f [4]byte
+	binary.BigEndian.PutUint32(f[:], math.Float32bits(float32(h.StartX)))
+	out = append(out, f[:]...)
+	binary.BigEndian.PutUint32(f[:], math.Float32bits(float32(h.StartY)))
+	out = append(out, f[:]...)
+	out = append(out, byte(len(id)))
+	out = append(out, id...)
+	return out
+}
+
+// DecodeHello unpacks a hello frame.
+func DecodeHello(b []byte) (*Hello, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("%w: short hello", ErrProtocol)
+	}
+	h := &Hello{Version: b[0]}
+	h.StartX = float64(math.Float32frombits(binary.BigEndian.Uint32(b[1:])))
+	h.StartY = float64(math.Float32frombits(binary.BigEndian.Uint32(b[5:])))
+	n := int(b[9])
+	if len(b) < 10+n {
+		return nil, fmt.Errorf("%w: truncated hello", ErrProtocol)
+	}
+	h.ClientID = string(b[10 : 10+n])
+	return h, nil
+}
+
+// Welcome is the server's handshake reply. OK=false means the session
+// was rejected (e.g. the server is at its session limit); Reason then
+// explains why and the server closes the connection.
+type Welcome struct {
+	Version   byte
+	OK        bool
+	SessionID uint32
+	Reason    string
+}
+
+// EncodeWelcome packs a welcome frame: [version][ok][uint32 session]
+// [uint8 reasonLen][reason].
+func EncodeWelcome(w *Welcome) []byte {
+	reason := w.Reason
+	if len(reason) > 255 {
+		reason = reason[:255]
+	}
+	out := make([]byte, 0, 1+1+4+1+len(reason))
+	out = append(out, w.Version)
+	if w.OK {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	var s [4]byte
+	binary.BigEndian.PutUint32(s[:], w.SessionID)
+	out = append(out, s[:]...)
+	out = append(out, byte(len(reason)))
+	out = append(out, reason...)
+	return out
+}
+
+// DecodeWelcome unpacks a welcome frame.
+func DecodeWelcome(b []byte) (*Welcome, error) {
+	if len(b) < 7 {
+		return nil, fmt.Errorf("%w: short welcome", ErrProtocol)
+	}
+	w := &Welcome{Version: b[0], OK: b[1] == 1}
+	w.SessionID = binary.BigEndian.Uint32(b[2:])
+	n := int(b[6])
+	if len(b) < 7+n {
+		return nil, fmt.Errorf("%w: truncated welcome", ErrProtocol)
+	}
+	w.Reason = string(b[7 : 7+n])
+	return w, nil
+}
+
 // Result is the server's reply for one epoch.
 type Result struct {
 	X, Y     float64 // fused position (UniLoc2)
@@ -251,17 +351,23 @@ type Result struct {
 	BestY    float64
 	Selected string // UniLoc1's selected scheme name
 	Env      byte   // 1 indoor, 2 outdoor
+	OK       bool   // at least one scheme was available this epoch
 }
 
 // EncodeResult packs a result frame.
 func EncodeResult(r *Result) []byte {
-	out := make([]byte, 0, 16+1+len(r.Selected)+1)
+	out := make([]byte, 0, 16+2+len(r.Selected)+1)
 	var f [4]byte
 	for _, v := range []float64{r.X, r.Y, r.BestX, r.BestY} {
 		binary.BigEndian.PutUint32(f[:], math.Float32bits(float32(v)))
 		out = append(out, f[:]...)
 	}
 	out = append(out, r.Env)
+	if r.OK {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
 	out = append(out, byte(len(r.Selected)))
 	out = append(out, r.Selected...)
 	return out
@@ -269,7 +375,7 @@ func EncodeResult(r *Result) []byte {
 
 // DecodeResult unpacks a result frame.
 func DecodeResult(b []byte) (*Result, error) {
-	if len(b) < 18 {
+	if len(b) < 19 {
 		return nil, fmt.Errorf("%w: short result", ErrProtocol)
 	}
 	r := &Result{}
@@ -279,10 +385,11 @@ func DecodeResult(b []byte) (*Result, error) {
 	}
 	r.X, r.Y, r.BestX, r.BestY = vals[0], vals[1], vals[2], vals[3]
 	r.Env = b[16]
-	n := int(b[17])
-	if len(b) < 18+n {
+	r.OK = b[17] == 1
+	n := int(b[18])
+	if len(b) < 19+n {
 		return nil, fmt.Errorf("%w: truncated result", ErrProtocol)
 	}
-	r.Selected = string(b[18 : 18+n])
+	r.Selected = string(b[19 : 19+n])
 	return r, nil
 }

@@ -1,53 +1,136 @@
 package offload
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/geo"
 	"repro/internal/sensing"
 )
 
-// Server runs the UniLoc framework (all localization schemes, error
-// prediction, and BMA) on behalf of phones. One framework instance
-// serves one walk at a time; the paper's workstation similarly hosts
-// the particle-filter state per user.
-type Server struct {
-	mu sync.Mutex
-	fw *core.Framework
+// ServerConfig configures a multi-session offload server.
+type ServerConfig struct {
+	// Factory builds one fresh framework per session. Required; must
+	// be safe for concurrent use.
+	Factory core.FrameworkFactory
+
+	// MaxSessions caps concurrent sessions; further hellos are
+	// rejected gracefully with a Welcome{OK: false}. 0 = unlimited.
+	MaxSessions int
+
+	// IdleTimeout evicts sessions with no served epoch for this long.
+	// 0 = never evict.
+	IdleTimeout time.Duration
 }
 
-// NewServer wraps a framework.
-func NewServer(fw *core.Framework) *Server { return &Server{fw: fw} }
+// Server runs the UniLoc framework (all localization schemes, error
+// prediction, and BMA) on behalf of phones. Each connection gets its
+// own framework from the factory, so concurrent walks never share
+// particle-filter, IODetector, or gating state — the paper's
+// workstation similarly hosts the localization state per user (§IV-C).
+type Server struct {
+	mgr *SessionManager
+}
 
-// Serve processes epochs from one connection until EOF or error. It
-// returns nil on clean shutdown (client closed the connection between
-// epochs).
+// NewServer builds a multi-session server from the config.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	mgr, err := NewSessionManager(cfg.Factory, cfg.MaxSessions, cfg.IdleTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{mgr: mgr}, nil
+}
+
+// Sessions exposes the server's session manager (stats, manual
+// eviction).
+func (s *Server) Sessions() *SessionManager { return s.mgr }
+
+// Stats returns a snapshot of the server's session and epoch counters.
+func (s *Server) Stats() Stats { return s.mgr.Stats() }
+
+// handshake reads the client's hello and admits or rejects the
+// session. A nil session with a nil error means the client was
+// rejected gracefully.
+func (s *Server) handshake(conn net.Conn) (*Session, error) {
+	t, payload, err := ReadFrame(conn)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, nil // client went away before the handshake
+		}
+		return nil, err
+	}
+	if t != MsgHello {
+		return nil, fmt.Errorf("%w: expected hello, got type %d", ErrProtocol, t)
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil {
+		return nil, err
+	}
+	if hello.Version > ProtocolVersion {
+		reject := &Welcome{Version: ProtocolVersion, Reason: fmt.Sprintf("unsupported protocol version %d", hello.Version)}
+		_, _ = WriteFrame(conn, MsgWelcome, EncodeWelcome(reject))
+		return nil, fmt.Errorf("%w: client version %d > %d", ErrProtocol, hello.Version, ProtocolVersion)
+	}
+	sess, err := s.mgr.Open(hello.ClientID, geo.Pt(hello.StartX, hello.StartY), conn)
+	if err != nil {
+		reject := &Welcome{Version: ProtocolVersion, Reason: err.Error()}
+		_, _ = WriteFrame(conn, MsgWelcome, EncodeWelcome(reject))
+		if errors.Is(err, ErrServerFull) {
+			return nil, nil // graceful rejection, not a transport failure
+		}
+		return nil, err
+	}
+	welcome := &Welcome{Version: ProtocolVersion, OK: true, SessionID: sess.ID}
+	if _, err := WriteFrame(conn, MsgWelcome, EncodeWelcome(welcome)); err != nil {
+		s.mgr.Close(sess)
+		return nil, err
+	}
+	return sess, nil
+}
+
+// Serve processes one connection: session handshake, then epochs until
+// EOF or error. It returns nil on clean shutdown (client closed the
+// connection, graceful rejection, or idle eviction).
 func (s *Server) Serve(conn net.Conn) error {
 	defer func() { _ = conn.Close() }()
+	sess, err := s.handshake(conn)
+	if err != nil || sess == nil {
+		return err
+	}
+	defer s.mgr.Close(sess)
 	for {
 		snap, err := s.readEpoch(conn)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
+			if sess.evicted.Load() {
+				return nil // reaper closed the connection under us
+			}
 			return err
 		}
-		s.mu.Lock()
-		res := s.fw.Step(snap)
-		s.mu.Unlock()
+		t0 := time.Now()
+		res := sess.fw.Step(snap)
+		s.mgr.RecordEpoch(sess, time.Since(t0))
 
 		out := &Result{
 			X: res.BMA.X, Y: res.BMA.Y,
 			BestX: res.Best.X, BestY: res.Best.Y,
 			Env: byte(res.Env),
+			OK:  res.OK,
 		}
 		if res.BestIdx >= 0 {
 			out.Selected = res.Schemes[res.BestIdx].Name
 		}
 		if _, err := WriteFrame(conn, MsgResult, EncodeResult(out)); err != nil {
+			if sess.evicted.Load() {
+				return nil
+			}
 			return err
 		}
 	}
@@ -119,16 +202,42 @@ func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, error) {
 	}
 }
 
-// ListenAndServe accepts connections on ln and serves each until it
-// closes. It returns when the listener is closed. Connection-level
-// errors are reported through errf (may be nil).
+// Accept-loop backoff bounds for transient Accept errors.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
+// ListenAndServe accepts connections on ln and serves each in its own
+// goroutine until the listener is closed. Transient Accept errors
+// (e.g. EMFILE, ECONNABORTED) are retried with capped exponential
+// backoff instead of killing the server. Connection-level errors are
+// reported through errf (may be nil). If an idle timeout is
+// configured, a reaper goroutine evicts quiet sessions while the loop
+// runs.
 func (s *Server) ListenAndServe(ln net.Listener, errf func(error)) {
+	stopReaper := s.startReaper()
+	defer stopReaper()
+
 	var wg sync.WaitGroup
+	backoff := acceptBackoffMin
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			break
+			if errors.Is(err, net.ErrClosed) {
+				break
+			}
+			if errf != nil {
+				errf(fmt.Errorf("offload: accept: %w (retrying in %v)", err, backoff))
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		backoff = acceptBackoffMin
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -138,4 +247,31 @@ func (s *Server) ListenAndServe(ln net.Listener, errf func(error)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// startReaper launches the idle-eviction goroutine and returns its
+// stop function. With no idle timeout configured it is a no-op.
+func (s *Server) startReaper() func() {
+	if s.mgr.idleTimeout <= 0 {
+		return func() {}
+	}
+	period := s.mgr.idleTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s.mgr.EvictIdle()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }

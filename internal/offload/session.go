@@ -1,0 +1,219 @@
+package offload
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// ErrServerFull reports that the server refused a new session because
+// it is at its configured session limit.
+var ErrServerFull = errors.New("offload: server full")
+
+// Session is one client's private slice of the server: its own
+// framework (schemes, particle filters, IODetector, gating state) plus
+// bookkeeping. The paper's workstation likewise hosts the
+// particle-filter state per user (§IV-C).
+type Session struct {
+	ID       uint32
+	ClientID string
+
+	fw   *core.Framework
+	conn net.Conn
+
+	evicted atomic.Bool
+
+	mu         sync.Mutex
+	lastActive time.Time
+	epochs     int64
+	latency    time.Duration
+}
+
+// touch records activity and the latency of one served epoch.
+func (s *Session) touch(now time.Time, d time.Duration) {
+	s.mu.Lock()
+	s.lastActive = now
+	s.epochs++
+	s.latency += d
+	s.mu.Unlock()
+}
+
+// SessionStat is one session's row in a Stats snapshot.
+type SessionStat struct {
+	ID         uint32
+	ClientID   string
+	Epochs     int64
+	AvgLatency time.Duration // mean framework step time per epoch
+	Idle       time.Duration // time since the last served epoch
+}
+
+// Stats is a point-in-time snapshot of a SessionManager's counters.
+type Stats struct {
+	Opened   int64 // sessions accepted since start
+	Closed   int64 // sessions ended (including evictions)
+	Rejected int64 // hellos refused at the session limit
+	Evicted  int64 // sessions closed by the idle reaper
+	Active   int   // sessions live right now
+
+	EpochsServed    int64         // epochs across all sessions, ever
+	EpochLatencyAvg time.Duration // mean framework step time per epoch
+
+	Sessions []SessionStat // live sessions, per-session detail
+}
+
+// SessionManager owns the per-connection frameworks of a multi-user
+// offload server: it builds one fresh framework per session from the
+// factory, tracks live sessions by ID, enforces the session limit, and
+// evicts sessions whose clients have gone quiet.
+type SessionManager struct {
+	factory     core.FrameworkFactory
+	maxSessions int           // 0 = unlimited
+	idleTimeout time.Duration // 0 = never evict
+	now         func() time.Time
+
+	mu       sync.Mutex
+	sessions map[uint32]*Session
+	nextID   uint32
+
+	opened   atomic.Int64
+	closed   atomic.Int64
+	rejected atomic.Int64
+	evicted  atomic.Int64
+	epochs   atomic.Int64
+	latency  atomic.Int64 // total step time, nanoseconds
+}
+
+// NewSessionManager builds a manager over a framework factory.
+func NewSessionManager(factory core.FrameworkFactory, maxSessions int, idleTimeout time.Duration) (*SessionManager, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("offload: session manager needs a framework factory")
+	}
+	return &SessionManager{
+		factory:     factory,
+		maxSessions: maxSessions,
+		idleTimeout: idleTimeout,
+		now:         time.Now,
+		sessions:    make(map[uint32]*Session),
+	}, nil
+}
+
+// Open admits a new session: it enforces the session limit, builds a
+// fresh framework from the factory, and resets it at the client's
+// starting position. It returns ErrServerFull at the limit.
+func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (*Session, error) {
+	m.mu.Lock()
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return nil, ErrServerFull
+	}
+	m.nextID++
+	id := m.nextID
+	m.mu.Unlock()
+
+	// Build outside the lock: training-grade factories may be slow and
+	// must not serialize unrelated sessions.
+	fw, err := m.factory()
+	if err != nil {
+		return nil, fmt.Errorf("offload: framework factory: %w", err)
+	}
+	fw.Reset(start)
+
+	s := &Session{ID: id, ClientID: clientID, fw: fw, conn: conn, lastActive: m.now()}
+	m.mu.Lock()
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		// Lost the race against concurrent opens while building.
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return nil, ErrServerFull
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	m.opened.Add(1)
+	return s, nil
+}
+
+// Close removes a session from the live set. Idempotent.
+func (m *SessionManager) Close(s *Session) {
+	m.mu.Lock()
+	_, live := m.sessions[s.ID]
+	delete(m.sessions, s.ID)
+	m.mu.Unlock()
+	if live {
+		m.closed.Add(1)
+	}
+}
+
+// RecordEpoch accounts one served epoch and its framework step time.
+func (m *SessionManager) RecordEpoch(s *Session, d time.Duration) {
+	s.touch(m.now(), d)
+	m.epochs.Add(1)
+	m.latency.Add(int64(d))
+}
+
+// EvictIdle closes the connections of sessions idle longer than the
+// configured timeout and returns how many it evicted. The serving
+// goroutine notices the closed connection, exits cleanly, and removes
+// the session. A zero idle timeout disables eviction.
+func (m *SessionManager) EvictIdle() int {
+	if m.idleTimeout <= 0 {
+		return 0
+	}
+	cutoff := m.now().Add(-m.idleTimeout)
+	var victims []*Session
+	m.mu.Lock()
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		idle := s.lastActive.Before(cutoff)
+		s.mu.Unlock()
+		if idle {
+			victims = append(victims, s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range victims {
+		if s.evicted.CompareAndSwap(false, true) {
+			m.evicted.Add(1)
+			if s.conn != nil {
+				_ = s.conn.Close()
+			}
+		}
+	}
+	return len(victims)
+}
+
+// Stats returns a snapshot of the manager's counters and live
+// sessions.
+func (m *SessionManager) Stats() Stats {
+	st := Stats{
+		Opened:       m.opened.Load(),
+		Closed:       m.closed.Load(),
+		Rejected:     m.rejected.Load(),
+		Evicted:      m.evicted.Load(),
+		EpochsServed: m.epochs.Load(),
+	}
+	if st.EpochsServed > 0 {
+		st.EpochLatencyAvg = time.Duration(m.latency.Load() / st.EpochsServed)
+	}
+	now := m.now()
+	m.mu.Lock()
+	st.Active = len(m.sessions)
+	st.Sessions = make([]SessionStat, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		row := SessionStat{ID: s.ID, ClientID: s.ClientID, Epochs: s.epochs, Idle: now.Sub(s.lastActive)}
+		if s.epochs > 0 {
+			row.AvgLatency = s.latency / time.Duration(s.epochs)
+		}
+		s.mu.Unlock()
+		st.Sessions = append(st.Sessions, row)
+	}
+	m.mu.Unlock()
+	return st
+}

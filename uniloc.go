@@ -167,20 +167,34 @@ func Summary(run *PathRun) string {
 // Offloading types (§IV-C): the phone↔server protocol that moves
 // scheme execution, error prediction and BMA off the phone.
 type (
-	// OffloadServer runs the framework on behalf of phones.
+	// OffloadServer runs one private framework per connected phone.
 	OffloadServer = offload.Server
+	// OffloadServerConfig configures the multi-session server
+	// (framework factory, session limit, idle eviction).
+	OffloadServerConfig = offload.ServerConfig
+	// OffloadStats is a snapshot of the server's session counters.
+	OffloadStats = offload.Stats
 	// OffloadClient is the phone side of the protocol.
 	OffloadClient = offload.Client
 	// OffloadResult is the server's per-epoch reply.
 	OffloadResult = offload.Result
+	// FrameworkFactory builds one fresh framework per offload session.
+	FrameworkFactory = core.FrameworkFactory
 )
 
-// NewOffloadServer wraps a framework as an offload server.
-func NewOffloadServer(fw *Framework) *OffloadServer { return offload.NewServer(fw) }
+// NewOffloadServer builds a multi-session offload server: each
+// connecting phone gets its own framework from cfg.Factory, so
+// concurrent walks never share localization state.
+func NewOffloadServer(cfg OffloadServerConfig) (*OffloadServer, error) {
+	return offload.NewServer(cfg)
+}
 
 // NewOffloadClient wraps an established connection to an offload
-// server.
-func NewOffloadClient(conn net.Conn) *OffloadClient { return offload.NewClient(conn) }
+// server. The optional clientID labels the phone in the server's
+// per-session stats.
+func NewOffloadClient(conn net.Conn, clientID ...string) *OffloadClient {
+	return offload.NewClient(conn, clientID...)
+}
 
 // NewWalker generates sensor snapshots along a path of a world.
 func NewWalker(w *World, p Path, cfg WalkerConfig, rnd *rand.Rand) *Walker {

@@ -94,20 +94,21 @@ func TestPublicOffloadOverTCP(t *testing.T) {
 	tr := trainedOnce(t)
 	place := TrainingOffice()
 	assets := NewAssets(place, 42)
-	ss := NewSchemes(assets, rand.New(rand.NewSource(2)))
-	fw, err := NewFramework(ss, tr.Models)
+	factory := func() (*Framework, error) {
+		ss := NewSchemes(assets, rand.New(rand.NewSource(2)))
+		return NewFramework(ss, tr.Models)
+	}
+	srv, err := NewOffloadServer(OffloadServerConfig{Factory: factory})
 	if err != nil {
 		t.Fatal(err)
 	}
 	path := place.Paths[0]
 	start, _ := path.Line.At(0)
-	fw.Reset(start)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewOffloadServer(fw)
 	go srv.ListenAndServe(ln, nil)
 	defer func() { _ = ln.Close() }()
 
@@ -115,8 +116,11 @@ func TestPublicOffloadOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := NewOffloadClient(conn)
+	client := NewOffloadClient(conn, "test-phone")
 	defer func() { _ = client.Close() }()
+	if err := client.Hello(start); err != nil {
+		t.Fatal(err)
+	}
 
 	rnd := rand.New(rand.NewSource(3))
 	wk := NewWalker(place.World, path, assets.DefaultWalkerConfig(), rnd)
