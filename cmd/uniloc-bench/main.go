@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	uniloc-bench [-seed N] [-run id[,id...]] [-list]
+//	uniloc-bench [-seed N] [-run id[,id...]] [-list] [-trace file.jsonl]
 //
 // Without -run it executes every experiment in paper order and prints
 // the regenerated rows/series as text tables. Experiment IDs: table1,
@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -32,9 +33,22 @@ func run() error {
 	seed := flag.Int64("seed", 42, "master random seed for all experiments")
 	only := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	trace := flag.String("trace", "", "write JSONL epoch traces from trace-driven experiments (table5) to this file")
 	flag.Parse()
 
 	suite := experiments.NewSuite(*seed)
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		bw := bufio.NewWriter(f)
+		defer func() {
+			_ = bw.Flush()
+			_ = f.Close()
+		}()
+		suite.TraceWriter = bw
+	}
 	if *list {
 		for _, e := range suite.All() {
 			fmt.Println(e.ID)

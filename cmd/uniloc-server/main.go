@@ -5,37 +5,50 @@
 // pre-processed sensor epochs, and receive fused positions. Every
 // connection gets its own framework instance, so any number of phones
 // can walk concurrently without sharing localization state.
+//
+// With -metrics-addr set, a second HTTP listener exposes the
+// telemetry registry (RED metrics: sessions, epochs, frame bytes,
+// step-latency histogram) as Prometheus text at /metrics and JSON at
+// /metrics.json, plus expvar at /debug/vars and pprof at
+// /debug/pprof/.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
+	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/offload"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7031", "listen address")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof/ on this address (empty = off)")
 	seed := flag.Int64("seed", 42, "master random seed")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "evict sessions idle this long (0 = never)")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "log session stats this often (0 = never)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *maxSessions, *idleTimeout, *statsEvery); err != nil {
+	if err := run(*addr, *metricsAddr, *seed, *maxSessions, *idleTimeout, *statsEvery); err != nil {
 		log.Fatalf("uniloc-server: %v", err)
 	}
 }
 
-func run(addr string, seed int64, maxSessions int, idleTimeout, statsEvery time.Duration) error {
+func run(addr, metricsAddr string, seed int64, maxSessions int, idleTimeout, statsEvery time.Duration) error {
 	tr, err := eval.Train(seed)
 	if err != nil {
 		return fmt.Errorf("training: %w", err)
@@ -53,10 +66,12 @@ func run(addr string, seed int64, maxSessions int, idleTimeout, statsEvery time.
 		return core.NewFramework(ss, tr.Models)
 	}
 
+	reg := telemetry.NewRegistry()
 	srv, err := offload.NewServer(offload.ServerConfig{
 		Factory:     factory,
 		MaxSessions: maxSessions,
 		IdleTimeout: idleTimeout,
+		Metrics:     reg,
 	})
 	if err != nil {
 		return err
@@ -69,17 +84,89 @@ func run(addr string, seed int64, maxSessions int, idleTimeout, statsEvery time.
 	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v)",
 		ln.Addr(), maxSessions, idleTimeout)
 
-	if statsEvery > 0 {
+	// Optional exposition endpoint: Prometheus + JSON metrics, expvar,
+	// pprof.
+	var metricsSrv *http.Server
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			_ = ln.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		metricsSrv = &http.Server{Handler: telemetry.NewMux(reg)}
 		go func() {
-			for range time.Tick(statsEvery) {
-				st := srv.Stats()
-				log.Printf("sessions: active=%d opened=%d closed=%d rejected=%d evicted=%d epochs=%d avg-step=%v",
-					st.Active, st.Opened, st.Closed, st.Rejected, st.Evicted,
-					st.EpochsServed, st.EpochLatencyAvg)
+			log.Printf("metrics on http://%s/metrics (pprof at /debug/pprof/)", mln.Addr())
+			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
 			}
 		}()
 	}
 
+	// Periodic stats logging, driven by the telemetry snapshot. The
+	// ticker is owned here and stopped on shutdown — a bare time.Tick
+	// would leak the goroutine and keep firing into a dead server.
+	statsDone := make(chan struct{})
+	statsStopped := make(chan struct{})
+	go func() {
+		defer close(statsStopped)
+		if statsEvery <= 0 {
+			<-statsDone
+			return
+		}
+		tick := time.NewTicker(statsEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-statsDone:
+				return
+			case <-tick.C:
+				logStats(reg)
+			}
+		}
+	}()
+
+	// Close the listener on SIGINT/SIGTERM: ListenAndServe drains its
+	// connections and returns, then the stats ticker and metrics
+	// endpoint are shut down in order.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("received %v, shutting down", s)
+		_ = ln.Close()
+	}()
+
 	srv.ListenAndServe(ln, func(err error) { log.Printf("conn error: %v", err) })
+	signal.Stop(sig)
+
+	close(statsDone)
+	<-statsStopped
+	logStats(reg) // final snapshot so short runs still report
+
+	if metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = metricsSrv.Shutdown(ctx)
+	}
 	return nil
+}
+
+// logStats renders the session/epoch counters from one telemetry
+// snapshot — the same numbers a /metrics scrape would see.
+func logStats(reg *telemetry.Registry) {
+	snap := reg.Snapshot()
+	get := func(name string, labels ...string) float64 {
+		v, _ := snap.Get(name, labels...)
+		return v
+	}
+	epochs := get("uniloc_epochs_served_total")
+	avgStep := time.Duration(0)
+	if h := reg.Histogram("uniloc_step_seconds", "", nil); h.Count() > 0 {
+		avgStep = time.Duration(h.Sum() / float64(h.Count()) * float64(time.Second)).Round(time.Microsecond)
+	}
+	log.Printf("sessions: active=%.0f opened=%.0f closed=%.0f rejected=%.0f evicted=%.0f epochs=%.0f avg-step=%v bytes-in=%.0f bytes-out=%.0f",
+		get("uniloc_sessions_active"), get("uniloc_sessions_opened_total"),
+		get("uniloc_sessions_closed_total"), get("uniloc_sessions_rejected_total"),
+		get("uniloc_sessions_evicted_total"), epochs, avgStep,
+		get("uniloc_frame_bytes_total", "dir", "in"), get("uniloc_frame_bytes_total", "dir", "out"))
 }

@@ -1,0 +1,108 @@
+// Telemetry: walk the campus daily path with epoch tracing on, export
+// the traces as JSONL, and decompose where every millisecond of a
+// location estimate goes — the live, per-user version of the paper's
+// Table V. The same observer hook drives uniloc-server's /metrics
+// endpoint; here it runs in-process so the output is easy to poke at.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	uniloc "repro"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	const seed = 42
+
+	fmt.Println("training error models (office + open space)...")
+	trained, err := uniloc.Train(seed)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+	place := uniloc.Campus()
+	assets := uniloc.NewAssets(place, seed+100)
+	path := place.Paths[0]
+
+	// Two sinks behind one observer: a collector for in-process
+	// analysis and a JSONL file for offline tooling (jq, notebooks).
+	tracePath := filepath.Join(os.TempDir(), "uniloc-traces.jsonl")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatalf("trace file: %v", err)
+	}
+	defer f.Close()
+	col := &uniloc.TraceCollector{}
+	obs := telemetry.MultiObserver(col, telemetry.NewJSONLWriter(f))
+
+	ss := uniloc.NewSchemes(assets, rand.New(rand.NewSource(seed+7)))
+	fw, err := uniloc.NewFramework(ss, trained.Models, uniloc.WithObserver(obs))
+	if err != nil {
+		log.Fatalf("framework: %v", err)
+	}
+
+	// A registry like the offload server's, fed from the traces: the
+	// same histogram a Prometheus scrape of uniloc-server would see.
+	reg := uniloc.NewMetricsRegistry()
+	stepHist := reg.Histogram("uniloc_step_seconds", "Framework.Step latency", telemetry.DefBuckets())
+
+	fmt.Printf("walking %s (%.0f m) with epoch tracing on...\n", path.Name, path.Line.Length())
+	start, _ := path.Line.At(0)
+	fw.Reset(start)
+	rnd := rand.New(rand.NewSource(10))
+	wk := uniloc.NewWalker(place.World, path, assets.DefaultWalkerConfig(), rnd)
+	for !wk.Done() {
+		snap, _ := wk.Next(fw.GPSWanted())
+		fw.Step(snap)
+	}
+
+	traces := col.Traces()
+	if len(traces) == 0 {
+		log.Fatal("no traces collected")
+	}
+
+	// Decompose the walk from its own telemetry, Table V style.
+	schemeNS := map[string]int64{}
+	var predNS, combineNS, stepNS int64
+	envs := map[string]int{}
+	gpsOn, avail := 0, map[string]int{}
+	for _, t := range traces {
+		stepNS += t.StepNS
+		predNS += t.PredictNS
+		combineNS += t.CombineNS
+		envs[t.Env]++
+		if t.GPSWanted {
+			gpsOn++
+		}
+		for _, st := range t.Schemes {
+			schemeNS[st.Scheme] += st.EstimateNS
+			if st.Available {
+				avail[st.Scheme]++
+			}
+		}
+		stepHist.ObserveDuration(time.Duration(t.StepNS))
+	}
+	n := float64(len(traces))
+	ms := func(total int64) float64 { return float64(total) / n / 1e6 }
+
+	fmt.Printf("\n%d epochs traced (%d indoor, %d outdoor; GPS wanted %.0f%% of epochs)\n",
+		len(traces), envs["indoor"], envs["outdoor"], 100*float64(gpsOn)/n)
+	fmt.Println("\nper-scheme server compute, measured per epoch:")
+	for name, total := range schemeNS {
+		fmt.Printf("  %-9s %7.3f ms  (available %3.0f%% of epochs)\n",
+			name, ms(total), 100*float64(avail[name])/n)
+	}
+	fmt.Printf("\nerror prediction: %.3f ms   BMA+selection: %.3f ms   full step: %.3f ms\n",
+		ms(predNS), ms(combineNS), ms(stepNS))
+	fmt.Printf("step latency p50=%.2f ms  p95=%.2f ms\n",
+		stepHist.Quantile(0.5)*1e3, stepHist.Quantile(0.95)*1e3)
+
+	fi, _ := f.Stat()
+	fmt.Printf("\ntraces exported to %s (%d bytes); analyze offline with e.g.\n", tracePath, fi.Size())
+	fmt.Printf("  jq -s 'map(.step_ns) | add/length/1e6' %s\n", tracePath)
+}

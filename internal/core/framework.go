@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/iodetector"
 	"repro/internal/schemes"
 	"repro/internal/sensing"
+	"repro/internal/telemetry"
 )
 
 // StepResult is everything UniLoc computes for one sensing epoch.
@@ -63,6 +65,17 @@ func WithPruneFrac(frac float64) Option {
 	return func(f *Framework) { f.pruneFrac = frac }
 }
 
+// WithObserver attaches a telemetry observer: Step emits one
+// structured telemetry.EpochTrace per epoch — per-scheme estimate and
+// error-prediction durations, environment classification, the gating
+// decision, and the full self-assessment state (availability,
+// predicted error, confidence, weight per scheme). A nil observer
+// disables tracing; the untraced path takes no timestamps and
+// allocates nothing extra (see BenchmarkFrameworkStep).
+func WithObserver(o telemetry.Observer) Option {
+	return func(f *Framework) { f.obs = o }
+}
+
 // Framework is the UniLoc runtime: N schemes running in parallel, one
 // error model per scheme per environment, confidence computation, and
 // the two ensemble outputs.
@@ -76,6 +89,7 @@ type Framework struct {
 	pruneFrac  float64
 	lastPred   map[string]float64 // last predicted error per scheme, for gating
 	lastEnv    EnvClass
+	obs        telemetry.Observer // nil = tracing off
 }
 
 // NewFramework builds a framework over the given schemes and trained
@@ -109,12 +123,15 @@ func (f *Framework) Schemes() []schemes.Scheme { return f.schemes }
 // Models returns the framework's model set.
 func (f *Framework) Models() *ModelSet { return f.models }
 
-// Reset prepares all schemes for a new walk starting near start.
+// Reset prepares all schemes for a new walk starting near start. The
+// configured IODetector is kept (its runtime state is cleared, its
+// thresholds survive) — rebuilding it here would silently discard a
+// detector installed via WithIODetector.
 func (f *Framework) Reset(start geo.Point) {
 	for _, s := range f.schemes {
 		s.Reset(start)
 	}
-	f.iod = iodetector.New(iodetector.DefaultConfig())
+	f.iod.Reset()
 	f.lastPred = make(map[string]float64)
 	f.lastEnv = EnvOutdoor
 }
@@ -149,8 +166,48 @@ func (f *Framework) GPSWanted() bool {
 
 // Step processes one sensing epoch through every scheme, predicts each
 // scheme's error from its real-time features, computes confidences and
-// both ensemble outputs.
+// both ensemble outputs. With an observer attached (WithObserver) it
+// also emits one telemetry.EpochTrace; without one, the trace branches
+// reduce to nil checks — no timestamps, no extra allocations.
 func (f *Framework) Step(snap *sensing.Snapshot) StepResult {
+	if f.obs == nil {
+		return f.step(snap, nil)
+	}
+	tr := &telemetry.EpochTrace{
+		Epoch:   snap.Epoch,
+		Schemes: make([]telemetry.SchemeTrace, len(f.schemes)),
+	}
+	start := time.Now()
+	res := f.step(snap, tr)
+	tr.StepNS = time.Since(start).Nanoseconds()
+	tr.Env = res.Env.String()
+	tr.Tau = res.Tau
+	tr.OK = res.OK
+	if res.BestIdx >= 0 {
+		tr.Best = res.Schemes[res.BestIdx].Name
+	}
+	// The gating decision the phone would act on next epoch (§IV-C).
+	tr.GPSWanted = f.GPSWanted()
+	for i, sr := range res.Schemes {
+		st := &tr.Schemes[i]
+		st.Scheme = sr.Name
+		st.Available = sr.Available
+		st.PredErr = sr.PredErr
+		st.Sigma = sr.Sigma
+		st.Conf = sr.Conf
+		st.Weight = sr.Weight
+		tr.PredictNS += st.PredictNS
+	}
+	f.obs.ObserveEpoch(tr)
+	return res
+}
+
+// step is the shared epoch pipeline; tr is nil when tracing is off.
+func (f *Framework) step(snap *sensing.Snapshot, tr *telemetry.EpochTrace) StepResult {
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	// Environment classification from the low-power sensors.
 	env := EnvOutdoor
 	switch f.iod.Update(snap.LightLux, snap.MagVarUT, snap.Cell) {
@@ -162,6 +219,9 @@ func (f *Framework) Step(snap *sensing.Snapshot) StepResult {
 		env = f.lastEnv
 	}
 	f.lastEnv = env
+	if tr != nil {
+		tr.ClassifyNS = time.Since(t0).Nanoseconds()
+	}
 
 	res := StepResult{
 		Epoch:   snap.Epoch,
@@ -171,15 +231,27 @@ func (f *Framework) Step(snap *sensing.Snapshot) StepResult {
 	}
 
 	for i, s := range f.schemes {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		est := s.Estimate(snap)
+		if tr != nil {
+			tr.Schemes[i].EstimateNS = time.Since(t0).Nanoseconds()
+		}
 		sr := SchemeResult{Name: s.Name(), Pos: est.Pos, Available: est.OK}
 		if est.OK {
+			if tr != nil {
+				t0 = time.Now()
+			}
 			if m := f.models.Lookup(s.Name(), env); m != nil {
 				sr.PredErr, sr.Sigma = m.Predict(est.Features)
 			} else {
 				// No model: neutral prediction so the scheme still
 				// participates rather than silently vanishing.
 				sr.PredErr, sr.Sigma = 10, 5
+			}
+			if tr != nil {
+				tr.Schemes[i].PredictNS = time.Since(t0).Nanoseconds()
 			}
 			f.lastPred[s.Name()] = sr.PredErr
 		} else {
@@ -192,6 +264,9 @@ func (f *Framework) Step(snap *sensing.Snapshot) StepResult {
 		res.Schemes[i] = sr
 	}
 
+	if tr != nil {
+		t0 = time.Now()
+	}
 	res.Tau = Tau(res.Schemes)
 	ApplyWeights(res.Schemes, res.Tau, f.weightMode, f.pruneFrac)
 
@@ -204,6 +279,9 @@ func (f *Framework) Step(snap *sensing.Snapshot) StepResult {
 		res.BMA = bma
 	} else if res.OK {
 		res.BMA = res.Best
+	}
+	if tr != nil {
+		tr.CombineNS = time.Since(t0).Nanoseconds()
 	}
 	return res
 }

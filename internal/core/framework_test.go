@@ -4,9 +4,11 @@ import (
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/iodetector"
 	"repro/internal/regress"
 	"repro/internal/schemes"
 	"repro/internal/sensing"
+	"repro/internal/telemetry"
 )
 
 // fakeScheme is a scriptable scheme for framework tests.
@@ -282,5 +284,113 @@ func TestErrorModelPredictFloorsAndSigma(t *testing.T) {
 func TestEnvClassString(t *testing.T) {
 	if EnvIndoor.String() != "indoor" || EnvOutdoor.String() != "outdoor" || EnvClass(0).String() != "unknown" {
 		t.Error("EnvClass strings wrong")
+	}
+}
+
+// TestResetPreservesConfiguredIODetector is the regression for the
+// Reset bug: Reset rebuilt the IODetector with DefaultConfig, silently
+// discarding a detector installed via WithIODetector. The custom
+// detector here inverts the light thresholds so bright light reads as
+// indoor — behavior only a preserved config can produce after Reset.
+func TestResetPreservesConfiguredIODetector(t *testing.T) {
+	s := &fakeScheme{name: "s", pos: geo.Pt(1, 1), ok: true, feats: map[string]float64{"x": 1}}
+	ms := NewModelSet()
+	ms.Put(modelFor("s", EnvIndoor, 2, 1))
+	ms.Put(modelFor("s", EnvOutdoor, 2, 1))
+	// Absurdly high DimLux: every light level votes indoor.
+	cfg := iodetector.DefaultConfig()
+	cfg.DaylightLux = 1e12
+	cfg.DimLux = 1e11
+	cfg.Votes = 1
+	fw, err := NewFramework([]schemes.Scheme{s}, ms, WithIODetector(iodetector.New(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Reset(geo.Pt(0, 0))
+	if res := fw.Step(outdoorSnap()); res.Env != EnvIndoor {
+		t.Fatalf("custom detector ignored before reset: env = %v", res.Env)
+	}
+	fw.Reset(geo.Pt(0, 0))
+	if res := fw.Step(outdoorSnap()); res.Env != EnvIndoor {
+		t.Fatalf("Reset discarded the configured IODetector: env = %v", res.Env)
+	}
+}
+
+// TestResetClearsIODetectorState: the preserved detector must still
+// start the next walk fresh (no hysteresis carry-over).
+func TestResetClearsIODetectorState(t *testing.T) {
+	fw, _, _ := twoSchemeFramework(t)
+	fw.Reset(geo.Pt(0, 0))
+	for i := 0; i < 5; i++ {
+		fw.Step(indoorSnap())
+	}
+	if fw.iod.State() != iodetector.Indoor {
+		t.Fatalf("detector state = %v, want indoor", fw.iod.State())
+	}
+	fw.Reset(geo.Pt(0, 0))
+	if fw.iod.State() != iodetector.Unknown {
+		t.Fatalf("Reset left detector state %v, want unknown", fw.iod.State())
+	}
+}
+
+// TestStepEmitsEpochTrace verifies the observer contract: one trace
+// per Step carrying the environment, gating decision, and per-scheme
+// self-assessment, with timing fields populated.
+func TestStepEmitsEpochTrace(t *testing.T) {
+	fw, good, _ := twoSchemeFramework(t)
+	var col telemetry.Collector
+	WithObserver(&col)(fw)
+	fw.Reset(geo.Pt(0, 0))
+
+	good.ok = false
+	snap := outdoorSnap()
+	snap.Epoch = 7
+	fw.Step(snap)
+
+	traces := col.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Epoch != 7 || tr.Env != "outdoor" || !tr.OK {
+		t.Fatalf("trace header %+v", tr)
+	}
+	if tr.Best != "bad" {
+		t.Fatalf("trace best = %q, want bad (good is unavailable)", tr.Best)
+	}
+	if len(tr.Schemes) != 2 {
+		t.Fatalf("trace schemes = %d, want 2", len(tr.Schemes))
+	}
+	if tr.Schemes[0].Scheme != "good" || tr.Schemes[0].Available {
+		t.Fatalf("scheme 0 = %+v, want unavailable good", tr.Schemes[0])
+	}
+	st := tr.Schemes[1]
+	if st.Scheme != "bad" || !st.Available || st.PredErr != 20 || st.Conf <= 0 || st.Weight != 1 {
+		t.Fatalf("scheme 1 = %+v", st)
+	}
+	if st.PredictNS < 0 || st.EstimateNS < 0 || tr.StepNS <= 0 || tr.Tau != 20 {
+		t.Fatalf("trace timings %+v", tr)
+	}
+	if tr.PredictNS != st.PredictNS {
+		t.Fatalf("total predict %d != sum of per-scheme %d", tr.PredictNS, st.PredictNS)
+	}
+}
+
+// stepBaselineAllocs is what one observer-off Step allocates with the
+// test's deterministic fake schemes: the StepResult.Schemes slice plus
+// one feature vector per available scheme inside ErrorModel.Predict.
+// The telemetry instrumentation must not move this number — that is
+// the "no-op observer path adds zero allocations" guardrail (the
+// companion wall-time guardrail lives in BenchmarkFrameworkStep).
+const stepBaselineAllocs = 3
+
+func TestStepNoObserverAddsNoAllocations(t *testing.T) {
+	fw, _, _ := twoSchemeFramework(t)
+	fw.Reset(geo.Pt(0, 0))
+	snap := outdoorSnap()
+	fw.Step(snap) // warm up lastPred so map inserts don't count
+	got := testing.AllocsPerRun(200, func() { fw.Step(snap) })
+	if got != stepBaselineAllocs {
+		t.Fatalf("observer-off Step allocates %v objects/op, want %d", got, stepBaselineAllocs)
 	}
 }

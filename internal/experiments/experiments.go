@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/eval"
@@ -38,6 +39,11 @@ func (r *Report) String() string {
 // surveyed places are built once and reused).
 type Suite struct {
 	Lab *eval.Lab
+
+	// TraceWriter, when non-nil, receives one JSONL epoch trace per
+	// framework step of the trace-driven experiments (TableV) for
+	// offline analysis. cmd/uniloc-bench wires -trace to this.
+	TraceWriter io.Writer
 }
 
 // NewSuite creates a suite with the given master seed.

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/schemes"
+	"repro/internal/telemetry"
 )
 
 // suite caches one trained suite across this package's tests.
@@ -154,14 +156,33 @@ func TestAblationWeightingOrdering(t *testing.T) {
 }
 
 func TestTableVStructure(t *testing.T) {
-	rep, err := suite(t).TableV()
+	s := suite(t)
+	var traceBuf bytes.Buffer
+	s.TraceWriter = &traceBuf
+	defer func() { s.TraceWriter = nil }()
+	rep, err := s.TableV()
 	if err != nil {
 		t.Fatal(err)
 	}
 	out := rep.String()
-	for _, want := range []string{"BMA", "error prediction", "upload", "download", "total"} {
+	for _, want := range []string{"BMA", "error prediction", "upload", "download", "total", "observer epoch traces"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table V missing %q", want)
+		}
+	}
+
+	// Server-compute rows are measured, so every epoch must have left a
+	// well-formed JSONL trace with populated timings.
+	traces, err := telemetry.ReadJSONL(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("TableV exported no traces")
+	}
+	for i, tr := range traces {
+		if tr.StepNS <= 0 || len(tr.Schemes) == 0 || tr.Env == "" {
+			t.Fatalf("trace %d incomplete: %+v", i, tr)
 		}
 	}
 }

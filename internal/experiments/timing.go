@@ -9,6 +9,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/offload"
 	"repro/internal/schemes"
+	"repro/internal/telemetry"
 	"repro/internal/walker"
 )
 
@@ -21,9 +22,13 @@ const phonePreprocessMS = 3.8
 
 // TableV regenerates Table V: the response-time decomposition of one
 // location estimation. Server-side computation (scheme execution,
-// error prediction, BMA) is measured on the actual Go implementation;
-// transfer times come from the link model applied to the protocol's
-// real byte counts.
+// error prediction, BMA) is derived from measured epoch traces: the
+// walk runs through a real core.Framework carrying a telemetry
+// observer, exactly the instrumentation a production uniloc-server
+// exposes, so these numbers are the live pipeline's own timing rather
+// than an offline re-enactment. Transfer times come from the link
+// model applied to the protocol's real byte counts. If the suite has a
+// TraceWriter, every epoch trace is also exported as JSONL.
 func (s *Suite) TableV() (*Report, error) {
 	tr, err := s.Lab.Trained()
 	if err != nil {
@@ -37,41 +42,26 @@ func (s *Suite) TableV() (*Report, error) {
 
 	rnd := rand.New(rand.NewSource(s.Lab.Seed + 901))
 	ss := campus.Schemes(rnd)
-	start, _ := path.Line.At(0)
-	for _, sch := range ss {
-		sch.Reset(start)
+
+	col := &telemetry.Collector{}
+	var obs telemetry.Observer = col
+	if s.TraceWriter != nil {
+		obs = telemetry.MultiObserver(col, telemetry.NewJSONLWriter(s.TraceWriter))
 	}
+	fw, err := core.NewFramework(ss, tr.Models, core.WithObserver(obs))
+	if err != nil {
+		return nil, err
+	}
+	start, _ := path.Line.At(0)
+	fw.Reset(start)
 	wk := walker.New(campus.Place.World, path.Line, campus.DefaultWalkerConfig(), rnd)
 
-	schemeNS := make(map[string]time.Duration, len(ss))
-	var predNS, bmaNS time.Duration
 	var upBytes, downBytes int
 	epochs := 0
-
 	for !wk.Done() && epochs < 400 {
 		snap, _ := wk.Next(true)
 		epochs++
-
-		results := make([]core.SchemeResult, len(ss))
-		for i, sch := range ss {
-			t0 := time.Now()
-			est := sch.Estimate(snap)
-			schemeNS[sch.Name()] += time.Since(t0)
-			results[i] = core.SchemeResult{Name: sch.Name(), Pos: est.Pos, Available: est.OK}
-			t1 := time.Now()
-			if est.OK {
-				if m := tr.Models.Lookup(sch.Name(), core.EnvIndoor); m != nil {
-					results[i].PredErr, results[i].Sigma = m.Predict(est.Features)
-				}
-			}
-			predNS += time.Since(t1)
-		}
-		t2 := time.Now()
-		tau := core.Tau(results)
-		core.ApplyConfidences(results, tau)
-		core.SelectBest(results)
-		core.CombineBMA(results)
-		bmaNS += time.Since(t2)
+		fw.Step(snap)
 
 		// Wire sizes for this epoch.
 		if snap.Step != nil {
@@ -93,12 +83,29 @@ func (s *Suite) TableV() (*Report, error) {
 		return nil, fmt.Errorf("experiments: no epochs walked")
 	}
 
+	// Decompose the measured traces: per-scheme estimate time, total
+	// error-prediction time, and combination (τ + weighting +
+	// selection + BMA) time.
+	traces := col.Traces()
+	if len(traces) != epochs {
+		return nil, fmt.Errorf("experiments: observer saw %d traces for %d epochs", len(traces), epochs)
+	}
+	schemeNS := make(map[string]time.Duration, len(ss))
+	var predNS, bmaNS time.Duration
+	for _, t := range traces {
+		for _, st := range t.Schemes {
+			schemeNS[st.Scheme] += time.Duration(st.EstimateNS)
+		}
+		predNS += time.Duration(t.PredictNS)
+		bmaNS += time.Duration(t.CombineNS)
+	}
+
 	link := offload.WiFiLink()
 	upMS := float64(link.TransferTime(upBytes/epochs)) / float64(time.Millisecond)
 	downMS := float64(link.TransferTime(downBytes/epochs)) / float64(time.Millisecond)
 
 	perScheme := &eval.Table{
-		Title:   "Per-scheme server computation per location estimate (measured)",
+		Title:   "Per-scheme server computation per location estimate (measured traces)",
 		Headers: []string{"scheme", "server (ms)", "phone (ms)"},
 	}
 	ms := func(d time.Duration) float64 {
@@ -136,6 +143,7 @@ func (s *Suite) TableV() (*Report, error) {
 		ID: "Table V", Title: "average response time for one location estimation",
 		Tables: []*eval.Table{perScheme, decomp},
 		Notes: []string{
+			fmt.Sprintf("server compute measured from %d observer epoch traces (core.WithObserver)", len(traces)),
 			fmt.Sprintf("transmissions account for %.0f%% of the total (paper: 73%%)", (upMS+downMS)/total*100),
 			fmt.Sprintf("avg payloads: %d B up, %d B down per epoch", upBytes/epochs, downBytes/epochs),
 			"paper shape: UniLoc's own additions (error prediction + BMA) are milliseconds; the schemes run in parallel so the slowest dominates server compute",

@@ -82,6 +82,17 @@ func New(cfg Config) *Detector {
 // State returns the current classification.
 func (d *Detector) State() State { return d.state }
 
+// Reset clears the detector's runtime state — classification,
+// hysteresis votes, and the learned cellular baseline — while keeping
+// its configuration, so one detector can be reused across walks.
+func (d *Detector) Reset() {
+	d.state = Unknown
+	d.pendingState = Unknown
+	d.pendingVotes = 0
+	d.cellBaseline = 0
+	d.haveBaseline = false
+}
+
 // Update classifies one epoch from the light reading, magnetic variance
 // and cellular scan, and returns the (hysteresis-filtered) state.
 func (d *Detector) Update(lightLux, magVarUT float64, cell rf.Vector) State {

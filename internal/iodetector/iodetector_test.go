@@ -82,3 +82,30 @@ func TestVotesDefaulted(t *testing.T) {
 		t.Error("zero-config detector should still classify")
 	}
 }
+
+func TestResetKeepsConfigClearsState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Votes = 3 // non-default: must survive Reset
+	d := New(cfg)
+	// Establish an outdoor state and a learned cellular baseline.
+	for i := 0; i < 4; i++ {
+		d.Update(11000, 0.3, cellScan(-55))
+	}
+	if d.State() != Outdoor || !d.haveBaseline {
+		t.Fatalf("setup: state=%v baseline=%v", d.State(), d.haveBaseline)
+	}
+	d.Reset()
+	if d.State() != Unknown {
+		t.Errorf("Reset left state %v, want unknown", d.State())
+	}
+	if d.haveBaseline || d.cellBaseline != 0 || d.pendingVotes != 0 || d.pendingState != Unknown {
+		t.Error("Reset left runtime state behind")
+	}
+	if d.cfg.Votes != 3 {
+		t.Errorf("Reset changed config: votes = %d, want 3", d.cfg.Votes)
+	}
+	// A fresh walk classifies normally.
+	if got := d.Update(250, 3.0, cellScan(-75)); got != Indoor {
+		t.Errorf("post-reset classification = %v, want indoor", got)
+	}
+}

@@ -1,0 +1,37 @@
+package offload
+
+import "repro/internal/telemetry"
+
+// serverMetrics bundles the offload server's RED-style instruments:
+// request rate (epochs served, frame bytes), errors (rejections,
+// evictions, connection errors), and duration (framework step latency
+// histogram). Built from a nil registry every instrument is nil, and
+// nil instruments are no-ops — the uninstrumented server pays only a
+// predictable nil check per update.
+type serverMetrics struct {
+	sessionsOpened   *telemetry.Counter
+	sessionsClosed   *telemetry.Counter
+	sessionsRejected *telemetry.Counter
+	sessionsEvicted  *telemetry.Counter
+	sessionsActive   *telemetry.Gauge
+	epochsServed     *telemetry.Counter
+	bytesIn          *telemetry.Counter
+	bytesOut         *telemetry.Counter
+	connErrors       *telemetry.Counter
+	stepLatency      *telemetry.Histogram
+}
+
+func newServerMetrics(reg *telemetry.Registry) serverMetrics {
+	return serverMetrics{
+		sessionsOpened:   reg.Counter("uniloc_sessions_opened_total", "sessions accepted since start"),
+		sessionsClosed:   reg.Counter("uniloc_sessions_closed_total", "sessions ended, including evictions"),
+		sessionsRejected: reg.Counter("uniloc_sessions_rejected_total", "hellos refused at the session limit"),
+		sessionsEvicted:  reg.Counter("uniloc_sessions_evicted_total", "sessions closed by the idle reaper"),
+		sessionsActive:   reg.Gauge("uniloc_sessions_active", "sessions live right now"),
+		epochsServed:     reg.Counter("uniloc_epochs_served_total", "sensing epochs processed across all sessions"),
+		bytesIn:          reg.Counter("uniloc_frame_bytes_total", "protocol frame bytes", "dir", "in"),
+		bytesOut:         reg.Counter("uniloc_frame_bytes_total", "protocol frame bytes", "dir", "out"),
+		connErrors:       reg.Counter("uniloc_conn_errors_total", "connections that ended with a transport or protocol error"),
+		stepLatency:      reg.Histogram("uniloc_step_seconds", "Framework.Step latency per served epoch", telemetry.DefBuckets()),
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/sensing"
+	"repro/internal/telemetry"
 )
 
 // ServerConfig configures a multi-session offload server.
@@ -26,6 +27,13 @@ type ServerConfig struct {
 	// IdleTimeout evicts sessions with no served epoch for this long.
 	// 0 = never evict.
 	IdleTimeout time.Duration
+
+	// Metrics receives the server's RED-style instruments (sessions
+	// opened/closed/rejected/evicted, active-session gauge, epochs
+	// served, frame bytes in/out, step-latency histogram,
+	// connection-error counter). Nil disables exposition; the serving
+	// path then pays only nil checks.
+	Metrics *telemetry.Registry
 }
 
 // Server runs the UniLoc framework (all localization schemes, error
@@ -39,7 +47,7 @@ type Server struct {
 
 // NewServer builds a multi-session server from the config.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	mgr, err := NewSessionManager(cfg.Factory, cfg.MaxSessions, cfg.IdleTimeout)
+	mgr, err := NewSessionManager(cfg.Factory, cfg.MaxSessions, cfg.IdleTimeout, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -93,10 +101,38 @@ func (s *Server) handshake(conn net.Conn) (*Session, error) {
 	return sess, nil
 }
 
+// meteredConn counts every byte crossing a connection into the
+// server's frame-byte counters (atomic adds; no-ops without a
+// registry).
+type meteredConn struct {
+	net.Conn
+	in, out *telemetry.Counter
+}
+
+func (c *meteredConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *meteredConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
 // Serve processes one connection: session handshake, then epochs until
 // EOF or error. It returns nil on clean shutdown (client closed the
 // connection, graceful rejection, or idle eviction).
 func (s *Server) Serve(conn net.Conn) error {
+	err := s.serve(&meteredConn{Conn: conn, in: s.mgr.met.bytesIn, out: s.mgr.met.bytesOut})
+	if err != nil {
+		s.mgr.met.connErrors.Inc()
+	}
+	return err
+}
+
+func (s *Server) serve(conn net.Conn) error {
 	defer func() { _ = conn.Close() }()
 	sess, err := s.handshake(conn)
 	if err != nil || sess == nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/rf"
 	"repro/internal/schemes"
 	"repro/internal/sensing"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 )
 
@@ -462,5 +464,96 @@ func BenchmarkServerConcurrentClients(b *testing.B) {
 			wg.Wait()
 			b.ReportMetric(float64(per*nc)/b.Elapsed().Seconds(), "epochs/s")
 		})
+	}
+}
+
+// TestServerMetricsExposition runs a full walk against an instrumented
+// server and checks the RED metrics a scrape would see: session
+// counters, epochs served, frame bytes in both directions, and a
+// populated step-latency histogram — plus per-session latency
+// percentiles in Stats.
+func TestServerMetricsExposition(t *testing.T) {
+	factory, w := offloadWorld(t)
+	reg := telemetry.NewRegistry()
+	srv := newTestServer(t, ServerConfig{Factory: factory, MaxSessions: 1, Metrics: reg})
+
+	client := pipeClient(t, srv)
+	start, snaps := corridorWalk(w, 2, 3, 25)
+	runWalk(t, client, start, snaps)
+
+	// A second client must be rejected (limit 1) and counted.
+	c1, c2 := net.Pipe()
+	go func() { _ = srv.Serve(c2) }()
+	reject := NewClient(c1)
+	if err := reject.Hello(start); !errors.Is(err, ErrRejected) {
+		t.Fatalf("second hello err = %v, want rejection", err)
+	}
+	_ = c1.Close()
+
+	snap := reg.Snapshot()
+	expect := map[string]float64{
+		"uniloc_sessions_opened_total":   1,
+		"uniloc_sessions_active":         1,
+		"uniloc_sessions_rejected_total": 1,
+		"uniloc_epochs_served_total":     25,
+	}
+	for name, want := range expect {
+		if got, ok := snap.Get(name); !ok || got != want {
+			t.Errorf("%s = %v ok=%v, want %v", name, got, ok, want)
+		}
+	}
+	// The byte counters increment after the pipe write is consumed, so
+	// the server goroutine may still be a hair behind the client's own
+	// accounting — poll briefly before failing.
+	wantBytes := func(dir string, min int) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			v, ok := reg.Snapshot().Get("uniloc_frame_bytes_total", "dir", dir)
+			if ok && v >= float64(min) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("bytes %s = %v ok=%v, want >= client-side count %d", dir, v, ok, min)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wantBytes("in", client.BytesUp())
+	wantBytes("out", client.BytesDown())
+	if h := reg.Histogram("uniloc_step_seconds", "", nil); h.Count() != 25 {
+		t.Errorf("step histogram count = %d, want 25", h.Count())
+	}
+
+	st := srv.Stats()
+	if len(st.Sessions) != 1 {
+		t.Fatalf("sessions = %+v", st.Sessions)
+	}
+	row := st.Sessions[0]
+	if row.P50Latency <= 0 || row.P95Latency < row.P50Latency {
+		t.Errorf("session latency percentiles p50=%v p95=%v", row.P50Latency, row.P95Latency)
+	}
+
+	// The scrape itself renders both formats without error.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil || !strings.Contains(sb.String(), "uniloc_step_seconds_bucket") {
+		t.Errorf("prometheus render err=%v missing step buckets", err)
+	}
+}
+
+// TestServerWithoutRegistryStillServes pins the nil-metrics path: all
+// instruments are nil and every update must be a safe no-op.
+func TestServerWithoutRegistryStillServes(t *testing.T) {
+	factory, w := offloadWorld(t)
+	srv := newTestServer(t, ServerConfig{Factory: factory}) // Metrics: nil
+	client := pipeClient(t, srv)
+	start, snaps := corridorWalk(w, 2, 3, 5)
+	results := runWalk(t, client, start, snaps)
+	if len(results) != 5 {
+		t.Fatalf("served %d epochs", len(results))
+	}
+	if st := srv.Stats(); st.EpochsServed != 5 {
+		t.Errorf("stats still work without a registry: %+v", st)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/telemetry"
 )
 
 // ErrServerFull reports that the server refused a new session because
@@ -33,6 +34,7 @@ type Session struct {
 	lastActive time.Time
 	epochs     int64
 	latency    time.Duration
+	lat        *telemetry.Histogram // per-session step-latency distribution
 }
 
 // touch records activity and the latency of one served epoch.
@@ -42,6 +44,7 @@ func (s *Session) touch(now time.Time, d time.Duration) {
 	s.epochs++
 	s.latency += d
 	s.mu.Unlock()
+	s.lat.ObserveDuration(d)
 }
 
 // SessionStat is one session's row in a Stats snapshot.
@@ -50,6 +53,8 @@ type SessionStat struct {
 	ClientID   string
 	Epochs     int64
 	AvgLatency time.Duration // mean framework step time per epoch
+	P50Latency time.Duration // median step time (per-session histogram)
+	P95Latency time.Duration // 95th-percentile step time
 	Idle       time.Duration // time since the last served epoch
 }
 
@@ -87,10 +92,15 @@ type SessionManager struct {
 	evicted  atomic.Int64
 	epochs   atomic.Int64
 	latency  atomic.Int64 // total step time, nanoseconds
+
+	met serverMetrics
 }
 
-// NewSessionManager builds a manager over a framework factory.
-func NewSessionManager(factory core.FrameworkFactory, maxSessions int, idleTimeout time.Duration) (*SessionManager, error) {
+// NewSessionManager builds a manager over a framework factory. The
+// registry receives the server's RED metrics (sessions, epochs, frame
+// bytes, step-latency histogram); nil disables exposition at no cost
+// to the serving path.
+func NewSessionManager(factory core.FrameworkFactory, maxSessions int, idleTimeout time.Duration, reg *telemetry.Registry) (*SessionManager, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("offload: session manager needs a framework factory")
 	}
@@ -100,6 +110,7 @@ func NewSessionManager(factory core.FrameworkFactory, maxSessions int, idleTimeo
 		idleTimeout: idleTimeout,
 		now:         time.Now,
 		sessions:    make(map[uint32]*Session),
+		met:         newServerMetrics(reg),
 	}, nil
 }
 
@@ -111,6 +122,7 @@ func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (
 	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
 		m.mu.Unlock()
 		m.rejected.Add(1)
+		m.met.sessionsRejected.Inc()
 		return nil, ErrServerFull
 	}
 	m.nextID++
@@ -125,17 +137,25 @@ func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (
 	}
 	fw.Reset(start)
 
-	s := &Session{ID: id, ClientID: clientID, fw: fw, conn: conn, lastActive: m.now()}
+	s := &Session{
+		ID: id, ClientID: clientID, fw: fw, conn: conn,
+		lastActive: m.now(),
+		lat:        telemetry.NewHistogram(telemetry.DefBuckets()),
+	}
 	m.mu.Lock()
 	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
 		// Lost the race against concurrent opens while building.
 		m.mu.Unlock()
 		m.rejected.Add(1)
+		m.met.sessionsRejected.Inc()
 		return nil, ErrServerFull
 	}
 	m.sessions[id] = s
+	active := len(m.sessions)
 	m.mu.Unlock()
 	m.opened.Add(1)
+	m.met.sessionsOpened.Inc()
+	m.met.sessionsActive.Set(float64(active))
 	return s, nil
 }
 
@@ -144,9 +164,12 @@ func (m *SessionManager) Close(s *Session) {
 	m.mu.Lock()
 	_, live := m.sessions[s.ID]
 	delete(m.sessions, s.ID)
+	active := len(m.sessions)
 	m.mu.Unlock()
 	if live {
 		m.closed.Add(1)
+		m.met.sessionsClosed.Inc()
+		m.met.sessionsActive.Set(float64(active))
 	}
 }
 
@@ -155,6 +178,8 @@ func (m *SessionManager) RecordEpoch(s *Session, d time.Duration) {
 	s.touch(m.now(), d)
 	m.epochs.Add(1)
 	m.latency.Add(int64(d))
+	m.met.epochsServed.Inc()
+	m.met.stepLatency.ObserveDuration(d)
 }
 
 // EvictIdle closes the connections of sessions idle longer than the
@@ -180,6 +205,7 @@ func (m *SessionManager) EvictIdle() int {
 	for _, s := range victims {
 		if s.evicted.CompareAndSwap(false, true) {
 			m.evicted.Add(1)
+			m.met.sessionsEvicted.Inc()
 			if s.conn != nil {
 				_ = s.conn.Close()
 			}
@@ -212,6 +238,10 @@ func (m *SessionManager) Stats() Stats {
 			row.AvgLatency = s.latency / time.Duration(s.epochs)
 		}
 		s.mu.Unlock()
+		if s.lat.Count() > 0 {
+			row.P50Latency = time.Duration(s.lat.Quantile(0.5) * float64(time.Second))
+			row.P95Latency = time.Duration(s.lat.Quantile(0.95) * float64(time.Second))
+		}
 		st.Sessions = append(st.Sessions, row)
 	}
 	m.mu.Unlock()

@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the exposition endpoint served by cmd/uniloc-server's
+// -metrics-addr listener:
+//
+//	/metrics       Prometheus text exposition format
+//	/metrics.json  the same snapshot as indented JSON
+//	/debug/vars    expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/  CPU/heap/goroutine/block profiling
+//
+// pprof handlers are mounted explicitly rather than via the package's
+// DefaultServeMux side effect, so importing telemetry never pollutes a
+// caller's default mux.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

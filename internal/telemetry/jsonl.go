@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONLWriter is an Observer that appends one JSON object per epoch
+// trace to an io.Writer — the export format for offline analysis
+// (spreadsheets, jq, notebook tooling). Safe for concurrent use: each
+// line is written atomically under a mutex.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLWriter wraps w. The caller owns w's lifetime (and any
+// buffering/flushing).
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// ObserveEpoch implements Observer. Encoding errors are silently
+// dropped — telemetry must never take down the serving path; callers
+// that care wrap the writer with their own error tracking.
+func (j *JSONLWriter) ObserveEpoch(t *EpochTrace) {
+	j.mu.Lock()
+	_ = j.enc.Encode(t)
+	j.mu.Unlock()
+}
+
+// ReadJSONL decodes a stream of epoch traces written by JSONLWriter
+// (one JSON object per line; blank lines are skipped).
+func ReadJSONL(r io.Reader) ([]EpochTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []EpochTrace
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var t EpochTrace
+		if err := json.Unmarshal(b, &t); err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: %w", line, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: jsonl scan: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sampleTrace is a fully populated epoch trace; every field must
+// survive the JSONL round trip.
+func sampleTrace(epoch int) EpochTrace {
+	return EpochTrace{
+		Epoch:      epoch,
+		Env:        "indoor",
+		Tau:        3.75,
+		GPSWanted:  epoch%2 == 0,
+		Best:       "wifi",
+		OK:         true,
+		ClassifyNS: 1200,
+		PredictNS:  48000,
+		CombineNS:  2100,
+		StepNS:     310000,
+		Schemes: []SchemeTrace{
+			{Scheme: "wifi", Available: true, EstimateNS: 250000, PredictNS: 30000,
+				PredErr: 2.5, Sigma: 1.1, Conf: 0.83, Weight: 0.7},
+			{Scheme: "gps", Available: false},
+			{Scheme: "motion", Available: true, EstimateNS: 51000, PredictNS: 18000,
+				PredErr: 4.75, Sigma: 2.25, Conf: 0.41, Weight: 0.3},
+		},
+	}
+}
+
+// TestJSONLRoundTrip is the golden encode → decode → identical-record
+// test: traces written by JSONLWriter must come back byte-equal in
+// meaning through ReadJSONL.
+func TestJSONLRoundTrip(t *testing.T) {
+	want := []EpochTrace{sampleTrace(0), sampleTrace(1), sampleTrace(2)}
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for i := range want {
+		w.ObserveEpoch(&want[i])
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(want) {
+		t.Fatalf("wrote %d lines, want %d", lines, len(want))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadJSONLSkipsBlankLinesAndReportsErrors(t *testing.T) {
+	in := "\n" + `{"epoch":5,"env":"outdoor","ok":true}` + "\n\n"
+	got, err := ReadJSONL(strings.NewReader(in))
+	if err != nil || len(got) != 1 || got[0].Epoch != 5 || got[0].Env != "outdoor" {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{broken\n")); err == nil {
+		t.Fatal("malformed line should error")
+	}
+}
+
+func TestCollectorCopiesAndConcurrency(t *testing.T) {
+	var c Collector
+	tr := sampleTrace(1)
+	c.ObserveEpoch(&tr)
+	// Mutating the original after observation must not change the
+	// collected copy.
+	tr.Schemes[0].Weight = 99
+	if got := c.Traces()[0].Schemes[0].Weight; got != 0.7 {
+		t.Fatalf("collector shares the caller's scheme slice (weight=%v)", got)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr := sampleTrace(i*100 + j)
+				c.ObserveEpoch(&tr)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Len(); got != 801 {
+		t.Fatalf("collected %d traces, want 801", got)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset did not clear traces")
+	}
+}
+
+func TestMultiObserverFansOut(t *testing.T) {
+	var a, b Collector
+	obs := MultiObserver(&a, nil, &b)
+	tr := sampleTrace(3)
+	obs.ObserveEpoch(&tr)
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out reached a=%d b=%d observers, want 1 and 1", a.Len(), b.Len())
+	}
+}

@@ -1,0 +1,518 @@
+// Package telemetry is UniLoc's zero-dependency observability layer:
+// a concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms with label support) cheap enough for per-epoch use on the
+// hot path, an epoch-trace observer protocol that turns the framework's
+// internal timing into structured records (the live counterpart of the
+// paper's Table V response-time decomposition), and HTTP exposition in
+// Prometheus text and JSON formats.
+//
+// Design constraints, in order:
+//
+//  1. Updates are lock-free: counters and histogram buckets are single
+//     atomic adds; gauges are a single atomic store. Registration (the
+//     only locked path) happens once at setup, and callers hold the
+//     returned instrument pointer.
+//  2. Every instrument is nil-receiver safe, so instrumented code runs
+//     unchanged — and at near-zero cost — when no registry is
+//     configured.
+//  3. No dependencies beyond the standard library.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates instrument types in snapshots and exposition.
+type Kind int
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// Counter is a monotonically increasing count. The zero value is
+// usable; a nil counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic; negative
+// deltas are ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is usable;
+// a nil gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (CAS loop; gauges are updated rarely compared to
+// counters).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (cumulative-style
+// exposition, like Prometheus). Observe is two atomic adds plus a CAS
+// for the running sum. The zero value is NOT usable — buckets must be
+// set — but a nil histogram is a no-op.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; +Inf bucket implicit
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewHistogram builds a standalone (unregistered) histogram over the
+// given bucket upper bounds. Bounds are sorted and deduplicated; an
+// implicit +Inf bucket catches the overflow.
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+}
+
+// DefBuckets are default latency buckets in seconds, spanning 10 µs to
+// ~10 s — wide enough for both a sub-millisecond framework step and a
+// slow wide-area round trip.
+func DefBuckets() []float64 {
+	return []float64{
+		1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the buckets by
+// linear interpolation within the bucket that contains it. The
+// estimate is bounded by the bucket edges; observations in the
+// overflow bucket report the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum, prev uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		cum += n
+		if float64(cum) >= rank {
+			if i >= len(h.bounds) { // overflow bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if n == 0 {
+				return hi
+			}
+			frac := (rank - float64(prev)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		prev = cum
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshotBuckets returns cumulative counts aligned with bounds plus
+// the +Inf total.
+func (h *Histogram) snapshotBuckets() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// metric is one registered instrument with its identity.
+type metric struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string // alternating key, value
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a set of named instruments. Get-or-create methods are
+// safe for concurrent use; the instruments they return are shared by
+// all callers asking for the same (name, labels) pair. A nil registry
+// hands out nil instruments, which are no-ops.
+type Registry struct {
+	mu      sync.Mutex
+	byKey   map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// key builds the identity of a (name, labels) pair.
+func metricKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0xff)
+		b.WriteString(l)
+	}
+	return b.String()
+}
+
+// normalize validates an alternating key/value label list, returning a
+// copy with pairs sorted by key for a stable identity.
+func normalizeLabels(labels []string) []string {
+	if len(labels) == 0 {
+		return nil
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", labels))
+	}
+	type pair struct{ k, v string }
+	ps := make([]pair, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		ps = append(ps, pair{labels[i], labels[i+1]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	out := make([]string, 0, len(labels))
+	for _, p := range ps {
+		out = append(out, p.k, p.v)
+	}
+	return out
+}
+
+// lookup returns the metric for (name, labels), creating it with mk on
+// first use. It panics if the name is already registered with a
+// different kind.
+func (r *Registry) lookup(name, help string, kind Kind, labels []string, mk func(*metric)) *metric {
+	labels = normalizeLabels(labels)
+	k := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[k]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %v (was %v)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind, labels: labels}
+	mk(m)
+	r.byKey[k] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. Labels are an alternating key, value list.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindCounter, labels, func(m *metric) { m.c = &Counter{} }).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindGauge, labels, func(m *metric) { m.g = &Gauge{} }).g
+}
+
+// Histogram returns the histogram for (name, labels), creating it over
+// the given buckets on first use (later callers share the original
+// buckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindHistogram, labels, func(m *metric) { m.h = NewHistogram(buckets) }).h
+}
+
+// Point is one instrument's state in a snapshot.
+type Point struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Help   string   `json:"help,omitempty"`
+	Labels []string `json:"labels,omitempty"` // alternating key, value
+
+	Value float64 `json:"value"` // counter count or gauge value; histogram sum
+
+	// Histogram-only fields.
+	Count   uint64    `json:"count,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"` // cumulative, aligned with Bounds + +Inf
+}
+
+// Snapshot is a point-in-time copy of a registry.
+type Snapshot []Point
+
+// Get returns the value of the named point (counters and gauges),
+// matching labels exactly.
+func (s Snapshot) Get(name string, labels ...string) (float64, bool) {
+	want := normalizeLabels(labels)
+	for _, p := range s {
+		if p.Name != name || len(p.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for i := range want {
+			if p.Labels[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot copies every instrument's current state, sorted by name
+// then labels.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.ordered...)
+	r.mu.Unlock()
+	out := make(Snapshot, 0, len(ms))
+	for _, m := range ms {
+		p := Point{Name: m.name, Kind: m.kind.String(), Help: m.help, Labels: m.labels}
+		switch m.kind {
+		case KindCounter:
+			p.Value = float64(m.c.Value())
+		case KindGauge:
+			p.Value = m.g.Value()
+		case KindHistogram:
+			p.Value = m.h.Sum()
+			p.Count = m.h.Count()
+			p.Bounds = m.h.bounds
+			p.Buckets = m.h.snapshotBuckets()
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return strings.Join(out[i].Labels, ",") < strings.Join(out[j].Labels, ",")
+	})
+	return out
+}
+
+// WriteJSON writes the snapshot as a JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// promLabels renders {k="v",...} or "".
+func promLabels(labels []string, extra ...string) string {
+	all := append(append([]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", all[i], all[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fmtFloat renders a float the way Prometheus expects.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmtNum(v)
+}
+
+// fmtNum formats with minimal digits.
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	seenHeader := make(map[string]bool)
+	for _, p := range snap {
+		if !seenHeader[p.Name] {
+			seenHeader[p.Name] = true
+			if p.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, p.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
+				return err
+			}
+		}
+		switch p.Kind {
+		case "histogram":
+			for i, b := range p.Bounds {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					p.Name, promLabels(p.Labels, "le", fmtFloat(b)), p.Buckets[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				p.Name, promLabels(p.Labels, "le", "+Inf"), p.Buckets[len(p.Buckets)-1]); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, promLabels(p.Labels), fmtFloat(p.Value)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(p.Labels), p.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(p.Labels), fmtFloat(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import "sync"
+
+// SchemeTrace is one scheme's share of an epoch: how long its estimate
+// and error prediction took and what the framework concluded about it.
+// Durations are nanoseconds so traces serialize compactly and
+// deterministically.
+type SchemeTrace struct {
+	Scheme     string  `json:"scheme"`
+	Available  bool    `json:"available"`
+	EstimateNS int64   `json:"estimate_ns"` // Scheme.Estimate wall time
+	PredictNS  int64   `json:"predict_ns"`  // error-model Predict wall time
+	PredErr    float64 `json:"pred_err"`    // μ̂: predicted localization error (m)
+	Sigma      float64 `json:"sigma"`       // σ_ε of the error model
+	Conf       float64 `json:"conf"`        // c = P(Y ≤ τ)
+	Weight     float64 `json:"weight"`      // BMA weight after pruning
+}
+
+// EpochTrace is one structured record per framework epoch: the live
+// decomposition behind the paper's Table V (per-scheme execution,
+// error prediction, BMA) plus the self-assessment state the paper
+// treats as UniLoc's core output (environment class, τ, gating
+// decision, per-scheme availability/confidence/predicted error).
+type EpochTrace struct {
+	Epoch     int     `json:"epoch"`
+	Env       string  `json:"env"`            // indoor / outdoor
+	Tau       float64 `json:"tau"`            // adaptive confidence threshold (m)
+	GPSWanted bool    `json:"gps_wanted"`     // gating decision for the next epoch
+	Best      string  `json:"best,omitempty"` // UniLoc1's selected scheme
+	OK        bool    `json:"ok"`             // at least one scheme was available
+
+	ClassifyNS int64 `json:"classify_ns"` // IODetector update
+	PredictNS  int64 `json:"predict_ns"`  // all error-model predictions
+	CombineNS  int64 `json:"combine_ns"`  // τ + weighting + selection + BMA
+	StepNS     int64 `json:"step_ns"`     // full Framework.Step wall time
+
+	Schemes []SchemeTrace `json:"schemes"`
+}
+
+// Observer receives one trace per framework epoch. Implementations
+// must not retain the trace past the call unless they copy it — the
+// framework may reuse nothing today, but the contract keeps the hot
+// path free to pool records later. Observers attached to a framework
+// are called from that framework's goroutine only; observers shared
+// across frameworks (e.g. one JSONL writer behind a multi-session
+// server) must be safe for concurrent use.
+type Observer interface {
+	ObserveEpoch(*EpochTrace)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(*EpochTrace)
+
+// ObserveEpoch implements Observer.
+func (f ObserverFunc) ObserveEpoch(t *EpochTrace) { f(t) }
+
+// MultiObserver fans one trace out to several observers in order.
+func MultiObserver(obs ...Observer) Observer {
+	flat := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	return ObserverFunc(func(t *EpochTrace) {
+		for _, o := range flat {
+			o.ObserveEpoch(t)
+		}
+	})
+}
+
+// Collector is an Observer that retains deep copies of every trace,
+// for offline analysis (experiments.TableV regenerates the paper's
+// response-time decomposition from a Collector's traces). Safe for
+// concurrent use.
+type Collector struct {
+	mu     sync.Mutex
+	traces []EpochTrace
+}
+
+// ObserveEpoch implements Observer.
+func (c *Collector) ObserveEpoch(t *EpochTrace) {
+	cp := *t
+	cp.Schemes = append([]SchemeTrace(nil), t.Schemes...)
+	c.mu.Lock()
+	c.traces = append(c.traces, cp)
+	c.mu.Unlock()
+}
+
+// Traces returns a copy of the collected traces in arrival order.
+func (c *Collector) Traces() []EpochTrace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]EpochTrace(nil), c.traces...)
+}
+
+// Len returns how many traces have been collected.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces)
+}
+
+// Reset discards all collected traces.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.traces = nil
+	c.mu.Unlock()
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/schemes"
 	"repro/internal/sensing"
+	"repro/internal/telemetry"
 	"repro/internal/walker"
 	"repro/internal/world"
 )
@@ -58,6 +59,27 @@ type (
 	// WeightMode selects the BMA weighting variant.
 	WeightMode = core.WeightMode
 )
+
+// Telemetry types (observability layer).
+type (
+	// Observer receives one EpochTrace per framework step.
+	Observer = telemetry.Observer
+	// EpochTrace is the per-epoch structured record: per-scheme
+	// estimate/prediction durations, environment class, gating
+	// decision, confidences and weights.
+	EpochTrace = telemetry.EpochTrace
+	// SchemeTrace is one scheme's share of an EpochTrace.
+	SchemeTrace = telemetry.SchemeTrace
+	// TraceCollector retains every trace for offline analysis.
+	TraceCollector = telemetry.Collector
+	// MetricsRegistry is a concurrency-safe registry of counters,
+	// gauges and histograms with Prometheus/JSON exposition.
+	MetricsRegistry = telemetry.Registry
+)
+
+// NewMetricsRegistry creates an empty metrics registry, suitable for
+// OffloadServerConfig.Metrics and telemetry HTTP exposition.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // Scheme and sensing types.
 type (
@@ -120,6 +142,10 @@ func WithWeighting(mode WeightMode) Option { return core.WithWeighting(mode) }
 
 // WithPruneFrac overrides the confidence-pruning threshold.
 func WithPruneFrac(frac float64) Option { return core.WithPruneFrac(frac) }
+
+// WithObserver attaches a telemetry observer that receives one
+// EpochTrace per framework step.
+func WithObserver(o Observer) Option { return core.WithObserver(o) }
 
 // Campus returns the simulated campus with the eight daily paths.
 func Campus() *Place { return scenario.Campus() }
