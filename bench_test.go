@@ -7,12 +7,21 @@ package uniloc
 // behind the paper's response-time decomposition (Table V).
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/mapstore"
 	"repro/internal/offload"
+	"repro/internal/rf"
+	"repro/internal/schemes"
 	"repro/internal/sensing"
 	"repro/internal/telemetry"
 )
@@ -241,5 +250,267 @@ func BenchmarkWiFiMatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		db.Nearest(scan, 3)
+	}
+}
+
+// --- Map-store benchmarks: the shared radio-map subsystem
+// (internal/mapstore). Indexed snapshots must return bit-identical
+// results to the linear scans (proven in the mapstore tests); these
+// benchmarks quantify what the index buys at city-block map sizes the
+// campus databases never reach.
+
+// benchMapDB builds the deterministic synthetic fingerprint database
+// the map-store benchmarks share: n grid-jittered points hearing a
+// distance-dependent subset of nTx transmitters (same generator family
+// as the mapstore equivalence tests, without their adversarial
+// duplicate points).
+func benchMapDB(n, nTx int, seed int64) *fingerprint.DB {
+	rnd := rand.New(rand.NewSource(seed))
+	spacing := 3.0
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	type tx struct {
+		id  string
+		pos geo.Point
+		p0  float64
+	}
+	txs := make([]tx, nTx)
+	extent := float64(side) * spacing
+	for t := range txs {
+		txs[t] = tx{
+			id:  fmt.Sprintf("ap-%03d", t),
+			pos: geo.Pt(rnd.Float64()*extent, rnd.Float64()*extent),
+			p0:  -35 - rnd.Float64()*10,
+		}
+	}
+	db := &fingerprint.DB{SpacingM: spacing, Floor: -98}
+	for i := 0; i < n; i++ {
+		gx, gy := i%side, i/side
+		p := geo.Pt(
+			(float64(gx)+0.5)*spacing+rnd.NormFloat64()*0.3,
+			(float64(gy)+0.5)*spacing+rnd.NormFloat64()*0.3,
+		)
+		var vec rf.Vector
+		for _, t := range txs {
+			d := t.pos.Dist(p)
+			// Indoor-grade path loss (exponent 3): each transmitter is
+			// audible within a few tens of meters, so vectors are sparse
+			// and localized like a real site survey, not campus-wide.
+			rssi := t.p0 - 30*math.Log10(math.Max(d, 1)) + rnd.NormFloat64()*2
+			if rssi < -90 {
+				continue
+			}
+			vec = append(vec, rf.Obs{ID: t.id, RSSI: rssi})
+		}
+		if len(vec) < 2 {
+			vec = rf.Vector{
+				{ID: txs[0].id, RSSI: -89},
+				{ID: txs[1].id, RSSI: -89.5},
+			}
+		}
+		sort.Slice(vec, func(a, b int) bool { return vec[a].ID < vec[b].ID })
+		db.Points = append(db.Points, fingerprint.Fingerprint{Pos: p, Vec: vec})
+	}
+	return db
+}
+
+// benchMapObs draws plausible observation vectors near stored points.
+func benchMapObs(db *fingerprint.DB, count int, seed int64) []rf.Vector {
+	rnd := rand.New(rand.NewSource(seed))
+	out := make([]rf.Vector, count)
+	for i := range out {
+		base := db.Points[rnd.Intn(len(db.Points))].Vec
+		var obs rf.Vector
+		for _, o := range base {
+			if rnd.Float64() < 0.15 {
+				continue
+			}
+			obs = append(obs, rf.Obs{ID: o.ID, RSSI: o.RSSI + rnd.NormFloat64()*3})
+		}
+		if len(obs) == 0 {
+			obs = append(rf.Vector(nil), base...)
+		}
+		out[i] = obs
+	}
+	return out
+}
+
+// Map-store benchmark workload: well past the campus database size, the
+// regime the shared store is built for (ISSUE acceptance: >= 5k points).
+const (
+	benchMapPoints = 6000
+	benchMapTx     = 150
+)
+
+// BenchmarkNearest compares one k=3 fingerprint match on the linear
+// database scan vs the indexed snapshot, at a 6000-point map. The two
+// return bit-identical matches; the Indexed/Linear ratio is the index's
+// speedup (acceptance: >= 5x).
+func BenchmarkNearest(b *testing.B) {
+	db := benchMapDB(benchMapPoints, benchMapTx, 7)
+	snap := mapstore.Build(db, 1, 0, nil)
+	obs := benchMapObs(db, 64, 8)
+	b.Run("Linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db.Nearest(obs[i%len(obs)], 3)
+		}
+	})
+	b.Run("Indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap.Nearest(obs[i%len(obs)], 3)
+		}
+	})
+}
+
+// BenchmarkDensityAround compares the β₁ density feature (k-nearest
+// surveyed positions) on the linear scan vs the grid ring search.
+func BenchmarkDensityAround(b *testing.B) {
+	db := benchMapDB(benchMapPoints, benchMapTx, 7)
+	snap := mapstore.Build(db, 1, 0, nil)
+	rnd := rand.New(rand.NewSource(9))
+	pts := make([]geo.Point, 64)
+	for i := range pts {
+		pts[i] = db.Points[rnd.Intn(len(db.Points))].Pos
+	}
+	b.Run("Linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.DensityAround(pts[i%len(pts)], 3)
+		}
+	})
+	b.Run("Indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			snap.DensityAround(pts[i%len(pts)], 3)
+		}
+	})
+}
+
+// benchFusionOver drives the fusion scheme alone over the campus walk
+// with its radio map supplied by m — the per-epoch cost of UniLoc's
+// most expensive scheme under either map representation.
+func benchFusionOver(b *testing.B, m fingerprint.Map) {
+	s := getSuite(b)
+	campus := s.Lab.Campus()
+	fus := schemes.NewFusion(campus.Place.World, m, schemes.DefaultFusionConfig(), rand.New(rand.NewSource(9)))
+	path, _ := campus.Place.PathByName("path1")
+	start, _ := path.Line.At(0)
+	fus.Reset(start)
+	rnd := rand.New(rand.NewSource(10))
+	wk := NewWalker(campus.Place.World, path, campus.DefaultWalkerConfig(), rnd)
+	var snaps []*sensing.Snapshot
+	for !wk.Done() {
+		snap, _ := wk.Next(true)
+		snaps = append(snaps, snap)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fus.Estimate(snaps[i%len(snaps)])
+	}
+}
+
+// BenchmarkFusionStep measures one fusion-scheme epoch over the private
+// linear database vs a shared indexed store. On the small campus map
+// the two should be near parity (the index must not cost anything when
+// maps are small); the win appears at benchMapPoints-scale maps, which
+// BenchmarkNearest and BenchmarkDensityAround isolate.
+func BenchmarkFusionStep(b *testing.B) {
+	b.Run("Linear", func(b *testing.B) {
+		benchFusionOver(b, getSuite(b).Lab.Campus().WiFiDB)
+	})
+	b.Run("Indexed", func(b *testing.B) {
+		st := mapstore.New(getSuite(b).Lab.Campus().WiFiDB, mapstore.Config{Name: "bench"})
+		defer st.Close()
+		benchFusionOver(b, st)
+	})
+}
+
+// BenchmarkStoreReadUnderRebuild measures indexed Nearest throughput
+// while a writer goroutine continuously submits survey points and the
+// store's compactor rebuilds and swaps snapshots underneath the
+// readers — the live crowdsourcing regime. Readers pin a view per
+// query, so a swap never blocks or slows an in-flight match beyond the
+// one atomic load.
+func BenchmarkStoreReadUnderRebuild(b *testing.B) {
+	db := benchMapDB(benchMapPoints, benchMapTx, 7)
+	st := mapstore.New(db, mapstore.Config{Name: "bench", RebuildBatch: 64})
+	defer st.Close()
+	obs := benchMapObs(db, 64, 8)
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		rnd := rand.New(rand.NewSource(11))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := db.Points[rnd.Intn(len(db.Points))]
+			jit := geo.Pt(p.Pos.X+rnd.Float64(), p.Pos.Y+rnd.Float64())
+			_ = st.Submit(fingerprint.Fingerprint{Pos: jit, Vec: p.Vec})
+			if i%64 == 63 {
+				time.Sleep(100 * time.Microsecond) // let a rebuild land
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			view := st.View()
+			view.Nearest(obs[i%len(obs)], 3)
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-writerDone
+}
+
+// TestIndexedNearestFaster is the keep-it-honest guard on the index: a
+// medium-size synthetic map must answer Nearest measurably faster
+// through the snapshot than through the linear scan. The acceptance
+// threshold for the PR is 5x (verified via `go test -bench
+// BenchmarkNearest` and recorded in bench_output_experiments.txt); the
+// in-test bound is a deliberately generous 1.5x so CI noise and
+// throttled runners cannot flake it.
+func TestIndexedNearestFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison; skipped in -short")
+	}
+	db := benchMapDB(benchMapPoints, benchMapTx, 7)
+	snap := mapstore.Build(db, 1, 0, nil)
+	obs := benchMapObs(db, 64, 8)
+
+	measure := func(f func(v rf.Vector)) time.Duration {
+		// Warm up, then take the best of 3 rounds to shed scheduler
+		// noise.
+		for _, o := range obs {
+			f(o)
+		}
+		best := time.Duration(math.MaxInt64)
+		for r := 0; r < 3; r++ {
+			t0 := time.Now()
+			for rep := 0; rep < 5; rep++ {
+				for _, o := range obs {
+					f(o)
+				}
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	linear := measure(func(v rf.Vector) { db.Nearest(v, 3) })
+	indexed := measure(func(v rf.Vector) { snap.Nearest(v, 3) })
+	t.Logf("linear %v, indexed %v (%.1fx)", linear, indexed, float64(linear)/float64(indexed))
+	if float64(indexed)*1.5 > float64(linear) {
+		t.Errorf("indexed Nearest (%v) not at least 1.5x faster than linear (%v) at %d points",
+			indexed, linear, benchMapPoints)
 	}
 }

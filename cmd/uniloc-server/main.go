@@ -6,11 +6,18 @@
 // connection gets its own framework instance, so any number of phones
 // can walk concurrently without sharing localization state.
 //
+// With -shared-map (the default), the WiFi and cellular fingerprint
+// databases live in versioned mapstore.Stores: every session reads the
+// same indexed snapshot instead of scanning a private copy, and — with
+// -ingest — clients may contribute crowdsourced survey points
+// (MsgSurvey, protocol v3) that a background compactor folds into new
+// snapshot versions without pausing readers.
+//
 // With -metrics-addr set, a second HTTP listener exposes the
 // telemetry registry (RED metrics: sessions, epochs, frame bytes,
-// step-latency histogram) as Prometheus text at /metrics and JSON at
-// /metrics.json, plus expvar at /debug/vars and pprof at
-// /debug/pprof/.
+// step-latency histogram, map-store lookups/rebuilds/versions) as
+// Prometheus text at /metrics and JSON at /metrics.json, plus expvar
+// at /debug/vars and pprof at /debug/pprof/.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/mapstore"
 	"repro/internal/offload"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -41,54 +49,116 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "evict sessions idle this long (0 = never)")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "log session stats this often (0 = never)")
+	sharedMap := flag.Bool("shared-map", true, "serve all sessions from shared indexed map stores instead of per-session database scans")
+	ingest := flag.Bool("ingest", false, "accept crowdsourced survey submissions (MsgSurvey) into the shared map stores (requires -shared-map)")
+	rebuildBatch := flag.Int("rebuild-batch", 256, "pending survey points that trigger a background snapshot rebuild")
+	rebuildEvery := flag.Duration("rebuild-every", 30*time.Second, "also rebuild snapshots on this timer so trickles land (0 = batch-only)")
 	flag.Parse()
 
-	if err := run(*addr, *metricsAddr, *seed, *maxSessions, *idleTimeout, *statsEvery); err != nil {
+	cfg := serverOpts{
+		addr:         *addr,
+		metricsAddr:  *metricsAddr,
+		seed:         *seed,
+		maxSessions:  *maxSessions,
+		idleTimeout:  *idleTimeout,
+		statsEvery:   *statsEvery,
+		sharedMap:    *sharedMap,
+		ingest:       *ingest,
+		rebuildBatch: *rebuildBatch,
+		rebuildEvery: *rebuildEvery,
+	}
+	if err := run(cfg); err != nil {
 		log.Fatalf("uniloc-server: %v", err)
 	}
 }
 
-func run(addr, metricsAddr string, seed int64, maxSessions int, idleTimeout, statsEvery time.Duration) error {
-	tr, err := eval.Train(seed)
+// serverOpts carries the parsed flags.
+type serverOpts struct {
+	addr, metricsAddr string
+	seed              int64
+	maxSessions       int
+	idleTimeout       time.Duration
+	statsEvery        time.Duration
+	sharedMap         bool
+	ingest            bool
+	rebuildBatch      int
+	rebuildEvery      time.Duration
+}
+
+func run(opts serverOpts) error {
+	tr, err := eval.Train(opts.seed)
 	if err != nil {
 		return fmt.Errorf("training: %w", err)
 	}
-	campus := scenario.NewAssets(scenario.Campus(), seed+100)
+	campus := scenario.NewAssets(scenario.Campus(), opts.seed+100)
+	reg := telemetry.NewRegistry()
 
 	// One fresh framework per session: the shared campus assets
 	// (fingerprint databases, constellation) are read-only, while the
 	// scheme instances and their particle-filter randomness are
-	// private to the session.
+	// private to the session. With -shared-map the radio maps further
+	// collapse into two versioned stores every session reads through
+	// atomic snapshots.
 	var sessionSeq atomic.Int64
+	var stores map[byte]*mapstore.Store
 	factory := func() (*core.Framework, error) {
 		n := sessionSeq.Add(1)
-		ss := campus.Schemes(rand.New(rand.NewSource(seed + 7 + n)))
+		rnd := rand.New(rand.NewSource(opts.seed + 7 + n))
+		ss := campus.Schemes(rnd)
 		return core.NewFramework(ss, tr.Models)
 	}
+	if opts.sharedMap {
+		storeCfg := func(name string) mapstore.Config {
+			return mapstore.Config{
+				Name:         name,
+				RebuildBatch: opts.rebuildBatch,
+				RebuildEvery: opts.rebuildEvery,
+				Metrics:      mapstore.NewMetrics(reg, name),
+			}
+		}
+		wifiStore := mapstore.New(campus.WiFiDB, storeCfg("wifi"))
+		cellStore := mapstore.New(campus.CellDB, storeCfg("cellular"))
+		defer wifiStore.Close()
+		defer cellStore.Close()
+		factory = func() (*core.Framework, error) {
+			n := sessionSeq.Add(1)
+			rnd := rand.New(rand.NewSource(opts.seed + 7 + n))
+			ss := campus.SchemesOver(wifiStore, cellStore, rnd)
+			return core.NewFramework(ss, tr.Models)
+		}
+		if opts.ingest {
+			stores = map[byte]*mapstore.Store{
+				offload.MapWiFi:     wifiStore,
+				offload.MapCellular: cellStore,
+			}
+		}
+	} else if opts.ingest {
+		return fmt.Errorf("-ingest requires -shared-map")
+	}
 
-	reg := telemetry.NewRegistry()
 	srv, err := offload.NewServer(offload.ServerConfig{
 		Factory:     factory,
-		MaxSessions: maxSessions,
-		IdleTimeout: idleTimeout,
+		MaxSessions: opts.maxSessions,
+		IdleTimeout: opts.idleTimeout,
 		Metrics:     reg,
+		MapStores:   stores,
 	})
 	if err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v)",
-		ln.Addr(), maxSessions, idleTimeout)
+	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, shared-map=%v, ingest=%v)",
+		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.sharedMap, opts.ingest)
 
 	// Optional exposition endpoint: Prometheus + JSON metrics, expvar,
 	// pprof.
 	var metricsSrv *http.Server
-	if metricsAddr != "" {
-		mln, err := net.Listen("tcp", metricsAddr)
+	if opts.metricsAddr != "" {
+		mln, err := net.Listen("tcp", opts.metricsAddr)
 		if err != nil {
 			_ = ln.Close()
 			return fmt.Errorf("metrics listener: %w", err)
@@ -109,18 +179,18 @@ func run(addr, metricsAddr string, seed int64, maxSessions int, idleTimeout, sta
 	statsStopped := make(chan struct{})
 	go func() {
 		defer close(statsStopped)
-		if statsEvery <= 0 {
+		if opts.statsEvery <= 0 {
 			<-statsDone
 			return
 		}
-		tick := time.NewTicker(statsEvery)
+		tick := time.NewTicker(opts.statsEvery)
 		defer tick.Stop()
 		for {
 			select {
 			case <-statsDone:
 				return
 			case <-tick.C:
-				logStats(reg)
+				logStats(reg, opts.sharedMap)
 			}
 		}
 	}()
@@ -141,7 +211,7 @@ func run(addr, metricsAddr string, seed int64, maxSessions int, idleTimeout, sta
 
 	close(statsDone)
 	<-statsStopped
-	logStats(reg) // final snapshot so short runs still report
+	logStats(reg, opts.sharedMap) // final snapshot so short runs still report
 
 	if metricsSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -153,7 +223,7 @@ func run(addr, metricsAddr string, seed int64, maxSessions int, idleTimeout, sta
 
 // logStats renders the session/epoch counters from one telemetry
 // snapshot — the same numbers a /metrics scrape would see.
-func logStats(reg *telemetry.Registry) {
+func logStats(reg *telemetry.Registry, sharedMap bool) {
 	snap := reg.Snapshot()
 	get := func(name string, labels ...string) float64 {
 		v, _ := snap.Get(name, labels...)
@@ -169,4 +239,16 @@ func logStats(reg *telemetry.Registry) {
 		get("uniloc_sessions_closed_total"), get("uniloc_sessions_rejected_total"),
 		get("uniloc_sessions_evicted_total"), epochs, avgStep,
 		get("uniloc_frame_bytes_total", "dir", "in"), get("uniloc_frame_bytes_total", "dir", "out"))
+	if sharedMap {
+		for _, m := range []string{"wifi", "cellular"} {
+			log.Printf("mapstore[%s]: version=%.0f points=%.0f pending=%.0f rebuilds=%.0f ingested=%.0f dropped=%.0f",
+				m,
+				get("uniloc_mapstore_snapshot_version", "map", m),
+				get("uniloc_mapstore_snapshot_points", "map", m),
+				get("uniloc_mapstore_pending_points", "map", m),
+				get("uniloc_mapstore_rebuilds_total", "map", m),
+				get("uniloc_surveys_ingested_total"),
+				get("uniloc_surveys_dropped_total"))
+		}
+	}
 }

@@ -23,6 +23,58 @@ type Fingerprint struct {
 	Vec rf.Vector
 }
 
+// Reader is the read-only query interface over one radio map. It is
+// implemented by *DB (linear scans) and by mapstore.Snapshot (indexed,
+// same results bit for bit), so the localization schemes stay agnostic
+// to how the map is stored. The point ordering exposed through At and
+// Positions is stable for the lifetime of a Reader, which keeps index
+// results from Distances aligned with At.
+type Reader interface {
+	// Len returns the number of fingerprints in the map.
+	Len() int
+	// At returns fingerprint i (0 <= i < Len). Callers must treat the
+	// returned vector as immutable.
+	At(i int) Fingerprint
+	// FloorDB returns the imputation value (dBm) for unheard
+	// transmitters, used by the RSSI distance metric.
+	FloorDB() float64
+	// Spacing returns the nominal survey grid spacing in meters.
+	Spacing() float64
+	// Version identifies the map revision this Reader serves. A plain
+	// *DB always reports 0; versioned stores report a monotonically
+	// increasing snapshot version.
+	Version() uint64
+	// Positions returns the surveyed positions, aligned with At.
+	Positions() []geo.Point
+	// Nearest returns the k fingerprints closest to the observation in
+	// RSSI space, sorted ascending by distance with deterministic
+	// tie-breaking.
+	Nearest(obs rf.Vector, k int) []Match
+	// Distances returns the RSSI distance to every fingerprint, aligned
+	// with At.
+	Distances(obs rf.Vector) []float64
+	// DensityAround returns the β₁ local fingerprint density feature.
+	DensityAround(p geo.Point, neighbours int) float64
+	// VectorAt returns the stored vector physically nearest p.
+	VectorAt(p geo.Point) (vec rf.Vector, distM float64, ok bool)
+}
+
+// Map hands out self-consistent Readers over a radio map. A *DB is its
+// own (only) view; a versioned store returns its current immutable
+// snapshot, so one View call pins a consistent map revision for a whole
+// sensing epoch even while background compaction swaps in new versions.
+type Map interface {
+	View() Reader
+}
+
+// NeighborLister is an optional Reader extension: maps that carry a
+// spatial index can hand out precomputed physical-neighbour lists
+// (ascending point indices within maxDistM of each point, inclusive),
+// which the HMM tracker uses to skip its O(N²) transition scan.
+type NeighborLister interface {
+	NeighborLists(maxDistM float64) [][]int32
+}
+
 // DB is an offline fingerprint database. In the paper each offline
 // fingerprint has one sample from each audible transmitter, and the
 // database is assumed to be kept fresh by the provider or crowdsourcing.
@@ -31,6 +83,24 @@ type DB struct {
 	SpacingM float64 // nominal grid spacing used at survey time
 	Floor    float64 // imputation value for unheard transmitters
 }
+
+// Len implements Reader.
+func (db *DB) Len() int { return len(db.Points) }
+
+// At implements Reader.
+func (db *DB) At(i int) Fingerprint { return db.Points[i] }
+
+// FloorDB implements Reader.
+func (db *DB) FloorDB() float64 { return db.Floor }
+
+// Spacing implements Reader.
+func (db *DB) Spacing() float64 { return db.SpacingM }
+
+// Version implements Reader: a plain database is unversioned.
+func (db *DB) Version() uint64 { return 0 }
+
+// View implements Map: a plain database is its own single view.
+func (db *DB) View() Reader { return db }
 
 // Survey builds a fingerprint database by sampling a regular grid with
 // the given spacing over the world's walkable area, measuring sites
@@ -116,29 +186,49 @@ type Match struct {
 	Dist float64 // RSSI-space Euclidean distance
 }
 
+// MatchLess is the canonical ordering of candidate matches: ascending
+// RSSI distance, ties broken by position (X then Y), and finally by the
+// original point index so that even co-located duplicate fingerprints
+// order deterministically. Linear and indexed map implementations must
+// agree on this ordering exactly for their results to be comparable.
+func MatchLess(di, dj float64, pi, pj geo.Point, ii, ij int) bool {
+	if di != dj {
+		return di < dj
+	}
+	if pi.X != pj.X {
+		return pi.X < pj.X
+	}
+	if pi.Y != pj.Y {
+		return pi.Y < pj.Y
+	}
+	return ii < ij
+}
+
 // Nearest returns the k fingerprints closest to the observation in RSSI
-// space, sorted by ascending RSSI distance. It returns fewer than k
-// matches when the database is small.
+// space, sorted by ascending RSSI distance with deterministic
+// tie-breaking (MatchLess: distance, then position, then index). It
+// returns fewer than k matches when the database is small.
 func (db *DB) Nearest(obs rf.Vector, k int) []Match {
 	if len(db.Points) == 0 || k <= 0 {
 		return nil
 	}
-	matches := make([]Match, len(db.Points))
-	for i, fp := range db.Points {
-		matches[i] = Match{Pos: fp.Pos, Dist: rf.Distance(obs, fp.Vec, db.Floor)}
+	type cand struct {
+		m   Match
+		idx int
 	}
-	sort.Slice(matches, func(i, j int) bool {
-		if matches[i].Dist != matches[j].Dist {
-			return matches[i].Dist < matches[j].Dist
-		}
-		// Tie-break deterministically by position.
-		if matches[i].Pos.X != matches[j].Pos.X {
-			return matches[i].Pos.X < matches[j].Pos.X
-		}
-		return matches[i].Pos.Y < matches[j].Pos.Y
+	cands := make([]cand, len(db.Points))
+	for i, fp := range db.Points {
+		cands[i] = cand{m: Match{Pos: fp.Pos, Dist: rf.Distance(obs, fp.Vec, db.Floor)}, idx: i}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return MatchLess(cands[i].m.Dist, cands[j].m.Dist, cands[i].m.Pos, cands[j].m.Pos, cands[i].idx, cands[j].idx)
 	})
-	if len(matches) > k {
-		matches = matches[:k]
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	matches := make([]Match, len(cands))
+	for i, c := range cands {
+		matches[i] = c.m
 	}
 	return matches
 }

@@ -114,6 +114,144 @@ func TestNearestEdgeCases(t *testing.T) {
 	}
 }
 
+// TestNearestTieBreakDeterministic pins the canonical MatchLess
+// ordering on crafted ties: equal RSSI distance orders by position (X
+// then Y), and co-located duplicates fall back to index order, so the
+// linear scan and any indexed implementation can be compared exactly.
+func TestNearestTieBreakDeterministic(t *testing.T) {
+	vec := rf.Vector{{ID: "a", RSSI: -50}}
+	db := &DB{Points: []Fingerprint{
+		{Pos: geo.Pt(5, 9), Vec: vec},
+		{Pos: geo.Pt(5, 1), Vec: vec}, // same X, smaller Y: must sort first
+		{Pos: geo.Pt(2, 7), Vec: vec}, // smallest X: must sort before both
+		{Pos: geo.Pt(2, 7), Vec: vec}, // exact duplicate: index breaks the tie
+	}}
+	obs := rf.Vector{{ID: "a", RSSI: -53}}
+	want := []Match{
+		{Pos: geo.Pt(2, 7), Dist: 3},
+		{Pos: geo.Pt(2, 7), Dist: 3},
+		{Pos: geo.Pt(5, 1), Dist: 3},
+		{Pos: geo.Pt(5, 9), Dist: 3},
+	}
+	for trial := 0; trial < 10; trial++ {
+		got := db.Nearest(obs, len(db.Points))
+		if len(got) != len(want) {
+			t.Fatalf("got %d matches", len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d match %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	// Truncation keeps the same prefix.
+	top2 := db.Nearest(obs, 2)
+	if len(top2) != 2 || top2[0] != want[0] || top2[1] != want[1] {
+		t.Errorf("top-2 = %+v", top2)
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	empty := &DB{}
+	survey := &DB{SpacingM: 3, Floor: -100, Points: []Fingerprint{
+		{Pos: geo.Pt(0, 0), Vec: rf.Vector{{ID: "a", RSSI: -50}, {ID: "b", RSSI: -60}}},
+	}}
+
+	// Empty ⊕ empty: still a valid, queryable database.
+	ee := Merge(empty, empty)
+	if ee.Len() != 0 || ee.Nearest(rf.Vector{{ID: "a", RSSI: -50}}, 3) != nil {
+		t.Errorf("empty merge misbehaves: %+v", ee)
+	}
+
+	// Empty zero-valued left side must not clobber the right side's
+	// spacing or floor.
+	em := Merge(empty, survey)
+	if em.Len() != 1 || em.SpacingM != 3 || em.Floor != -100 {
+		t.Errorf("Merge(empty, survey) = spacing %v floor %v len %d", em.SpacingM, em.Floor, em.Len())
+	}
+	me := Merge(survey, empty)
+	if me.Len() != 1 || me.SpacingM != 3 || me.Floor != -100 {
+		t.Errorf("Merge(survey, empty) = spacing %v floor %v len %d", me.SpacingM, me.Floor, me.Len())
+	}
+
+	// Mismatched transmitter sets: both sides' points survive unchanged
+	// and the lower (more conservative) floor wins.
+	other := &DB{SpacingM: 12, Floor: -118, Points: []Fingerprint{
+		{Pos: geo.Pt(9, 9), Vec: rf.Vector{{ID: "t1", RSSI: -70}, {ID: "t2", RSSI: -80}}},
+	}}
+	mm := Merge(survey, other)
+	if mm.Len() != 2 || mm.SpacingM != 3 || mm.Floor != -118 {
+		t.Errorf("mismatched merge = spacing %v floor %v len %d", mm.SpacingM, mm.Floor, mm.Len())
+	}
+	if mm.At(0).Vec[0].ID != "a" || mm.At(1).Vec[0].ID != "t1" {
+		t.Error("merged points lost their transmitter sets")
+	}
+	// Matching across disjoint transmitter sets stays well defined: the
+	// point sharing the observation's transmitters wins.
+	m := mm.Nearest(rf.Vector{{ID: "a", RSSI: -50}, {ID: "b", RSSI: -60}}, 1)
+	if len(m) != 1 || m[0].Pos != geo.Pt(0, 0) {
+		t.Errorf("cross-set match = %+v", m)
+	}
+	// The merge is storage-independent of its inputs.
+	mm.Points[0].Pos = geo.Pt(-1, -1)
+	if survey.Points[0].Pos == geo.Pt(-1, -1) {
+		t.Error("Merge shares backing storage with its inputs")
+	}
+}
+
+func TestDownsampleEdgeCases(t *testing.T) {
+	empty := &DB{SpacingM: 3, Floor: -100}
+	for _, factor := range []int{-2, 0, 1, 4} {
+		d := empty.Downsample(factor)
+		if d.Len() != 0 {
+			t.Errorf("factor %d on empty DB kept %d points", factor, d.Len())
+		}
+		if d.Floor != -100 {
+			t.Errorf("factor %d lost floor: %v", factor, d.Floor)
+		}
+	}
+
+	db := &DB{SpacingM: 3, Floor: -100}
+	for x := 0.0; x < 12; x += 3 {
+		db.Points = append(db.Points, Fingerprint{Pos: geo.Pt(x, 0), Vec: rf.Vector{{ID: "a", RSSI: -50}}})
+	}
+	// factor <= 1 (including zero and negatives) is an independent
+	// identity copy at unchanged spacing.
+	for _, factor := range []int{-1, 0, 1} {
+		same := db.Downsample(factor)
+		if same.Len() != db.Len() || same.SpacingM != db.SpacingM {
+			t.Errorf("factor %d: len %d spacing %v", factor, same.Len(), same.SpacingM)
+		}
+		same.Points[0].Pos = geo.Pt(-5, -5)
+		if db.Points[0].Pos == geo.Pt(-5, -5) {
+			t.Errorf("factor %d shares backing storage", factor)
+		}
+		db.Points[0].Pos = geo.Pt(0, 0)
+	}
+	// A factor swallowing the whole grid keeps exactly one point.
+	one := db.Downsample(100)
+	if one.Len() != 1 || one.SpacingM != 300 {
+		t.Errorf("factor 100: len %d spacing %v", one.Len(), one.SpacingM)
+	}
+}
+
+func TestDBImplementsReaderAndMap(t *testing.T) {
+	db := &DB{SpacingM: 3, Floor: -100, Points: []Fingerprint{
+		{Pos: geo.Pt(1, 2), Vec: rf.Vector{{ID: "a", RSSI: -40}}},
+	}}
+	var r Reader = db
+	var m Map = db
+	if m.View() != r {
+		t.Error("a DB must be its own view")
+	}
+	if r.Len() != 1 || r.At(0).Pos != geo.Pt(1, 2) || r.FloorDB() != -100 || r.Spacing() != 3 {
+		t.Errorf("reader accessors wrong: %+v", r)
+	}
+	if r.Version() != 0 {
+		t.Error("plain DB must report version 0")
+	}
+}
+
 func TestDistancesAlignment(t *testing.T) {
 	w := fpWorld()
 	model := rf.WiFiModel()

@@ -40,6 +40,11 @@ type Tracker struct {
 	// EmissionScale converts RSSI distance to log-likelihood: larger
 	// means flatter emissions.
 	EmissionScale float64
+
+	// nb, when set, lists for each state j the ascending indices of
+	// states within the transition radius (MaxStepM*3), letting Update
+	// skip the full O(N²) scan. See SetNeighborLists.
+	nb [][]int32
 }
 
 // New creates a tracker over the given candidate locations.
@@ -62,6 +67,44 @@ func New(states []geo.Point) *Tracker {
 // Len returns the number of states.
 func (t *Tracker) Len() int { return len(t.states) }
 
+// TransitionRadiusM returns the distance beyond which the transition
+// model assigns zero probability — the radius neighbor lists must be
+// built with.
+func (t *Tracker) TransitionRadiusM() float64 { return t.MaxStepM * 3 }
+
+// SetNeighborLists installs precomputed per-state neighbor lists:
+// lists[j] holds, in ascending order, every state index i with
+// states[i].Dist(states[j]) <= TransitionRadiusM() (self included).
+// Update then only visits listed pairs, which preserves the exact
+// float summation order of the full scan (the scan skips the same
+// pairs) while cutting the transition step from O(N²) to O(N·cell).
+// Passing nil restores the full scan. Lists of the wrong length are
+// ignored.
+func (t *Tracker) SetNeighborLists(lists [][]int32) {
+	if lists != nil && len(lists) != len(t.states) {
+		return
+	}
+	t.nb = lists
+}
+
+// transWeight is the transition kernel for a move from si to sj at
+// distance d: a Gaussian over step length, boosted (second-order term)
+// when the move continues the previous displacement direction.
+func (t *Tracker) transWeight(si, sj geo.Point, d float64, dir geo.Point, dirNorm float64) float64 {
+	g := math.Exp(-d * d / (2 * t.MaxStepM * t.MaxStepM))
+	if dirNorm > 0.5 {
+		move := sj.Sub(si)
+		if mn := move.Norm(); mn > 0.3 {
+			cos := move.Dot(dir) / (mn * dirNorm)
+			g *= 1 + t.DirWeight*cos
+			if g < 0 {
+				g = 0
+			}
+		}
+	}
+	return g
+}
+
 // Update folds in one observation given as the RSSI distance from the
 // online scan to each state's fingerprint, and returns the predicted
 // location (the belief-weighted mean).
@@ -73,10 +116,27 @@ func (t *Tracker) Update(rssiDists []float64) geo.Point {
 	dir := t.cur.Sub(t.prev)
 	dirNorm := dir.Norm()
 	for j, sj := range t.states {
-		// Transition: sum over weighted previous belief.
+		// Transition: sum over weighted previous belief. The indexed
+		// variant walks only the precomputed neighbors of j; because
+		// the full scan skips exactly the pairs the lists exclude
+		// (d > MaxStepM*3), both paths add the same terms in the same
+		// order and produce bit-identical beliefs.
 		var trans float64
 		if !t.init {
 			trans = 1
+		} else if t.nb != nil {
+			for _, i32 := range t.nb[j] {
+				i := int(i32)
+				if t.belief[i] <= 1e-12 {
+					continue
+				}
+				si := t.states[i]
+				d := si.Dist(sj)
+				if d > t.MaxStepM*3 {
+					continue // defensive: lists built for a smaller radius
+				}
+				trans += t.belief[i] * t.transWeight(si, sj, d, dir, dirNorm)
+			}
 		} else {
 			for i, si := range t.states {
 				if t.belief[i] <= 1e-12 {
@@ -86,20 +146,7 @@ func (t *Tracker) Update(rssiDists []float64) geo.Point {
 				if d > t.MaxStepM*3 {
 					continue
 				}
-				g := math.Exp(-d * d / (2 * t.MaxStepM * t.MaxStepM))
-				// Second-order term: prefer continuing the previous
-				// displacement direction.
-				if dirNorm > 0.5 {
-					move := sj.Sub(si)
-					if mn := move.Norm(); mn > 0.3 {
-						cos := move.Dot(dir) / (mn * dirNorm)
-						g *= 1 + t.DirWeight*cos
-						if g < 0 {
-							g = 0
-						}
-					}
-				}
-				trans += t.belief[i] * g
+				trans += t.belief[i] * t.transWeight(si, sj, d, dir, dirNorm)
 			}
 		}
 		emit := math.Exp(-rssiDists[j] / t.EmissionScale)

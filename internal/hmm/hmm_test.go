@@ -128,3 +128,71 @@ func TestTrackerRecoverFromZeroBelief(t *testing.T) {
 		t.Error("NaN after recovery")
 	}
 }
+
+// gridStates builds a 2-D grid of states at 3 m pitch.
+func gridStates(side int) []geo.Point {
+	out := make([]geo.Point, 0, side*side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			out = append(out, geo.Pt(float64(x)*3, float64(y)*3))
+		}
+	}
+	return out
+}
+
+// neighborListsFor computes the reference neighbor lists by the same
+// definition SetNeighborLists documents.
+func neighborListsFor(states []geo.Point, maxD float64) [][]int32 {
+	out := make([][]int32, len(states))
+	for j := range states {
+		for i := range states {
+			if states[i].Dist(states[j]) > maxD {
+				continue
+			}
+			out[j] = append(out[j], int32(i))
+		}
+	}
+	return out
+}
+
+// TestTrackerNeighborListsEquivalent verifies the indexed transition
+// path is bit-identical to the full scan over a long tracked walk.
+func TestTrackerNeighborListsEquivalent(t *testing.T) {
+	states := gridStates(12)
+	full := New(states)
+	fast := New(states)
+	fast.SetNeighborLists(neighborListsFor(states, fast.TransitionRadiusM()))
+
+	for step := 0; step < 30; step++ {
+		truth := geo.Pt(float64(step)*1.2, float64(step)*0.7)
+		dists := distsFor(states, truth)
+		a := full.Update(dists)
+		b := fast.Update(dists)
+		if a != b {
+			t.Fatalf("step %d: estimates diverged: %v != %v", step, a, b)
+		}
+		for i := range full.belief {
+			if full.belief[i] != fast.belief[i] {
+				t.Fatalf("step %d: belief[%d] diverged: %v != %v", step, i, full.belief[i], fast.belief[i])
+			}
+		}
+	}
+}
+
+func TestTrackerSetNeighborListsValidation(t *testing.T) {
+	states := lineStates(8)
+	tr := New(states)
+	tr.SetNeighborLists(make([][]int32, 3)) // wrong length: ignored
+	if tr.nb != nil {
+		t.Fatal("mismatched neighbor lists were installed")
+	}
+	lists := neighborListsFor(states, tr.TransitionRadiusM())
+	tr.SetNeighborLists(lists)
+	if tr.nb == nil {
+		t.Fatal("valid neighbor lists rejected")
+	}
+	tr.SetNeighborLists(nil)
+	if tr.nb != nil {
+		t.Fatal("nil did not restore the full scan")
+	}
+}

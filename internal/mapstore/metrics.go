@@ -1,0 +1,81 @@
+package mapstore
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// op names the query kinds the store instruments.
+type op int
+
+const (
+	opNearest op = iota
+	opDistances
+	opVectorAt
+	opDensity
+	opCount
+)
+
+var opNames = [opCount]string{"nearest", "distances", "vector_at", "density"}
+
+// Metrics holds the store's telemetry instruments. A nil *Metrics is a
+// valid no-op sink, so snapshots built outside a server (tests,
+// benchmarks, examples) pay nothing.
+type Metrics struct {
+	lookups [opCount]*telemetry.Counter
+	cells   [opCount]*telemetry.Histogram
+
+	rebuilds  *telemetry.Counter
+	submitted *telemetry.Counter
+	dropped   *telemetry.Counter
+	pending   *telemetry.Gauge
+	version   *telemetry.Gauge
+	points    *telemetry.Gauge
+	builtAt   *telemetry.Gauge
+}
+
+// NewMetrics registers the mapstore instruments on reg under the given
+// map name ("wifi", "cellular", ...). A nil registry yields no-op
+// instruments; telemetry's nil-safety keeps every call site branchless.
+func NewMetrics(reg *telemetry.Registry, name string) *Metrics {
+	m := &Metrics{
+		rebuilds:  reg.Counter("uniloc_mapstore_rebuilds_total", "Snapshot rebuilds completed.", "map", name),
+		submitted: reg.Counter("uniloc_mapstore_points_submitted_total", "Crowdsourced fingerprints accepted into the pending queue.", "map", name),
+		dropped:   reg.Counter("uniloc_mapstore_points_dropped_total", "Submitted fingerprints rejected as unusable.", "map", name),
+		pending:   reg.Gauge("uniloc_mapstore_pending_points", "Fingerprints waiting for the next compaction.", "map", name),
+		version:   reg.Gauge("uniloc_mapstore_snapshot_version", "Version of the live snapshot.", "map", name),
+		points:    reg.Gauge("uniloc_mapstore_snapshot_points", "Fingerprints in the live snapshot.", "map", name),
+		builtAt:   reg.Gauge("uniloc_mapstore_snapshot_built_timestamp_seconds", "Unix time the live snapshot was built.", "map", name),
+	}
+	for o := op(0); o < opCount; o++ {
+		m.lookups[o] = reg.Counter("uniloc_mapstore_lookups_total", "Map queries served, by operation.", "map", name, "op", opNames[o])
+		m.cells[o] = reg.Histogram("uniloc_mapstore_cells_scanned", "Grid cells visited per query, by operation.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, "map", name, "op", opNames[o])
+	}
+	return m
+}
+
+func (m *Metrics) lookup(o op) {
+	if m == nil {
+		return
+	}
+	m.lookups[o].Inc()
+}
+
+func (m *Metrics) observeCells(o op, n int) {
+	if m == nil {
+		return
+	}
+	m.cells[o].Observe(float64(n))
+}
+
+func (m *Metrics) snapshotSwapped(s *Snapshot) {
+	if m == nil {
+		return
+	}
+	m.rebuilds.Inc()
+	m.version.Set(float64(s.version))
+	m.points.Set(float64(s.Len()))
+	m.builtAt.Set(float64(s.built.UnixNano()) / float64(time.Second))
+}

@@ -1,0 +1,236 @@
+package mapstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/rf"
+)
+
+// ErrTooFewTransmitters rejects submitted fingerprints that cannot
+// discriminate locations (the survey applies the same rule: matching
+// needs at least two audible transmitters).
+var ErrTooFewTransmitters = errors.New("mapstore: fingerprint needs at least 2 transmitters")
+
+// Config parameterizes a Store.
+type Config struct {
+	// Name labels the store's metrics ("wifi", "cellular", ...).
+	Name string
+	// RebuildBatch triggers an asynchronous rebuild once this many
+	// submissions are pending. <= 0 uses DefaultRebuildBatch.
+	RebuildBatch int
+	// RebuildEvery additionally rebuilds on a timer so a trickle of
+	// submissions below the batch size still lands. 0 disables the
+	// timer.
+	RebuildEvery time.Duration
+	// CellM overrides the spatial grid cell size; <= 0 picks it from
+	// the survey spacing.
+	CellM float64
+	// Metrics receives store instrumentation; nil disables it.
+	Metrics *Metrics
+}
+
+// DefaultRebuildBatch is the pending-submission count that triggers a
+// background compaction when Config.RebuildBatch is unset.
+const DefaultRebuildBatch = 256
+
+// Store is a versioned, shared radio map. Readers call View to pin the
+// current immutable Snapshot (one atomic load); writers call Submit to
+// queue crowdsourced fingerprints, which a background compactor folds
+// into a rebuilt snapshot off the hot path and swaps in atomically.
+// Version numbers start at 1 and increase by one per swap, so any two
+// readers holding the same version see bit-identical state forever.
+type Store struct {
+	cfg  Config
+	snap atomic.Pointer[Snapshot]
+
+	mu      sync.Mutex // guards pending
+	pending []fingerprint.Fingerprint
+
+	rebuildMu sync.Mutex // serializes compactions
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a Store over db's points. The database is copied, so the
+// caller may keep mutating its own DB; the store's snapshots never
+// change underneath a reader. The background compactor starts
+// immediately; call Close to stop it.
+func New(db *fingerprint.DB, cfg Config) *Store {
+	if cfg.RebuildBatch <= 0 {
+		cfg.RebuildBatch = DefaultRebuildBatch
+	}
+	s := &Store{
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	first := Build(copyDB(db), 1, cfg.CellM, cfg.Metrics)
+	s.snap.Store(first)
+	cfg.Metrics.snapshotSwapped(first)
+	s.wg.Add(1)
+	go s.compactor()
+	return s
+}
+
+// copyDB clones a database's point slice (vectors are shared — they are
+// immutable by contract).
+func copyDB(db *fingerprint.DB) *fingerprint.DB {
+	out := &fingerprint.DB{SpacingM: db.SpacingM, Floor: db.Floor}
+	out.Points = append([]fingerprint.Fingerprint(nil), db.Points...)
+	return out
+}
+
+// View implements fingerprint.Map: one atomic load pins the current
+// snapshot for the caller.
+func (s *Store) View() fingerprint.Reader { return s.snap.Load() }
+
+// Snapshot returns the current snapshot with its concrete type (for
+// NeighborLists and version/age inspection).
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Version returns the version of the live snapshot.
+func (s *Store) Version() uint64 { return s.snap.Load().version }
+
+// Pending returns how many submissions await the next compaction.
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Submit queues one crowdsourced fingerprint for the next compaction.
+// A submission at the exact position of an existing fingerprint
+// replaces that point's vector (map refresh); anywhere else it extends
+// the map. Vectors with fewer than two transmitters are rejected.
+func (s *Store) Submit(fp fingerprint.Fingerprint) error {
+	if len(fp.Vec) < 2 {
+		s.cfg.Metrics.submitDropped()
+		return ErrTooFewTransmitters
+	}
+	// The snapshot's merge-walk distance requires ID-sorted vectors;
+	// locally-scanned vectors already are, but crowdsourced input is
+	// not trusted to be.
+	if !sort.SliceIsSorted(fp.Vec, func(a, b int) bool { return fp.Vec[a].ID < fp.Vec[b].ID }) {
+		vec := append(rf.Vector(nil), fp.Vec...)
+		sort.Slice(vec, func(a, b int) bool { return vec[a].ID < vec[b].ID })
+		fp.Vec = vec
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, fp)
+	n := len(s.pending)
+	s.mu.Unlock()
+	s.cfg.Metrics.submitAccepted(n)
+	if n >= s.cfg.RebuildBatch {
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Rebuild synchronously folds all pending submissions into a new
+// snapshot and swaps it in, returning the live version afterwards. With
+// nothing pending it is a no-op. Safe to call concurrently with the
+// background compactor and with any number of readers.
+func (s *Store) Rebuild() uint64 {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+
+	s.mu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+
+	cur := s.snap.Load()
+	if len(batch) == 0 {
+		return cur.version
+	}
+
+	db := copyDB(cur.db)
+	byPos := make(map[geo.Point]int, len(db.Points))
+	for i, fp := range db.Points {
+		byPos[fp.Pos] = i
+	}
+	for _, fp := range batch {
+		if i, ok := byPos[fp.Pos]; ok {
+			db.Points[i].Vec = fp.Vec
+		} else {
+			byPos[fp.Pos] = len(db.Points)
+			db.Points = append(db.Points, fp)
+		}
+	}
+
+	next := Build(db, cur.version+1, s.cfg.CellM, s.cfg.Metrics)
+	s.snap.Store(next)
+	s.cfg.Metrics.snapshotSwapped(next)
+	s.mu.Lock()
+	s.cfg.Metrics.setPending(len(s.pending))
+	s.mu.Unlock()
+	return next.version
+}
+
+// compactor is the background rebuild loop: it fires on batch-size
+// kicks from Submit and, when configured, on a timer.
+func (s *Store) compactor() {
+	defer s.wg.Done()
+	var tick <-chan time.Time
+	if s.cfg.RebuildEvery > 0 {
+		t := time.NewTicker(s.cfg.RebuildEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+			s.Rebuild()
+		case <-tick:
+			s.Rebuild()
+		}
+	}
+}
+
+// Close stops the background compactor after folding in any remaining
+// pending submissions. The store remains readable after Close.
+func (s *Store) Close() {
+	select {
+	case <-s.done:
+		return // already closed
+	default:
+	}
+	close(s.done)
+	s.wg.Wait()
+	s.Rebuild()
+}
+
+func (m *Metrics) submitAccepted(pending int) {
+	if m == nil {
+		return
+	}
+	m.submitted.Inc()
+	m.pending.Set(float64(pending))
+}
+
+func (m *Metrics) submitDropped() {
+	if m == nil {
+		return
+	}
+	m.dropped.Inc()
+}
+
+func (m *Metrics) setPending(n int) {
+	if m == nil {
+		return
+	}
+	m.pending.Set(float64(n))
+}

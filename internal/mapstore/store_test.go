@@ -1,0 +1,273 @@
+package mapstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/rf"
+	"repro/internal/telemetry"
+)
+
+func vec2(a, b float64) rf.Vector {
+	return rf.Vector{{ID: "ap-a", RSSI: a}, {ID: "ap-b", RSSI: b}}
+}
+
+func TestStoreSubmitRebuild(t *testing.T) {
+	db := synthDB(50, 10, 11)
+	st := New(db, Config{Name: "test", RebuildBatch: 1 << 30}) // manual rebuilds only
+	defer st.Close()
+
+	if st.Version() != 1 {
+		t.Fatalf("initial version = %d, want 1", st.Version())
+	}
+	if got := st.View().Len(); got != 50 {
+		t.Fatalf("initial Len = %d", got)
+	}
+
+	// Unusable vector is rejected and does not queue.
+	if err := st.Submit(fingerprint.Fingerprint{Pos: geo.Pt(1, 1), Vec: rf.Vector{{ID: "x", RSSI: -50}}}); err == nil {
+		t.Fatal("single-transmitter Submit accepted")
+	}
+	if st.Pending() != 0 {
+		t.Fatalf("pending = %d after rejected submit", st.Pending())
+	}
+
+	// New position extends the map; duplicate position refreshes it.
+	novel := geo.Pt(-40, -40)
+	if err := st.Submit(fingerprint.Fingerprint{Pos: novel, Vec: vec2(-50, -60)}); err != nil {
+		t.Fatal(err)
+	}
+	existing := db.Points[3].Pos
+	if err := st.Submit(fingerprint.Fingerprint{Pos: existing, Vec: vec2(-45, -55)}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", st.Pending())
+	}
+
+	old := st.Snapshot()
+	if v := st.Rebuild(); v != 2 {
+		t.Fatalf("rebuilt version = %d, want 2", v)
+	}
+	if st.Pending() != 0 {
+		t.Fatalf("pending = %d after rebuild", st.Pending())
+	}
+	cur := st.Snapshot()
+	if cur.Len() != 51 {
+		t.Fatalf("Len = %d after extend+refresh, want 51", cur.Len())
+	}
+	if _, d, ok := cur.VectorAt(novel); !ok || d != 0 {
+		t.Fatalf("novel point not found: d=%v ok=%v", d, ok)
+	}
+	refreshed := cur.At(3)
+	if refreshed.Pos != existing || refreshed.Vec[0].RSSI != -45 {
+		t.Fatalf("existing point not refreshed: %+v", refreshed)
+	}
+
+	// The old snapshot is frozen: same length, same data, old version.
+	if old.Version() != 1 || old.Len() != 50 {
+		t.Fatalf("old snapshot mutated: v=%d len=%d", old.Version(), old.Len())
+	}
+
+	// No-op rebuild does not bump the version.
+	if v := st.Rebuild(); v != 2 {
+		t.Fatalf("no-op rebuild bumped version to %d", v)
+	}
+}
+
+func TestStoreBatchTriggersCompactor(t *testing.T) {
+	db := synthDB(30, 8, 13)
+	st := New(db, Config{Name: "batch", RebuildBatch: 5})
+	defer st.Close()
+
+	for i := 0; i < 5; i++ {
+		p := geo.Pt(float64(100+i), 100)
+		if err := st.Submit(fingerprint.Fingerprint{Pos: p, Vec: vec2(-50, -60)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Version() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor did not rebuild; version=%d pending=%d", st.Version(), st.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := st.View().Len(); got != 35 {
+		t.Fatalf("Len = %d after batch compaction, want 35", got)
+	}
+}
+
+func TestStoreTimerTriggersCompactor(t *testing.T) {
+	db := synthDB(30, 8, 17)
+	st := New(db, Config{Name: "timer", RebuildBatch: 1 << 30, RebuildEvery: 5 * time.Millisecond})
+	defer st.Close()
+
+	if err := st.Submit(fingerprint.Fingerprint{Pos: geo.Pt(200, 200), Vec: vec2(-40, -70)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Version() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("timer compaction never ran; version=%d", st.Version())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStoreCloseFlushesPending(t *testing.T) {
+	db := synthDB(20, 8, 19)
+	st := New(db, Config{Name: "close", RebuildBatch: 1 << 30})
+	if err := st.Submit(fingerprint.Fingerprint{Pos: geo.Pt(300, 300), Vec: vec2(-50, -62)}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if st.Version() != 2 || st.View().Len() != 21 {
+		t.Fatalf("Close did not flush: v=%d len=%d", st.Version(), st.View().Len())
+	}
+	st.Close() // idempotent
+}
+
+// TestStoreConcurrentReadersAcrossSwaps is the -race acceptance test:
+// >= 4 concurrent sessions read the store while the compactor swaps in
+// >= 3 new snapshot versions; every reader pinned to a version observes
+// bit-identical results for that version throughout.
+func TestStoreConcurrentReadersAcrossSwaps(t *testing.T) {
+	db := synthDB(200, 20, 23)
+	st := New(db, Config{Name: "race", RebuildBatch: 1 << 30})
+	defer st.Close()
+
+	const readers = 6
+	const swaps = 4
+	obs := randObsFixed(db)
+	p := geo.Pt(17, 23)
+
+	// Per-version reference answers, computed on first encounter of the
+	// version and compared by every subsequent read of the same version.
+	type ref struct {
+		nearest []fingerprint.Match
+		density float64
+		distM   float64
+	}
+	var refMu sync.Mutex
+	refs := make(map[uint64]ref)
+
+	stop := make(chan struct{})
+	errc := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				view := st.View() // pin one snapshot for the whole "epoch"
+				got := ref{
+					nearest: view.Nearest(obs, 3),
+					density: view.DensityAround(p, 3),
+				}
+				_, got.distM, _ = view.VectorAt(p)
+				v := view.Version()
+
+				refMu.Lock()
+				want, seen := refs[v]
+				if !seen {
+					refs[v] = got
+					refMu.Unlock()
+					continue
+				}
+				refMu.Unlock()
+				if !eqMatches(got.nearest, want.nearest) || got.density != want.density || got.distM != want.distM {
+					errc <- fmt.Errorf("version %d not deterministic across readers", v)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < swaps; i++ {
+		for j := 0; j < 10; j++ {
+			pos := geo.Pt(float64(500+i*10+j), float64(500+i))
+			if err := st.Submit(fingerprint.Fingerprint{Pos: pos, Vec: vec2(-48, -58)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Rebuild()
+		time.Sleep(2 * time.Millisecond) // let readers overlap each version
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if v := st.Version(); v != 1+swaps {
+		t.Fatalf("final version = %d, want %d", v, 1+swaps)
+	}
+	if len(refs) < 3 {
+		t.Fatalf("readers observed only %d versions, want >= 3 swaps covered", len(refs))
+	}
+}
+
+// randObsFixed derives a deterministic observation from the database.
+func randObsFixed(db *fingerprint.DB) rf.Vector {
+	base := db.Points[len(db.Points)/2].Vec
+	obs := make(rf.Vector, len(base))
+	for i, o := range base {
+		obs[i] = rf.Obs{ID: o.ID, RSSI: o.RSSI + 1.5}
+	}
+	return obs
+}
+
+func TestStoreMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	db := synthDB(40, 10, 29)
+	st := New(db, Config{Name: "wifi", RebuildBatch: 1 << 30, Metrics: NewMetrics(reg, "wifi")})
+	defer st.Close()
+
+	view := st.View()
+	view.Nearest(randObsFixed(db), 3)
+	view.DensityAround(geo.Pt(5, 5), 3)
+	view.VectorAt(geo.Pt(5, 5))
+	view.Distances(randObsFixed(db))
+
+	st.Submit(fingerprint.Fingerprint{Pos: geo.Pt(999, 999), Vec: vec2(-50, -60)})
+	st.Submit(fingerprint.Fingerprint{Pos: geo.Pt(998, 999), Vec: rf.Vector{{ID: "x", RSSI: -50}}}) // dropped
+	st.Rebuild()
+
+	snap := reg.Snapshot()
+	checks := []struct {
+		name   string
+		labels []string
+		want   float64
+	}{
+		{"uniloc_mapstore_lookups_total", []string{"map", "wifi", "op", "nearest"}, 1},
+		{"uniloc_mapstore_lookups_total", []string{"map", "wifi", "op", "density"}, 1},
+		{"uniloc_mapstore_lookups_total", []string{"map", "wifi", "op", "vector_at"}, 1},
+		{"uniloc_mapstore_lookups_total", []string{"map", "wifi", "op", "distances"}, 1},
+		{"uniloc_mapstore_points_submitted_total", []string{"map", "wifi"}, 1},
+		{"uniloc_mapstore_points_dropped_total", []string{"map", "wifi"}, 1},
+		{"uniloc_mapstore_rebuilds_total", []string{"map", "wifi"}, 2}, // initial build + rebuild
+		{"uniloc_mapstore_snapshot_version", []string{"map", "wifi"}, 2},
+		{"uniloc_mapstore_snapshot_points", []string{"map", "wifi"}, 41},
+		{"uniloc_mapstore_pending_points", []string{"map", "wifi"}, 0},
+	}
+	for _, c := range checks {
+		got, ok := snap.Get(c.name, c.labels...)
+		if !ok {
+			t.Fatalf("metric %s%v not found", c.name, c.labels)
+		}
+		if got != c.want {
+			t.Fatalf("metric %s%v = %v, want %v", c.name, c.labels, got, c.want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 
 	"repro/internal/geo"
+	"repro/internal/rf"
 	"repro/internal/sensing"
 )
 
@@ -150,6 +151,24 @@ func (c *Client) Localize(snap *sensing.Snapshot) (*Result, error) {
 	}
 	c.epochs++
 	return res, nil
+}
+
+// SubmitSurvey contributes one crowdsourced survey point (a full RSSI
+// scan at a known position) to the server's shared radio map
+// (protocol v3). The frame is fire-and-forget: the server folds the
+// point into its map store at the next compaction and sends no
+// acknowledgment, so a submission costs one upload and no round trip.
+// mapID is MapWiFi or MapCellular.
+func (c *Client) SubmitSurvey(mapID byte, pos geo.Point, vec rf.Vector) error {
+	if !c.helloed {
+		if err := c.Hello(geo.Pt(0, 0)); err != nil {
+			return err
+		}
+	}
+	s := &Survey{Map: mapID, X: pos.X, Y: pos.Y, Vec: vec}
+	n, err := WriteFrame(c.conn, MsgSurvey, EncodeSurvey(s))
+	c.bytesUp += n
+	return err
 }
 
 // Pos converts a result into a local-map point.

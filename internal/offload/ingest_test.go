@@ -1,0 +1,199 @@
+package offload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/mapstore"
+	"repro/internal/noise"
+	"repro/internal/regress"
+	"repro/internal/rf"
+	"repro/internal/schemes"
+	"repro/internal/telemetry"
+	"repro/internal/world"
+)
+
+// sharedStoreWorld is offloadWorld over a shared mapstore.Store: every
+// session's wifi scheme reads the same versioned map, and the server
+// routes MsgSurvey submissions into it.
+func sharedStoreWorld(t testing.TB, reg *telemetry.Registry) (core.FrameworkFactory, *world.World, *mapstore.Store) {
+	t.Helper()
+	w := &world.World{
+		Name:  "shared",
+		Noise: noise.Field{Seed: 8},
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3, Lon: 103.7}},
+		Regions: []world.Region{
+			{Name: "hall", Kind: world.KindOffice, Poly: geo.RectPoly(0, 0, 40, 4), SkyOpenness: 0.05, LightLux: 300, MagNoise: 2, CorridorWidth: 2.5},
+		},
+		APs: []world.Site{
+			{ID: "a0", Pos: geo.Pt(5, 3), TxPowerDBm: 16},
+			{ID: "a1", Pos: geo.Pt(20, 1), TxPowerDBm: 16},
+			{ID: "a2", Pos: geo.Pt(35, 3), TxPowerDBm: 16},
+		},
+	}
+	db := fingerprint.Survey(w, rf.WiFiModel(), w.APs, 3, rand.New(rand.NewSource(1)))
+	store := mapstore.New(db, mapstore.Config{
+		Name:         "wifi",
+		RebuildBatch: 1 << 30, // rebuilds driven by the test
+		Metrics:      mapstore.NewMetrics(reg, "wifi"),
+	})
+	t.Cleanup(store.Close)
+	ms := core.NewModelSet()
+	for _, name := range []string{schemes.NameWiFi, schemes.NameMotion} {
+		for _, env := range []core.EnvClass{core.EnvIndoor, core.EnvOutdoor} {
+			ms.Put(&core.ErrorModel{
+				Scheme: name, Env: env, Features: nil,
+				Reg: &regress.Result{HasIntercept: true, Intercept: 3, ResidStd: 2},
+			})
+		}
+	}
+	factory := func() (*core.Framework, error) {
+		ss := []schemes.Scheme{
+			schemes.NewWiFi(store),
+			schemes.NewPDR(w, schemes.DefaultPDRConfig(), rand.New(rand.NewSource(2))),
+		}
+		return core.NewFramework(ss, ms)
+	}
+	return factory, w, store
+}
+
+// TestSurveyIngestion drives the full crowdsourcing loop over the wire:
+// a client submits survey points mid-walk, the server routes them into
+// the shared store, a compaction folds them in, and the next epochs are
+// served from the advanced snapshot version.
+func TestSurveyIngestion(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	factory, w, store := sharedStoreWorld(t, reg)
+	srv := newTestServer(t, ServerConfig{
+		Factory:   factory,
+		Metrics:   reg,
+		MapStores: map[byte]*mapstore.Store{MapWiFi: store},
+	})
+	client := pipeClient(t, srv)
+
+	start, snaps := corridorWalk(w, 2, 3, 20)
+	if err := client.Hello(start); err != nil {
+		t.Fatal(err)
+	}
+	baseLen := store.View().Len()
+
+	// First half of the walk on snapshot version 1, submitting surveys
+	// along the way.
+	model := rf.WiFiModel()
+	rnd := rand.New(rand.NewSource(99))
+	for i, snap := range snaps[:10] {
+		if _, err := client.Localize(snap); err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		p := geo.Pt(1+float64(i)*3.5, 0.5)
+		vec := model.Scan(w, w.APs, p, rf.Reference(), rnd)
+		if len(vec) < 2 {
+			continue
+		}
+		if err := client.SubmitSurvey(MapWiFi, p, vec); err != nil {
+			t.Fatalf("survey %d: %v", i, err)
+		}
+	}
+	// Unusable and misrouted submissions are dropped, not fatal.
+	if err := client.SubmitSurvey(MapWiFi, geo.Pt(1, 1), rf.Vector{{ID: "a0", RSSI: -50}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SubmitSurvey(MapCellular, geo.Pt(1, 1), vecOf("a0", -50, "a1", -60)); err != nil {
+		t.Fatal(err)
+	}
+	// A Localize round trip guarantees all survey frames were consumed
+	// (frames are processed strictly in order on one connection).
+	if _, err := client.Localize(snaps[10]); err != nil {
+		t.Fatal(err)
+	}
+
+	ingested := store.Pending()
+	if ingested == 0 {
+		t.Fatal("no survey points reached the store")
+	}
+	if v := store.Rebuild(); v != 2 {
+		t.Fatalf("rebuild version = %d, want 2", v)
+	}
+	if got := store.View().Len(); got != baseLen+ingested {
+		t.Fatalf("store grew to %d, want %d", got, baseLen+ingested)
+	}
+
+	// Remaining epochs are served from the new version without error.
+	for i, snap := range snaps[11:] {
+		res, err := client.Localize(snap)
+		if err != nil {
+			t.Fatalf("post-swap epoch %d: %v", i, err)
+		}
+		if !res.OK {
+			t.Fatalf("post-swap epoch %d: result not OK", i)
+		}
+	}
+
+	ms := reg.Snapshot()
+	if got, _ := ms.Get("uniloc_surveys_ingested_total"); got != float64(ingested) {
+		t.Fatalf("uniloc_surveys_ingested_total = %v, want %v", got, ingested)
+	}
+	if got, _ := ms.Get("uniloc_surveys_dropped_total"); got != 2 {
+		t.Fatalf("uniloc_surveys_dropped_total = %v, want 2", got)
+	}
+	if got, _ := ms.Get("uniloc_mapstore_snapshot_version", "map", "wifi"); got != 2 {
+		t.Fatalf("uniloc_mapstore_snapshot_version = %v, want 2", got)
+	}
+}
+
+func vecOf(idA string, rssiA float64, idB string, rssiB float64) rf.Vector {
+	return rf.Vector{{ID: idA, RSSI: rssiA}, {ID: idB, RSSI: rssiB}}
+}
+
+// TestServerWithoutStoresDropsSurveys pins that MsgSurvey on a server
+// with no configured stores is counted and ignored, never an error.
+func TestServerWithoutStoresDropsSurveys(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	factory, w := offloadWorld(t)
+	srv := newTestServer(t, ServerConfig{Factory: factory, Metrics: reg})
+	client := pipeClient(t, srv)
+
+	start, snaps := corridorWalk(w, 2, 5, 3)
+	if err := client.Hello(start); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SubmitSurvey(MapWiFi, geo.Pt(3, 2), vecOf("a0", -48, "a1", -62)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Localize(snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := reg.Snapshot().Get("uniloc_surveys_dropped_total"); got != 1 {
+		t.Fatalf("uniloc_surveys_dropped_total = %v, want 1", got)
+	}
+}
+
+func TestSurveyRoundTrip(t *testing.T) {
+	in := &Survey{
+		Map: MapWiFi,
+		X:   12.345678901234, // float64 precision must survive the wire
+		Y:   -7.000000000001,
+		Vec: rf.Vector{{ID: "ap-aa", RSSI: -48.3}, {ID: "ap-bb", RSSI: -71.9}},
+	}
+	out, err := DecodeSurvey(EncodeSurvey(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Map != in.Map || out.X != in.X || out.Y != in.Y {
+		t.Fatalf("round trip mutated header: %+v != %+v", out, in)
+	}
+	if len(out.Vec) != len(in.Vec) {
+		t.Fatalf("vector length %d != %d", len(out.Vec), len(in.Vec))
+	}
+	for i := range out.Vec {
+		if out.Vec[i].ID != in.Vec[i].ID || out.Vec[i].RSSI != in.Vec[i].RSSI {
+			t.Fatalf("vec[%d] = %+v != %+v", i, out.Vec[i], in.Vec[i])
+		}
+	}
+	if _, err := DecodeSurvey([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short survey frame must error")
+	}
+}

@@ -19,6 +19,8 @@ type serverMetrics struct {
 	bytesOut         *telemetry.Counter
 	connErrors       *telemetry.Counter
 	stepLatency      *telemetry.Histogram
+	surveysIngested  *telemetry.Counter
+	surveysDropped   *telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
@@ -33,5 +35,7 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		bytesOut:         reg.Counter("uniloc_frame_bytes_total", "protocol frame bytes", "dir", "out"),
 		connErrors:       reg.Counter("uniloc_conn_errors_total", "connections that ended with a transport or protocol error"),
 		stepLatency:      reg.Histogram("uniloc_step_seconds", "Framework.Step latency per served epoch", telemetry.DefBuckets()),
+		surveysIngested:  reg.Counter("uniloc_surveys_ingested_total", "crowdsourced survey points accepted into a shared map store"),
+		surveysDropped:   reg.Counter("uniloc_surveys_dropped_total", "survey submissions rejected (unknown map, no store, or unusable vector)"),
 	}
 }

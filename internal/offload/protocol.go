@@ -40,12 +40,21 @@ const (
 	MsgResult                        // server → phone: fused location
 	MsgHello                         // phone → server: session handshake (v2)
 	MsgWelcome                       // server → phone: handshake reply (v2)
+	MsgSurvey                        // phone → server: crowdsourced survey point (v3)
 )
 
 // ProtocolVersion is the current wire version. Version 2 added the
 // session handshake (MsgHello/MsgWelcome) and the availability flag on
-// Result.
-const ProtocolVersion = 2
+// Result; version 3 added crowdsourced survey submissions (MsgSurvey)
+// feeding the server's shared map store.
+const ProtocolVersion = 3
+
+// Survey map identifiers: which shared radio map a crowdsourced survey
+// point belongs to.
+const (
+	MapWiFi     byte = 1
+	MapCellular byte = 2
+)
 
 // ErrProtocol reports a malformed frame.
 var ErrProtocol = errors.New("offload: protocol error")
@@ -249,6 +258,42 @@ func DecodeLandmark(b []byte) (*sensing.LandmarkHit, error) {
 	}
 	l.Kind = string(b[:kindLen])
 	return l, nil
+}
+
+// Survey is a crowdsourced survey point (v3): a full RSSI scan taken at
+// a known position (e.g. beside a landmark), contributed to the
+// server's shared radio map. Positions travel as float64 because they
+// key exact-position refreshes in the map store.
+type Survey struct {
+	Map  byte // MapWiFi or MapCellular
+	X, Y float64
+	Vec  rf.Vector
+}
+
+// EncodeSurvey packs a survey frame: [map][float64 x][float64 y]
+// [vector].
+func EncodeSurvey(s *Survey) []byte {
+	out := make([]byte, 17, 17+2+len(s.Vec)*12)
+	out[0] = s.Map
+	binary.BigEndian.PutUint64(out[1:], math.Float64bits(s.X))
+	binary.BigEndian.PutUint64(out[9:], math.Float64bits(s.Y))
+	return append(out, EncodeVector(s.Vec)...)
+}
+
+// DecodeSurvey unpacks a survey frame.
+func DecodeSurvey(b []byte) (*Survey, error) {
+	if len(b) < 17 {
+		return nil, fmt.Errorf("%w: short survey", ErrProtocol)
+	}
+	s := &Survey{Map: b[0]}
+	s.X = math.Float64frombits(binary.BigEndian.Uint64(b[1:]))
+	s.Y = math.Float64frombits(binary.BigEndian.Uint64(b[9:]))
+	vec, err := DecodeVector(b[17:])
+	if err != nil {
+		return nil, err
+	}
+	s.Vec = vec
+	return s, nil
 }
 
 // Hello is the client's session handshake: the protocol version it

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fingerprint"
 	"repro/internal/geo"
+	"repro/internal/mapstore"
 	"repro/internal/sensing"
 	"repro/internal/telemetry"
 )
@@ -34,6 +36,13 @@ type ServerConfig struct {
 	// connection-error counter). Nil disables exposition; the serving
 	// path then pays only nil checks.
 	Metrics *telemetry.Registry
+
+	// MapStores routes MsgSurvey submissions (protocol v3) to the shared
+	// radio-map stores, keyed by map ID (MapWiFi, MapCellular). Nil or
+	// missing entries drop submissions (counted); the stores themselves
+	// are shared with the Factory's schemes, so accepted points become
+	// visible to every session at the next snapshot rebuild.
+	MapStores map[byte]*mapstore.Store
 }
 
 // Server runs the UniLoc framework (all localization schemes, error
@@ -42,7 +51,8 @@ type ServerConfig struct {
 // particle-filter, IODetector, or gating state — the paper's
 // workstation similarly hosts the localization state per user (§IV-C).
 type Server struct {
-	mgr *SessionManager
+	mgr    *SessionManager
+	stores map[byte]*mapstore.Store
 }
 
 // NewServer builds a multi-session server from the config.
@@ -51,7 +61,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{mgr: mgr}, nil
+	return &Server{mgr: mgr, stores: cfg.MapStores}, nil
 }
 
 // Sessions exposes the server's session manager (stats, manual
@@ -227,6 +237,12 @@ func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, error) {
 				return nil, err
 			}
 			snap.Landmark = l
+		case MsgSurvey:
+			sv, err := DecodeSurvey(payload)
+			if err != nil {
+				return nil, err
+			}
+			s.ingestSurvey(sv)
 		case MsgEpochEnd:
 			if !gotContext {
 				return nil, fmt.Errorf("%w: epoch ended without context", ErrProtocol)
@@ -236,6 +252,24 @@ func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, error) {
 			return nil, fmt.Errorf("%w: unexpected message type %d", ErrProtocol, t)
 		}
 	}
+}
+
+// ingestSurvey routes one crowdsourced survey point to its shared map
+// store. Submissions for unknown maps, or with vectors the store deems
+// unusable, are dropped and counted — never an error that would kill
+// the session's epoch stream.
+func (s *Server) ingestSurvey(sv *Survey) {
+	st := s.stores[sv.Map]
+	if st == nil {
+		s.mgr.met.surveysDropped.Inc()
+		return
+	}
+	fp := fingerprint.Fingerprint{Pos: geo.Pt(sv.X, sv.Y), Vec: sv.Vec}
+	if err := st.Submit(fp); err != nil {
+		s.mgr.met.surveysDropped.Inc()
+		return
+	}
+	s.mgr.met.surveysIngested.Inc()
 }
 
 // Accept-loop backoff bounds for transient Accept errors.

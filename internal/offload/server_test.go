@@ -412,59 +412,89 @@ func TestListenAndServeRetriesTransientAcceptErrors(t *testing.T) {
 func isRejected(err error) bool { return errors.Is(err, ErrRejected) }
 
 func BenchmarkServerConcurrentClients(b *testing.B) {
-	factory, w := offloadWorld(b)
-	_, snaps := corridorWalk(w, 2, 7, 8)
-	for _, nc := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("clients=%d", nc), func(b *testing.B) {
-			srv, err := NewServer(ServerConfig{Factory: factory})
-			if err != nil {
-				b.Fatal(err)
-			}
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				b.Fatal(err)
-			}
-			go srv.ListenAndServe(ln, nil)
-			defer func() { _ = ln.Close() }()
-
-			clients := make([]*Client, nc)
-			for i := range clients {
-				conn, err := net.Dial("tcp", ln.Addr().String())
-				if err != nil {
-					b.Fatal(err)
-				}
-				defer func() { _ = conn.Close() }()
-				clients[i] = NewClient(conn)
-				if err := clients[i].Hello(geo.Pt(2, 2)); err != nil {
-					b.Fatal(err)
-				}
-			}
-
-			// b.N epochs total, split across the concurrent clients:
-			// throughput should grow with nc now that sessions no
-			// longer serialize on one shared framework.
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			per := b.N / nc
-			if per == 0 {
-				per = 1
-			}
-			for _, c := range clients {
-				wg.Add(1)
-				go func(c *Client) {
-					defer wg.Done()
-					for i := 0; i < per; i++ {
-						if _, err := c.Localize(snaps[i%len(snaps)]); err != nil {
-							b.Error(err)
-							return
-						}
-					}
-				}(c)
-			}
-			wg.Wait()
-			b.ReportMetric(float64(per*nc)/b.Elapsed().Seconds(), "epochs/s")
-		})
+	// Same epoch workload through two server configurations: private
+	// per-session database scans ("private") vs every session reading
+	// one shared indexed map store ("shared"). The shared store must
+	// not regress concurrent throughput — readers pin snapshots with
+	// one atomic load and never contend.
+	worlds := []struct {
+		name    string
+		factory core.FrameworkFactory
+		w       *world.World
+	}{}
+	{
+		factory, w := offloadWorld(b)
+		worlds = append(worlds, struct {
+			name    string
+			factory core.FrameworkFactory
+			w       *world.World
+		}{"private", factory, w})
+		sharedFactory, sw, _ := sharedStoreWorld(b, telemetry.NewRegistry())
+		worlds = append(worlds, struct {
+			name    string
+			factory core.FrameworkFactory
+			w       *world.World
+		}{"shared", sharedFactory, sw})
 	}
+	for _, wd := range worlds {
+		factory := wd.factory
+		_, snaps := corridorWalk(wd.w, 2, 7, 8)
+		for _, nc := range []int{1, 2, 4, 8} {
+			benchServerClients(b, fmt.Sprintf("map=%s/clients=%d", wd.name, nc), factory, snaps, nc)
+		}
+	}
+}
+
+func benchServerClients(b *testing.B, name string, factory core.FrameworkFactory, snaps []*sensing.Snapshot, nc int) {
+	b.Run(name, func(b *testing.B) {
+		srv, err := NewServer(ServerConfig{Factory: factory})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.ListenAndServe(ln, nil)
+		defer func() { _ = ln.Close() }()
+
+		clients := make([]*Client, nc)
+		for i := range clients {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = conn.Close() }()
+			clients[i] = NewClient(conn)
+			if err := clients[i].Hello(geo.Pt(2, 2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		// b.N epochs total, split across the concurrent clients:
+		// throughput should grow with nc now that sessions no
+		// longer serialize on one shared framework.
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		per := b.N / nc
+		if per == 0 {
+			per = 1
+		}
+		for _, c := range clients {
+			wg.Add(1)
+			go func(c *Client) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if _, err := c.Localize(snaps[i%len(snaps)]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		b.ReportMetric(float64(per*nc)/b.Elapsed().Seconds(), "epochs/s")
+	})
 }
 
 // TestServerMetricsExposition runs a full walk against an instrumented

@@ -68,12 +68,19 @@ func NewAssets(p *Place, seed int64) *Assets {
 // in the canonical order [gps, wifi, cellular, motion, fusion]. The
 // random source seeds the particle filters.
 func (a *Assets) Schemes(rnd *rand.Rand) []schemes.Scheme {
+	return a.SchemesOver(a.WiFiDB, a.CellDB, rnd)
+}
+
+// SchemesOver is Schemes with the radio maps supplied by the caller —
+// e.g. shared mapstore.Store instances serving every session from one
+// indexed map — instead of this Assets' private databases.
+func (a *Assets) SchemesOver(wifiMap, cellMap fingerprint.Map, rnd *rand.Rand) []schemes.Scheme {
 	return []schemes.Scheme{
 		schemes.NewGPS(a.Place.World.Proj),
-		schemes.NewWiFi(a.WiFiDB),
-		schemes.NewCellular(a.CellDB),
+		schemes.NewWiFi(wifiMap),
+		schemes.NewCellular(cellMap),
 		schemes.NewPDR(a.Place.World, schemes.DefaultPDRConfig(), rnd),
-		schemes.NewFusion(a.Place.World, a.WiFiDB, schemes.DefaultFusionConfig(), rnd),
+		schemes.NewFusion(a.Place.World, wifiMap, schemes.DefaultFusionConfig(), rnd),
 	}
 }
 

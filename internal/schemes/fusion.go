@@ -47,22 +47,35 @@ func DefaultFusionConfig() FusionConfig {
 // Like the paper's implementation it processes RSSI identically at
 // every location — it has no notion of RSSI quality — which is exactly
 // the blind spot UniLoc's error models compensate for.
+//
+// Like Fingerprinting, it reads the radio map through fingerprint.Map
+// and pins one View per Estimate, so it works identically over a
+// private database or a shared versioned store.
 type Fusion struct {
 	cfg FusionConfig
 	w   *world.World
-	db  *fingerprint.DB
+	m   fingerprint.Map
 	rnd *rand.Rand
 
 	filter       *particle.Filter
 	lastEst      geo.Point
 	distLandmark float64
 	headings     []float64
+
+	// One-entry cross-epoch cache for DensityAround: the availability
+	// gate evaluates density at lastEst, which is exactly the point the
+	// previous epoch computed its β₁ feature at, so each density is
+	// computed once and reused once — same floats, half the lookups.
+	densPos geo.Point
+	densVer uint64
+	densVal float64
+	densOK  bool
 }
 
 // NewFusion creates the fusion scheme over world w and the WiFi
-// fingerprint database db.
-func NewFusion(w *world.World, db *fingerprint.DB, cfg FusionConfig, rnd *rand.Rand) *Fusion {
-	return &Fusion{cfg: cfg, w: w, db: db, rnd: rnd}
+// fingerprint map m (a *fingerprint.DB or a shared store).
+func NewFusion(w *world.World, m fingerprint.Map, cfg FusionConfig, rnd *rand.Rand) *Fusion {
+	return &Fusion{cfg: cfg, w: w, m: m, rnd: rnd}
 }
 
 // Name implements Scheme.
@@ -74,6 +87,7 @@ func (f *Fusion) Reset(start geo.Point) {
 	f.lastEst = start
 	f.distLandmark = 0
 	f.headings = f.headings[:0]
+	f.densOK = false
 }
 
 // RegressionFeatures implements Scheme (Table I: the motion factors
@@ -86,11 +100,24 @@ func (f *Fusion) RegressionFeatures() []string {
 // Sensors implements Scheme.
 func (f *Fusion) Sensors() []string { return []string{SensorIMU, SensorWiFi} }
 
+// densityAt returns view.DensityAround(p, 3) through the one-entry
+// cache, keyed by position and map version so a store swap can never
+// serve a stale value.
+func (f *Fusion) densityAt(view fingerprint.Reader, p geo.Point) float64 {
+	if f.densOK && f.densPos == p && f.densVer == view.Version() {
+		return f.densVal
+	}
+	v := view.DensityAround(p, 3)
+	f.densPos, f.densVer, f.densVal, f.densOK = p, view.Version(), v, true
+	return v
+}
+
 // Estimate implements Scheme.
 func (f *Fusion) Estimate(snap *sensing.Snapshot) Estimate {
 	if f.filter == nil {
 		return Estimate{OK: false}
 	}
+	view := f.m.View() // one consistent map revision for the whole epoch
 	if snap.Step != nil {
 		f.propagate(snap)
 	}
@@ -107,9 +134,9 @@ func (f *Fusion) Estimate(snap *sensing.Snapshot) Estimate {
 	// the fusion scheme degenerates to the motion scheme, exactly as
 	// the paper observes ("the fusion-based scheme has the same error
 	// model with the motion-based scheme in the outdoor environments").
-	if len(snap.WiFi) >= MinAPsForFix && len(f.db.Points) > 0 &&
-		f.db.DensityAround(f.lastEst, 3) <= f.cfg.MaxUsefulFPDistM {
-		f.weightByRSSI(snap.WiFi)
+	if len(snap.WiFi) >= MinAPsForFix && view.Len() > 0 &&
+		f.densityAt(view, f.lastEst) <= f.cfg.MaxUsefulFPDistM {
+		f.weightByRSSI(view, snap.WiFi)
 		// Fine-grained RSSI weighting continuously re-calibrates the
 		// cloud, so the "distance since calibration" feature decays
 		// while it is active and starts growing where WiFi is lost —
@@ -130,8 +157,8 @@ func (f *Fusion) Estimate(snap *sensing.Snapshot) Estimate {
 	feats := map[string]float64{
 		FeatDistLandmark:  f.distLandmark,
 		FeatCorridorWidth: f.w.CorridorWidthAt(est),
-		FeatFPDensity:     f.db.DensityAround(est, 3),
-		FeatRSSIDev:       f.rssiDev(snap.WiFi),
+		FeatFPDensity:     f.densityAt(view, est),
+		FeatRSSIDev:       f.rssiDev(view, snap.WiFi),
 	}
 	return Estimate{Pos: est, OK: true, Features: feats}
 }
@@ -159,14 +186,15 @@ func (f *Fusion) propagate(snap *sensing.Snapshot) {
 
 // weightByRSSI multiplies each particle's weight by the likelihood of
 // the online scan given the fingerprint nearest the particle.
-func (f *Fusion) weightByRSSI(obs rf.Vector) {
+func (f *Fusion) weightByRSSI(view fingerprint.Reader, obs rf.Vector) {
 	scale := f.cfg.RSSIScaleDB
+	floor := view.FloorDB()
 	f.filter.Weight(func(pos geo.Point) float64 {
-		vec, _, ok := f.db.VectorAt(pos)
+		vec, _, ok := view.VectorAt(pos)
 		if !ok {
 			return 1
 		}
-		d := rf.Distance(obs, vec, f.db.Floor)
+		d := rf.Distance(obs, vec, floor)
 		l := math.Exp(-d * d / (2 * scale * scale))
 		// Keep a small floor so one bad scan cannot annihilate the
 		// cloud outright; the filter still shifts mass strongly.
@@ -176,15 +204,15 @@ func (f *Fusion) weightByRSSI(obs rf.Vector) {
 
 // rssiDev computes the top-k RSSI distance deviation against the
 // database for the (insignificant, per the paper) β feature.
-func (f *Fusion) rssiDev(obs rf.Vector) float64 {
-	if len(obs) < MinAPsForFix || len(f.db.Points) == 0 {
+func (f *Fusion) rssiDev(view fingerprint.Reader, obs rf.Vector) float64 {
+	if len(obs) < MinAPsForFix || view.Len() == 0 {
 		return 0
 	}
-	dists := f.db.Distances(obs)
+	dists := view.Distances(obs)
 	idx := topKIdx(dists, TopK)
 	matches := make([]fingerprint.Match, len(idx))
 	for i, j := range idx {
-		matches[i] = fingerprint.Match{Pos: f.db.Points[j].Pos, Dist: dists[j]}
+		matches[i] = fingerprint.Match{Pos: view.At(j).Pos, Dist: dists[j]}
 	}
 	return fingerprint.TopKDeviation(matches)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/gnss"
 	"repro/internal/imu"
+	"repro/internal/mapstore"
 	"repro/internal/noise"
 	"repro/internal/rf"
 	"repro/internal/sensing"
@@ -314,4 +315,55 @@ func meanOf(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// TestSchemesOverSharedStoreIdentical pins the map-agnostic contract:
+// a scheme running over a shared mapstore.Store (indexed snapshots)
+// produces bit-identical estimates and features to the same scheme
+// over the plain linear-scan database.
+func TestSchemesOverSharedStoreIdentical(t *testing.T) {
+	w := corridorWorld()
+	db := wifiDBFor(w, 3, 15)
+	st := mapstore.New(db, mapstore.Config{Name: "wifi"})
+	defer st.Close()
+
+	eqFeats := func(a, b map[string]float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if bv, ok := b[k]; !ok || bv != v {
+				return false
+			}
+		}
+		return true
+	}
+
+	// WiFi fingerprinting is deterministic given the scan sequence.
+	wifiDB, wifiStore := NewWiFi(db), NewWiFi(st)
+	wifiDB.Reset(geo.Pt(2, 2))
+	wifiStore.Reset(geo.Pt(2, 2))
+	for i := 0; i < 40; i++ {
+		truth := geo.Pt(2+float64(i)*1.3, 2)
+		snap := scanAt(w, truth, 700+int64(i))
+		a, b := wifiDB.Estimate(snap), wifiStore.Estimate(snap)
+		if a.OK != b.OK || a.Pos != b.Pos || !eqFeats(a.Features, b.Features) {
+			t.Fatalf("step %d: wifi diverged over store:\n db   %+v\n store %+v", i, a, b)
+		}
+	}
+
+	// Fusion adds the particle filter: identical seeds + identical map
+	// reads must give identical trajectories.
+	fusDB := NewFusion(w, db, DefaultFusionConfig(), rand.New(rand.NewSource(77)))
+	fusStore := NewFusion(w, st, DefaultFusionConfig(), rand.New(rand.NewSource(77)))
+	errsDB := driveMotion(t, fusDB, w, true, 60)
+	errsStore := driveMotion(t, fusStore, w, true, 60)
+	if len(errsDB) != len(errsStore) {
+		t.Fatalf("fusion walks diverged in length: %d != %d", len(errsDB), len(errsStore))
+	}
+	for i := range errsDB {
+		if errsDB[i] != errsStore[i] {
+			t.Fatalf("step %d: fusion diverged over store: %v != %v", i, errsDB[i], errsStore[i])
+		}
+	}
 }

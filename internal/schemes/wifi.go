@@ -29,38 +29,49 @@ const MinAPsForFix = 2
 // used only to evaluate the local fingerprint-density feature β₁
 // online (§III-B); the reported estimate remains the raw RADAR match,
 // keeping the scheme faithful to the paper.
+//
+// The scheme is map-agnostic: it reads fingerprints through
+// fingerprint.Map, so it runs identically over a private *fingerprint.DB
+// or a shared, versioned *mapstore.Store. Each Estimate pins one View,
+// so a whole sensing epoch always sees a single consistent map
+// revision even while a store compacts in new versions; the HMM
+// tracker is rebuilt (and its spatial neighbor lists reinstalled) when
+// the pinned version changes, since its states are the map's points.
 type Fingerprinting struct {
 	name       string
-	db         *fingerprint.DB
+	m          fingerprint.Map
 	tracker    *hmm.Tracker
+	trackerVer uint64
 	countFeat  string // FeatNumAPs or FeatNumTowers
 	sensor     string
 	calibrator *Calibrator // optional device-heterogeneity calibration
 }
 
 // NewWiFi creates the WiFi RADAR scheme over the given fingerprint
-// database.
-func NewWiFi(db *fingerprint.DB) *Fingerprinting {
-	return &Fingerprinting{
+// map (a *fingerprint.DB or a shared store).
+func NewWiFi(m fingerprint.Map) *Fingerprinting {
+	f := &Fingerprinting{
 		name:      NameWiFi,
-		db:        db,
-		tracker:   hmm.New(db.Positions()),
+		m:         m,
 		countFeat: FeatNumAPs,
 		sensor:    SensorWiFi,
 	}
+	f.rebuildTracker(m.View())
+	return f
 }
 
 // NewCellular creates the cellular fingerprinting scheme (Otsason et
 // al. [22]: RADAR's algorithm on GSM signals) over a tower fingerprint
-// database.
-func NewCellular(db *fingerprint.DB) *Fingerprinting {
-	return &Fingerprinting{
+// map.
+func NewCellular(m fingerprint.Map) *Fingerprinting {
+	f := &Fingerprinting{
 		name:      NameCellular,
-		db:        db,
-		tracker:   hmm.New(db.Positions()),
+		m:         m,
 		countFeat: FeatNumTowers,
 		sensor:    SensorCell,
 	}
+	f.rebuildTracker(m.View())
+	return f
 }
 
 // SetCalibrator attaches an online device-offset calibrator (nil
@@ -70,10 +81,20 @@ func (f *Fingerprinting) SetCalibrator(c *Calibrator) { f.calibrator = c }
 // Name implements Scheme.
 func (f *Fingerprinting) Name() string { return f.name }
 
+// rebuildTracker recreates the HMM over the view's positions, wiring
+// in precomputed neighbor lists when the map carries a spatial index.
+func (f *Fingerprinting) rebuildTracker(view fingerprint.Reader) {
+	f.tracker = hmm.New(view.Positions())
+	if nl, ok := view.(fingerprint.NeighborLister); ok {
+		f.tracker.SetNeighborLists(nl.NeighborLists(f.tracker.TransitionRadiusM()))
+	}
+	f.trackerVer = view.Version()
+}
+
 // Reset implements Scheme: the tracker's belief is re-initialized for
 // a new walk.
 func (f *Fingerprinting) Reset(geo.Point) {
-	f.tracker = hmm.New(f.db.Positions())
+	f.rebuildTracker(f.m.View())
 }
 
 // RegressionFeatures implements Scheme (Table I: spatial density of
@@ -92,14 +113,20 @@ func (f *Fingerprinting) Estimate(snap *sensing.Snapshot) Estimate {
 	if f.name == NameCellular {
 		raw = snap.Cell
 	}
-	if len(raw) < MinAPsForFix || len(f.db.Points) == 0 {
+	view := f.m.View() // one consistent map revision for the whole epoch
+	if len(raw) < MinAPsForFix || view.Len() == 0 {
 		return Estimate{OK: false}
+	}
+	if view.Version() != f.trackerVer {
+		// The shared map advanced: the tracker's states are stale. Its
+		// belief restarts, which one multi-modal update re-localizes.
+		f.rebuildTracker(view)
 	}
 	obs := raw
 	if f.calibrator != nil {
 		obs = f.calibrator.Transform(raw)
 	}
-	dists := f.db.Distances(obs)
+	dists := view.Distances(obs)
 
 	// Raw RADAR match: the fingerprint at minimum RSSI distance, with
 	// the top-k kept for the deviation feature.
@@ -107,28 +134,28 @@ func (f *Fingerprinting) Estimate(snap *sensing.Snapshot) Estimate {
 	best := idx[0]
 	matches := make([]fingerprint.Match, len(idx))
 	for i, j := range idx {
-		matches[i] = fingerprint.Match{Pos: f.db.Points[j].Pos, Dist: dists[j]}
+		matches[i] = fingerprint.Match{Pos: view.At(j).Pos, Dist: dists[j]}
 	}
 
 	// Online calibrator learning: the matched fingerprint supplies the
 	// expected reference-device RSSI for each transmitter heard.
 	if f.calibrator != nil {
-		f.calibrator.Observe(raw, f.db.Points[best].Vec)
+		f.calibrator.Observe(raw, view.At(best).Vec)
 	}
 
 	// HMM-predicted location for the density feature.
 	pred := f.tracker.Update(dists)
 
 	feats := map[string]float64{
-		FeatFPDensity: f.db.DensityAround(pred, 3),
+		FeatFPDensity: view.DensityAround(pred, 3),
 		FeatRSSIDev:   fingerprint.TopKDeviation(matches),
 		f.countFeat:   float64(len(obs)),
 	}
-	return Estimate{Pos: f.db.Points[best].Pos, OK: true, Features: feats}
+	return Estimate{Pos: view.At(best).Pos, OK: true, Features: feats}
 }
 
-// DB exposes the underlying fingerprint database (read-only use).
-func (f *Fingerprinting) DB() *fingerprint.DB { return f.db }
+// Source exposes the underlying fingerprint map (read-only use).
+func (f *Fingerprinting) Source() fingerprint.Map { return f.m }
 
 // topKIdx returns the indices of the k smallest values of xs,
 // ascending, with deterministic tie-breaking.

@@ -27,7 +27,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/fingerprint"
 	"repro/internal/geo"
+	"repro/internal/mapstore"
 	"repro/internal/offload"
 	"repro/internal/scenario"
 	"repro/internal/schemes"
@@ -225,4 +227,40 @@ func NewOffloadClient(conn net.Conn, clientID ...string) *OffloadClient {
 // NewWalker generates sensor snapshots along a path of a world.
 func NewWalker(w *World, p Path, cfg WalkerConfig, rnd *rand.Rand) *Walker {
 	return walker.New(w, p.Line, cfg, rnd)
+}
+
+// Shared radio-map store: versioned, indexed fingerprint maps that any
+// number of sessions read through immutable snapshots while
+// crowdsourced survey points are folded in by a background compactor.
+type (
+	// Fingerprint is one surveyed location with its RSSI vector.
+	Fingerprint = fingerprint.Fingerprint
+	// FingerprintDB is the plain linear-scan fingerprint database.
+	FingerprintDB = fingerprint.DB
+	// RadioMap hands out self-consistent read views over a radio map;
+	// both *FingerprintDB and *MapStore implement it.
+	RadioMap = fingerprint.Map
+	// MapStore is a versioned shared radio map with indexed snapshots.
+	MapStore = mapstore.Store
+	// MapStoreConfig parameterizes a MapStore (rebuild batch/timer,
+	// grid cell size, metrics).
+	MapStoreConfig = mapstore.Config
+)
+
+// Survey map identifiers for OffloadClient.SubmitSurvey.
+const (
+	MapWiFi     = offload.MapWiFi
+	MapCellular = offload.MapCellular
+)
+
+// NewMapStore builds a versioned store over a fingerprint database's
+// points. The database is copied; the store's background compactor
+// starts immediately — call Close to stop it.
+func NewMapStore(db *FingerprintDB, cfg MapStoreConfig) *MapStore { return mapstore.New(db, cfg) }
+
+// NewSchemesOver is NewSchemes with the WiFi and cellular radio maps
+// supplied by the caller — e.g. shared MapStores serving every session
+// from one indexed map — instead of the Assets' private databases.
+func NewSchemesOver(a *Assets, wifiMap, cellMap RadioMap, rnd *rand.Rand) []Scheme {
+	return a.SchemesOver(wifiMap, cellMap, rnd)
 }
