@@ -471,46 +471,47 @@ func BenchmarkStoreReadUnderRebuild(b *testing.B) {
 	<-writerDone
 }
 
-// TestIndexedNearestFaster is the keep-it-honest guard on the index: a
-// medium-size synthetic map must answer Nearest measurably faster
-// through the snapshot than through the linear scan. The acceptance
-// threshold for the PR is 5x (verified via `go test -bench
-// BenchmarkNearest` and recorded in bench_output_experiments.txt); the
-// in-test bound is a deliberately generous 1.5x so CI noise and
-// throttled runners cannot flake it.
-func TestIndexedNearestFaster(t *testing.T) {
-	if testing.Short() {
-		t.Skip("timing comparison; skipped in -short")
-	}
+// TestIndexedNearestPrunes is the keep-it-honest guard on the index.
+// It deliberately does not assert wall-clock time (timing assertions
+// flake on loaded or throttled CI runners); instead it asserts the
+// mechanism that delivers the speedup — the cell-visit counters must
+// show Nearest examining a small fraction of the grid's non-empty
+// cells, where a linear-scan equivalent touches all of them. The 5x
+// wall-clock acceptance number is verified via `go test -bench
+// BenchmarkNearest` and recorded in bench_output_experiments.txt;
+// timing is logged here for reference only.
+func TestIndexedNearestPrunes(t *testing.T) {
 	db := benchMapDB(benchMapPoints, benchMapTx, 7)
-	snap := mapstore.Build(db, 1, 0, nil)
+	reg := telemetry.NewRegistry()
+	snap := mapstore.Build(db, 1, 0, mapstore.NewMetrics(reg, "guard"))
 	obs := benchMapObs(db, 64, 8)
 
-	measure := func(f func(v rf.Vector)) time.Duration {
-		// Warm up, then take the best of 3 rounds to shed scheduler
-		// noise.
-		for _, o := range obs {
-			f(o)
+	t0 := time.Now()
+	for _, o := range obs {
+		got, want := snap.Nearest(o, 3), db.Nearest(o, 3)
+		if len(got) != len(want) {
+			t.Fatalf("Nearest diverged from linear scan: %v vs %v", got, want)
 		}
-		best := time.Duration(math.MaxInt64)
-		for r := 0; r < 3; r++ {
-			t0 := time.Now()
-			for rep := 0; rep < 5; rep++ {
-				for _, o := range obs {
-					f(o)
-				}
-			}
-			if d := time.Since(t0); d < best {
-				best = d
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Nearest diverged from linear scan at %d: %v vs %v", i, got[i], want[i])
 			}
 		}
-		return best
 	}
-	linear := measure(func(v rf.Vector) { db.Nearest(v, 3) })
-	indexed := measure(func(v rf.Vector) { snap.Nearest(v, 3) })
-	t.Logf("linear %v, indexed %v (%.1fx)", linear, indexed, float64(linear)/float64(indexed))
-	if float64(indexed)*1.5 > float64(linear) {
-		t.Errorf("indexed Nearest (%v) not at least 1.5x faster than linear (%v) at %d points",
-			indexed, linear, benchMapPoints)
+	indexed := time.Since(t0)
+
+	nx, ny, nonEmpty := snap.GridStats()
+	// Snapshot.Get on a histogram returns its sum: total cells scanned
+	// across all queries.
+	scanned, ok := reg.Snapshot().Get("uniloc_mapstore_cells_scanned", "map", "guard", "op", "nearest")
+	if !ok {
+		t.Fatal("cells-scanned histogram not registered")
+	}
+	mean := scanned / float64(len(obs))
+	t.Logf("grid %dx%d, %d non-empty cells; mean %.1f cells scanned per query; %v for %d indexed queries",
+		nx, ny, nonEmpty, mean, indexed, len(obs))
+	if mean*4 > float64(nonEmpty) {
+		t.Errorf("pruning ineffective: mean %.1f cells scanned per Nearest, want < 1/4 of %d non-empty cells",
+			mean, nonEmpty)
 	}
 }

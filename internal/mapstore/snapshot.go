@@ -98,6 +98,13 @@ func autoCellM(spacing float64) float64 {
 	return math.Min(math.Max(c, 2), 64)
 }
 
+// maxGridCells caps nx*ny. Store.Submit validates crowdsourced
+// positions, but Build must survive any database it is handed: an
+// extreme extent coarsens the grid (doubling the cell size) instead of
+// exploding the CSR allocation. The cap keeps cell indices well inside
+// int32 and the offset array a few MB at worst.
+const maxGridCells = 1 << 20
+
 // Build indexes db into an immutable snapshot with the given version.
 // cellM <= 0 picks the cell size automatically from the survey spacing.
 // The points and vectors of db are referenced, not copied deeply;
@@ -132,8 +139,25 @@ func Build(db *fingerprint.DB, version uint64, cellM float64, met *Metrics) *Sna
 		maxY = math.Max(maxY, fp.Pos.Y)
 	}
 	s.gx0, s.gy0 = minX, minY
-	s.nx = int((maxX-minX)/cellM) + 1
-	s.ny = int((maxY-minY)/cellM) + 1
+	spanX, spanY := maxX-minX, maxY-minY
+	if !(spanX >= 0) || math.IsInf(spanX, 0) || !(spanY >= 0) || math.IsInf(spanY, 0) {
+		// Non-finite coordinates slipped past the caller's validation:
+		// a one-cell grid degrades every query to a (correct) scan of
+		// all points instead of computing a grid from garbage.
+		spanX, spanY = 0, 0
+	}
+	// Coarsen until the grid fits the cap; float arithmetic avoids int
+	// overflow on extreme-but-finite extents.
+	for {
+		fx := math.Floor(spanX/cellM) + 1
+		fy := math.Floor(spanY/cellM) + 1
+		if fx*fy <= maxGridCells {
+			s.nx, s.ny = int(fx), int(fy)
+			break
+		}
+		cellM *= 2
+	}
+	s.cellM = cellM
 
 	// Counting-sort points into cells (CSR), preserving index order
 	// within each cell.
@@ -193,7 +217,8 @@ func Build(db *fingerprint.DB, version uint64, cellM float64, met *Metrics) *Sna
 	s.sigOff = make([]int32, nc+1)
 	type box struct {
 		lo, hi float64
-		cnt    int32
+		cnt    int32 // distinct points in the cell hearing this transmitter
+		last   int32 // last point counted, so a duplicated ID in one vector counts once
 	}
 	for c := 0; c < nc; c++ {
 		lo, hi := s.cellOff[c], s.cellOff[c+1]
@@ -207,11 +232,14 @@ func Build(db *fingerprint.DB, version uint64, cellM float64, met *Metrics) *Sna
 				id, rssi := s.vecID[e], s.vecRSSI[e]
 				b := boxes[id]
 				if b == nil {
-					boxes[id] = &box{lo: rssi, hi: rssi, cnt: 1}
+					boxes[id] = &box{lo: rssi, hi: rssi, cnt: 1, last: pi}
 				} else {
 					b.lo = math.Min(b.lo, rssi)
 					b.hi = math.Max(b.hi, rssi)
-					b.cnt++
+					if b.last != pi {
+						b.cnt++
+						b.last = pi
+					}
 				}
 			}
 		}
@@ -266,6 +294,19 @@ func (s *Snapshot) cellY(y float64) int {
 
 // Version implements fingerprint.Reader.
 func (s *Snapshot) Version() uint64 { return s.version }
+
+// GridStats reports the spatial grid shape and its non-empty cell count
+// — index introspection for tests and debug tooling. A linear-scan
+// equivalent of Nearest touches every non-empty cell; the pruning win
+// is measured against that.
+func (s *Snapshot) GridStats() (nx, ny, nonEmpty int) {
+	for c := 0; c < s.nx*s.ny; c++ {
+		if s.cellOff[c] != s.cellOff[c+1] {
+			nonEmpty++
+		}
+	}
+	return s.nx, s.ny, nonEmpty
+}
 
 // BuiltAt returns when this snapshot was assembled.
 func (s *Snapshot) BuiltAt() time.Time { return s.built }
@@ -410,27 +451,30 @@ func (s *Snapshot) Nearest(obs rf.Vector, k int) []fingerprint.Match {
 	})
 
 	// Exact top-k over the surviving cells, ordered by the canonical
-	// MatchLess comparator on squared distances (monotone in Dist).
+	// MatchLess comparator on Dist = sqrt(d2) — the same key DB.Nearest
+	// sorts on. Comparing on d2 would be monotone but not identical:
+	// sqrt can round two distinct d2 values to the same Dist, where the
+	// canonical order falls through to the position/index tie-break.
 	type cand struct {
-		d2  float64
-		idx int32
+		dist float64
+		idx  int32
 	}
 	top := make([]cand, 0, k)
 	worse := func(a, b cand) bool { // true when a orders after b
 		pa, pb := s.db.Points[a.idx].Pos, s.db.Points[b.idx].Pos
-		return fingerprint.MatchLess(b.d2, a.d2, pb, pa, int(b.idx), int(a.idx))
+		return fingerprint.MatchLess(b.dist, a.dist, pb, pa, int(b.idx), int(a.idx))
 	}
 	scanned := 0
 	for _, cl := range lbs {
 		if len(top) == k {
-			kth := top[k-1].d2
-			if cl.lb > kth+boundEps(kth) {
+			kth := top[k-1].dist
+			if math.Sqrt(cl.lb) > kth+boundEps(kth) {
 				break
 			}
 		}
 		scanned++
 		for _, pi := range s.cellPts[s.cellOff[cl.cell]:s.cellOff[cl.cell+1]] {
-			c := cand{d2: s.distSqInterned(qid, qr, pi), idx: pi}
+			c := cand{dist: math.Sqrt(s.distSqInterned(qid, qr, pi)), idx: pi}
 			if len(top) == k && worse(c, top[k-1]) {
 				continue
 			}
@@ -450,7 +494,7 @@ func (s *Snapshot) Nearest(obs rf.Vector, k int) []fingerprint.Match {
 
 	out := make([]fingerprint.Match, len(top))
 	for i, c := range top {
-		out[i] = fingerprint.Match{Pos: s.db.Points[c.idx].Pos, Dist: math.Sqrt(c.d2)}
+		out[i] = fingerprint.Match{Pos: s.db.Points[c.idx].Pos, Dist: c.dist}
 	}
 	return out
 }

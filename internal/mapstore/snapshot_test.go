@@ -165,6 +165,80 @@ func TestSnapshotEquivalence(t *testing.T) {
 	}
 }
 
+// TestSnapshotDuplicateIDBoxes reproduces the pruning hazard of a
+// duplicated transmitter ID within one stored vector: the per-cell
+// signal boxes must count distinct points per transmitter, not vector
+// entries. Point 0's duplicated "a" would otherwise satisfy the
+// cell-population count by itself, the floor extension for point 1
+// (which does not hear "a") would be skipped, and Nearest would prune
+// the cell containing the true match.
+func TestSnapshotDuplicateIDBoxes(t *testing.T) {
+	db := &fingerprint.DB{SpacingM: 3, Floor: -98, Points: []fingerprint.Fingerprint{
+		{Pos: geo.Pt(1, 1), Vec: rf.Vector{{ID: "a", RSSI: -40}, {ID: "a", RSSI: -40}, {ID: "b", RSSI: -50}}},
+		{Pos: geo.Pt(2, 2), Vec: rf.Vector{{ID: "b", RSSI: -52}}},
+		{Pos: geo.Pt(20, 1), Vec: rf.Vector{{ID: "a", RSSI: -88}, {ID: "b", RSSI: -55}}},
+	}}
+	snap := Build(db, 1, 4, nil) // cellM=4: points 0 and 1 share a cell
+	// Near the floor on "a", close to point 1 on "b": the true nearest
+	// is point 1, which lives behind the duplicate-inflated box.
+	obs := rf.Vector{{ID: "a", RSSI: -97}, {ID: "b", RSSI: -52}}
+	for k := 1; k <= 3; k++ {
+		if got, want := snap.Nearest(obs, k), db.Nearest(obs, k); !eqMatches(got, want) {
+			t.Fatalf("k=%d: Nearest with duplicate-ID vector diverged:\n got %v\nwant %v", k, got, want)
+		}
+	}
+	gd, wd := snap.Distances(obs), db.Distances(obs)
+	for i := range gd {
+		if gd[i] != wd[i] {
+			t.Fatalf("Distances[%d] = %v != %v", i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestSnapshotBuildExtremeExtent is the defense-in-depth behind
+// Store.Submit's position validation: Build handed a database with an
+// absurd or non-finite extent must coarsen to a capped grid instead of
+// allocating (or panicking on) nx*ny cell offsets, and still answer
+// queries bit-identically to the linear scan.
+func TestSnapshotBuildExtremeExtent(t *testing.T) {
+	vecA := rf.Vector{{ID: "a", RSSI: -40}, {ID: "b", RSSI: -60}}
+	vecB := rf.Vector{{ID: "a", RSSI: -70}, {ID: "b", RSSI: -45}}
+	db := &fingerprint.DB{SpacingM: 3, Floor: -98, Points: []fingerprint.Fingerprint{
+		{Pos: geo.Pt(0, 0), Vec: vecA},
+		{Pos: geo.Pt(3, 4), Vec: vecB},
+		{Pos: geo.Pt(1e12, 2e12), Vec: vecA},
+	}}
+	snap := Build(db, 1, 0, nil)
+	nx, ny, _ := snap.GridStats()
+	if nc := nx * ny; nc > maxGridCells || nc <= 0 {
+		t.Fatalf("grid not capped: %dx%d = %d cells", nx, ny, nc)
+	}
+	obs := rf.Vector{{ID: "a", RSSI: -50}, {ID: "b", RSSI: -55}}
+	if got, want := snap.Nearest(obs, 2), db.Nearest(obs, 2); !eqMatches(got, want) {
+		t.Fatalf("Nearest on capped grid diverged: %v vs %v", got, want)
+	}
+	p := geo.Pt(2, 2)
+	_, gdist, gok := snap.VectorAt(p)
+	_, wdist, wok := db.VectorAt(p)
+	if gok != wok || gdist != wdist {
+		t.Fatalf("VectorAt on capped grid = (%v,%v), want (%v,%v)", gdist, gok, wdist, wok)
+	}
+	if got, want := snap.DensityAround(p, 2), db.DensityAround(p, 2); got != want {
+		t.Fatalf("DensityAround on capped grid = %v, want %v", got, want)
+	}
+
+	// Non-finite coordinates (only reachable by building directly from
+	// a corrupt database) must not panic either.
+	bad := &fingerprint.DB{SpacingM: 3, Floor: -98, Points: []fingerprint.Fingerprint{
+		{Pos: geo.Pt(0, 0), Vec: vecA},
+		{Pos: geo.Pt(math.NaN(), math.Inf(1)), Vec: vecB},
+	}}
+	got := Build(bad, 1, 0, nil).Nearest(obs, 1)
+	if len(got) != 1 {
+		t.Fatalf("Nearest over non-finite positions = %v", got)
+	}
+}
+
 // TestSnapshotNeighborLists checks the spatial-index neighbour lists
 // against the O(N²) definition the HMM tracker uses.
 func TestSnapshotNeighborLists(t *testing.T) {

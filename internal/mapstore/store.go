@@ -2,6 +2,7 @@ package mapstore
 
 import (
 	"errors"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,23 @@ import (
 // discriminate locations (the survey applies the same rule: matching
 // needs at least two audible transmitters).
 var ErrTooFewTransmitters = errors.New("mapstore: fingerprint needs at least 2 transmitters")
+
+// ErrBadPosition rejects submitted fingerprints whose position is not a
+// finite coordinate within MaxCoordM of the origin. Crowdsourced input
+// is untrusted, and a NaN/Inf or absurd coordinate would poison the
+// next snapshot's grid extent.
+var ErrBadPosition = errors.New("mapstore: fingerprint position is not finite or out of map bounds")
+
+// ErrBadRSSI rejects submitted fingerprints carrying a non-finite RSSI,
+// which would propagate NaN/Inf through every distance computed against
+// the rebuilt snapshot.
+var ErrBadRSSI = errors.New("mapstore: fingerprint RSSI is not finite")
+
+// MaxCoordM bounds accepted survey coordinates (meters from the map
+// origin). Site coordinate frames are local, so ±1000 km is far beyond
+// any legitimate survey while still rejecting junk that would explode
+// the grid.
+const MaxCoordM = 1e6
 
 // Config parameterizes a Store.
 type Config struct {
@@ -54,9 +72,10 @@ type Store struct {
 
 	rebuildMu sync.Mutex // serializes compactions
 
-	kick chan struct{}
-	done chan struct{}
-	wg   sync.WaitGroup
+	kick      chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // New builds a Store over db's points. The database is copied, so the
@@ -109,19 +128,53 @@ func (s *Store) Pending() int {
 // Submit queues one crowdsourced fingerprint for the next compaction.
 // A submission at the exact position of an existing fingerprint
 // replaces that point's vector (map refresh); anywhere else it extends
-// the map. Vectors with fewer than two transmitters are rejected.
+// the map. Submissions are validated before queueing — non-finite or
+// out-of-bounds positions, non-finite RSSI, and vectors with fewer than
+// two distinct transmitters are rejected; duplicate transmitter entries
+// are merged keeping the strongest reading.
 func (s *Store) Submit(fp fingerprint.Fingerprint) error {
+	// The negated form also catches NaN (every NaN comparison is false).
+	if !(math.Abs(fp.Pos.X) <= MaxCoordM && math.Abs(fp.Pos.Y) <= MaxCoordM) {
+		s.cfg.Metrics.submitDropped()
+		return ErrBadPosition
+	}
+	for _, o := range fp.Vec {
+		if math.IsNaN(o.RSSI) || math.IsInf(o.RSSI, 0) {
+			s.cfg.Metrics.submitDropped()
+			return ErrBadRSSI
+		}
+	}
+	// The snapshot's merge-walk distance requires strictly ID-sorted
+	// vectors; locally-scanned vectors already are, but crowdsourced
+	// input is not trusted to be. Duplicate IDs must not survive: a
+	// repeated entry would inflate the per-cell signal-box point counts
+	// that Nearest prunes with.
+	clean := true
+	for i := 1; i < len(fp.Vec); i++ {
+		if fp.Vec[i-1].ID >= fp.Vec[i].ID {
+			clean = false
+			break
+		}
+	}
+	if !clean {
+		vec := append(rf.Vector(nil), fp.Vec...)
+		sort.Slice(vec, func(a, b int) bool { return vec[a].ID < vec[b].ID })
+		w := 0
+		for _, o := range vec {
+			if w > 0 && vec[w-1].ID == o.ID {
+				if o.RSSI > vec[w-1].RSSI {
+					vec[w-1].RSSI = o.RSSI
+				}
+				continue
+			}
+			vec[w] = o
+			w++
+		}
+		fp.Vec = vec[:w]
+	}
 	if len(fp.Vec) < 2 {
 		s.cfg.Metrics.submitDropped()
 		return ErrTooFewTransmitters
-	}
-	// The snapshot's merge-walk distance requires ID-sorted vectors;
-	// locally-scanned vectors already are, but crowdsourced input is
-	// not trusted to be.
-	if !sort.SliceIsSorted(fp.Vec, func(a, b int) bool { return fp.Vec[a].ID < fp.Vec[b].ID }) {
-		vec := append(rf.Vector(nil), fp.Vec...)
-		sort.Slice(vec, func(a, b int) bool { return vec[a].ID < vec[b].ID })
-		fp.Vec = vec
 	}
 	s.mu.Lock()
 	s.pending = append(s.pending, fp)
@@ -202,15 +255,14 @@ func (s *Store) compactor() {
 
 // Close stops the background compactor after folding in any remaining
 // pending submissions. The store remains readable after Close.
+// Idempotent and safe for concurrent callers: every Close returns only
+// once the shutdown has completed.
 func (s *Store) Close() {
-	select {
-	case <-s.done:
-		return // already closed
-	default:
-	}
-	close(s.done)
-	s.wg.Wait()
-	s.Rebuild()
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+		s.Rebuild()
+	})
 }
 
 func (m *Metrics) submitAccepted(pending int) {

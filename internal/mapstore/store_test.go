@@ -1,7 +1,9 @@
 package mapstore
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -77,6 +79,78 @@ func TestStoreSubmitRebuild(t *testing.T) {
 	if v := st.Rebuild(); v != 2 {
 		t.Fatalf("no-op rebuild bumped version to %d", v)
 	}
+}
+
+// TestStoreSubmitValidation covers the crowdsourced-input hardening:
+// non-finite or out-of-bounds positions and non-finite RSSI must be
+// rejected before they can reach a snapshot rebuild (where a garbage
+// position would poison the grid extent), and duplicated transmitter
+// IDs must be merged so the signal-box pruning counts stay valid.
+func TestStoreSubmitValidation(t *testing.T) {
+	db := synthDB(20, 8, 31)
+	st := New(db, Config{Name: "validate", RebuildBatch: 1 << 30})
+	defer st.Close()
+
+	badPos := []geo.Point{
+		geo.Pt(math.NaN(), 5),
+		geo.Pt(5, math.NaN()),
+		geo.Pt(math.Inf(1), 5),
+		geo.Pt(5, math.Inf(-1)),
+		geo.Pt(2*MaxCoordM, 0),
+		geo.Pt(0, -2*MaxCoordM),
+	}
+	for _, p := range badPos {
+		if err := st.Submit(fingerprint.Fingerprint{Pos: p, Vec: vec2(-50, -60)}); !errors.Is(err, ErrBadPosition) {
+			t.Fatalf("Submit at %v: err = %v, want ErrBadPosition", p, err)
+		}
+	}
+	nanVec := rf.Vector{{ID: "ap-a", RSSI: math.NaN()}, {ID: "ap-b", RSSI: -60}}
+	if err := st.Submit(fingerprint.Fingerprint{Pos: geo.Pt(1, 1), Vec: nanVec}); !errors.Is(err, ErrBadRSSI) {
+		t.Fatalf("Submit with NaN RSSI: err = %v, want ErrBadRSSI", err)
+	}
+	// A vector that collapses to one transmitter after dedupe is as
+	// useless as a one-transmitter vector submitted directly.
+	dupOnly := rf.Vector{{ID: "ap-a", RSSI: -50}, {ID: "ap-a", RSSI: -40}}
+	if err := st.Submit(fingerprint.Fingerprint{Pos: geo.Pt(1, 1), Vec: dupOnly}); !errors.Is(err, ErrTooFewTransmitters) {
+		t.Fatalf("Submit with duplicate-only vector: err = %v, want ErrTooFewTransmitters", err)
+	}
+	if st.Pending() != 0 {
+		t.Fatalf("pending = %d after rejected submissions, want 0", st.Pending())
+	}
+
+	// Unsorted input with duplicates is normalized: sorted by ID,
+	// duplicates merged keeping the strongest reading.
+	messy := rf.Vector{{ID: "ap-b", RSSI: -60}, {ID: "ap-a", RSSI: -50}, {ID: "ap-a", RSSI: -40}}
+	pos := geo.Pt(700, 700)
+	if err := st.Submit(fingerprint.Fingerprint{Pos: pos, Vec: messy}); err != nil {
+		t.Fatal(err)
+	}
+	st.Rebuild()
+	got, d, ok := st.Snapshot().VectorAt(pos)
+	if !ok || d != 0 {
+		t.Fatalf("normalized point not found: d=%v ok=%v", d, ok)
+	}
+	want := vec2(-40, -60)
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("normalized vector = %v, want %v", got, want)
+	}
+}
+
+// TestStoreConcurrentClose hammers shutdown from several goroutines;
+// pre-sync.Once this was a racy check-then-close that could panic with
+// "close of closed channel".
+func TestStoreConcurrentClose(t *testing.T) {
+	db := synthDB(10, 8, 37)
+	st := New(db, Config{Name: "cc", RebuildBatch: 1 << 30})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.Close()
+		}()
+	}
+	wg.Wait()
 }
 
 func TestStoreBatchTriggersCompactor(t *testing.T) {
