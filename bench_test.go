@@ -7,9 +7,12 @@ package uniloc
 // behind the paper's response-time decomposition (Table V).
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -20,6 +23,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/mapstore"
 	"repro/internal/offload"
+	"repro/internal/particle"
 	"repro/internal/rf"
 	"repro/internal/schemes"
 	"repro/internal/sensing"
@@ -30,12 +34,12 @@ import (
 // once per `go test -bench` invocation.
 var benchSuite *experiments.Suite
 
-func getSuite(b *testing.B) *experiments.Suite {
-	b.Helper()
+func getSuite(tb testing.TB) *experiments.Suite {
+	tb.Helper()
 	if benchSuite == nil {
 		benchSuite = experiments.NewSuite(42)
 		if _, err := benchSuite.Lab.Trained(); err != nil {
-			b.Fatalf("training: %v", err)
+			tb.Fatalf("training: %v", err)
 		}
 	}
 	return benchSuite
@@ -114,13 +118,33 @@ func benchEpoch(b *testing.B, opts ...core.Option) (*core.Framework, []*sensing.
 // guardrail: compare against BenchmarkFrameworkStepObserved to see
 // what tracing costs, and against the PR-1 baseline (2485024 ns/op,
 // 30 allocs/op) to confirm the untraced hot path did not regress.
-func BenchmarkFrameworkStep(b *testing.B) {
-	fw, snaps := benchEpoch(b)
+func BenchmarkFrameworkStep(b *testing.B) { benchFrameworkStep(b) }
+
+// BenchmarkFrameworkStepParallel is the same epoch stream with the five
+// schemes fanned out to the persistent worker pool (DESIGN.md §11).
+// Outputs are bit-identical to BenchmarkFrameworkStep; the ns/op ratio
+// is the parallel pipeline's speedup and depends entirely on how many
+// cores the runner has — record it, don't assert it.
+func BenchmarkFrameworkStepParallel(b *testing.B) {
+	benchFrameworkStep(b, core.WithParallel(benchStepWorkers))
+}
+
+// benchStepWorkers is the pool size used by the parallel step benchmark
+// and the BENCH_epoch.json recorder: one worker per scheme minus the
+// GPS scheme, which finishes almost instantly.
+const benchStepWorkers = 4
+
+// benchFrameworkStep is the shared body of the sequential and parallel
+// framework-step benchmarks.
+func benchFrameworkStep(b *testing.B, opts ...core.Option) {
+	fw, snaps := benchEpoch(b, opts...)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fw.Step(snaps[i%len(snaps)])
 	}
+	b.StopTimer()
+	fw.Close()
 }
 
 // BenchmarkFrameworkStepObserved is the same epoch with epoch tracing
@@ -514,4 +538,113 @@ func TestIndexedNearestPrunes(t *testing.T) {
 		t.Errorf("pruning ineffective: mean %.1f cells scanned per Nearest, want < 1/4 of %d non-empty cells",
 			mean, nonEmpty)
 	}
+}
+
+// BenchmarkResample measures one steady-state systematic resampling
+// pass of the particle filter at its default population. The double
+// buffer from the parallel-pipeline PR makes this allocation-free
+// after the first call (TestResampleNoAllocsSteadyState in
+// internal/particle asserts exactly 0 allocs/op).
+func BenchmarkResample(b *testing.B) {
+	f := particle.New(particle.DefaultCount, geo.Pt(0, 0), 2, rand.New(rand.NewSource(5)))
+	f.Normalize()
+	f.Resample() // warm the double buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Resample leaves uniform normalized weights, so every
+		// iteration is a valid steady-state pass.
+		f.Resample()
+	}
+}
+
+// --- BENCH_epoch.json: the machine-readable perf trajectory of the
+// per-epoch hot path, recorded once per perf-relevant PR.
+
+// epochBenchEntry is one benchmark row of BENCH_epoch.json.
+type epochBenchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// epochBenchFile is the committed BENCH_epoch.json document. CPUs
+// records the measuring machine — the framework_step_par /
+// framework_step_seq ratio is meaningless without it (a single-core
+// runner cannot show a speedup, only pool overhead).
+type epochBenchFile struct {
+	Schema      string            `json:"schema"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	CPUs        int               `json:"cpus"`
+	StepWorkers int               `json:"step_workers"`
+	Note        string            `json:"note,omitempty"`
+	Benchmarks  []epochBenchEntry `json:"benchmarks"`
+}
+
+// TestRecordEpochBench re-measures the per-epoch hot path with
+// testing.Benchmark and writes BENCH_epoch.json to the path in
+// UNILOC_BENCH_JSON (skipped when unset, so plain `go test` stays
+// fast). Regenerate with:
+//
+//	UNILOC_BENCH_JSON=BENCH_epoch.json go test -run TestRecordEpochBench
+//
+// CI points it at a scratch path every run to keep the recorder and
+// schema from rotting; the committed file is refreshed manually per
+// perf PR.
+func TestRecordEpochBench(t *testing.T) {
+	path := os.Getenv("UNILOC_BENCH_JSON")
+	if path == "" {
+		t.Skip("set UNILOC_BENCH_JSON=<path> to record BENCH_epoch.json")
+	}
+	row := func(name string, fn func(*testing.B)) epochBenchEntry {
+		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			t.Fatalf("benchmark %s did not run", name)
+		}
+		return epochBenchEntry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	doc := epochBenchFile{
+		Schema:      "uniloc-bench-epoch/v1",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		StepWorkers: benchStepWorkers,
+		Note: "framework_step_par vs framework_step_seq is the parallel pipeline's " +
+			"speedup; it only materializes when cpus >= 4 (one core per heavy scheme).",
+		Benchmarks: []epochBenchEntry{
+			row("framework_step_seq", func(b *testing.B) { benchFrameworkStep(b) }),
+			row("framework_step_par", func(b *testing.B) {
+				benchFrameworkStep(b, core.WithParallel(benchStepWorkers))
+			}),
+			row("resample", BenchmarkResample),
+			row("fusion_step", func(b *testing.B) {
+				benchFusionOver(b, getSuite(b).Lab.Campus().WiFiDB)
+			}),
+			row("nearest", func(b *testing.B) {
+				db := benchMapDB(benchMapPoints, benchMapTx, 7)
+				snap := mapstore.Build(db, 1, 0, nil)
+				obs := benchMapObs(db, 64, 8)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					snap.Nearest(obs[i%len(obs)], 3)
+				}
+			}),
+		},
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d benchmarks, %d cpus)", path, len(doc.Benchmarks), doc.CPUs)
 }

@@ -2,13 +2,17 @@
 //
 // Usage:
 //
-//	uniloc-bench [-seed N] [-run id[,id...]] [-list] [-trace file.jsonl]
+//	uniloc-bench [-seed N] [-run id[,id...]] [-list] [-trace file.jsonl] [-j N]
 //
 // Without -run it executes every experiment in paper order and prints
 // the regenerated rows/series as text tables. Experiment IDs: table1,
 // table2, table3, figure2, figure3, figure5, figure6, figure7,
 // figure8a..figure8d, table4, table5, ablation-weighting,
 // ablation-spacing, ablation-training-size.
+//
+// With -j N the experiments run N at a time (each carries its own
+// seeds, so the reports are identical to a sequential run); output
+// stays in paper order, streamed as each experiment's turn completes.
 package main
 
 import (
@@ -34,6 +38,7 @@ func run() error {
 	only := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	trace := flag.String("trace", "", "write JSONL epoch traces from trace-driven experiments (table5) to this file")
+	jobs := flag.Int("j", 1, "experiments to run concurrently (reports are identical at any -j)")
 	flag.Parse()
 
 	suite := experiments.NewSuite(*seed)
@@ -70,14 +75,19 @@ func run() error {
 		}
 	}
 
-	for _, e := range selected {
-		start := time.Now()
-		rep, err := e.Run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	var firstErr error
+	_, err := suite.RunAll(selected, *jobs, func(r experiments.Result) {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", r.Experiment.ID, r.Err)
+			}
+			return
 		}
-		fmt.Println(rep)
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Println(r.Report)
+		fmt.Printf("[%s completed in %v]\n\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
+	})
+	if err != nil {
+		return err
 	}
-	return nil
+	return firstErr
 }

@@ -53,6 +53,7 @@ func main() {
 	ingest := flag.Bool("ingest", false, "accept crowdsourced survey submissions (MsgSurvey) into the shared map stores (requires -shared-map)")
 	rebuildBatch := flag.Int("rebuild-batch", 256, "pending survey points that trigger a background snapshot rebuild")
 	rebuildEvery := flag.Duration("rebuild-every", 30*time.Second, "also rebuild snapshots on this timer so trickles land (0 = batch-only)")
+	stepWorkers := flag.Int("step-workers", 0, "per-session scheme-execution workers (core.WithParallel); <= 1 runs schemes sequentially, results are bit-identical either way")
 	flag.Parse()
 
 	cfg := serverOpts{
@@ -66,6 +67,7 @@ func main() {
 		ingest:       *ingest,
 		rebuildBatch: *rebuildBatch,
 		rebuildEvery: *rebuildEvery,
+		stepWorkers:  *stepWorkers,
 	}
 	if err := run(cfg); err != nil {
 		log.Fatalf("uniloc-server: %v", err)
@@ -83,6 +85,7 @@ type serverOpts struct {
 	ingest            bool
 	rebuildBatch      int
 	rebuildEvery      time.Duration
+	stepWorkers       int
 }
 
 func run(opts serverOpts) error {
@@ -142,6 +145,7 @@ func run(opts serverOpts) error {
 		IdleTimeout: opts.idleTimeout,
 		Metrics:     reg,
 		MapStores:   stores,
+		StepWorkers: opts.stepWorkers,
 	})
 	if err != nil {
 		return err
@@ -151,8 +155,8 @@ func run(opts serverOpts) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, shared-map=%v, ingest=%v)",
-		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.sharedMap, opts.ingest)
+	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, shared-map=%v, ingest=%v, step-workers=%d)",
+		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.sharedMap, opts.ingest, opts.stepWorkers)
 
 	// Optional exposition endpoint: Prometheus + JSON metrics, expvar,
 	// pprof.

@@ -90,6 +90,9 @@ type Framework struct {
 	lastPred   map[string]float64 // last predicted error per scheme, for gating
 	lastEnv    EnvClass
 	obs        telemetry.Observer // nil = tracing off
+
+	stepWorkers int       // scheme-execution workers (<= 1: sequential)
+	pool        *stepPool // lazily started persistent worker pool
 }
 
 // NewFramework builds a framework over the given schemes and trained
@@ -230,30 +233,21 @@ func (f *Framework) step(snap *sensing.Snapshot, tr *telemetry.EpochTrace) StepR
 		BestIdx: -1,
 	}
 
+	if f.stepWorkers > 1 {
+		// Fan the schemes out to the persistent worker pool. Each
+		// worker writes only its scheme's slot of res.Schemes (and of
+		// tr.Schemes), so the result layout is identical to the
+		// sequential loop; the gating-state updates below then replay
+		// in canonical scheme order after the join.
+		f.ensurePool().dispatch(snap, tr, res.Schemes)
+	} else {
+		for i := range f.schemes {
+			f.runScheme(i, snap, tr, res.Schemes)
+		}
+	}
 	for i, s := range f.schemes {
-		if tr != nil {
-			t0 = time.Now()
-		}
-		est := s.Estimate(snap)
-		if tr != nil {
-			tr.Schemes[i].EstimateNS = time.Since(t0).Nanoseconds()
-		}
-		sr := SchemeResult{Name: s.Name(), Pos: est.Pos, Available: est.OK}
-		if est.OK {
-			if tr != nil {
-				t0 = time.Now()
-			}
-			if m := f.models.Lookup(s.Name(), env); m != nil {
-				sr.PredErr, sr.Sigma = m.Predict(est.Features)
-			} else {
-				// No model: neutral prediction so the scheme still
-				// participates rather than silently vanishing.
-				sr.PredErr, sr.Sigma = 10, 5
-			}
-			if tr != nil {
-				tr.Schemes[i].PredictNS = time.Since(t0).Nanoseconds()
-			}
-			f.lastPred[s.Name()] = sr.PredErr
+		if res.Schemes[i].Available {
+			f.lastPred[s.Name()] = res.Schemes[i].PredErr
 		} else {
 			// A scheme that produced no estimate this epoch must not
 			// keep its last prediction alive: a stale entry would bias
@@ -261,7 +255,6 @@ func (f *Framework) step(snap *sensing.Snapshot, tr *telemetry.EpochTrace) StepR
 			// coverage but its old 2 m prediction keeps GPS gated off).
 			delete(f.lastPred, s.Name())
 		}
-		res.Schemes[i] = sr
 	}
 
 	if tr != nil {
@@ -284,4 +277,39 @@ func (f *Framework) step(snap *sensing.Snapshot, tr *telemetry.EpochTrace) StepR
 		tr.CombineNS = time.Since(t0).Nanoseconds()
 	}
 	return res
+}
+
+// runScheme executes one scheme's epoch work — Estimate plus the error
+// prediction from its real-time features — and writes the result into
+// out[i] (and its timings into tr.Schemes[i] when tracing). It touches
+// no cross-scheme state, so the worker pool may run any subset of
+// schemes concurrently; gating-state (lastPred) updates stay with the
+// caller.
+func (f *Framework) runScheme(i int, snap *sensing.Snapshot, tr *telemetry.EpochTrace, out []SchemeResult) {
+	s := f.schemes[i]
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	est := s.Estimate(snap)
+	if tr != nil {
+		tr.Schemes[i].EstimateNS = time.Since(t0).Nanoseconds()
+	}
+	sr := SchemeResult{Name: s.Name(), Pos: est.Pos, Available: est.OK}
+	if est.OK {
+		if tr != nil {
+			t0 = time.Now()
+		}
+		if m := f.models.Lookup(s.Name(), f.lastEnv); m != nil {
+			sr.PredErr, sr.Sigma = m.Predict(est.Features)
+		} else {
+			// No model: neutral prediction so the scheme still
+			// participates rather than silently vanishing.
+			sr.PredErr, sr.Sigma = 10, 5
+		}
+		if tr != nil {
+			tr.Schemes[i].PredictNS = time.Since(t0).Nanoseconds()
+		}
+	}
+	out[i] = sr
 }

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/sensing"
+	"repro/internal/telemetry"
+)
+
+// WithParallel sets the number of worker goroutines Step fans the
+// per-scheme Estimate + error-prediction calls out to. The paper's
+// architecture runs the N schemes in parallel on the server (§IV-C,
+// Table V's "slowest scheme" row); this makes the implementation do
+// the same. workers <= 1 keeps today's sequential path (the default).
+//
+// Parallel execution is bit-identical to sequential: every scheme owns
+// its random stream (scenario.Assets.SchemesOver derives one child per
+// scheme), each worker writes only its scheme's result slot, and the
+// ensemble stages (τ, weighting, selection, BMA) and lastPred gating
+// updates run after the join in canonical scheme order. See
+// TestParallelStepMatchesSequential and DESIGN.md §11.
+func WithParallel(workers int) Option {
+	return func(f *Framework) { f.stepWorkers = workers }
+}
+
+// stepPool is a Framework's persistent scheme-execution pool: the
+// goroutines start once (lazily, on the first parallel Step) and are
+// reused for every epoch — no per-Step spawning. One pool serves one
+// framework from its single driving goroutine, like the framework
+// itself.
+type stepPool struct {
+	f     *Framework
+	tasks chan int // scheme indices to run this epoch
+	done  chan int // completion signals, one per scheme
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// Per-dispatch state: written before the tasks are enqueued, read
+	// by workers, and released after every completion is drained. The
+	// channel operations order these accesses, so workers never race
+	// on them or on anything reachable from them.
+	snap *sensing.Snapshot
+	tr   *telemetry.EpochTrace
+	out  []SchemeResult
+}
+
+// ensurePool returns the framework's worker pool, starting it on first
+// use (and after Close).
+func (f *Framework) ensurePool() *stepPool {
+	if f.pool == nil {
+		n := f.stepWorkers
+		if n > len(f.schemes) {
+			n = len(f.schemes)
+		}
+		p := &stepPool{
+			f: f,
+			// Buffered to the scheme count so dispatch never blocks on
+			// enqueue regardless of the worker count.
+			tasks: make(chan int, len(f.schemes)),
+			done:  make(chan int, len(f.schemes)),
+			quit:  make(chan struct{}),
+		}
+		for w := 0; w < n; w++ {
+			p.wg.Add(1)
+			go p.worker()
+		}
+		f.pool = p
+	}
+	return f.pool
+}
+
+// worker executes scheme tasks until the pool is closed.
+func (p *stepPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case i := <-p.tasks:
+			p.f.runScheme(i, p.snap, p.tr, p.out)
+			p.done <- i
+		}
+	}
+}
+
+// dispatch runs every scheme of one epoch on the pool and blocks until
+// all have completed. Results land in out, indexed by scheme position.
+func (p *stepPool) dispatch(snap *sensing.Snapshot, tr *telemetry.EpochTrace, out []SchemeResult) {
+	p.snap, p.tr, p.out = snap, tr, out
+	n := len(p.f.schemes)
+	for i := 0; i < n; i++ {
+		p.tasks <- i
+	}
+	for i := 0; i < n; i++ {
+		<-p.done
+	}
+	p.snap, p.tr, p.out = nil, nil, nil // do not retain epoch state
+}
+
+// Close stops the framework's worker pool, if one is running. It is
+// safe to call on a sequential framework and to keep using the
+// framework afterwards — the next parallel Step starts a fresh pool.
+// Servers call this when a session ends so pools do not outlive their
+// frameworks.
+func (f *Framework) Close() {
+	if f.pool != nil {
+		close(f.pool.quit)
+		f.pool.wg.Wait()
+		f.pool = nil
+	}
+}
+
+// SetParallel reconfigures the worker count after construction (the
+// offload session manager applies the server's -step-workers setting
+// to factory-built frameworks). Must not be called concurrently with
+// Step. Any running pool is stopped; the next Step starts one at the
+// new width.
+func (f *Framework) SetParallel(workers int) {
+	if workers == f.stepWorkers {
+		return
+	}
+	f.Close()
+	f.stepWorkers = workers
+}
+
+// StepWorkers reports the configured scheme-execution worker count
+// (<= 1 means sequential).
+func (f *Framework) StepWorkers() int { return f.stepWorkers }

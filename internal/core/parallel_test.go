@@ -1,0 +1,199 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/schemes"
+	"repro/internal/telemetry"
+)
+
+// parallelPair builds two identical two-scheme frameworks, one
+// sequential and one parallel, over the same deterministic fakes.
+func parallelPair(t *testing.T, workers int) (seq, par *Framework) {
+	t.Helper()
+	mk := func(opts ...Option) *Framework {
+		good := &fakeScheme{name: "good", pos: geo.Pt(1, 1), ok: true, feats: map[string]float64{"x": 1}}
+		bad := &fakeScheme{name: "bad", pos: geo.Pt(30, 30), ok: true, feats: map[string]float64{"x": 10}}
+		ms := NewModelSet()
+		for _, env := range []EnvClass{EnvIndoor, EnvOutdoor} {
+			ms.Put(modelFor("good", env, 2, 1))
+			ms.Put(modelFor("bad", env, 2, 2))
+		}
+		fw, err := NewFramework([]schemes.Scheme{good, bad}, ms, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fw
+	}
+	return mk(), mk(WithParallel(workers))
+}
+
+// TestParallelStepMatchesSequentialFakes checks slot-for-slot equality
+// of the StepResult stream between a sequential and a parallel
+// framework over deterministic schemes (the full-walk bit-identity
+// test over the real campus stack lives in the root package:
+// TestParallelStepMatchesSequential).
+func TestParallelStepMatchesSequentialFakes(t *testing.T) {
+	seq, par := parallelPair(t, 2)
+	defer par.Close()
+	seq.Reset(geo.Pt(0, 0))
+	par.Reset(geo.Pt(0, 0))
+	for i := 0; i < 50; i++ {
+		snap := outdoorSnap()
+		if i%3 == 0 {
+			snap = indoorSnap()
+		}
+		snap.Epoch = i
+		a, b := seq.Step(snap), par.Step(snap)
+		if a.Epoch != b.Epoch || a.Env != b.Env || a.Tau != b.Tau ||
+			a.Best != b.Best || a.BestIdx != b.BestIdx || a.BMA != b.BMA || a.OK != b.OK {
+			t.Fatalf("epoch %d: step results diverged:\nseq %+v\npar %+v", i, a, b)
+		}
+		for j := range a.Schemes {
+			if a.Schemes[j] != b.Schemes[j] {
+				t.Fatalf("epoch %d scheme %d diverged:\nseq %+v\npar %+v", i, j, a.Schemes[j], b.Schemes[j])
+			}
+		}
+		if aw, bw := seq.GPSWanted(), par.GPSWanted(); aw != bw {
+			t.Fatalf("epoch %d: gating diverged: seq %v par %v", i, aw, bw)
+		}
+	}
+}
+
+// TestParallelPoolReuseAcrossReset is the worker-pool lifecycle guard:
+// the pool starts once, survives Reset (a server reuses one framework
+// across walks), stops on Close without leaking goroutines, and
+// restarts lazily if the framework keeps stepping afterwards.
+func TestParallelPoolReuseAcrossReset(t *testing.T) {
+	_, fw := parallelPair(t, 2)
+	fw.Reset(geo.Pt(0, 0))
+
+	before := runtime.NumGoroutine()
+	fw.Step(outdoorSnap()) // pool starts lazily here
+	started := runtime.NumGoroutine()
+	if started <= before {
+		t.Fatalf("expected worker goroutines after first parallel step (%d -> %d)", before, started)
+	}
+	pool := fw.pool
+	if pool == nil {
+		t.Fatal("no pool after parallel step")
+	}
+
+	// Reset must keep the pool: goroutine count stable, same pool.
+	for walk := 0; walk < 3; walk++ {
+		fw.Reset(geo.Pt(float64(walk), 0))
+		for i := 0; i < 10; i++ {
+			fw.Step(outdoorSnap())
+		}
+		if fw.pool != pool {
+			t.Fatalf("walk %d: Reset replaced the worker pool", walk)
+		}
+	}
+	if n := runtime.NumGoroutine(); n > started {
+		t.Fatalf("goroutines grew across resets: %d -> %d", started, n)
+	}
+
+	// Close stops the workers (poll briefly: goroutine exit is async).
+	fw.Close()
+	if fw.pool != nil {
+		t.Fatal("Close left the pool installed")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("worker goroutines leaked after Close: %d > %d", n, before)
+	}
+	fw.Close() // idempotent
+
+	// The framework stays usable: the next Step restarts a pool.
+	res := fw.Step(outdoorSnap())
+	if !res.OK {
+		t.Fatal("step after Close failed")
+	}
+	if fw.pool == nil {
+		t.Fatal("pool did not restart after Close")
+	}
+	fw.Close()
+}
+
+// TestSetParallelSwitchesModes covers the offload wiring entry point:
+// SetParallel reconfigures a framework after construction and tears
+// down a stale pool when switching back to sequential.
+func TestSetParallelSwitchesModes(t *testing.T) {
+	fw, _ := parallelPair(t, 2)
+	if fw.StepWorkers() > 1 {
+		t.Fatalf("fresh framework reports %d workers", fw.StepWorkers())
+	}
+	fw.SetParallel(3)
+	if fw.StepWorkers() != 3 {
+		t.Fatalf("StepWorkers = %d after SetParallel(3)", fw.StepWorkers())
+	}
+	fw.Reset(geo.Pt(0, 0))
+	fw.Step(outdoorSnap())
+	if fw.pool == nil {
+		t.Fatal("no pool after parallel step")
+	}
+	fw.SetParallel(0) // back to sequential: pool must go
+	if fw.pool != nil {
+		t.Fatal("SetParallel(0) left the pool running")
+	}
+	if res := fw.Step(outdoorSnap()); !res.OK {
+		t.Fatal("sequential step after SetParallel(0) failed")
+	}
+	if fw.pool != nil {
+		t.Fatal("sequential step started a pool")
+	}
+}
+
+// TestParallelStepTelemetry: per-scheme timings keep flowing with the
+// pool enabled (workers write their own trace slots).
+func TestParallelStepTelemetry(t *testing.T) {
+	var got *telemetry.EpochTrace
+	obs := telemetry.ObserverFunc(func(tr *telemetry.EpochTrace) { got = tr })
+	good := &fakeScheme{name: "good", pos: geo.Pt(1, 1), ok: true, feats: map[string]float64{"x": 1}}
+	bad := &fakeScheme{name: "bad", pos: geo.Pt(30, 30), ok: true, feats: map[string]float64{"x": 10}}
+	ms := NewModelSet()
+	ms.Put(modelFor("good", EnvOutdoor, 2, 1))
+	ms.Put(modelFor("bad", EnvOutdoor, 2, 2))
+	fw, err := NewFramework([]schemes.Scheme{good, bad}, ms, WithParallel(2), WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	fw.Reset(geo.Pt(0, 0))
+	fw.Step(outdoorSnap())
+	if got == nil {
+		t.Fatal("no trace emitted")
+	}
+	if len(got.Schemes) != 2 {
+		t.Fatalf("trace has %d scheme entries", len(got.Schemes))
+	}
+	for i, st := range got.Schemes {
+		if st.Scheme == "" || st.EstimateNS < 0 || !st.Available {
+			t.Fatalf("scheme trace %d incomplete: %+v", i, st)
+		}
+	}
+	if got.StepNS <= 0 {
+		t.Fatalf("StepNS = %d", got.StepNS)
+	}
+}
+
+// TestParallelStepObserverOffAllocs: the pool path must stay within the
+// sequential allocation envelope — dispatch reuses channels and slots,
+// so no per-Step goroutines or boxing.
+func TestParallelStepObserverOffAllocs(t *testing.T) {
+	_, fw := parallelPair(t, 2)
+	defer fw.Close()
+	fw.Reset(geo.Pt(0, 0))
+	snap := outdoorSnap()
+	fw.Step(snap) // start the pool, warm lastPred
+	got := testing.AllocsPerRun(200, func() { fw.Step(snap) })
+	if got > stepBaselineAllocs {
+		t.Fatalf("parallel observer-off Step allocates %v objects/op, want <= %d", got, stepBaselineAllocs)
+	}
+}

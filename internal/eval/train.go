@@ -82,7 +82,9 @@ func collectPlace(trainer *core.Trainer, assets *scenario.Assets, seed int64) {
 			rnd := rand.New(rand.NewSource(seed + int64(wi*13+pi)))
 			cfg := assets.DefaultWalkerConfig()
 			cfg.Person = person
-			ss := assets.Schemes(rnd)
+			// Scheme construction draws a child stream so the training
+			// walk (which keeps consuming rnd) is decoupled from it.
+			ss := assets.Schemes(rand.New(rand.NewSource(rnd.Int63())))
 			trainer.CollectWalk(assets.Place.World, ss, path.Line, cfg, rnd)
 		}
 	}

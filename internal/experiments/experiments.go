@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/eval"
 )
@@ -88,4 +89,69 @@ func (s *Suite) ByID(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// Warm pre-builds the lab's shared artifacts — trained models and all
+// surveyed places — so concurrent experiments only ever read them. The
+// Lab's lazy caches are not safe for concurrent population; warming
+// turns every subsequent access into a plain pointer read.
+func (s *Suite) Warm() error {
+	if _, err := s.Lab.Trained(); err != nil {
+		return err
+	}
+	s.Lab.Campus()
+	s.Lab.Mall()
+	s.Lab.Urban()
+	s.Lab.TrainingOffice()
+	s.Lab.TrainingOpen()
+	return nil
+}
+
+// Result is one experiment's outcome from a RunAll batch.
+type Result struct {
+	Experiment Experiment
+	Report     *Report
+	Err        error
+	Elapsed    time.Duration
+}
+
+// RunAll executes the experiments with at most workers running
+// concurrently and returns their results in input order. Every
+// experiment carries its own seeds and builds its own frameworks, so
+// concurrent runs produce the same reports as sequential ones; with
+// workers > 1 the shared lab is warmed first (see Warm). emit, when
+// non-nil, is called once per experiment in input order, as soon as
+// that experiment and all earlier ones have finished — streaming,
+// ordered progress for cmd/uniloc-bench -j.
+func (s *Suite) RunAll(exps []Experiment, workers int, emit func(Result)) ([]Result, error) {
+	if workers > 1 {
+		if err := s.Warm(); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]Result, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, max(workers, 1))
+	for i := range exps {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() {
+				<-sem
+				close(done[i])
+			}()
+			start := time.Now()
+			rep, err := exps[i].Run()
+			results[i] = Result{Experiment: exps[i], Report: rep, Err: err, Elapsed: time.Since(start)}
+		}(i)
+	}
+	for i := range exps {
+		<-done[i]
+		if emit != nil {
+			emit(results[i])
+		}
+	}
+	return results, nil
 }

@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/schemes"
 	"repro/internal/telemetry"
@@ -184,5 +187,87 @@ func TestTableVStructure(t *testing.T) {
 		if tr.StepNS <= 0 || len(tr.Schemes) == 0 || tr.Env == "" {
 			t.Fatalf("trace %d incomplete: %+v", i, tr)
 		}
+	}
+}
+
+// TestRunAllOrderedStreamingAndErrors drives RunAll with synthetic
+// experiments: results and the streaming emit callback must come back
+// in input order even though execution is concurrent, errors must ride
+// in Result.Err without aborting the batch, and at least two
+// experiments must genuinely overlap under workers=2 (the rendezvous
+// below deadlocks otherwise).
+func TestRunAllOrderedStreamingAndErrors(t *testing.T) {
+	s := suite(t)
+	errBoom := errors.New("boom")
+
+	// s0 and s1 block until both are running: proof of concurrency.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	rendezvous := func(id string) (*Report, error) {
+		barrier.Done()
+		barrier.Wait()
+		return &Report{ID: id}, nil
+	}
+	exps := []Experiment{
+		{ID: "s0", Run: func() (*Report, error) { return rendezvous("s0") }},
+		{ID: "s1", Run: func() (*Report, error) { return rendezvous("s1") }},
+		{ID: "s2", Run: func() (*Report, error) { return nil, errBoom }},
+		{ID: "s3", Run: func() (*Report, error) {
+			time.Sleep(time.Millisecond)
+			return &Report{ID: "s3"}, nil
+		}},
+	}
+
+	var emitted []string
+	results, err := s.RunAll(exps, 2, func(r Result) {
+		// emit is documented to run on the caller's goroutine, in
+		// order — no locking needed here.
+		emitted = append(emitted, r.Experiment.ID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(exps) {
+		t.Fatalf("%d results, want %d", len(results), len(exps))
+	}
+	wantOrder := []string{"s0", "s1", "s2", "s3"}
+	for i, id := range wantOrder {
+		if results[i].Experiment.ID != id {
+			t.Errorf("results[%d] = %q, want %q", i, results[i].Experiment.ID, id)
+		}
+		if i < len(emitted) && emitted[i] != id {
+			t.Errorf("emitted[%d] = %q, want %q", i, emitted[i], id)
+		}
+	}
+	if len(emitted) != len(exps) {
+		t.Fatalf("emit fired %d times, want %d", len(emitted), len(exps))
+	}
+	if !errors.Is(results[2].Err, errBoom) {
+		t.Errorf("results[2].Err = %v, want %v", results[2].Err, errBoom)
+	}
+	if results[2].Report != nil {
+		t.Error("failed experiment must not carry a report")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if results[i].Err != nil || results[i].Report == nil || results[i].Report.ID != exps[i].ID {
+			t.Errorf("results[%d] = %+v, want clean report %q", i, results[i], exps[i].ID)
+		}
+	}
+	if results[3].Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", results[3].Elapsed)
+	}
+
+	// workers <= 1 must run the whole batch sequentially (no Warm, no
+	// rendezvous partner available — these must not block).
+	solo := []Experiment{
+		{ID: "a", Run: func() (*Report, error) { return &Report{ID: "a"}, nil }},
+		{ID: "b", Run: func() (*Report, error) { return nil, errBoom }},
+	}
+	res1, err := s.RunAll(solo, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1) != 2 || res1[0].Report == nil || !errors.Is(res1[1].Err, errBoom) {
+		t.Fatalf("sequential RunAll results: %+v", res1)
 	}
 }

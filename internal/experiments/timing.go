@@ -40,8 +40,10 @@ func (s *Suite) TableV() (*Report, error) {
 		return nil, fmt.Errorf("experiments: path1 missing")
 	}
 
-	rnd := rand.New(rand.NewSource(s.Lab.Seed + 901))
-	ss := campus.Schemes(rnd)
+	// Independent streams for the schemes and the walker: sharing one
+	// source would couple the walk to scheme construction order.
+	ss := campus.Schemes(rand.New(rand.NewSource(s.Lab.Seed + 901)))
+	wkRnd := rand.New(rand.NewSource(s.Lab.Seed + 902))
 
 	col := &telemetry.Collector{}
 	var obs telemetry.Observer = col
@@ -54,7 +56,7 @@ func (s *Suite) TableV() (*Report, error) {
 	}
 	start, _ := path.Line.At(0)
 	fw.Reset(start)
-	wk := walker.New(campus.Place.World, path.Line, campus.DefaultWalkerConfig(), rnd)
+	wk := walker.New(campus.Place.World, path.Line, campus.DefaultWalkerConfig(), wkRnd)
 
 	var upBytes, downBytes int
 	epochs := 0

@@ -75,6 +75,25 @@ type NeighborLister interface {
 	NeighborLists(maxDistM float64) [][]int32
 }
 
+// DistanceAppender is an optional Reader extension: maps that can fill
+// a caller-owned buffer with the per-fingerprint RSSI distances
+// (identical values to Distances) implement it so per-epoch match
+// paths reuse scratch instead of allocating Len() floats every scan.
+type DistanceAppender interface {
+	AppendDistances(dst []float64, obs rf.Vector) []float64
+}
+
+// AppendDistances fills dst (reusing its capacity) with the RSSI
+// distance to every fingerprint of view, aligned with At — the
+// allocation-free spelling of view.Distances. Readers that do not
+// implement DistanceAppender fall back to one Distances allocation.
+func AppendDistances(view Reader, dst []float64, obs rf.Vector) []float64 {
+	if da, ok := view.(DistanceAppender); ok {
+		return da.AppendDistances(dst, obs)
+	}
+	return append(dst, view.Distances(obs)...)
+}
+
 // DB is an offline fingerprint database. In the paper each offline
 // fingerprint has one sample from each audible transmitter, and the
 // database is assumed to be kept fresh by the provider or crowdsourcing.
@@ -242,6 +261,15 @@ func (db *DB) Distances(obs rf.Vector) []float64 {
 		out[i] = rf.Distance(obs, fp.Vec, db.Floor)
 	}
 	return out
+}
+
+// AppendDistances implements DistanceAppender: the same values as
+// Distances, written into the caller's buffer.
+func (db *DB) AppendDistances(dst []float64, obs rf.Vector) []float64 {
+	for _, fp := range db.Points {
+		dst = append(dst, rf.Distance(obs, fp.Vec, db.Floor))
+	}
+	return dst
 }
 
 // Positions returns the surveyed positions, aligned with Points.

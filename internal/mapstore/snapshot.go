@@ -516,6 +516,21 @@ func (s *Snapshot) Distances(obs rf.Vector) []float64 {
 	return out
 }
 
+// AppendDistances implements fingerprint.DistanceAppender: the same
+// values as Distances in the same order, written into the caller's
+// buffer so per-epoch match paths avoid the O(N) allocation.
+func (s *Snapshot) AppendDistances(dst []float64, obs rf.Vector) []float64 {
+	s.met.lookup(opDistances)
+	qid, qr, ok := s.intern(obs)
+	if !ok {
+		return s.db.AppendDistances(dst, obs)
+	}
+	for i, n := 0, s.Len(); i < n; i++ {
+		dst = append(dst, math.Sqrt(s.distSqInterned(qid, qr, int32(i))))
+	}
+	return dst
+}
+
 // ringBound returns the minimum possible distance from p to any point
 // outside the box of cells within Chebyshev radius r-1 of (cx, cy) —
 // i.e. to anything in ring r or beyond. Zero when p lies outside that

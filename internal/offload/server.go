@@ -43,6 +43,12 @@ type ServerConfig struct {
 	// are shared with the Factory's schemes, so accepted points become
 	// visible to every session at the next snapshot rebuild.
 	MapStores map[byte]*mapstore.Store
+
+	// StepWorkers fans every session's per-scheme work out to a
+	// persistent worker pool of this size (core.WithParallel) so
+	// multi-core servers cut per-epoch latency. <= 1 keeps sequential
+	// scheme execution. Results are bit-identical either way.
+	StepWorkers int
 }
 
 // Server runs the UniLoc framework (all localization schemes, error
@@ -61,6 +67,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	mgr.SetStepWorkers(cfg.StepWorkers)
 	return &Server{mgr: mgr, stores: cfg.MapStores}, nil
 }
 

@@ -69,6 +69,10 @@ type Stats struct {
 	EpochsServed    int64         // epochs across all sessions, ever
 	EpochLatencyAvg time.Duration // mean framework step time per epoch
 
+	// StepWorkers is the per-framework scheme-execution worker count
+	// sessions are opened with (<= 1: sequential).
+	StepWorkers int
+
 	Sessions []SessionStat // live sessions, per-session detail
 }
 
@@ -80,6 +84,7 @@ type SessionManager struct {
 	factory     core.FrameworkFactory
 	maxSessions int           // 0 = unlimited
 	idleTimeout time.Duration // 0 = never evict
+	stepWorkers int           // <= 1: sequential scheme execution
 	now         func() time.Time
 
 	mu       sync.Mutex
@@ -114,6 +119,14 @@ func NewSessionManager(factory core.FrameworkFactory, maxSessions int, idleTimeo
 	}, nil
 }
 
+// SetStepWorkers sets the per-framework scheme-execution worker count
+// applied to every subsequently opened session (core.WithParallel
+// semantics; <= 1 keeps sequential execution). Call before serving.
+func (m *SessionManager) SetStepWorkers(workers int) { m.stepWorkers = workers }
+
+// StepWorkers reports the configured per-framework worker count.
+func (m *SessionManager) StepWorkers() int { return m.stepWorkers }
+
 // Open admits a new session: it enforces the session limit, builds a
 // fresh framework from the factory, and resets it at the client's
 // starting position. It returns ErrServerFull at the limit.
@@ -134,6 +147,11 @@ func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (
 	fw, err := m.factory()
 	if err != nil {
 		return nil, fmt.Errorf("offload: framework factory: %w", err)
+	}
+	if m.stepWorkers > 1 {
+		// Server-wide parallelism applies uniformly: every session's
+		// framework fans its schemes out to its own persistent pool.
+		fw.SetParallel(m.stepWorkers)
 	}
 	fw.Reset(start)
 
@@ -159,7 +177,9 @@ func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (
 	return s, nil
 }
 
-// Close removes a session from the live set. Idempotent.
+// Close removes a session from the live set and stops its framework's
+// worker pool, so scheme-execution goroutines never outlive their
+// session. Idempotent.
 func (m *SessionManager) Close(s *Session) {
 	m.mu.Lock()
 	_, live := m.sessions[s.ID]
@@ -167,6 +187,7 @@ func (m *SessionManager) Close(s *Session) {
 	active := len(m.sessions)
 	m.mu.Unlock()
 	if live {
+		s.fw.Close()
 		m.closed.Add(1)
 		m.met.sessionsClosed.Inc()
 		m.met.sessionsActive.Set(float64(active))
@@ -223,6 +244,7 @@ func (m *SessionManager) Stats() Stats {
 		Rejected:     m.rejected.Load(),
 		Evicted:      m.evicted.Load(),
 		EpochsServed: m.epochs.Load(),
+		StepWorkers:  m.stepWorkers,
 	}
 	if st.EpochsServed > 0 {
 		st.EpochLatencyAvg = time.Duration(m.latency.Load() / st.EpochsServed)

@@ -23,6 +23,7 @@ type Particle struct {
 // Filter is a 2-D position particle filter.
 type Filter struct {
 	Particles []Particle
+	buf       []Particle // Resample's double buffer, swapped each call
 	rnd       *rand.Rand
 }
 
@@ -115,14 +116,43 @@ func (f *Filter) EffectiveN() float64 {
 	return 1 / ss
 }
 
+// NormalizeEffectiveN fuses Normalize and EffectiveN into one pass over
+// the particles — the two are always called back-to-back on the epoch
+// hot path. It performs the exact same per-element operations in the
+// same order as the separate calls, so the returned effective sample
+// size and the stored weights are bit-identical to
+// Normalize()+EffectiveN(). ok is false on filter collapse (weights
+// untouched, effN zero), mirroring Normalize.
+func (f *Filter) NormalizeEffectiveN() (effN float64, ok bool) {
+	total := f.TotalWeight()
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return 0, false
+	}
+	var ss float64
+	for i := range f.Particles {
+		w := f.Particles[i].W / total
+		f.Particles[i].W = w
+		ss += w * w
+	}
+	if ss == 0 {
+		return 0, true
+	}
+	return 1 / ss, true
+}
+
 // Resample performs systematic resampling, leaving uniform weights.
-// Weights must be normalized first.
+// Weights must be normalized first. The survivor set is written into a
+// double buffer that swaps with the live slice, so steady-state
+// resampling allocates nothing.
 func (f *Filter) Resample() {
 	n := len(f.Particles)
 	if n == 0 {
 		return
 	}
-	out := make([]Particle, n)
+	if cap(f.buf) < n {
+		f.buf = make([]Particle, n)
+	}
+	out := f.buf[:n]
 	step := 1.0 / float64(n)
 	u := f.rnd.Float64() * step
 	var cum float64
@@ -135,6 +165,7 @@ func (f *Filter) Resample() {
 		}
 		out[i] = Particle{Pos: f.Particles[j].Pos, W: step}
 	}
+	f.buf = f.Particles[:0]
 	f.Particles = out
 }
 

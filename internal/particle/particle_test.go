@@ -158,3 +158,116 @@ func TestEstimateEmptyWeights(t *testing.T) {
 		t.Errorf("zero-weight spread = %v", got)
 	}
 }
+
+// TestResampleDoubleBufferEquivalence: the double-buffered Resample
+// must survive repeated cycles with the exact survivor selection of
+// the old allocate-per-call version (one rnd.Float64 draw, systematic
+// sweep), and the two live buffers must never alias.
+func TestResampleDoubleBufferEquivalence(t *testing.T) {
+	mkWeighted := func(rnd *rand.Rand) *Filter {
+		f := New(200, geo.Pt(0, 0), 2, rnd)
+		for i := range f.Particles {
+			f.Particles[i].W = float64(i%7) + 0.1
+		}
+		f.Normalize()
+		return f
+	}
+	// Reference: the pre-double-buffer algorithm, verbatim.
+	resampleRef := func(f *Filter, rnd *rand.Rand) []Particle {
+		n := len(f.Particles)
+		out := make([]Particle, n)
+		step := 1.0 / float64(n)
+		u := rnd.Float64() * step
+		var cum float64
+		j := 0
+		for i := 0; i < n; i++ {
+			target := u + float64(i)*step
+			for cum+f.Particles[j].W < target && j < n-1 {
+				cum += f.Particles[j].W
+				j++
+			}
+			out[i] = Particle{Pos: f.Particles[j].Pos, W: step}
+		}
+		return out
+	}
+
+	f := mkWeighted(rand.New(rand.NewSource(3)))
+	ref := mkWeighted(rand.New(rand.NewSource(3)))
+	refRnd := rand.New(rand.NewSource(4))
+	f.rnd = rand.New(rand.NewSource(4))
+	for cycle := 0; cycle < 5; cycle++ {
+		want := resampleRef(ref, refRnd)
+		f.Resample()
+		if len(f.Particles) != len(want) {
+			t.Fatalf("cycle %d: length %d != %d", cycle, len(f.Particles), len(want))
+		}
+		for i := range want {
+			if f.Particles[i] != want[i] {
+				t.Fatalf("cycle %d particle %d: %+v != %+v", cycle, i, f.Particles[i], want[i])
+			}
+		}
+		ref.Particles = want
+		// Re-weight both identically for the next cycle.
+		for i := range f.Particles {
+			w := float64((i*13)%11) + 0.2
+			f.Particles[i].W = w
+			ref.Particles[i].W = w
+		}
+		f.Normalize()
+		ref.Normalize()
+	}
+}
+
+// TestResampleNoAllocsSteadyState is the allocation guardrail from the
+// parallel-pipeline PR: after the first call warms the double buffer,
+// Resample must not allocate at all.
+func TestResampleNoAllocsSteadyState(t *testing.T) {
+	f := New(DefaultCount, geo.Pt(0, 0), 2, rand.New(rand.NewSource(5)))
+	f.Normalize()
+	f.Resample() // warm the buffer
+	got := testing.AllocsPerRun(100, func() {
+		// Resample leaves uniform weights, already normalized — each
+		// run is a valid steady-state resampling pass.
+		f.Resample()
+	})
+	if got != 0 {
+		t.Fatalf("steady-state Resample allocates %v objects/op, want 0", got)
+	}
+}
+
+// TestNormalizeEffectiveNMatchesSeparateCalls: the fused pass must be
+// bit-identical to Normalize followed by EffectiveN, including the
+// collapse path.
+func TestNormalizeEffectiveNMatchesSeparateCalls(t *testing.T) {
+	mk := func(seed int64) *Filter {
+		f := New(150, geo.Pt(1, 2), 3, rand.New(rand.NewSource(seed)))
+		for i := range f.Particles {
+			f.Particles[i].W = math.Abs(math.Sin(float64(i))) * 0.7
+		}
+		return f
+	}
+	a, b := mk(6), mk(6)
+	okB := b.Normalize()
+	effB := b.EffectiveN()
+	effA, okA := a.NormalizeEffectiveN()
+	if okA != okB {
+		t.Fatalf("ok: fused %v, separate %v", okA, okB)
+	}
+	if math.Float64bits(effA) != math.Float64bits(effB) {
+		t.Fatalf("effN: fused %v, separate %v", effA, effB)
+	}
+	for i := range a.Particles {
+		if a.Particles[i] != b.Particles[i] {
+			t.Fatalf("particle %d: fused %+v, separate %+v", i, a.Particles[i], b.Particles[i])
+		}
+	}
+
+	// Collapse: zero total weight must leave weights untouched.
+	c := mk(7)
+	for i := range c.Particles {
+		c.Particles[i].W = 0
+	}
+	if eff, ok := c.NormalizeEffectiveN(); ok || eff != 0 {
+		t.Fatalf("collapse: eff=%v ok=%v, want 0,false", eff, ok)
+	}
+}

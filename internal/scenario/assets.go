@@ -74,13 +74,20 @@ func (a *Assets) Schemes(rnd *rand.Rand) []schemes.Scheme {
 // SchemesOver is Schemes with the radio maps supplied by the caller —
 // e.g. shared mapstore.Store instances serving every session from one
 // indexed map — instead of this Assets' private databases.
+//
+// Each randomized scheme receives its own child stream, derived from
+// rnd in canonical scheme order: handing the parent to two consumers
+// would couple their outputs to call order and forbid running them
+// concurrently (core.WithParallel).
 func (a *Assets) SchemesOver(wifiMap, cellMap fingerprint.Map, rnd *rand.Rand) []schemes.Scheme {
+	pdrRnd := rand.New(rand.NewSource(rnd.Int63()))
+	fusionRnd := rand.New(rand.NewSource(rnd.Int63()))
 	return []schemes.Scheme{
 		schemes.NewGPS(a.Place.World.Proj),
 		schemes.NewWiFi(wifiMap),
 		schemes.NewCellular(cellMap),
-		schemes.NewPDR(a.Place.World, schemes.DefaultPDRConfig(), rnd),
-		schemes.NewFusion(a.Place.World, wifiMap, schemes.DefaultFusionConfig(), rnd),
+		schemes.NewPDR(a.Place.World, schemes.DefaultPDRConfig(), pdrRnd),
+		schemes.NewFusion(a.Place.World, wifiMap, schemes.DefaultFusionConfig(), fusionRnd),
 	}
 }
 

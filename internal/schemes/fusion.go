@@ -70,7 +70,23 @@ type Fusion struct {
 	densVer uint64
 	densVal float64
 	densOK  bool
+
+	// likMemo caches the RSSI likelihood per fingerprint grid cell
+	// within one weightByRSSI pass (particles cluster — dozens share a
+	// cell, so ~300 VectorAt lookups collapse to the number of distinct
+	// cells under the cloud). likVer keys the memo to the pinned view's
+	// version so a store swap can never serve a stale likelihood.
+	likMemo map[likCell]float64
+	likVer  uint64
+
+	// Per-epoch scratch for the rssiDev feature.
+	distScratch  []float64
+	idxScratch   []int
+	matchScratch []fingerprint.Match
 }
+
+// likCell is one fingerprint-grid cell key of the likelihood memo.
+type likCell struct{ x, y int32 }
 
 // NewFusion creates the fusion scheme over world w and the WiFi
 // fingerprint map m (a *fingerprint.DB or a shared store).
@@ -144,11 +160,12 @@ func (f *Fusion) Estimate(snap *sensing.Snapshot) Estimate {
 		f.distLandmark *= 0.8
 	}
 
-	if !f.filter.Normalize() {
+	effN, ok := f.filter.NormalizeEffectiveN()
+	if !ok {
 		f.filter.Reset(f.lastEst, f.cfg.PDR.LandmarkSigma)
-		f.filter.Normalize()
+		effN, _ = f.filter.NormalizeEffectiveN()
 	}
-	if f.filter.EffectiveN() < float64(f.cfg.PDR.Particles)*f.cfg.PDR.ResampleFrac {
+	if effN < float64(f.cfg.PDR.Particles)*f.cfg.PDR.ResampleFrac {
 		f.filter.Resample()
 	}
 	est := f.filter.Estimate()
@@ -185,34 +202,57 @@ func (f *Fusion) propagate(snap *sensing.Snapshot) {
 }
 
 // weightByRSSI multiplies each particle's weight by the likelihood of
-// the online scan given the fingerprint nearest the particle.
+// the online scan given the fingerprint nearest the particle. The
+// likelihood is memoized per fingerprint-grid cell (half the survey
+// spacing): particles cluster tightly, so the ~300 VectorAt lookups of
+// one pass collapse to one per distinct cell under the cloud. The memo
+// is cleared every pass — the observation changes each epoch, and the
+// view is pinned for the whole pass, so a mapstore version swap can
+// never leak a stale entry. Particle order is fixed, so the cell
+// representative (the first particle to land in a cell) is
+// deterministic and identical between sequential and parallel runs.
 func (f *Fusion) weightByRSSI(view fingerprint.Reader, obs rf.Vector) {
 	scale := f.cfg.RSSIScaleDB
 	floor := view.FloorDB()
+	cell := view.Spacing() / 2
+	if cell <= 0 {
+		cell = 1.5
+	}
+	if f.likMemo == nil {
+		f.likMemo = make(map[likCell]float64, 64)
+	}
+	clear(f.likMemo)
 	f.filter.Weight(func(pos geo.Point) float64 {
-		vec, _, ok := view.VectorAt(pos)
-		if !ok {
-			return 1
+		key := likCell{int32(math.Floor(pos.X / cell)), int32(math.Floor(pos.Y / cell))}
+		if l, ok := f.likMemo[key]; ok {
+			return l
 		}
-		d := rf.Distance(obs, vec, floor)
-		l := math.Exp(-d * d / (2 * scale * scale))
-		// Keep a small floor so one bad scan cannot annihilate the
-		// cloud outright; the filter still shifts mass strongly.
-		return math.Max(l, 1e-3)
+		l := 1.0
+		if vec, _, ok := view.VectorAt(pos); ok {
+			d := rf.Distance(obs, vec, floor)
+			// Keep a small floor so one bad scan cannot annihilate the
+			// cloud outright; the filter still shifts mass strongly.
+			l = math.Max(math.Exp(-d*d/(2*scale*scale)), 1e-3)
+		}
+		f.likMemo[key] = l
+		return l
 	})
 }
 
 // rssiDev computes the top-k RSSI distance deviation against the
-// database for the (insignificant, per the paper) β feature.
+// database for the (insignificant, per the paper) β feature. Scratch
+// buffers are reused across epochs, so the feature costs no O(map)
+// allocations.
 func (f *Fusion) rssiDev(view fingerprint.Reader, obs rf.Vector) float64 {
 	if len(obs) < MinAPsForFix || view.Len() == 0 {
 		return 0
 	}
-	dists := view.Distances(obs)
-	idx := topKIdx(dists, TopK)
-	matches := make([]fingerprint.Match, len(idx))
-	for i, j := range idx {
-		matches[i] = fingerprint.Match{Pos: view.At(j).Pos, Dist: dists[j]}
+	f.distScratch = fingerprint.AppendDistances(view, f.distScratch[:0], obs)
+	dists := f.distScratch
+	f.idxScratch = topKInto(dists, TopK, f.idxScratch[:0])
+	f.matchScratch = f.matchScratch[:0]
+	for _, j := range f.idxScratch {
+		f.matchScratch = append(f.matchScratch, fingerprint.Match{Pos: view.At(j).Pos, Dist: dists[j]})
 	}
-	return fingerprint.TopKDeviation(matches)
+	return fingerprint.TopKDeviation(f.matchScratch)
 }

@@ -103,13 +103,14 @@ func (p *PDR) Estimate(snap *sensing.Snapshot) Estimate {
 		p.filter.Reset(lm, p.cfg.LandmarkSigma)
 		p.distLandmark = 0
 	}
-	if !p.filter.Normalize() {
+	effN, ok := p.filter.NormalizeEffectiveN()
+	if !ok {
 		// Filter collapse (all particles violated the map constraint):
 		// re-seed around the last estimate and keep going.
 		p.filter.Reset(p.lastEst, p.cfg.LandmarkSigma)
-		p.filter.Normalize()
+		effN, _ = p.filter.NormalizeEffectiveN()
 	}
-	if p.filter.EffectiveN() < float64(p.cfg.Particles)*p.cfg.ResampleFrac {
+	if effN < float64(p.cfg.Particles)*p.cfg.ResampleFrac {
 		p.filter.Resample()
 	}
 	est := p.filter.Estimate()

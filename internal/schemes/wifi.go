@@ -1,8 +1,6 @@
 package schemes
 
 import (
-	"sort"
-
 	"repro/internal/fingerprint"
 	"repro/internal/geo"
 	"repro/internal/hmm"
@@ -45,6 +43,12 @@ type Fingerprinting struct {
 	countFeat  string // FeatNumAPs or FeatNumTowers
 	sensor     string
 	calibrator *Calibrator // optional device-heterogeneity calibration
+
+	// Per-epoch scratch, reused across Estimate calls so the match
+	// path allocates nothing proportional to the map size.
+	distScratch  []float64
+	idxScratch   []int
+	matchScratch []fingerprint.Match
 }
 
 // NewWiFi creates the WiFi RADAR scheme over the given fingerprint
@@ -126,16 +130,19 @@ func (f *Fingerprinting) Estimate(snap *sensing.Snapshot) Estimate {
 	if f.calibrator != nil {
 		obs = f.calibrator.Transform(raw)
 	}
-	dists := view.Distances(obs)
+	f.distScratch = fingerprint.AppendDistances(view, f.distScratch[:0], obs)
+	dists := f.distScratch
 
 	// Raw RADAR match: the fingerprint at minimum RSSI distance, with
 	// the top-k kept for the deviation feature.
-	idx := topKIdx(dists, TopK)
+	f.idxScratch = topKInto(dists, TopK, f.idxScratch[:0])
+	idx := f.idxScratch
 	best := idx[0]
-	matches := make([]fingerprint.Match, len(idx))
-	for i, j := range idx {
-		matches[i] = fingerprint.Match{Pos: view.At(j).Pos, Dist: dists[j]}
+	f.matchScratch = f.matchScratch[:0]
+	for _, j := range idx {
+		f.matchScratch = append(f.matchScratch, fingerprint.Match{Pos: view.At(j).Pos, Dist: dists[j]})
 	}
+	matches := f.matchScratch
 
 	// Online calibrator learning: the matched fingerprint supplies the
 	// expected reference-device RSSI for each transmitter heard.
@@ -157,21 +164,30 @@ func (f *Fingerprinting) Estimate(snap *sensing.Snapshot) Estimate {
 // Source exposes the underlying fingerprint map (read-only use).
 func (f *Fingerprinting) Source() fingerprint.Map { return f.m }
 
-// topKIdx returns the indices of the k smallest values of xs,
-// ascending, with deterministic tie-breaking.
-func topKIdx(xs []float64, k int) []int {
-	idx := make([]int, len(xs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		if xs[idx[a]] != xs[idx[b]] {
-			return xs[idx[a]] < xs[idx[b]]
+// topKInto appends the indices of the k smallest values of xs to dst,
+// ascending, with deterministic tie-breaking (value, then index) — the
+// same result a full index sort truncated to k would produce, without
+// allocating the O(len(xs)) index slice. dst should have its length
+// reset by the caller; its capacity is reused.
+func topKInto(xs []float64, k int, dst []int) []int {
+	less := func(a, b int) bool {
+		if xs[a] != xs[b] {
+			return xs[a] < xs[b]
 		}
-		return idx[a] < idx[b]
-	})
-	if len(idx) > k {
-		idx = idx[:k]
+		return a < b
 	}
-	return idx
+	for i := range xs {
+		if len(dst) < k {
+			dst = append(dst, i)
+		} else if less(i, dst[k-1]) {
+			dst[k-1] = i
+		} else {
+			continue
+		}
+		// Bubble the inserted index up to its sorted slot.
+		for j := len(dst) - 1; j > 0 && less(dst[j], dst[j-1]); j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
 }

@@ -1,0 +1,102 @@
+package uniloc
+
+// Bit-identity of the parallel epoch pipeline: a framework running its
+// five schemes on a worker pool (core.WithParallel) must emit exactly
+// the StepResult stream of a sequential framework over a full campus
+// walk — same floats bit for bit, same gating decisions, hence the
+// same walker randomness downstream. This is the contract that lets
+// uniloc-server enable -step-workers without changing a single output
+// (DESIGN.md §11). CI runs this under -race, which also exercises the
+// pool's happens-before edges.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/sensing"
+)
+
+// bitsEq reports float equality at the representation level (NaN-safe,
+// distinguishes ±0) — "bit-identical" taken literally.
+func bitsEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func ptEq(a, b geo.Point) bool {
+	return bitsEq(a.X, b.X) && bitsEq(a.Y, b.Y)
+}
+
+func TestParallelStepMatchesSequential(t *testing.T) {
+	s := getSuite(t)
+	tr, err := s.Lab.Trained()
+	if err != nil {
+		t.Fatal(err)
+	}
+	campus := s.Lab.Campus()
+	path, ok := campus.Place.PathByName("path1")
+	if !ok {
+		t.Fatal("path1 missing")
+	}
+	start, _ := path.Line.At(0)
+
+	// Each framework drives its own identically seeded walker and its
+	// own gating decisions, exactly like eval.RunPath: if any output
+	// ever diverged, the walker streams would too, and the test fails
+	// at that epoch.
+	run := func(fw *core.Framework) []core.StepResult {
+		fw.Reset(start)
+		wk := NewWalker(campus.Place.World, path, campus.DefaultWalkerConfig(), rand.New(rand.NewSource(10)))
+		var out []core.StepResult
+		gps := true
+		for !wk.Done() {
+			var snap *sensing.Snapshot
+			snap, _ = wk.Next(gps)
+			out = append(out, fw.Step(snap))
+			gps = fw.GPSWanted()
+		}
+		return out
+	}
+	mk := func(opts ...core.Option) *core.Framework {
+		ss := campus.Schemes(rand.New(rand.NewSource(9)))
+		fw, err := core.NewFramework(ss, tr.Models, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fw
+	}
+
+	seqFW := mk()
+	parFW := mk(core.WithParallel(4))
+	defer parFW.Close()
+	seq := run(seqFW)
+	par := run(parFW)
+
+	if len(seq) < 100 {
+		t.Fatalf("walk too short to be meaningful: %d epochs", len(seq))
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("epoch counts diverged: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		if a.Epoch != b.Epoch || a.Env != b.Env || !bitsEq(a.Tau, b.Tau) ||
+			a.BestIdx != b.BestIdx || !ptEq(a.Best, b.Best) || !ptEq(a.BMA, b.BMA) || a.OK != b.OK {
+			t.Fatalf("epoch %d diverged:\nseq %+v\npar %+v", i, a, b)
+		}
+		if len(a.Schemes) != len(b.Schemes) {
+			t.Fatalf("epoch %d scheme counts diverged", i)
+		}
+		for j := range a.Schemes {
+			sa, sb := a.Schemes[j], b.Schemes[j]
+			if sa.Name != sb.Name || sa.Available != sb.Available ||
+				!ptEq(sa.Pos, sb.Pos) ||
+				!bitsEq(sa.PredErr, sb.PredErr) || !bitsEq(sa.Sigma, sb.Sigma) ||
+				!bitsEq(sa.Conf, sb.Conf) || !bitsEq(sa.Weight, sb.Weight) {
+				t.Fatalf("epoch %d scheme %s diverged:\nseq %+v\npar %+v", i, sa.Name, sa, sb)
+			}
+		}
+	}
+}
