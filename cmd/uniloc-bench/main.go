@@ -2,13 +2,18 @@
 //
 // Usage:
 //
-//	uniloc-bench [-seed N] [-run id[,id...]] [-list] [-trace file.jsonl] [-j N]
+//	uniloc-bench [-seed N] [-run id[,id...]] [-list] [-trace file.jsonl] [-j N] [-chaos]
 //
 // Without -run it executes every experiment in paper order and prints
 // the regenerated rows/series as text tables. Experiment IDs: table1,
 // table2, table3, figure2, figure3, figure5, figure6, figure7,
-// figure8a..figure8d, table4, table5, ablation-weighting,
-// ablation-spacing, ablation-training-size.
+// figure8a..figure8d, table4, table5, outage, chaos,
+// ablation-weighting, ablation-spacing, ablation-training-size.
+//
+// -chaos is shorthand for -run outage,chaos: the fault-injection
+// sweeps (mid-walk scheme outages, full chaos soak) that prove the
+// graceful-degradation contract. They fail loudly — a NaN position or
+// a non-deterministic rerun is an error, not a table row.
 //
 // With -j N the experiments run N at a time (each carries its own
 // seeds, so the reports are identical to a sequential run); output
@@ -39,7 +44,15 @@ func run() error {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	trace := flag.String("trace", "", "write JSONL epoch traces from trace-driven experiments (table5) to this file")
 	jobs := flag.Int("j", 1, "experiments to run concurrently (reports are identical at any -j)")
+	chaos := flag.Bool("chaos", false, "run the fault-injection experiments (shorthand for -run outage,chaos)")
 	flag.Parse()
+
+	if *chaos {
+		if *only != "" {
+			return fmt.Errorf("-chaos and -run are mutually exclusive")
+		}
+		*only = "outage,chaos"
+	}
 
 	suite := experiments.NewSuite(*seed)
 	if *trace != "" {

@@ -48,6 +48,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "master random seed")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "evict sessions idle this long (0 = never)")
+	epochTimeout := flag.Duration("epoch-timeout", 30*time.Second, "per-epoch protocol deadline; a session that stalls mid-exchange longer than this is evicted (0 = never)")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "log session stats this often (0 = never)")
 	sharedMap := flag.Bool("shared-map", true, "serve all sessions from shared indexed map stores instead of per-session database scans")
 	ingest := flag.Bool("ingest", false, "accept crowdsourced survey submissions (MsgSurvey) into the shared map stores (requires -shared-map)")
@@ -62,6 +63,7 @@ func main() {
 		seed:         *seed,
 		maxSessions:  *maxSessions,
 		idleTimeout:  *idleTimeout,
+		epochTimeout: *epochTimeout,
 		statsEvery:   *statsEvery,
 		sharedMap:    *sharedMap,
 		ingest:       *ingest,
@@ -80,6 +82,7 @@ type serverOpts struct {
 	seed              int64
 	maxSessions       int
 	idleTimeout       time.Duration
+	epochTimeout      time.Duration
 	statsEvery        time.Duration
 	sharedMap         bool
 	ingest            bool
@@ -140,12 +143,13 @@ func run(opts serverOpts) error {
 	}
 
 	srv, err := offload.NewServer(offload.ServerConfig{
-		Factory:     factory,
-		MaxSessions: opts.maxSessions,
-		IdleTimeout: opts.idleTimeout,
-		Metrics:     reg,
-		MapStores:   stores,
-		StepWorkers: opts.stepWorkers,
+		Factory:      factory,
+		MaxSessions:  opts.maxSessions,
+		IdleTimeout:  opts.idleTimeout,
+		EpochTimeout: opts.epochTimeout,
+		Metrics:      reg,
+		MapStores:    stores,
+		StepWorkers:  opts.stepWorkers,
 	})
 	if err != nil {
 		return err
@@ -155,8 +159,8 @@ func run(opts serverOpts) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, shared-map=%v, ingest=%v, step-workers=%d)",
-		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.sharedMap, opts.ingest, opts.stepWorkers)
+	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, epoch-timeout=%v, shared-map=%v, ingest=%v, step-workers=%d)",
+		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.epochTimeout, opts.sharedMap, opts.ingest, opts.stepWorkers)
 
 	// Optional exposition endpoint: Prometheus + JSON metrics, expvar,
 	// pprof.
@@ -243,6 +247,9 @@ func logStats(reg *telemetry.Registry, sharedMap bool) {
 		get("uniloc_sessions_closed_total"), get("uniloc_sessions_rejected_total"),
 		get("uniloc_sessions_evicted_total"), epochs, avgStep,
 		get("uniloc_frame_bytes_total", "dir", "in"), get("uniloc_frame_bytes_total", "dir", "out"))
+	log.Printf("health: panics=%.0f quarantined=%.0f fallbacks=%.0f deadline-timeouts=%.0f",
+		get("scheme_panics_total"), get("quarantined_estimates_total"),
+		get("fallback_epochs_total"), get("deadline_timeouts_total"))
 	if sharedMap {
 		for _, m := range []string{"wifi", "cellular"} {
 			log.Printf("mapstore[%s]: version=%.0f points=%.0f pending=%.0f rebuilds=%.0f ingested=%.0f dropped=%.0f",

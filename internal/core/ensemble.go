@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/geo"
@@ -26,7 +27,7 @@ func Tau(results []SchemeResult) float64 {
 	var sum float64
 	var n int
 	for _, r := range results {
-		if !r.Available {
+		if !r.Available || math.IsNaN(r.PredErr) || math.IsInf(r.PredErr, 0) {
 			continue
 		}
 		sum += r.PredErr
@@ -104,6 +105,13 @@ func applyConfidences(results []SchemeResult, tau float64, mode WeightMode, prun
 			continue
 		}
 		r.Conf = Confidence(r.PredErr, r.Sigma, tau)
+		// A NaN confidence (non-finite μ̂/σ/τ reaching the CDF) must
+		// not poison the normalization below: NaN compares false
+		// against every threshold, so it would slip past pruning and
+		// turn the weight total — and every position — into NaN.
+		if math.IsNaN(r.Conf) || math.IsInf(r.Conf, 0) || r.Conf < 0 {
+			r.Conf = 0
+		}
 		if r.Conf > maxConf {
 			maxConf = r.Conf
 		}
@@ -123,7 +131,7 @@ func applyConfidences(results []SchemeResult, tau float64, mode WeightMode, prun
 			}
 			return 0
 		default:
-			if r.PredErr <= 0 {
+			if r.PredErr <= 0 || math.IsNaN(r.PredErr) || math.IsInf(r.PredErr, 0) {
 				return 0
 			}
 			return r.Conf / (r.PredErr * r.PredErr)

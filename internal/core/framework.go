@@ -28,8 +28,16 @@ type StepResult struct {
 	// BMA is the UniLoc2 output: the locally-weighted BMA position.
 	BMA geo.Point
 
-	// OK reports whether at least one scheme was available.
+	// OK reports whether at least one scheme was available. When
+	// false, Best and BMA may still carry the framework's last good
+	// estimate (see Fallback) so consumers always have a finite
+	// position to show — but it is dead reckoning of degree zero and
+	// must not be mistaken for a fresh fix.
 	OK bool
+
+	// Fallback reports that no scheme survived this epoch and Best/BMA
+	// were answered from the last good estimate.
+	Fallback bool
 }
 
 // Option configures a Framework.
@@ -90,6 +98,13 @@ type Framework struct {
 	lastPred   map[string]float64 // last predicted error per scheme, for gating
 	lastEnv    EnvClass
 	obs        telemetry.Observer // nil = tracing off
+	health     *Health            // failure-containment counters; nil = uncounted
+
+	// lastGood is the most recent finite ensemble output, answered
+	// (with OK=false) on epochs where every scheme failed. Reset seeds
+	// it with the walk's start position, which is known by contract.
+	lastGood    geo.Point
+	hasLastGood bool
 
 	stepWorkers int       // scheme-execution workers (<= 1: sequential)
 	pool        *stepPool // lazily started persistent worker pool
@@ -137,6 +152,8 @@ func (f *Framework) Reset(start geo.Point) {
 	f.iod.Reset()
 	f.lastPred = make(map[string]float64)
 	f.lastEnv = EnvOutdoor
+	f.lastGood = start
+	f.hasLastGood = true
 }
 
 // GPSWanted implements the GPS gating decision for the next epoch
@@ -186,6 +203,7 @@ func (f *Framework) Step(snap *sensing.Snapshot) StepResult {
 	tr.Env = res.Env.String()
 	tr.Tau = res.Tau
 	tr.OK = res.OK
+	tr.Fallback = res.Fallback
 	if res.BestIdx >= 0 {
 		tr.Best = res.Schemes[res.BestIdx].Name
 	}
@@ -268,10 +286,29 @@ func (f *Framework) step(snap *sensing.Snapshot, tr *telemetry.EpochTrace) StepR
 		res.Best = res.Schemes[idx].Pos
 		res.OK = true
 	}
-	if bma, ok := CombineBMA(res.Schemes); ok {
+	if bma, ok := CombineBMA(res.Schemes); ok && finitePt(bma) {
 		res.BMA = bma
 	} else if res.OK {
 		res.BMA = res.Best
+	}
+	// Defense in depth: quarantine upstream keeps non-finite positions
+	// out of the ensemble, but a combination bug must still never
+	// escape as a NaN Result.
+	if res.OK && !finitePt(res.Best) {
+		res.OK = false
+		res.BestIdx = -1
+	}
+	if res.OK {
+		f.lastGood = res.BMA
+		f.hasLastGood = true
+	} else if f.hasLastGood {
+		// Graceful degradation: every scheme failed (outage, panic,
+		// quarantine). Answer the last good position with OK=false so
+		// consumers degrade to "stale but finite" instead of NaN.
+		res.Best = f.lastGood
+		res.BMA = f.lastGood
+		res.Fallback = true
+		f.health.fellBack()
 	}
 	if tr != nil {
 		tr.CombineNS = time.Since(t0).Nanoseconds()
@@ -287,6 +324,19 @@ func (f *Framework) step(snap *sensing.Snapshot, tr *telemetry.EpochTrace) StepR
 // caller.
 func (f *Framework) runScheme(i int, snap *sensing.Snapshot, tr *telemetry.EpochTrace, out []SchemeResult) {
 	s := f.schemes[i]
+	// A panicking scheme becomes an unavailable scheme — never a dead
+	// worker goroutine or a torn-down walk. The recover must live here,
+	// inside the unit of work, so the parallel pool's workers are
+	// covered identically to the sequential loop.
+	defer func() {
+		if r := recover(); r != nil {
+			out[i] = SchemeResult{Name: s.Name()}
+			f.health.panicRecovered()
+			if tr != nil {
+				tr.Schemes[i].Panicked = true
+			}
+		}
+	}()
 	var t0 time.Time
 	if tr != nil {
 		t0 = time.Now()
@@ -309,6 +359,17 @@ func (f *Framework) runScheme(i int, snap *sensing.Snapshot, tr *telemetry.Epoch
 		}
 		if tr != nil {
 			tr.Schemes[i].PredictNS = time.Since(t0).Nanoseconds()
+		}
+	}
+	if sr.Available && !usable(&sr) {
+		// Quarantine: a NaN/Inf position or error prediction entering
+		// τ or the weight normalization would poison every scheme's
+		// weight, not just this one's. Discard the estimate and treat
+		// the scheme as unavailable for the epoch.
+		sr = SchemeResult{Name: sr.Name}
+		f.health.quarantined()
+		if tr != nil {
+			tr.Schemes[i].Quarantined = true
 		}
 	}
 	out[i] = sr

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/telemetry"
+)
+
+// Health bundles the framework's failure-containment instruments:
+// panics recovered from schemes, estimates quarantined for non-finite
+// output, and epochs answered from the last good estimate because no
+// scheme survived. All instruments are nil-safe, and a nil *Health is
+// itself a no-op, so the happy path pays only nil checks.
+type Health struct {
+	// SchemePanics counts panics recovered from Scheme.Estimate or the
+	// error-model prediction; each one turns into Available=false for
+	// that scheme and epoch.
+	SchemePanics *telemetry.Counter
+
+	// Quarantined counts scheme results discarded before weight
+	// normalization because their position, predicted error, or sigma
+	// was NaN/Inf (or sigma negative).
+	Quarantined *telemetry.Counter
+
+	// Fallbacks counts epochs where no scheme was available and the
+	// framework answered with the last good estimate (Result.OK=false).
+	Fallbacks *telemetry.Counter
+}
+
+// NewHealth registers the failure-containment counters on reg. A nil
+// registry yields a Health whose instruments are all no-ops — still
+// usable, never observable.
+func NewHealth(reg *telemetry.Registry) *Health {
+	return &Health{
+		SchemePanics: reg.Counter("scheme_panics_total", "panics recovered from a localization scheme (scheme marked unavailable for the epoch)"),
+		Quarantined:  reg.Counter("quarantined_estimates_total", "scheme estimates discarded for NaN/Inf position or error prediction before weighting"),
+		Fallbacks:    reg.Counter("fallback_epochs_total", "epochs answered from the last good estimate because no scheme was available"),
+	}
+}
+
+// WithHealth attaches failure-containment instrumentation to a
+// framework. Frameworks without one still recover panics and
+// quarantine non-finite estimates — the counters are observation, not
+// the defense.
+func WithHealth(h *Health) Option {
+	return func(f *Framework) { f.health = h }
+}
+
+// SetHealth attaches health instrumentation after construction (the
+// offload session manager applies the server's registry to
+// factory-built frameworks). Must not be called concurrently with
+// Step.
+func (f *Framework) SetHealth(h *Health) { f.health = h }
+
+// nil-safe increment helpers.
+func (h *Health) panicRecovered() {
+	if h != nil {
+		h.SchemePanics.Inc()
+	}
+}
+
+func (h *Health) quarantined() {
+	if h != nil {
+		h.Quarantined.Inc()
+	}
+}
+
+func (h *Health) fellBack() {
+	if h != nil {
+		h.Fallbacks.Inc()
+	}
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// finitePt reports whether both coordinates are finite.
+func finitePt(p geo.Point) bool { return finite(p.X) && finite(p.Y) }
+
+// usable reports whether an available scheme result is safe to feed
+// into τ, weighting, and BMA: finite position, finite predicted error,
+// and a finite non-negative sigma. Everything else is quarantined.
+func usable(sr *SchemeResult) bool {
+	return finitePt(sr.Pos) && finite(sr.PredErr) && finite(sr.Sigma) && sr.Sigma >= 0
+}

@@ -75,6 +75,14 @@ type RunConfig struct {
 	// Framework passes extra options to the UniLoc framework
 	// (weighting-mode and pruning ablations).
 	Framework []core.Option
+	// WrapSchemes, when set, rewrites the scheme set before the
+	// framework is built — the hook fault-injection decorators
+	// (internal/faultinject) use to kill or sabotage schemes mid-walk.
+	WrapSchemes func([]schemes.Scheme) []schemes.Scheme
+	// Faults, when set, maps every sensed snapshot before the framework
+	// sees it (scan loss, GPS outages, IMU glitches, ...). It must not
+	// mutate its input.
+	Faults func(*sensing.Snapshot) *sensing.Snapshot
 }
 
 // RunPath walks one path with the full UniLoc stack and every
@@ -91,6 +99,9 @@ func RunPath(a *scenario.Assets, path scenario.Path, tr *Trained, cfg RunConfig)
 				fp.SetCalibrator(schemes.NewCalibrator())
 			}
 		}
+	}
+	if cfg.WrapSchemes != nil {
+		ss = cfg.WrapSchemes(ss)
 	}
 	fw, err := core.NewFramework(ss, tr.Models, cfg.Framework...)
 	if err != nil {
@@ -123,6 +134,9 @@ func RunPath(a *scenario.Assets, path scenario.Path, tr *Trained, cfg RunConfig)
 	for !wk.Done() {
 		gpsOn := fw.GPSWanted() && !cfg.NoGPS
 		snap, truth := wk.Next(true) // sample every sensor; gate below
+		if cfg.Faults != nil {
+			snap = cfg.Faults(snap)
+		}
 		full := *snap
 		if !gpsOn {
 			snap.GNSS = nil

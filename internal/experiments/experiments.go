@@ -75,6 +75,8 @@ func (s *Suite) All() []Experiment {
 		{"figure8d", s.Figure8d},
 		{"table4", s.TableIV},
 		{"table5", s.TableV},
+		{"outage", s.SchemeOutage},
+		{"chaos", s.Chaos},
 		{"ablation-weighting", s.AblationWeighting},
 		{"ablation-spacing", s.AblationSpacing},
 		{"ablation-training-size", s.AblationTrainingSize},

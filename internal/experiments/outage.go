@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/faultinject"
+	"repro/internal/schemes"
+	"repro/internal/telemetry"
+)
+
+// outageSeed offsets the daily-path seed so the outage walks replay
+// the exact Path 1 walk of the standard experiments: the only
+// difference between rows is the injected fault, never the trajectory.
+const outageSeed = 77
+
+// finiteOK classifies one recorded UniLoc2 epoch: sel != "" marks an
+// epoch the framework answered (res.OK), and an answered epoch must
+// have a finite error — a NaN here means a non-finite position escaped
+// the quarantine layer.
+func nanEpochs(run *eval.PathRun) (ok, nan int) {
+	for i, sel := range run.Selected {
+		if sel == "" {
+			continue
+		}
+		ok++
+		if math.IsNaN(run.UniLoc2[i]) || math.IsInf(run.UniLoc2[i], 0) {
+			nan++
+		}
+	}
+	return ok, nan
+}
+
+// meanFrom is the mean over the finite entries of xs[from:].
+func meanFrom(xs []float64, from int) float64 {
+	return eval.MeanValid(xs[from:])
+}
+
+// killAllBut wraps every scheme except survivor in a kill window
+// starting at epoch from.
+func killAllBut(survivor string, seed int64, from int) func([]schemes.Scheme) []schemes.Scheme {
+	return func(ss []schemes.Scheme) []schemes.Scheme {
+		out := make([]schemes.Scheme, len(ss))
+		for i, s := range ss {
+			if s.Name() == survivor {
+				out[i] = s
+				continue
+			}
+			out[i] = faultinject.KillScheme(s, seed+int64(i), from)
+		}
+		return out
+	}
+}
+
+// killOne wraps only the named scheme in a kill window from epoch from.
+func killOne(victim string, seed int64, from int) func([]schemes.Scheme) []schemes.Scheme {
+	return func(ss []schemes.Scheme) []schemes.Scheme {
+		out := make([]schemes.Scheme, len(ss))
+		for i, s := range ss {
+			if s.Name() == victim {
+				out[i] = faultinject.KillScheme(s, seed+int64(i), from)
+			} else {
+				out[i] = s
+			}
+		}
+		return out
+	}
+}
+
+// SchemeOutage regenerates the graceful-degradation sweep: the daily
+// Path 1 walk with each scheme killed for good halfway through, plus
+// one walk where every scheme but the fusion scheme dies. The walk
+// itself is the standard daily walk — same seed, same trajectory — so
+// the rows differ only in which diversity the ensemble has left.
+func (s *Suite) SchemeOutage() (*Report, error) {
+	tr, err := s.Lab.Trained()
+	if err != nil {
+		return nil, err
+	}
+	campus := s.Lab.Campus()
+	path, ok := campus.Place.PathByName("path1")
+	if !ok {
+		return nil, fmt.Errorf("experiments: path1 missing")
+	}
+	seed := s.Lab.Seed + outageSeed
+
+	base, err := eval.RunPath(campus, path, tr, eval.RunConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	epochs := len(base.UniLoc2)
+	killAt := epochs / 2
+
+	t := &eval.Table{Title: fmt.Sprintf("UniLoc under scheme outages (kill at epoch %d of %d)", killAt, epochs)}
+	t.Headers = []string{"scenario", "u2(m)", "u1(m)", "u2-after-kill(m)", "ok-epochs", "nan-epochs"}
+
+	addRow := func(name string, run *eval.PathRun) (okN, nanN int) {
+		okN, nanN = nanEpochs(run)
+		t.AddRow(name,
+			eval.F1(eval.MeanValid(run.UniLoc2)),
+			eval.F1(eval.MeanValid(run.UniLoc1)),
+			eval.F1(meanFrom(run.UniLoc2, killAt)),
+			fmt.Sprint(okN), fmt.Sprint(nanN))
+		return okN, nanN
+	}
+	totalNaN := 0
+	_, nanN := addRow("baseline", base)
+	totalNaN += nanN
+
+	for _, victim := range schemeOrder {
+		run, err := eval.RunPath(campus, path, tr, eval.RunConfig{
+			Seed:        seed,
+			WrapSchemes: killOne(victim, seed, killAt),
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, nanN := addRow("kill "+victim, run)
+		totalNaN += nanN
+	}
+
+	survivor := schemes.NameFusion
+	solo, err := eval.RunPath(campus, path, tr, eval.RunConfig{
+		Seed:        seed,
+		WrapSchemes: killAllBut(survivor, seed, killAt),
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, nanN = addRow("kill all but "+survivor, solo)
+	totalNaN += nanN
+
+	soloErr := meanFrom(base.Schemes[survivor].Err, killAt)
+	u2Solo := meanFrom(solo.UniLoc2, killAt)
+	u2Base := meanFrom(base.UniLoc2, killAt)
+
+	rep := &Report{
+		ID: "outage", Title: "graceful degradation under mid-walk scheme outages",
+		Tables: []*eval.Table{t},
+		Notes: []string{
+			fmt.Sprintf("after the kill, all-but-%s UniLoc2 = %sm vs %s solo = %sm vs full-diversity baseline = %sm",
+				survivor, eval.F1(u2Solo), survivor, eval.F1(soloErr), eval.F1(u2Base)),
+			"losing one scheme costs little (diversity absorbs it); losing all but one collapses UniLoc2 onto the survivor's solo accuracy",
+		},
+	}
+	if totalNaN != 0 {
+		return rep, fmt.Errorf("experiments: %d NaN/Inf positions escaped the quarantine layer", totalNaN)
+	}
+	// Degradation must be ordered: the ensemble with one scheme left
+	// cannot beat the survivor's own accuracy by more than noise, and
+	// must not be wildly worse than it either.
+	if u2Solo+0.5 < u2Base {
+		return rep, fmt.Errorf("experiments: killing all but one scheme improved UniLoc2 (%.2fm < %.2fm) — outage injection is not reaching the framework", u2Solo, u2Base)
+	}
+	return rep, nil
+}
+
+// chaosRun drives one fully-faulted daily walk: every scheme wrapped
+// with panics, NaN poisons, stale repeats, and latency spikes, plus
+// sensing-level scan drops, GPS outages, IMU glitches, and delayed
+// snapshots. Returns the run plus the framework's health counters.
+func (s *Suite) chaosRun(seed int64) (*eval.PathRun, *core.Health, *faultinject.Sensors, error) {
+	tr, err := s.Lab.Trained()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	campus := s.Lab.Campus()
+	path, ok := campus.Place.PathByName("path1")
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("experiments: path1 missing")
+	}
+	health := core.NewHealth(telemetry.NewRegistry())
+	sensors := faultinject.NewSensors(faultinject.SensorConfig{
+		Seed:         seed + 1000,
+		WiFiDropProb: 0.05,
+		CellDropProb: 0.05,
+		IMUNaNProb:   0.02,
+		DelayProb:    0.03,
+		GPSOutages:   []faultinject.Window{{From: 40, To: 90}},
+	})
+	run, err := eval.RunPath(campus, path, tr, eval.RunConfig{
+		Seed:      seed,
+		Framework: []core.Option{core.WithHealth(health)},
+		WrapSchemes: func(ss []schemes.Scheme) []schemes.Scheme {
+			out := make([]schemes.Scheme, len(ss))
+			for i, sc := range ss {
+				out[i] = faultinject.WrapScheme(sc, faultinject.SchemeConfig{
+					Seed:        seed + int64(i),
+					PanicProb:   0.02,
+					NaNProb:     0.03,
+					StaleProb:   0.02,
+					LatencyProb: 0.01,
+					Latency:     50 * time.Microsecond, // spike shape, bench-friendly size
+				})
+			}
+			return out
+		},
+		Faults: sensors.Apply,
+	})
+	return run, health, sensors, err
+}
+
+// Chaos soaks the full stack under every injector at once and proves
+// the degradation contract: panics are recovered, poisons quarantined,
+// no NaN position ever escapes, and the whole circus is deterministic
+// under its seed (two runs, identical output).
+func (s *Suite) Chaos() (*Report, error) {
+	seed := s.Lab.Seed + outageSeed
+	run, health, sensors, err := s.chaosRun(seed)
+	if err != nil {
+		return nil, err
+	}
+	rerun, _, _, err := s.chaosRun(seed)
+	if err != nil {
+		return nil, err
+	}
+
+	okN, nanN := nanEpochs(run)
+	t := &eval.Table{Title: "Chaos soak on daily Path 1 (all injectors armed)"}
+	t.Headers = []string{"metric", "value"}
+	t.AddRow("epochs", fmt.Sprint(len(run.UniLoc2)))
+	t.AddRow("answered epochs", fmt.Sprint(okN))
+	t.AddRow("uniloc2 mean (m)", eval.F1(eval.MeanValid(run.UniLoc2)))
+	t.AddRow("uniloc1 mean (m)", eval.F1(eval.MeanValid(run.UniLoc1)))
+	t.AddRow("scheme panics recovered", fmt.Sprint(health.SchemePanics.Value()))
+	t.AddRow("estimates quarantined", fmt.Sprint(health.Quarantined.Value()))
+	t.AddRow("fallback epochs", fmt.Sprint(health.Fallbacks.Value()))
+	for name, n := range sensors.Counts() {
+		t.AddRow("sensor "+name, fmt.Sprint(n))
+	}
+	t.AddRow("nan positions", fmt.Sprint(nanN))
+
+	rep := &Report{
+		ID: "chaos", Title: "fault-injection soak: recovery, quarantine, and determinism",
+		Tables: []*eval.Table{t},
+		Notes: []string{
+			"every counter above is deterministic under the suite seed",
+		},
+	}
+	if nanN != 0 {
+		return rep, fmt.Errorf("experiments: %d NaN/Inf positions escaped under chaos", nanN)
+	}
+	if health.SchemePanics.Value() == 0 || health.Quarantined.Value() == 0 {
+		return rep, fmt.Errorf("experiments: chaos injected no panics/poisons (panics=%d quarantined=%d) — injector wiring is broken",
+			health.SchemePanics.Value(), health.Quarantined.Value())
+	}
+	for i := range run.UniLoc2 {
+		same := run.UniLoc2[i] == rerun.UniLoc2[i] ||
+			(math.IsNaN(run.UniLoc2[i]) && math.IsNaN(rerun.UniLoc2[i]))
+		if !same {
+			return rep, fmt.Errorf("experiments: chaos run is not deterministic at epoch %d (%v vs %v)",
+				i, run.UniLoc2[i], rerun.UniLoc2[i])
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,125 @@
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is returned by a Conn whose schedule dropped the
+// connection (the underlying conn is closed, as a real drop would).
+var ErrInjectedDrop = errors.New("faultinject: injected connection drop")
+
+// ConnConfig schedules offload-link faults. Probabilities are per
+// Write call — one protocol frame in practice, since the offload
+// encoders issue one Write per frame section; zero disables that
+// fault.
+type ConnConfig struct {
+	Seed int64
+
+	// DropProb closes the connection instead of writing — a mid-walk
+	// link loss the client's reconnect path must absorb.
+	DropProb float64
+
+	// TruncateProb writes a prefix of the buffer and then closes,
+	// leaving the peer a half frame (ReadFrame sees
+	// io.ErrUnexpectedEOF).
+	TruncateProb float64
+
+	// CorruptProb flips one byte of the buffer before writing,
+	// desynchronizing or corrupting the frame stream.
+	CorruptProb float64
+
+	// StallProb delays the write by Stall (default 20ms), modeling a
+	// congested or half-dead link — the fault read/write deadlines
+	// exist for.
+	StallProb float64
+	Stall     time.Duration
+}
+
+// ConnCounts reports the link faults injected so far.
+type ConnCounts struct {
+	Drops, Truncations, Corruptions, Stalls int
+}
+
+// Conn shims a net.Conn with a deterministic write-side fault
+// schedule. It composes with any other net.Conn wrapper (e.g. the
+// offload server's metered conn). Safe for concurrent use; the fault
+// schedule is serialized by an internal lock, so determinism holds as
+// long as the traffic itself is deterministic (single-writer
+// protocols like the offload client).
+type Conn struct {
+	net.Conn
+	cfg ConnConfig
+
+	mu     sync.Mutex
+	rnd    *rand.Rand
+	counts ConnCounts
+}
+
+// WrapConn shims conn with the fault schedule in cfg.
+func WrapConn(conn net.Conn, cfg ConnConfig) *Conn {
+	return &Conn{Conn: conn, cfg: cfg, rnd: newRand(cfg.Seed)}
+}
+
+// Counts returns the faults injected so far.
+func (c *Conn) Counts() ConnCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+// Write applies the scheduled fault, then writes. Fault kinds are
+// checked in severity order (drop > truncate > corrupt > stall); at
+// most one fires per call. Every call draws the same number of
+// variates regardless of which fault fires, so one kind's probability
+// never shifts another's schedule.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	drop := hit(c.rnd, c.cfg.DropProb)
+	trunc := hit(c.rnd, c.cfg.TruncateProb)
+	corrupt := hit(c.rnd, c.cfg.CorruptProb)
+	stall := hit(c.rnd, c.cfg.StallProb)
+	var cut, flip int
+	if len(p) > 0 {
+		cut = c.rnd.Intn(len(p))
+		flip = c.rnd.Intn(len(p))
+	}
+	switch {
+	case drop:
+		c.counts.Drops++
+	case trunc:
+		c.counts.Truncations++
+	case corrupt:
+		c.counts.Corruptions++
+	case stall:
+		c.counts.Stalls++
+	}
+	c.mu.Unlock()
+
+	switch {
+	case drop:
+		_ = c.Conn.Close()
+		return 0, ErrInjectedDrop
+	case trunc:
+		n, _ := c.Conn.Write(p[:cut])
+		_ = c.Conn.Close()
+		return n, ErrInjectedDrop
+	case corrupt:
+		bad := make([]byte, len(p))
+		copy(bad, p)
+		if len(bad) > 0 {
+			bad[flip] ^= 0xFF
+		}
+		return c.Conn.Write(bad)
+	case stall:
+		d := c.cfg.Stall
+		if d <= 0 {
+			d = 20 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,65 @@
+// Package faultinject is UniLoc's deterministic chaos harness: seeded
+// injectors that wrap the framework's existing seams and corrupt them
+// on a reproducible schedule, so the defense layers (per-scheme panic
+// recovery, NaN/Inf quarantine, last-good fallback, offload deadlines
+// and reconnect) can be proven rather than assumed.
+//
+// Injectors exist at the three levels where real deployments fail:
+//
+//   - sensing: Sensors mutates snapshots before they reach the
+//     framework — WiFi/cellular scan loss, GPS outage windows, IMU NaN
+//     glitches, and stale (delayed) RF scans.
+//   - scheme: Scheme decorates any schemes.Scheme — injected panics,
+//     NaN/Inf positions, stale repeats, latency spikes, and hard kill
+//     windows that model a scheme dying mid-walk.
+//   - offload link: Conn shims a net.Conn — connection drops,
+//     truncated frames, byte corruption, and stalls — composable with
+//     the server's meteredConn wrapper.
+//
+// Every injector draws from its own math/rand stream seeded at
+// construction (and re-seeded by Reset, where the wrapped interface has
+// one), so two runs with the same seed produce the identical fault
+// schedule: same epochs lose WiFi, same scheme panics at the same
+// step, same frame gets the same flipped byte. That determinism is the
+// contract the chaos experiments and CI smoke tests are built on.
+package faultinject
+
+import "math/rand"
+
+// Window is an inclusive epoch range [From, To] during which a
+// windowed fault (GPS outage, scheme kill) is active. To < From means
+// an empty window; use a large To (e.g. 1<<30) for "until the end of
+// the walk".
+type Window struct {
+	From, To int
+}
+
+// Contains reports whether epoch e falls inside the window.
+func (w Window) Contains(e int) bool { return e >= w.From && e <= w.To }
+
+// Until returns a window open from epoch from to the end of the walk.
+func Until(from int) Window { return Window{From: from, To: 1 << 30} }
+
+// inWindows reports whether any window contains the epoch.
+func inWindows(ws []Window, e int) bool {
+	for _, w := range ws {
+		if w.Contains(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// newRand builds the injector-private random stream. Streams are
+// derived from the injector seed alone — never shared — so adding one
+// injector cannot shift another's schedule.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// hit draws one uniform variate and reports whether a probability-p
+// fault fires. Every decision point draws exactly one variate whether
+// or not it fires, keeping downstream decisions aligned across
+// configuration changes to *other* fault kinds' probabilities.
+func hit(rnd *rand.Rand, p float64) bool {
+	u := rnd.Float64()
+	return p > 0 && u < p
+}

@@ -1,0 +1,245 @@
+package faultinject
+
+import (
+	"io"
+	"math"
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/gnss"
+	"repro/internal/imu"
+	"repro/internal/rf"
+	"repro/internal/schemes"
+	"repro/internal/sensing"
+)
+
+var gnssFix = gnss.Fix{NumSats: 9, HDOP: 1.0}
+
+// fakeScheme returns a fixed, valid estimate every epoch.
+type fakeScheme struct{ calls int }
+
+func (f *fakeScheme) Name() string                 { return "fake" }
+func (f *fakeScheme) Reset(geo.Point)              { f.calls = 0 }
+func (f *fakeScheme) RegressionFeatures() []string { return []string{"feat"} }
+func (f *fakeScheme) Sensors() []string            { return nil }
+func (f *fakeScheme) Estimate(snap *sensing.Snapshot) schemes.Estimate {
+	f.calls++
+	return schemes.Estimate{
+		Pos: geo.Pt(float64(snap.Epoch), 1), OK: true,
+		Features: map[string]float64{"feat": 1},
+	}
+}
+
+func testSnap(epoch int) *sensing.Snapshot {
+	return &sensing.Snapshot{
+		Epoch: epoch,
+		WiFi:  rf.Vector{{ID: "ap1", RSSI: -40}},
+		Cell:  rf.Vector{{ID: "cell1", RSSI: -60}},
+		Step:  &imu.StepEvent{HeadingR: 0.1, LengthM: 0.7},
+	}
+}
+
+// sensorSchedule runs n epochs and records which faults fired when.
+func sensorSchedule(t *testing.T, seed int64, n int) []string {
+	t.Helper()
+	s := NewSensors(SensorConfig{
+		Seed: seed, WiFiDropProb: 0.3, CellDropProb: 0.3,
+		IMUNaNProb: 0.2, DelayProb: 0.2,
+		GPSOutages: []Window{{From: 3, To: 6}},
+	})
+	var sched []string
+	for e := 0; e < n; e++ {
+		out := s.Apply(testSnap(e))
+		key := ""
+		if out.WiFi == nil {
+			key += "W"
+		}
+		if out.Cell == nil {
+			key += "C"
+		}
+		if out.Step != nil && math.IsNaN(out.Step.HeadingR) {
+			key += "I"
+		}
+		sched = append(sched, key)
+	}
+	return sched
+}
+
+func TestSensorsDeterministic(t *testing.T) {
+	a := sensorSchedule(t, 7, 200)
+	b := sensorSchedule(t, 7, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different sensor fault schedules")
+	}
+	c := sensorSchedule(t, 8, 200)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical schedules (injector inert?)")
+	}
+}
+
+func TestSensorsNeverMutatesInput(t *testing.T) {
+	s := NewSensors(SensorConfig{Seed: 1, WiFiDropProb: 1, IMUNaNProb: 1})
+	in := testSnap(0)
+	_ = s.Apply(in)
+	if in.WiFi == nil || math.IsNaN(in.Step.HeadingR) {
+		t.Fatalf("Apply mutated the caller's snapshot")
+	}
+}
+
+func TestSensorsGPSOutageWindow(t *testing.T) {
+	s := NewSensors(SensorConfig{Seed: 1, GPSOutages: []Window{{From: 2, To: 4}}})
+	for e := 0; e < 7; e++ {
+		snap := testSnap(e)
+		snap.GNSS = &gnssFix
+		out := s.Apply(snap)
+		inWin := e >= 2 && e <= 4
+		if (out.GNSS == nil) != inWin {
+			t.Fatalf("epoch %d: GNSS nil=%v, want outage=%v", e, out.GNSS == nil, inWin)
+		}
+	}
+}
+
+// schemeSchedule runs n epochs against a wrapped fake scheme and
+// records the fault outcome per epoch.
+func schemeSchedule(t *testing.T, seed int64, n int) ([]string, SchemeCounts) {
+	t.Helper()
+	fs := WrapScheme(&fakeScheme{}, SchemeConfig{
+		Seed: seed, PanicProb: 0.1, NaNProb: 0.2, StaleProb: 0.2,
+		Kills: []Window{{From: 10, To: 14}},
+	})
+	fs.Reset(geo.Pt(0, 0))
+	var sched []string
+	for e := 0; e < n; e++ {
+		key := func() (k string) {
+			defer func() {
+				if recover() != nil {
+					k = "panic"
+				}
+			}()
+			est := fs.Estimate(testSnap(e))
+			switch {
+			case !est.OK:
+				return "dead"
+			case math.IsNaN(est.Pos.X) || math.IsInf(est.Pos.X, 0):
+				return "nan"
+			case est.Pos.X != float64(e):
+				return "stale"
+			default:
+				return "ok"
+			}
+		}()
+		sched = append(sched, key)
+	}
+	return sched, fs.Counts()
+}
+
+func TestSchemeDeterministic(t *testing.T) {
+	a, ca := schemeSchedule(t, 11, 300)
+	b, cb := schemeSchedule(t, 11, 300)
+	if !reflect.DeepEqual(a, b) || ca != cb {
+		t.Fatalf("same seed produced different scheme fault schedules")
+	}
+	for e := 10; e <= 14; e++ {
+		if a[e] != "dead" {
+			t.Fatalf("epoch %d inside kill window got %q, want dead", e, a[e])
+		}
+	}
+	var panics, nans, stales int
+	for _, k := range a {
+		switch k {
+		case "panic":
+			panics++
+		case "nan":
+			nans++
+		case "stale":
+			stales++
+		}
+	}
+	if panics == 0 || nans == 0 || stales == 0 {
+		t.Fatalf("expected every fault kind to fire over 300 epochs: panics=%d nans=%d stales=%d", panics, nans, stales)
+	}
+	if ca.Panics != panics || ca.NaNs != nans || ca.Stales != stales {
+		t.Fatalf("counts %+v disagree with observed panics=%d nans=%d stales=%d", ca, panics, nans, stales)
+	}
+}
+
+func TestSchemeResetRestartsSchedule(t *testing.T) {
+	fs := WrapScheme(&fakeScheme{}, SchemeConfig{Seed: 5, NaNProb: 0.5})
+	fs.Reset(geo.Pt(0, 0))
+	first := make([]bool, 50)
+	for e := range first {
+		est := fs.Estimate(testSnap(e))
+		first[e] = math.IsNaN(est.Pos.X) || math.IsInf(est.Pos.X, 0)
+	}
+	fs.Reset(geo.Pt(0, 0))
+	for e := range first {
+		est := fs.Estimate(testSnap(e))
+		got := math.IsNaN(est.Pos.X) || math.IsInf(est.Pos.X, 0)
+		if got != first[e] {
+			t.Fatalf("epoch %d: schedule diverged after Reset", e)
+		}
+	}
+	if fs.Name() != "fake" {
+		t.Fatalf("decorator must preserve the scheme name, got %q", fs.Name())
+	}
+}
+
+// connExchange writes frames through a faulty conn and records which
+// writes fail, plus the bytes the peer observed.
+func connExchange(t *testing.T, seed int64, n int) ([]bool, []byte, ConnCounts) {
+	t.Helper()
+	a, b := net.Pipe()
+	fc := WrapConn(a, ConnConfig{Seed: seed, DropProb: 0.05, TruncateProb: 0.05, CorruptProb: 0.2})
+	recvDone := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		recvDone <- buf
+	}()
+	fails := make([]bool, 0, n)
+	msg := []byte("frame-payload-0123456789")
+	for i := 0; i < n; i++ {
+		_, err := fc.Write(msg)
+		fails = append(fails, err != nil)
+		if err != nil {
+			break
+		}
+	}
+	_ = fc.Close()
+	_ = b.Close()
+	return fails, <-recvDone, fc.Counts()
+}
+
+func TestConnDeterministic(t *testing.T) {
+	fa, ba, ca := connExchange(t, 3, 100)
+	fb, bb, cb := connExchange(t, 3, 100)
+	if !reflect.DeepEqual(fa, fb) || !reflect.DeepEqual(ba, bb) || ca != cb {
+		t.Fatalf("same seed produced different link fault schedules: %+v vs %+v", ca, cb)
+	}
+	if ca.Corruptions == 0 {
+		t.Fatalf("expected corruptions over 100 writes at p=0.2, got %+v", ca)
+	}
+}
+
+func TestConnDropClosesConnection(t *testing.T) {
+	a, b := net.Pipe()
+	fc := WrapConn(a, ConnConfig{Seed: 1, DropProb: 1})
+	go func() { _, _ = io.ReadAll(b) }()
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatalf("drop-scheduled write succeeded")
+	}
+	if _, err := a.Write([]byte("y")); err == nil {
+		t.Fatalf("underlying conn still open after injected drop")
+	}
+}
+
+func TestWindowHelpers(t *testing.T) {
+	w := Until(5)
+	if w.Contains(4) || !w.Contains(5) || !w.Contains(1e6) {
+		t.Fatalf("Until(5) misbehaves: %+v", w)
+	}
+	if (Window{From: 3, To: 2}).Contains(3) {
+		t.Fatalf("inverted window should be empty")
+	}
+}

@@ -1,0 +1,158 @@
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/schemes"
+	"repro/internal/sensing"
+)
+
+// SchemeConfig schedules faults for one decorated scheme.
+// Probabilities are per Estimate call; zero disables that fault.
+type SchemeConfig struct {
+	Seed int64
+
+	// Kills are epoch windows during which the scheme is dead: Estimate
+	// returns OK=false without consulting the wrapped scheme, modeling
+	// a mid-walk outage (the diversity experiment's primary knob).
+	Kills []Window
+
+	// PanicProb makes Estimate panic — the fault the framework's
+	// per-scheme recovery must contain.
+	PanicProb float64
+
+	// NaNProb poisons the estimate: the position becomes NaN or ±Inf
+	// (alternating deterministically) while OK stays true, and the
+	// feature map gains a NaN — the quarantine layer must catch both
+	// the position and the poisoned error prediction.
+	NaNProb float64
+
+	// StaleProb replays the previous successful estimate unchanged,
+	// modeling a wedged pipeline that keeps reporting its last output.
+	StaleProb float64
+
+	// LatencyProb stalls Estimate for Latency before answering,
+	// modeling a scheme-internal latency spike. Latency defaults to
+	// 20ms when a spike fires with no duration configured.
+	LatencyProb float64
+	Latency     time.Duration
+}
+
+// SchemeCounts reports how many faults a decorated scheme has injected
+// since its last Reset.
+type SchemeCounts struct {
+	Kills, Panics, NaNs, Stales, Latencies int
+}
+
+// Scheme decorates a schemes.Scheme with a deterministic fault
+// schedule. It satisfies schemes.Scheme, so it drops into any
+// framework unchanged; the framework cannot tell a decorated scheme
+// from a misbehaving real one — which is the point.
+type Scheme struct {
+	inner schemes.Scheme
+	cfg   SchemeConfig
+	rnd   *rand.Rand
+
+	last    schemes.Estimate
+	hasLast bool
+	counts  SchemeCounts
+}
+
+// WrapScheme decorates s with the fault schedule in cfg.
+func WrapScheme(s schemes.Scheme, cfg SchemeConfig) *Scheme {
+	return &Scheme{inner: s, cfg: cfg, rnd: newRand(cfg.Seed)}
+}
+
+// Name returns the wrapped scheme's identifier (the framework keys
+// error models and gating state by name, so the decorator must be
+// transparent).
+func (s *Scheme) Name() string { return s.inner.Name() }
+
+// RegressionFeatures passes through.
+func (s *Scheme) RegressionFeatures() []string { return s.inner.RegressionFeatures() }
+
+// Sensors passes through.
+func (s *Scheme) Sensors() []string { return s.inner.Sensors() }
+
+// Counts reports the faults injected since the last Reset.
+func (s *Scheme) Counts() SchemeCounts { return s.counts }
+
+// Reset re-seeds the fault schedule and resets the wrapped scheme.
+func (s *Scheme) Reset(start geo.Point) {
+	s.rnd = newRand(s.cfg.Seed)
+	s.last, s.hasLast = schemes.Estimate{}, false
+	s.counts = SchemeCounts{}
+	s.inner.Reset(start)
+}
+
+// Estimate applies the epoch's scheduled faults around the wrapped
+// scheme's estimate. Kill windows short-circuit; the probabilistic
+// faults each draw exactly one variate per call (see hit), so the
+// schedule for one fault kind is invariant to the others' settings.
+func (s *Scheme) Estimate(snap *sensing.Snapshot) schemes.Estimate {
+	if inWindows(s.cfg.Kills, snap.Epoch) {
+		s.counts.Kills++
+		return schemes.Estimate{}
+	}
+	doPanic := hit(s.rnd, s.cfg.PanicProb)
+	doNaN := hit(s.rnd, s.cfg.NaNProb)
+	doStale := hit(s.rnd, s.cfg.StaleProb)
+	doLatency := hit(s.rnd, s.cfg.LatencyProb)
+	infNotNaN := s.rnd.Intn(2) == 1 // drawn unconditionally to keep the stream aligned
+
+	if doLatency {
+		s.counts.Latencies++
+		d := s.cfg.Latency
+		if d <= 0 {
+			d = 20 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+	if doPanic {
+		s.counts.Panics++
+		panic(fmt.Sprintf("faultinject: scheme %s panic at epoch %d", s.inner.Name(), snap.Epoch))
+	}
+	if doStale && s.hasLast {
+		s.counts.Stales++
+		return s.last
+	}
+
+	est := s.inner.Estimate(snap)
+	if est.OK {
+		// Stale repeats replay the last clean inner estimate; poisons
+		// below stay one-epoch events with their own schedule.
+		s.last, s.hasLast = est, true
+	}
+	if doNaN && est.OK {
+		s.counts.NaNs++
+		bad := math.NaN()
+		if infNotNaN {
+			bad = math.Inf(1)
+		}
+		est.Pos = geo.Pt(bad, bad)
+		// Poison a feature too: the quarantine must also survive a NaN
+		// that reaches the error model rather than the position.
+		if est.Features != nil {
+			feats := make(map[string]float64, len(est.Features))
+			for k, v := range est.Features {
+				feats[k] = v
+			}
+			for k := range feats {
+				feats[k] = math.NaN()
+				break
+			}
+			est.Features = feats
+		}
+	}
+	return est
+}
+
+// KillScheme wraps s so it dies for good at epoch from — the
+// mid-walk outage used by the diversity experiments.
+func KillScheme(s schemes.Scheme, seed int64, from int) *Scheme {
+	return WrapScheme(s, SchemeConfig{Seed: seed, Kills: []Window{Until(from)}})
+}

@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/rf"
+	"repro/internal/sensing"
+)
+
+// SensorConfig schedules sensing-level faults. Probabilities are per
+// epoch; zero disables that fault. All schedules are driven by Seed.
+type SensorConfig struct {
+	Seed int64
+
+	// WiFiDropProb / CellDropProb empty the RF scan for the epoch,
+	// modeling a failed or throttled scan.
+	WiFiDropProb float64
+	CellDropProb float64
+
+	// GPSOutages are epoch windows with no GNSS fix at all (urban
+	// canyon, tunnel, indoors beyond what the scenario models).
+	GPSOutages []Window
+
+	// IMUNaNProb corrupts the epoch's step event with NaN heading and
+	// length, modeling a glitched inertial pipeline.
+	IMUNaNProb float64
+
+	// DelayProb delivers the previous epoch's WiFi/cellular scans
+	// instead of the current ones (a queued, stale snapshot).
+	DelayProb float64
+}
+
+// Sensors mutates snapshots on a deterministic schedule before they
+// reach the framework. Not safe for concurrent use; one walk, one
+// injector.
+type Sensors struct {
+	cfg SensorConfig
+	rnd *rand.Rand
+
+	prevWiFi rf.Vector
+	prevCell rf.Vector
+
+	wifiDrops, cellDrops, gpsOutages, imuGlitches, delays int
+}
+
+// NewSensors builds a sensing-level injector.
+func NewSensors(cfg SensorConfig) *Sensors {
+	return &Sensors{cfg: cfg, rnd: newRand(cfg.Seed)}
+}
+
+// Reset re-seeds the schedule for a new walk.
+func (s *Sensors) Reset() {
+	s.rnd = newRand(s.cfg.Seed)
+	s.prevWiFi, s.prevCell = nil, nil
+	s.wifiDrops, s.cellDrops, s.gpsOutages, s.imuGlitches, s.delays = 0, 0, 0, 0, 0
+}
+
+// Apply returns a faulted shallow copy of the snapshot (the original is
+// never mutated — callers may reuse it for ground-truth accounting).
+func (s *Sensors) Apply(snap *sensing.Snapshot) *sensing.Snapshot {
+	out := *snap
+	curWiFi, curCell := snap.WiFi, snap.Cell
+
+	if hit(s.rnd, s.cfg.DelayProb) && (s.prevWiFi != nil || s.prevCell != nil) {
+		out.WiFi, out.Cell = s.prevWiFi, s.prevCell
+		s.delays++
+	}
+	if hit(s.rnd, s.cfg.WiFiDropProb) {
+		out.WiFi = nil
+		s.wifiDrops++
+	}
+	if hit(s.rnd, s.cfg.CellDropProb) {
+		out.Cell = nil
+		s.cellDrops++
+	}
+	if inWindows(s.cfg.GPSOutages, snap.Epoch) && out.GNSS != nil {
+		out.GNSS = nil
+		s.gpsOutages++
+	}
+	if hit(s.rnd, s.cfg.IMUNaNProb) && out.Step != nil {
+		glitch := *out.Step
+		glitch.HeadingR = math.NaN()
+		glitch.LengthM = math.NaN()
+		out.Step = &glitch
+		s.imuGlitches++
+	}
+
+	s.prevWiFi, s.prevCell = curWiFi, curCell
+	return &out
+}
+
+// Counts reports how many faults of each kind have fired since the
+// last Reset, keyed by fault name.
+func (s *Sensors) Counts() map[string]int {
+	return map[string]int{
+		"wifi_drop":  s.wifiDrops,
+		"cell_drop":  s.cellDrops,
+		"gps_outage": s.gpsOutages,
+		"imu_nan":    s.imuGlitches,
+		"delay":      s.delays,
+	}
+}

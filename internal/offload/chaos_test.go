@@ -1,0 +1,254 @@
+package offload
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/geo"
+	"repro/internal/telemetry"
+)
+
+// liveServer is a killable TCP offload server for restart tests: it
+// tracks accepted connections so "kill" can sever live sessions the
+// way a crashed process would.
+type liveServer struct {
+	srv *Server
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+	wg    sync.WaitGroup
+}
+
+func startLiveServer(t *testing.T, addr string, cfg ServerConfig) *liveServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	ls := &liveServer{srv: newTestServer(t, cfg), ln: ln}
+	ls.wg.Add(1)
+	go func() {
+		defer ls.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			ls.mu.Lock()
+			ls.conns = append(ls.conns, conn)
+			ls.mu.Unlock()
+			ls.wg.Add(1)
+			go func() {
+				defer ls.wg.Done()
+				_ = ls.srv.Serve(conn)
+			}()
+		}
+	}()
+	return ls
+}
+
+// kill closes the listener and every live connection — a process
+// crash, as far as clients can tell.
+func (ls *liveServer) kill() {
+	_ = ls.ln.Close()
+	ls.mu.Lock()
+	for _, c := range ls.conns {
+		_ = c.Close()
+	}
+	ls.mu.Unlock()
+	ls.wg.Wait()
+}
+
+// TestClientReconnectAcrossServerRestart is the offload-link half of
+// the acceptance criteria: the server dies mid-walk, a fresh one takes
+// over the address, and the client's backoff reconnect + re-handshake
+// (same client ID, resuming at the last served position) finishes the
+// walk. Run under -race in CI.
+func TestClientReconnectAcrossServerRestart(t *testing.T) {
+	factory, w := offloadWorld(t)
+	cfg := ServerConfig{Factory: factory}
+	start, snaps := corridorWalk(w, 2, 3, 30)
+
+	ls := startLiveServer(t, "127.0.0.1:0", cfg)
+	addr := ls.ln.Addr().String()
+	defer func() { ls.kill() }()
+
+	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	client := NewClient(conn, "phone-restart")
+	client.SetTimeout(2 * time.Second)
+	client.SetReconnect(dial, Backoff{Min: 5 * time.Millisecond, Max: 100 * time.Millisecond, Attempts: 20, Seed: 1})
+	client.SetMetrics(reg)
+	defer func() { _ = client.Close() }()
+
+	if err := client.Hello(start); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	for i, snap := range snaps {
+		if i == 10 {
+			// The server process dies and is replaced.
+			ls.kill()
+			ls = startLiveServer(t, addr, cfg)
+		}
+		res, err := client.Localize(snap)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		if math.IsNaN(res.X) || math.IsNaN(res.Y) {
+			t.Fatalf("epoch %d: NaN position after restart", i)
+		}
+	}
+	if client.Epochs() != len(snaps) {
+		t.Errorf("epochs = %d, want %d", client.Epochs(), len(snaps))
+	}
+	if client.Reconnects() < 1 {
+		t.Error("walk crossed a server restart without a recorded reconnect")
+	}
+	if v, _ := reg.Snapshot().Get("offload_reconnects_total"); v < 1 {
+		t.Errorf("offload_reconnects_total = %v, want >= 1", v)
+	}
+	// The replacement server saw a fresh handshake under the same ID.
+	st := ls.srv.Stats()
+	if st.Opened < 1 || len(st.Sessions) != 1 || st.Sessions[0].ClientID != "phone-restart" {
+		t.Errorf("replacement server stats = %+v", st)
+	}
+}
+
+// TestClientTimeoutOnStalledServer: a server that accepts the session
+// and then stops consuming must not hang Localize forever — the
+// configured deadline fires and is counted.
+func TestClientTimeoutOnStalledServer(t *testing.T) {
+	_, w := offloadWorld(t)
+	_, snaps := corridorWalk(w, 2, 3, 1)
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		// Speak just enough protocol to admit the session, then stall.
+		if tp, payload, err := ReadFrame(b); err == nil && tp == MsgHello {
+			_, _ = DecodeHello(payload)
+			_, _ = WriteFrame(b, MsgWelcome, EncodeWelcome(&Welcome{Version: ProtocolVersion, OK: true, SessionID: 1}))
+		}
+		select {} // never read again
+	}()
+
+	reg := telemetry.NewRegistry()
+	client := NewClient(a, "phone-stall")
+	client.SetTimeout(50 * time.Millisecond)
+	client.SetMetrics(reg)
+	if err := client.Hello(geo.Pt(0, 0)); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Localize(snaps[0])
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Localize against a stalled server should fail")
+		}
+		if !isTimeout(err) {
+			t.Fatalf("want timeout error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Localize blocked past its deadline — the stall defense is missing")
+	}
+	if v, _ := reg.Snapshot().Get("deadline_timeouts_total"); v < 1 {
+		t.Errorf("deadline_timeouts_total = %v, want >= 1", v)
+	}
+}
+
+// TestServerEvictsStalledClientAtEpochDeadline: a client that
+// handshakes and then goes silent is evicted at the epoch deadline and
+// counted, instead of pinning a serving goroutine forever.
+func TestServerEvictsStalledClientAtEpochDeadline(t *testing.T) {
+	factory, _ := offloadWorld(t)
+	srv := newTestServer(t, ServerConfig{Factory: factory, EpochTimeout: 50 * time.Millisecond})
+	a, b := net.Pipe()
+	defer a.Close()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(b) }()
+
+	client := NewClient(a, "phone-silent")
+	if err := client.Hello(geo.Pt(2, 2)); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	// Send nothing further.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("deadline eviction should be a clean exit, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never evicted the silent session")
+	}
+	st := srv.Stats()
+	if st.DeadlineTimeouts != 1 {
+		t.Errorf("Stats().DeadlineTimeouts = %d, want 1", st.DeadlineTimeouts)
+	}
+	if st.Active != 0 {
+		t.Errorf("evicted session still live: %+v", st)
+	}
+}
+
+// TestWalkSurvivesFaultyLink drives a full walk through a
+// fault-injecting connection (drops, truncations, corruption) with
+// reconnect armed: every epoch must eventually be served, and no
+// NaN may reach a result. Deterministic under the fixed seeds.
+func TestWalkSurvivesFaultyLink(t *testing.T) {
+	factory, w := offloadWorld(t)
+	cfg := ServerConfig{Factory: factory, EpochTimeout: 2 * time.Second}
+	start, snaps := corridorWalk(w, 2, 3, 40)
+
+	ls := startLiveServer(t, "127.0.0.1:0", cfg)
+	defer func() { ls.kill() }()
+	addr := ls.ln.Addr().String()
+
+	var dialSeq int64
+	dial := func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		// Every redial gets its own deterministic fault stream.
+		dialSeq++
+		return faultinject.WrapConn(conn, faultinject.ConnConfig{
+			Seed: 100 + dialSeq, DropProb: 0.01, TruncateProb: 0.01, CorruptProb: 0.01,
+		}), nil
+	}
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(conn, "phone-chaos")
+	client.SetTimeout(time.Second)
+	client.SetReconnect(dial, Backoff{Min: 2 * time.Millisecond, Max: 50 * time.Millisecond, Attempts: 25, Seed: 9})
+	defer func() { _ = client.Close() }()
+
+	if err := client.Hello(start); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	for i, snap := range snaps {
+		res, err := client.Localize(snap)
+		if err != nil {
+			t.Fatalf("epoch %d died despite reconnect: %v", i, err)
+		}
+		if math.IsNaN(res.X) || math.IsNaN(res.Y) || math.IsInf(res.X, 0) || math.IsInf(res.Y, 0) {
+			t.Fatalf("epoch %d: non-finite result through faulty link", i)
+		}
+	}
+	if client.Epochs() != len(snaps) {
+		t.Errorf("epochs = %d, want %d", client.Epochs(), len(snaps))
+	}
+}

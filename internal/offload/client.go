@@ -3,20 +3,64 @@ package offload
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/rf"
 	"repro/internal/sensing"
+	"repro/internal/telemetry"
 )
 
 // ErrRejected reports that the server refused the session handshake;
 // the wrapped message carries the server's reason.
 var ErrRejected = errors.New("offload: session rejected")
 
+// Backoff tunes the client's reconnect schedule: capped exponential
+// backoff with deterministic jitter. The zero value picks sane
+// defaults (10ms..2s, 5 attempts).
+type Backoff struct {
+	Min      time.Duration // first retry delay (default 10ms)
+	Max      time.Duration // delay cap (default 2s)
+	Attempts int           // reconnect attempts per operation (default 5)
+	Seed     int64         // jitter stream seed — fixed seed, fixed schedule
+}
+
+func (b Backoff) min() time.Duration {
+	if b.Min <= 0 {
+		return 10 * time.Millisecond
+	}
+	return b.Min
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max <= 0 {
+		return 2 * time.Second
+	}
+	return b.Max
+}
+
+func (b Backoff) attempts() int {
+	if b.Attempts <= 0 {
+		return 5
+	}
+	return b.Attempts
+}
+
+// clientMetrics are the phone-side robustness instruments. All nil —
+// and therefore free — without a registry.
+type clientMetrics struct {
+	reconnects       *telemetry.Counter
+	deadlineTimeouts *telemetry.Counter
+}
+
 // Client is the phone side of the offloading protocol: it opens a
 // session with a hello frame, uploads one epoch's pre-processed sensor
-// data at a time, and receives the fused position.
+// data at a time, and receives the fused position. With a dialer
+// attached (SetReconnect) it survives server restarts: a failed epoch
+// triggers capped-exponential-backoff reconnects, a fresh handshake
+// that preserves the client ID, and a retry of the epoch.
 type Client struct {
 	conn net.Conn
 
@@ -24,9 +68,22 @@ type Client struct {
 	sessionID uint32
 	helloed   bool
 
-	bytesUp   int
-	bytesDown int
-	epochs    int
+	timeout time.Duration            // per-frame read/write deadline (0 = none)
+	dial    func() (net.Conn, error) // nil = no reconnect
+	backoff Backoff
+	rnd     *rand.Rand // jitter stream; non-nil iff dial is set
+
+	start    geo.Point // handshake start, replayed on reconnect
+	hasStart bool
+	lastPos  geo.Point // last served position: the reconnect handshake resumes here
+	hasPos   bool
+
+	bytesUp    int
+	bytesDown  int
+	epochs     int
+	reconnects int
+
+	met clientMetrics
 }
 
 // NewClient wraps an established connection to the server. The
@@ -38,6 +95,32 @@ func NewClient(conn net.Conn, clientID ...string) *Client {
 		c.clientID = clientID[0]
 	}
 	return c
+}
+
+// SetTimeout bounds every protocol read and write: Localize and Hello
+// fail with a timeout error instead of blocking forever on a stalled
+// or half-dead server. 0 disables deadlines (the old behavior).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetReconnect arms automatic reconnection: when an epoch fails on a
+// transport or protocol error, the client redials via dial with capped
+// exponential backoff plus jitter, re-handshakes under the same client
+// ID (resuming at the last served position), and retries the epoch.
+// Rejections (ErrRejected) are never retried — the server said no.
+func (c *Client) SetReconnect(dial func() (net.Conn, error), bo Backoff) {
+	c.dial = dial
+	c.backoff = bo
+	c.rnd = rand.New(rand.NewSource(bo.Seed))
+}
+
+// SetMetrics registers the client's robustness counters
+// (offload_reconnects_total, deadline_timeouts_total) on reg. Pass the
+// registry before the first operation.
+func (c *Client) SetMetrics(reg *telemetry.Registry) {
+	c.met = clientMetrics{
+		reconnects:       reg.Counter("offload_reconnects_total", "successful client reconnects after a failed epoch"),
+		deadlineTimeouts: reg.Counter("deadline_timeouts_total", "protocol reads/writes that hit their deadline"),
+	}
 }
 
 // Close closes the underlying connection.
@@ -52,8 +135,34 @@ func (c *Client) BytesDown() int { return c.bytesDown }
 // Epochs returns the number of epochs localized.
 func (c *Client) Epochs() int { return c.epochs }
 
+// Reconnects returns how many times the client has successfully
+// re-established and re-handshaken its session.
+func (c *Client) Reconnects() int { return c.reconnects }
+
 // SessionID returns the server-assigned session ID (0 before Hello).
 func (c *Client) SessionID() uint32 { return c.sessionID }
+
+// armRead applies the read deadline, if one is configured.
+func (c *Client) armRead() {
+	if c.timeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// armWrite applies the write deadline, if one is configured.
+func (c *Client) armWrite() {
+	if c.timeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// noteTimeout counts deadline hits.
+func (c *Client) noteTimeout(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.met.deadlineTimeouts.Inc()
+	}
+}
 
 // Hello performs the session handshake: it announces the protocol
 // version and the walk's starting position, and waits for the server's
@@ -63,14 +172,19 @@ func (c *Client) Hello(start geo.Point) error {
 	if c.helloed {
 		return fmt.Errorf("%w: hello already sent", ErrProtocol)
 	}
+	c.start, c.hasStart = start, true
 	h := &Hello{Version: ProtocolVersion, StartX: start.X, StartY: start.Y, ClientID: c.clientID}
+	c.armWrite()
 	n, err := WriteFrame(c.conn, MsgHello, EncodeHello(h))
 	c.bytesUp += n
 	if err != nil {
+		c.noteTimeout(err)
 		return err
 	}
+	c.armRead()
 	t, payload, err := ReadFrame(c.conn)
 	if err != nil {
+		c.noteTimeout(err)
 		return err
 	}
 	c.bytesDown += 3 + len(payload)
@@ -93,16 +207,92 @@ func (c *Client) Hello(start geo.Point) error {
 // inertial step travels as the paper's 4-byte intermediate result; the
 // GNSS fix is uploaded only when it meets the reliability criterion
 // (§IV-C). If Hello has not been called, a handshake starting at the
-// map origin is performed first.
+// map origin is performed first. With SetReconnect armed, a failed
+// epoch is retried across reconnects before the error is surfaced.
 func (c *Client) Localize(snap *sensing.Snapshot) (*Result, error) {
 	if !c.helloed {
-		if err := c.Hello(geo.Pt(0, 0)); err != nil {
+		if err := c.Hello(c.resumePoint()); err != nil {
 			return nil, err
 		}
 	}
+	res, err := c.localizeOnce(snap)
+	if err == nil {
+		return res, nil
+	}
+	if c.dial == nil || errors.Is(err, ErrRejected) {
+		return nil, err
+	}
+	return c.retryEpoch(snap, err)
+}
+
+// retryEpoch drives the reconnect loop for one failed epoch: capped
+// exponential backoff with jitter, redial, re-handshake under the same
+// client ID at the last served position, retry. The original failure
+// is wrapped into the terminal error when every attempt is exhausted.
+func (c *Client) retryEpoch(snap *sensing.Snapshot, firstErr error) (*Result, error) {
+	lastErr := firstErr
+	delay := c.backoff.min()
+	for attempt := 0; attempt < c.backoff.attempts(); attempt++ {
+		// Full jitter on top of the exponential floor: sleep in
+		// [delay/2, delay). Deterministic under the configured seed.
+		sleep := delay/2 + time.Duration(c.rnd.Int63n(int64(delay/2)+1))
+		time.Sleep(sleep)
+		if delay *= 2; delay > c.backoff.max() {
+			delay = c.backoff.max()
+		}
+
+		conn, err := c.dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		_ = c.conn.Close() // drop the dead conn; ignore its error
+		c.conn = conn
+		c.helloed = false
+		c.sessionID = 0
+		if err := c.Hello(c.resumePoint()); err != nil {
+			if errors.Is(err, ErrRejected) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		c.reconnects++
+		c.met.reconnects.Inc()
+		res, err := c.localizeOnce(snap)
+		if err == nil {
+			return res, nil
+		}
+		if errors.Is(err, ErrRejected) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("offload: epoch failed after %d reconnect attempts: %w", c.backoff.attempts(), lastErr)
+}
+
+// resumePoint is where a (re)handshake starts the server-side
+// framework: the last served position when one exists (the walk is
+// mid-flight), else the original start, else the map origin.
+func (c *Client) resumePoint() geo.Point {
+	if c.hasPos {
+		return c.lastPos
+	}
+	if c.hasStart {
+		return c.start
+	}
+	return geo.Pt(0, 0)
+}
+
+// localizeOnce runs one epoch exchange over the current connection.
+func (c *Client) localizeOnce(snap *sensing.Snapshot) (*Result, error) {
 	write := func(t MsgType, payload []byte) error {
+		c.armWrite()
 		n, err := WriteFrame(c.conn, t, payload)
 		c.bytesUp += n
+		if err != nil {
+			c.noteTimeout(err)
+		}
 		return err
 	}
 	if snap.Step != nil {
@@ -137,8 +327,10 @@ func (c *Client) Localize(snap *sensing.Snapshot) (*Result, error) {
 		return nil, err
 	}
 
+	c.armRead()
 	t, payload, err := ReadFrame(c.conn)
 	if err != nil {
+		c.noteTimeout(err)
 		return nil, err
 	}
 	c.bytesDown += 3 + len(payload)
@@ -150,6 +342,7 @@ func (c *Client) Localize(snap *sensing.Snapshot) (*Result, error) {
 		return nil, err
 	}
 	c.epochs++
+	c.lastPos, c.hasPos = res.Pos(), true
 	return res, nil
 }
 
@@ -161,13 +354,17 @@ func (c *Client) Localize(snap *sensing.Snapshot) (*Result, error) {
 // mapID is MapWiFi or MapCellular.
 func (c *Client) SubmitSurvey(mapID byte, pos geo.Point, vec rf.Vector) error {
 	if !c.helloed {
-		if err := c.Hello(geo.Pt(0, 0)); err != nil {
+		if err := c.Hello(c.resumePoint()); err != nil {
 			return err
 		}
 	}
 	s := &Survey{Map: mapID, X: pos.X, Y: pos.Y, Vec: vec}
+	c.armWrite()
 	n, err := WriteFrame(c.conn, MsgSurvey, EncodeSurvey(s))
 	c.bytesUp += n
+	if err != nil {
+		c.noteTimeout(err)
+	}
 	return err
 }
 

@@ -21,6 +21,7 @@ type serverMetrics struct {
 	stepLatency      *telemetry.Histogram
 	surveysIngested  *telemetry.Counter
 	surveysDropped   *telemetry.Counter
+	deadlineTimeouts *telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
@@ -37,5 +38,6 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		stepLatency:      reg.Histogram("uniloc_step_seconds", "Framework.Step latency per served epoch", telemetry.DefBuckets()),
 		surveysIngested:  reg.Counter("uniloc_surveys_ingested_total", "crowdsourced survey points accepted into a shared map store"),
 		surveysDropped:   reg.Counter("uniloc_surveys_dropped_total", "survey submissions rejected (unknown map, no store, or unusable vector)"),
+		deadlineTimeouts: reg.Counter("deadline_timeouts_total", "protocol reads/writes that hit their deadline"),
 	}
 }

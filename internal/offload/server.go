@@ -49,6 +49,14 @@ type ServerConfig struct {
 	// multi-core servers cut per-epoch latency. <= 1 keeps sequential
 	// scheme execution. Results are bit-identical either way.
 	StepWorkers int
+
+	// EpochTimeout bounds each session's protocol I/O: a session that
+	// takes longer than this to deliver one epoch's frames (or to
+	// accept its result) is closed, with deadline_timeouts_total
+	// incremented — a stalled or half-dead client can no longer pin a
+	// serving goroutine forever. It also bounds the handshake read.
+	// 0 = no deadline.
+	EpochTimeout time.Duration
 }
 
 // Server runs the UniLoc framework (all localization schemes, error
@@ -57,8 +65,9 @@ type ServerConfig struct {
 // particle-filter, IODetector, or gating state — the paper's
 // workstation similarly hosts the localization state per user (§IV-C).
 type Server struct {
-	mgr    *SessionManager
-	stores map[byte]*mapstore.Store
+	mgr          *SessionManager
+	stores       map[byte]*mapstore.Store
+	epochTimeout time.Duration
 }
 
 // NewServer builds a multi-session server from the config.
@@ -68,7 +77,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	mgr.SetStepWorkers(cfg.StepWorkers)
-	return &Server{mgr: mgr, stores: cfg.MapStores}, nil
+	return &Server{mgr: mgr, stores: cfg.MapStores, epochTimeout: cfg.EpochTimeout}, nil
 }
 
 // Sessions exposes the server's session manager (stats, manual
@@ -149,14 +158,33 @@ func (s *Server) Serve(conn net.Conn) error {
 	return err
 }
 
+// armDeadline applies the per-session epoch deadline, if configured.
+func (s *Server) armDeadline(conn net.Conn) {
+	if s.epochTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(s.epochTimeout))
+	}
+}
+
+// isTimeout reports whether err is a deadline hit.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 func (s *Server) serve(conn net.Conn) error {
 	defer func() { _ = conn.Close() }()
+	s.armDeadline(conn) // the handshake is bounded too
 	sess, err := s.handshake(conn)
 	if err != nil || sess == nil {
+		if err != nil && isTimeout(err) {
+			s.mgr.noteDeadlineTimeout()
+			return nil // stalled before handshake: quiet eviction
+		}
 		return err
 	}
 	defer s.mgr.Close(sess)
 	for {
+		s.armDeadline(conn) // one deadline window per epoch exchange
 		snap, err := s.readEpoch(conn)
 		if err == io.EOF {
 			return nil
@@ -164,6 +192,11 @@ func (s *Server) serve(conn net.Conn) error {
 		if err != nil {
 			if sess.evicted.Load() {
 				return nil // reaper closed the connection under us
+			}
+			if isTimeout(err) {
+				// The client stalled mid-epoch: evict quietly, counted.
+				s.mgr.noteDeadlineTimeout()
+				return nil
 			}
 			return err
 		}
@@ -182,6 +215,10 @@ func (s *Server) serve(conn net.Conn) error {
 		}
 		if _, err := WriteFrame(conn, MsgResult, EncodeResult(out)); err != nil {
 			if sess.evicted.Load() {
+				return nil
+			}
+			if isTimeout(err) {
+				s.mgr.noteDeadlineTimeout()
 				return nil
 			}
 			return err

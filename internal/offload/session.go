@@ -69,6 +69,14 @@ type Stats struct {
 	EpochsServed    int64         // epochs across all sessions, ever
 	EpochLatencyAvg time.Duration // mean framework step time per epoch
 
+	// Failure-containment counters (see internal/faultinject and
+	// core.Health): deadline evictions of stalled clients, panics
+	// recovered inside session frameworks, and estimates quarantined
+	// for non-finite output.
+	DeadlineTimeouts     int64
+	SchemePanics         int64
+	QuarantinedEstimates int64
+
 	// StepWorkers is the per-framework scheme-execution worker count
 	// sessions are opened with (<= 1: sequential).
 	StepWorkers int
@@ -91,14 +99,16 @@ type SessionManager struct {
 	sessions map[uint32]*Session
 	nextID   uint32
 
-	opened   atomic.Int64
-	closed   atomic.Int64
-	rejected atomic.Int64
-	evicted  atomic.Int64
-	epochs   atomic.Int64
-	latency  atomic.Int64 // total step time, nanoseconds
+	opened    atomic.Int64
+	closed    atomic.Int64
+	rejected  atomic.Int64
+	evicted   atomic.Int64
+	epochs    atomic.Int64
+	latency   atomic.Int64 // total step time, nanoseconds
+	deadlines atomic.Int64 // sessions evicted at the epoch deadline
 
-	met serverMetrics
+	met    serverMetrics
+	health *core.Health // shared across session frameworks; counters are atomic
 }
 
 // NewSessionManager builds a manager over a framework factory. The
@@ -116,7 +126,15 @@ func NewSessionManager(factory core.FrameworkFactory, maxSessions int, idleTimeo
 		now:         time.Now,
 		sessions:    make(map[uint32]*Session),
 		met:         newServerMetrics(reg),
+		health:      core.NewHealth(reg),
 	}, nil
+}
+
+// noteDeadlineTimeout accounts one session evicted at its epoch
+// deadline.
+func (m *SessionManager) noteDeadlineTimeout() {
+	m.deadlines.Add(1)
+	m.met.deadlineTimeouts.Inc()
 }
 
 // SetStepWorkers sets the per-framework scheme-execution worker count
@@ -153,6 +171,10 @@ func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (
 		// framework fans its schemes out to its own persistent pool.
 		fw.SetParallel(m.stepWorkers)
 	}
+	// Failure containment reports into the server's shared counters: a
+	// panicking or NaN-emitting scheme in any session shows up in
+	// scheme_panics_total / quarantined_estimates_total.
+	fw.SetHealth(m.health)
 	fw.Reset(start)
 
 	s := &Session{
@@ -239,12 +261,15 @@ func (m *SessionManager) EvictIdle() int {
 // sessions.
 func (m *SessionManager) Stats() Stats {
 	st := Stats{
-		Opened:       m.opened.Load(),
-		Closed:       m.closed.Load(),
-		Rejected:     m.rejected.Load(),
-		Evicted:      m.evicted.Load(),
-		EpochsServed: m.epochs.Load(),
-		StepWorkers:  m.stepWorkers,
+		Opened:               m.opened.Load(),
+		Closed:               m.closed.Load(),
+		Rejected:             m.rejected.Load(),
+		Evicted:              m.evicted.Load(),
+		EpochsServed:         m.epochs.Load(),
+		StepWorkers:          m.stepWorkers,
+		DeadlineTimeouts:     m.deadlines.Load(),
+		SchemePanics:         m.health.SchemePanics.Value(),
+		QuarantinedEstimates: m.health.Quarantined.Value(),
 	}
 	if st.EpochsServed > 0 {
 		st.EpochLatencyAvg = time.Duration(m.latency.Load() / st.EpochsServed)

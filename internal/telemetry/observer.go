@@ -15,6 +15,11 @@ type SchemeTrace struct {
 	Sigma      float64 `json:"sigma"`       // σ_ε of the error model
 	Conf       float64 `json:"conf"`        // c = P(Y ≤ τ)
 	Weight     float64 `json:"weight"`      // BMA weight after pruning
+
+	// Failure containment (omitted when clean, so healthy traces are
+	// byte-identical to pre-chaos ones).
+	Panicked    bool `json:"panicked,omitempty"`    // Estimate/Predict panicked; recovered, scheme unavailable
+	Quarantined bool `json:"quarantined,omitempty"` // estimate discarded for NaN/Inf output
 }
 
 // EpochTrace is one structured record per framework epoch: the live
@@ -24,11 +29,12 @@ type SchemeTrace struct {
 // decision, per-scheme availability/confidence/predicted error).
 type EpochTrace struct {
 	Epoch     int     `json:"epoch"`
-	Env       string  `json:"env"`            // indoor / outdoor
-	Tau       float64 `json:"tau"`            // adaptive confidence threshold (m)
-	GPSWanted bool    `json:"gps_wanted"`     // gating decision for the next epoch
-	Best      string  `json:"best,omitempty"` // UniLoc1's selected scheme
-	OK        bool    `json:"ok"`             // at least one scheme was available
+	Env       string  `json:"env"`                // indoor / outdoor
+	Tau       float64 `json:"tau"`                // adaptive confidence threshold (m)
+	GPSWanted bool    `json:"gps_wanted"`         // gating decision for the next epoch
+	Best      string  `json:"best,omitempty"`     // UniLoc1's selected scheme
+	OK        bool    `json:"ok"`                 // at least one scheme was available
+	Fallback  bool    `json:"fallback,omitempty"` // answered from the last good estimate
 
 	ClassifyNS int64 `json:"classify_ns"` // IODetector update
 	PredictNS  int64 `json:"predict_ns"`  // all error-model predictions
