@@ -1,0 +1,253 @@
+package uniloc
+
+// Bit-identity proof for the offload server's batch-per-tick
+// scheduler, at the framework layer where Float64bits can be compared
+// directly. The scheduler's contract is that a precomputed distance
+// cache changes where distance columns are computed, never what they
+// contain: columns are keyed on the pinned snapshot's identity, so a
+// session whose live view has moved on (a crowdsourced compaction
+// landed mid-batch) misses the cache and recomputes locally against
+// its own view — exactly what an unbatched session would have done.
+// This file lives in the root package because internal/offload cannot
+// import internal/experiments (import cycle via experiments/timing).
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/imu"
+	"repro/internal/mapstore"
+	"repro/internal/noise"
+	"repro/internal/regress"
+	"repro/internal/rf"
+	"repro/internal/schemes"
+	"repro/internal/sensing"
+	"repro/internal/world"
+)
+
+// batchTestWorld builds the corridor world the scheduler tests walk:
+// deterministic, three APs, one office hall.
+func batchTestWorld() *world.World {
+	return &world.World{
+		Name:  "batch-identity",
+		Noise: noise.Field{Seed: 8},
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3, Lon: 103.7}},
+		Regions: []world.Region{
+			{Name: "hall", Kind: world.KindOffice, Poly: geo.RectPoly(0, 0, 40, 4), SkyOpenness: 0.05, LightLux: 300, MagNoise: 2, CorridorWidth: 2.5},
+		},
+		APs: []world.Site{
+			{ID: "a0", Pos: geo.Pt(5, 3), TxPowerDBm: 16},
+			{ID: "a1", Pos: geo.Pt(20, 1), TxPowerDBm: 16},
+			{ID: "a2", Pos: geo.Pt(35, 3), TxPowerDBm: 16},
+		},
+	}
+}
+
+// batchTestStore surveys the world and wraps the database in a shared
+// store. Two calls build bit-identical stores.
+func batchTestStore(t *testing.T, w *world.World) *mapstore.Store {
+	t.Helper()
+	db := fingerprint.Survey(w, rf.WiFiModel(), w.APs, 3, rand.New(rand.NewSource(1)))
+	store := mapstore.New(db, mapstore.Config{Name: "wifi", RebuildBatch: 1 << 30})
+	t.Cleanup(store.Close)
+	return store
+}
+
+// batchTestFrameworks builds n identically-seeded wifi+PDR frameworks
+// over the given store; framework i in one group is the exact twin of
+// framework i in any other group built from this function.
+func batchTestFrameworks(t *testing.T, w *world.World, store *mapstore.Store, n int) []*core.Framework {
+	t.Helper()
+	ms := core.NewModelSet()
+	for _, name := range []string{schemes.NameWiFi, schemes.NameMotion} {
+		for _, env := range []core.EnvClass{core.EnvIndoor, core.EnvOutdoor} {
+			ms.Put(&core.ErrorModel{
+				Scheme: name, Env: env, Features: nil,
+				Reg: &regress.Result{HasIntercept: true, Intercept: 3, ResidStd: 2},
+			})
+		}
+	}
+	fws := make([]*core.Framework, n)
+	for i := range fws {
+		ss := []schemes.Scheme{
+			schemes.NewWiFi(store),
+			schemes.NewPDR(w, schemes.DefaultPDRConfig(), rand.New(rand.NewSource(int64(2+i)))),
+		}
+		fw, err := core.NewFramework(ss, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw.Reset(geo.Pt(2, 1+float64(i)*0.7))
+		fws[i] = fw
+	}
+	return fws
+}
+
+// batchTestWalks precomputes one deterministic corridor walk per
+// session.
+func batchTestWalks(w *world.World, n, epochs int) [][]*sensing.Snapshot {
+	model := rf.WiFiModel()
+	walks := make([][]*sensing.Snapshot, n)
+	for i := range walks {
+		rnd := rand.New(rand.NewSource(int64(50 + i)))
+		pos := geo.Pt(2, 1+float64(i)*0.7)
+		walks[i] = make([]*sensing.Snapshot, epochs)
+		for k := 0; k < epochs; k++ {
+			pos = pos.Add(geo.Pt(0.7, 0))
+			walks[i][k] = &sensing.Snapshot{
+				Epoch:    k,
+				WiFi:     model.Scan(w, w.APs, pos, rf.Reference(), rnd),
+				Step:     &imu.StepEvent{LengthM: 0.7, HeadingR: 0, PeriodS: 0.5},
+				LightLux: 300,
+				MagVarUT: 2.2,
+			}
+		}
+	}
+	return walks
+}
+
+// precomputeBatch mirrors the scheduler's fused pass: one columnar
+// AppendDistancesBatch over every distinct observation in the batch,
+// keyed on the snapshot pinned at batch start.
+func precomputeBatch(snap *mapstore.Snapshot, obs []rf.Vector) *fingerprint.DistCache {
+	var uniq []rf.Vector
+	seen := make(map[string]struct{}, len(obs))
+	for _, o := range obs {
+		if len(o) < 2 {
+			continue
+		}
+		k := fingerprint.ObsKey(o)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		uniq = append(uniq, o)
+	}
+	if len(uniq) == 0 {
+		return nil
+	}
+	cache := fingerprint.NewDistCache()
+	cols := snap.AppendDistancesBatch(uniq)
+	for i, o := range uniq {
+		cache.Put(snap, o, cols[i])
+	}
+	return cache
+}
+
+// stepGroup steps the given frameworks concurrently (one goroutine
+// each, as the scheduler's worker pool does) and records each result.
+func stepGroup(fws []*core.Framework, snaps []*sensing.Snapshot, out []core.StepResult) {
+	var wg sync.WaitGroup
+	for i := range fws {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = fws[i].Step(snaps[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestBatchedStepBitIdenticalAcrossSnapshotSwap walks four sessions
+// through batched stepping — shared precomputed distance cache, one
+// goroutine per session — against four isolated twins stepped with no
+// cache at all, and requires every Best/BMA coordinate to match to the
+// last bit. At the swap epoch a crowdsourced survey is compacted in
+// after half the batch has stepped, so the remaining sessions run with
+// a cache pinned to the superseded snapshot: the pointer key misses
+// and they must recompute locally against the new version, exactly as
+// their unbatched twins do.
+func TestBatchedStepBitIdenticalAcrossSnapshotSwap(t *testing.T) {
+	const nSessions = 4
+	const epochs = 14
+	const swapAt = 7
+	const splitAt = 2 // sessions [0,2) step before the swap, [2,4) after
+
+	survey := fingerprint.Fingerprint{
+		Pos: geo.Pt(12, 2),
+		Vec: rf.Vector{{ID: "a0", RSSI: -52}, {ID: "a1", RSSI: -58}},
+	}
+	w := batchTestWorld()
+	walks := batchTestWalks(w, nSessions, epochs)
+
+	batStore := batchTestStore(t, w)
+	refStore := batchTestStore(t, w)
+	bat := batchTestFrameworks(t, w, batStore, nSessions)
+	ref := batchTestFrameworks(t, w, refStore, nSessions)
+
+	var totalHits int64
+	for k := 0; k < epochs; k++ {
+		epochSnaps := make([]*sensing.Snapshot, nSessions)
+		obs := make([]rf.Vector, nSessions)
+		for i := range epochSnaps {
+			epochSnaps[i] = walks[i][k]
+			obs[i] = epochSnaps[i].WiFi
+		}
+
+		// Batched group: fused precompute against the pinned snapshot.
+		pinned := batStore.Snapshot()
+		cache := precomputeBatch(pinned, obs)
+		for _, fw := range bat {
+			fw.SetDistCache(cache)
+		}
+		batRes := make([]core.StepResult, nSessions)
+		if k == swapAt {
+			stepGroup(bat[:splitAt], epochSnaps[:splitAt], batRes[:splitAt])
+			if err := batStore.Submit(survey); err != nil {
+				t.Fatal(err)
+			}
+			if v := batStore.Rebuild(); v < 2 {
+				t.Fatalf("rebuild did not advance the version (got %d)", v)
+			}
+			// The straddling half: live view is now v2, cache is v1.
+			stepGroup(bat[splitAt:], epochSnaps[splitAt:], batRes[splitAt:])
+		} else {
+			stepGroup(bat, epochSnaps, batRes)
+		}
+		for _, fw := range bat {
+			fw.SetDistCache(nil)
+		}
+		totalHits += cache.Hits()
+
+		// Reference group: identical swap boundary, no cache.
+		refRes := make([]core.StepResult, nSessions)
+		if k == swapAt {
+			stepGroup(ref[:splitAt], epochSnaps[:splitAt], refRes[:splitAt])
+			if err := refStore.Submit(survey); err != nil {
+				t.Fatal(err)
+			}
+			refStore.Rebuild()
+			stepGroup(ref[splitAt:], epochSnaps[splitAt:], refRes[splitAt:])
+		} else {
+			stepGroup(ref, epochSnaps, refRes)
+		}
+
+		for i := range batRes {
+			b, r := batRes[i], refRes[i]
+			for _, c := range [][2]float64{
+				{b.BMA.X, r.BMA.X}, {b.BMA.Y, r.BMA.Y},
+				{b.Best.X, r.Best.X}, {b.Best.Y, r.Best.Y},
+				{b.Tau, r.Tau},
+			} {
+				if math.Float64bits(c[0]) != math.Float64bits(c[1]) {
+					t.Fatalf("session %d epoch %d: batched %x != unbatched %x (%v vs %v)",
+						i, k, math.Float64bits(c[0]), math.Float64bits(c[1]), c[0], c[1])
+				}
+			}
+			if b.BestIdx != r.BestIdx || b.OK != r.OK || b.Env != r.Env {
+				t.Fatalf("session %d epoch %d: metadata diverged: %+v vs %+v", i, k, b, r)
+			}
+		}
+	}
+	if totalHits == 0 {
+		t.Fatal("distance cache never hit — the batched path was not exercised")
+	}
+	if batStore.Version() == 1 {
+		t.Fatal("snapshot version never swapped")
+	}
+}

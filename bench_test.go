@@ -11,9 +11,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -558,6 +561,93 @@ func BenchmarkResample(b *testing.B) {
 	}
 }
 
+// benchOffloadServer measures end-to-end offload-server throughput:
+// nc concurrent clients replay the same campus walk over TCP, each
+// behind its own session framework reading the shared wifi/cell map
+// stores. batchTick > 0 turns on the batch-per-tick scheduler, so the
+// same workload is served via fused per-batch distance passes.
+func benchOffloadServer(b *testing.B, nc int, batchTick time.Duration) {
+	b.Helper()
+	s := getSuite(b)
+	tr, err := s.Lab.Trained()
+	if err != nil {
+		b.Fatal(err)
+	}
+	campus := s.Lab.Campus()
+	wifiStore := mapstore.New(campus.WiFiDB, mapstore.Config{Name: "bench-wifi"})
+	cellStore := mapstore.New(campus.CellDB, mapstore.Config{Name: "bench-cell"})
+	defer wifiStore.Close()
+	defer cellStore.Close()
+
+	var seed atomic.Int64
+	factory := func() (*core.Framework, error) {
+		ss := campus.SchemesOver(wifiStore, cellStore, rand.New(rand.NewSource(100+seed.Add(1))))
+		return core.NewFramework(ss, tr.Models)
+	}
+	cfg := offload.ServerConfig{Factory: factory}
+	if batchTick > 0 {
+		cfg.BatchTick = batchTick
+		cfg.BatchStores = map[byte]*mapstore.Store{
+			offload.MapWiFi:     wifiStore,
+			offload.MapCellular: cellStore,
+		}
+	}
+	srv, err := offload.NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.ListenAndServe(ln, nil)
+	defer func() { _ = ln.Close() }()
+
+	path, _ := campus.Place.PathByName("path1")
+	start, _ := path.Line.At(0)
+	wk := NewWalker(campus.Place.World, path, campus.DefaultWalkerConfig(), rand.New(rand.NewSource(11)))
+	var snaps []*sensing.Snapshot
+	for !wk.Done() {
+		snap, _ := wk.Next(true)
+		snaps = append(snaps, snap)
+	}
+
+	clients := make([]*offload.Client, nc)
+	for i := range clients {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = conn.Close() }()
+		clients[i] = offload.NewClient(conn)
+		if err := clients[i].Hello(start); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / nc
+	if per == 0 {
+		per = 1
+	}
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *offload.Client) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := c.Localize(snaps[i%len(snaps)]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.ReportMetric(float64(per*nc)/b.Elapsed().Seconds(), "epochs/s")
+}
+
 // --- BENCH_epoch.json: the machine-readable perf trajectory of the
 // per-epoch hot path, recorded once per perf-relevant PR.
 
@@ -579,6 +669,7 @@ type epochBenchFile struct {
 	GOARCH      string            `json:"goarch"`
 	CPUs        int               `json:"cpus"`
 	StepWorkers int               `json:"step_workers"`
+	Degraded    bool              `json:"degraded"`
 	Note        string            `json:"note,omitempty"`
 	Benchmarks  []epochBenchEntry `json:"benchmarks"`
 }
@@ -610,14 +701,25 @@ func TestRecordEpochBench(t *testing.T) {
 			AllocsPerOp: r.AllocsPerOp(),
 		}
 	}
+	degraded := runtime.NumCPU() < benchStepWorkers
+	if degraded {
+		msg := fmt.Sprintf("BENCH DEGRADED: %d cpus < %d step workers — parallel and batched "+
+			"rows measure scheduling overhead, not speedup; do not compare across machines",
+			runtime.NumCPU(), benchStepWorkers)
+		t.Log(msg)
+		fmt.Fprintln(os.Stderr, msg)
+	}
 	doc := epochBenchFile{
 		Schema:      "uniloc-bench-epoch/v1",
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
 		StepWorkers: benchStepWorkers,
+		Degraded:    degraded,
 		Note: "framework_step_par vs framework_step_seq is the parallel pipeline's " +
-			"speedup; it only materializes when cpus >= 4 (one core per heavy scheme).",
+			"speedup; it only materializes when cpus >= 4 (one core per heavy scheme). " +
+			"server_epoch_64c_* rows need cpus >= 4 as well for the batched scheduler " +
+			"to show its multicore win.",
 		Benchmarks: []epochBenchEntry{
 			row("framework_step_seq", func(b *testing.B) { benchFrameworkStep(b) }),
 			row("framework_step_par", func(b *testing.B) {
@@ -636,6 +738,12 @@ func TestRecordEpochBench(t *testing.T) {
 				for i := 0; i < b.N; i++ {
 					snap.Nearest(obs[i%len(obs)], 3)
 				}
+			}),
+			row("server_epoch_64c_unbatched", func(b *testing.B) {
+				benchOffloadServer(b, 64, 0)
+			}),
+			row("server_epoch_64c_batched", func(b *testing.B) {
+				benchOffloadServer(b, 64, 200*time.Microsecond)
 			}),
 		},
 	}

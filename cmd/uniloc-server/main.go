@@ -55,6 +55,8 @@ func main() {
 	rebuildBatch := flag.Int("rebuild-batch", 256, "pending survey points that trigger a background snapshot rebuild")
 	rebuildEvery := flag.Duration("rebuild-every", 30*time.Second, "also rebuild snapshots on this timer so trickles land (0 = batch-only)")
 	stepWorkers := flag.Int("step-workers", 0, "per-session scheme-execution workers (core.WithParallel); <= 1 runs schemes sequentially, results are bit-identical either way")
+	batchTick := flag.Duration("batch-tick", 0, "batch-per-tick scheduler: collect ready epochs from all sessions for this long and step them as one fused batch (0 = per-connection stepping; requires -shared-map for the fused distance pass)")
+	batchWorkers := flag.Int("batch-workers", 0, "sessions stepped concurrently per batch (<= 0 = NumCPU)")
 	flag.Parse()
 
 	cfg := serverOpts{
@@ -70,6 +72,8 @@ func main() {
 		rebuildBatch: *rebuildBatch,
 		rebuildEvery: *rebuildEvery,
 		stepWorkers:  *stepWorkers,
+		batchTick:    *batchTick,
+		batchWorkers: *batchWorkers,
 	}
 	if err := run(cfg); err != nil {
 		log.Fatalf("uniloc-server: %v", err)
@@ -89,6 +93,8 @@ type serverOpts struct {
 	rebuildBatch      int
 	rebuildEvery      time.Duration
 	stepWorkers       int
+	batchTick         time.Duration
+	batchWorkers      int
 }
 
 func run(opts serverOpts) error {
@@ -106,7 +112,7 @@ func run(opts serverOpts) error {
 	// collapse into two versioned stores every session reads through
 	// atomic snapshots.
 	var sessionSeq atomic.Int64
-	var stores map[byte]*mapstore.Store
+	var stores, batchStores map[byte]*mapstore.Store
 	factory := func() (*core.Framework, error) {
 		n := sessionSeq.Add(1)
 		rnd := rand.New(rand.NewSource(opts.seed + 7 + n))
@@ -132,11 +138,14 @@ func run(opts serverOpts) error {
 			ss := campus.SchemesOver(wifiStore, cellStore, rnd)
 			return core.NewFramework(ss, tr.Models)
 		}
+		// The batch scheduler's fused distance pass always reads the
+		// shared stores; survey ingestion stays gated on -ingest.
+		batchStores = map[byte]*mapstore.Store{
+			offload.MapWiFi:     wifiStore,
+			offload.MapCellular: cellStore,
+		}
 		if opts.ingest {
-			stores = map[byte]*mapstore.Store{
-				offload.MapWiFi:     wifiStore,
-				offload.MapCellular: cellStore,
-			}
+			stores = batchStores
 		}
 	} else if opts.ingest {
 		return fmt.Errorf("-ingest requires -shared-map")
@@ -150,17 +159,21 @@ func run(opts serverOpts) error {
 		Metrics:      reg,
 		MapStores:    stores,
 		StepWorkers:  opts.stepWorkers,
+		BatchTick:    opts.batchTick,
+		BatchWorkers: opts.batchWorkers,
+		BatchStores:  batchStores,
 	})
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, epoch-timeout=%v, shared-map=%v, ingest=%v, step-workers=%d)",
-		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.epochTimeout, opts.sharedMap, opts.ingest, opts.stepWorkers)
+	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, epoch-timeout=%v, shared-map=%v, ingest=%v, step-workers=%d, batch-tick=%v)",
+		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.epochTimeout, opts.sharedMap, opts.ingest, opts.stepWorkers, opts.batchTick)
 
 	// Optional exposition endpoint: Prometheus + JSON metrics, expvar,
 	// pprof.

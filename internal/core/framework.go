@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fingerprint"
 	"repro/internal/geo"
 	"repro/internal/iodetector"
 	"repro/internal/schemes"
@@ -137,6 +138,21 @@ func NewFramework(ss []schemes.Scheme, models *ModelSet, opts ...Option) (*Frame
 
 // Schemes returns the framework's scheme list.
 func (f *Framework) Schemes() []schemes.Scheme { return f.schemes }
+
+// SetDistCache forwards a shared per-batch fingerprint-distance cache
+// to every scheme that can consume one (schemes.DistCacheUser); nil
+// clears it. The batch scheduler installs the cache before stepping a
+// session and the framework is driven from one goroutine per session,
+// so no synchronization beyond the scheduler's own happens-before edge
+// is needed. Cache hits and misses produce identical floats, so this
+// never changes a Step result — only the work done to compute it.
+func (f *Framework) SetDistCache(c *fingerprint.DistCache) {
+	for _, s := range f.schemes {
+		if u, ok := s.(schemes.DistCacheUser); ok {
+			u.SetDistCache(c)
+		}
+	}
+}
 
 // Models returns the framework's model set.
 func (f *Framework) Models() *ModelSet { return f.models }

@@ -1,0 +1,112 @@
+package fingerprint
+
+import (
+	"encoding/binary"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/rf"
+)
+
+// DistCache is a shared, per-batch cache of fingerprint distance
+// columns: for a (pinned Reader, observation) pair it holds the exact
+// slice AppendDistances would produce, computed once and read by every
+// scheme in the batch that would otherwise recompute it.
+//
+// The cache is filled single-threaded (the batch scheduler precomputes
+// columns before dispatching sessions) and then read concurrently;
+// Put must never race with Lookup. Cached slices are shared and must
+// be treated as immutable by consumers — the HMM tracker and the top-k
+// selection only read their input, so handing them a shared column is
+// safe.
+//
+// Keying is by Reader interface identity, not map version: a pinned
+// view is one concrete snapshot pointer, so two stores whose version
+// counters happen to collide (every store starts at 1) can never serve
+// each other's columns, and a snapshot swap landing mid-batch simply
+// stops matching — the consumer falls back to computing against its
+// freshly pinned view with the exact same float sequence. That makes
+// batched execution bit-identical to unbatched by construction.
+type DistCache struct {
+	m      map[distKey][]float64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// distKey identifies one cached column: the pinned view (interface
+// identity — the underlying snapshot pointer) plus the canonical
+// observation key.
+type distKey struct {
+	view Reader
+	obs  string
+}
+
+// NewDistCache returns an empty cache.
+func NewDistCache() *DistCache {
+	return &DistCache{m: make(map[distKey][]float64)}
+}
+
+// ObsKey builds the canonical cache key for an observation: each entry
+// contributes its ID (length-prefixed, so concatenation is unambiguous)
+// and the Float64bits of its RSSI. Two observations share a key iff
+// AppendDistances would produce identical columns for them.
+func ObsKey(obs rf.Vector) string {
+	var b []byte
+	var tmp [binary.MaxVarintLen64]byte
+	for _, o := range obs {
+		n := binary.PutUvarint(tmp[:], uint64(len(o.ID)))
+		b = append(b, tmp[:n]...)
+		b = append(b, o.ID...)
+		binary.BigEndian.PutUint64(tmp[:8], math.Float64bits(o.RSSI))
+		b = append(b, tmp[:8]...)
+	}
+	return string(b)
+}
+
+// Put stores the distance column for (view, obs). Only the batch
+// scheduler calls Put, before any concurrent Lookup starts.
+func (c *DistCache) Put(view Reader, obs rf.Vector, dists []float64) {
+	if c == nil {
+		return
+	}
+	c.m[distKey{view: view, obs: ObsKey(obs)}] = dists
+}
+
+// Lookup returns the cached column for (view, obs), or nil on a miss.
+// The returned slice is shared: callers must not modify it. A nil
+// cache always misses without counting.
+func (c *DistCache) Lookup(view Reader, obs rf.Vector) []float64 {
+	if c == nil {
+		return nil
+	}
+	if d, ok := c.m[distKey{view: view, obs: ObsKey(obs)}]; ok {
+		c.hits.Add(1)
+		return d
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+// Len returns the number of cached columns.
+func (c *DistCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.m)
+}
+
+// Hits returns how many lookups were served from the cache.
+func (c *DistCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses returns how many lookups fell through to local computation.
+func (c *DistCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}

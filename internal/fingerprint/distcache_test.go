@@ -1,0 +1,79 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rf"
+)
+
+func cacheTestDB(seed float64) *DB {
+	return &DB{
+		SpacingM: 3,
+		Floor:    -98,
+		Points: []Fingerprint{
+			{Pos: geo.Pt(0, 0), Vec: rf.Vector{{ID: "a", RSSI: -40 - seed}, {ID: "b", RSSI: -60}}},
+			{Pos: geo.Pt(3, 0), Vec: rf.Vector{{ID: "a", RSSI: -55}, {ID: "b", RSSI: -45 - seed}}},
+		},
+	}
+}
+
+// TestDistCacheKeying pins the cache's identity contract: a hit
+// requires the same Reader interface value AND byte-identical
+// observations. A different view of equal content, or an observation
+// differing in one RSSI bit, must miss — that miss is what keeps
+// batched stepping bit-identical across a mid-batch snapshot swap.
+func TestDistCacheKeying(t *testing.T) {
+	v1 := cacheTestDB(0)
+	v2 := cacheTestDB(1) // a different (newer) map version
+	obs := rf.Vector{{ID: "a", RSSI: -47.25}, {ID: "b", RSSI: -52.5}}
+	dists := AppendDistances(v1, nil, obs)
+
+	c := NewDistCache()
+	c.Put(v1, obs, dists)
+
+	got := c.Lookup(v1, obs)
+	if got == nil {
+		t.Fatal("same view + same obs must hit")
+	}
+	for i := range dists {
+		if math.Float64bits(got[i]) != math.Float64bits(dists[i]) {
+			t.Fatalf("hit returned different floats at %d", i)
+		}
+	}
+	if c.Lookup(v2, obs) != nil {
+		t.Fatal("different view must miss, even for the same obs")
+	}
+	obs2 := append(rf.Vector(nil), obs...)
+	obs2[0].RSSI = math.Nextafter(obs2[0].RSSI, 0)
+	if c.Lookup(v1, obs2) != nil {
+		t.Fatal("one-ulp RSSI change must miss")
+	}
+	if c.Lookup(v1, obs[:1]) != nil {
+		t.Fatal("prefix obs must miss (length is part of the key)")
+	}
+	if c.Hits() != 1 || c.Misses() != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 1/3", c.Hits(), c.Misses())
+	}
+
+	// Nil receiver is a no-op lookup, as the uncached path relies on.
+	var nilCache *DistCache
+	if nilCache.Lookup(v1, obs) != nil {
+		t.Fatal("nil cache must miss")
+	}
+}
+
+// TestObsKeyCanonical: keys are injective over (ID, RSSI) sequences —
+// concatenation ambiguity between adjacent IDs must not produce
+// colliding keys.
+func TestObsKeyCanonical(t *testing.T) {
+	a := ObsKey(rf.Vector{{ID: "ab", RSSI: -50}, {ID: "c", RSSI: -60}})
+	b := ObsKey(rf.Vector{{ID: "a", RSSI: -50}, {ID: "bc", RSSI: -60}})
+	if a == b {
+		t.Fatal("ObsKey collided across different ID splits")
+	}
+	if ObsKey(nil) != ObsKey(rf.Vector{}) {
+		t.Fatal("empty vectors must share a key")
+	}
+}

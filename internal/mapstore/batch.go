@@ -1,0 +1,58 @@
+package mapstore
+
+import (
+	"math"
+
+	"repro/internal/fingerprint"
+	"repro/internal/rf"
+)
+
+// AppendDistancesBatch computes the full distance column for several
+// observations against this snapshot in one point-major pass: each
+// interned fingerprint row is walked once per query while it is hot,
+// instead of once per (session, scheme) consumer. Entry [q] holds the
+// same values, in the same order, as AppendDistances(nil, obs[q]) —
+// bit-identical, since every (query, point) pair runs the exact float
+// operation sequence of distSqInterned either way. Observations naming
+// a transmitter the map has never heard fall back to the linear path
+// per query, exactly as the single-observation entry points do.
+func (s *Snapshot) AppendDistancesBatch(obs []rf.Vector) [][]float64 {
+	out := make([][]float64, len(obs))
+	n := s.Len()
+	type query struct {
+		qi   int
+		ids  []int32
+		rssi []float64
+	}
+	interned := make([]query, 0, len(obs))
+	for qi, o := range obs {
+		s.met.lookup(opDistances)
+		ids, rssi, ok := s.intern(o)
+		if !ok {
+			out[qi] = s.db.AppendDistances(make([]float64, 0, n), o)
+			continue
+		}
+		out[qi] = make([]float64, n)
+		interned = append(interned, query{qi: qi, ids: ids, rssi: rssi})
+	}
+	for i := 0; i < n; i++ {
+		pt := int32(i)
+		for _, q := range interned {
+			out[q.qi][i] = math.Sqrt(s.distSqInterned(q.ids, q.rssi, pt))
+		}
+	}
+	return out
+}
+
+// NearestBatch answers one Nearest query per observation. Each query
+// keeps the snapshot's signal-space cell pruning (already per-query
+// optimal), so the batch entry point exists for call-site symmetry
+// with AppendDistancesBatch rather than for a fused kernel; results
+// are bit-identical to per-query Nearest calls.
+func (s *Snapshot) NearestBatch(obs []rf.Vector, k int) [][]fingerprint.Match {
+	out := make([][]fingerprint.Match, len(obs))
+	for i, o := range obs {
+		out[i] = s.Nearest(o, k)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package mapstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rf"
+)
+
+// TestBatchKernelsMatchPerQuery pins the batch scheduler's kernel
+// contract: AppendDistancesBatch and NearestBatch must return exactly
+// — Float64bits exactly — what the per-query paths return, for every
+// query, including ones with unknown transmitters (the intern-fallback
+// path) and sub-audible vectors.
+func TestBatchKernelsMatchPerQuery(t *testing.T) {
+	db := synthDB(300, 30, 5)
+	snap := Build(db, 1, 0, nil)
+	rnd := rand.New(rand.NewSource(77))
+
+	queries := make([]rf.Vector, 0, 40)
+	for i := 0; i < 36; i++ {
+		queries = append(queries, randObs(db, rnd))
+	}
+	// Adversarial tails: an unknown transmitter (intern fails, the
+	// batch pass must fall back to the linear scan for that query
+	// only), a duplicate of query 0, and a single-entry vector.
+	queries = append(queries,
+		rf.Vector{{ID: "not-a-real-ap", RSSI: -55}, {ID: "ap-001", RSSI: -60}},
+		append(rf.Vector(nil), queries[0]...),
+		rf.Vector{{ID: "ap-002", RSSI: -48}},
+	)
+
+	cols := snap.AppendDistancesBatch(queries)
+	if len(cols) != len(queries) {
+		t.Fatalf("got %d columns for %d queries", len(cols), len(queries))
+	}
+	for qi, obs := range queries {
+		want := snap.AppendDistances(nil, obs)
+		if len(cols[qi]) != len(want) {
+			t.Fatalf("query %d: column length %d, want %d", qi, len(cols[qi]), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(cols[qi][i]) != math.Float64bits(want[i]) {
+				t.Fatalf("query %d point %d: batch %v != per-query %v", qi, i, cols[qi][i], want[i])
+			}
+		}
+	}
+
+	for _, k := range []int{1, 3, 10} {
+		batch := snap.NearestBatch(queries, k)
+		for qi, obs := range queries {
+			want := snap.Nearest(obs, k)
+			if !eqMatches(batch[qi], want) {
+				t.Fatalf("k=%d query %d: NearestBatch diverged from Nearest", k, qi)
+			}
+		}
+	}
+
+	// Empty batch stays well-defined.
+	if out := snap.AppendDistancesBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d columns", len(out))
+	}
+}

@@ -78,10 +78,13 @@ type Client struct {
 	lastPos  geo.Point // last served position: the reconnect handshake resumes here
 	hasPos   bool
 
+	seq uint32 // per-session epoch sequence number (v4); 0 = none sent
+
 	bytesUp    int
 	bytesDown  int
 	epochs     int
 	reconnects int
+	resumes    int
 
 	met clientMetrics
 }
@@ -138,6 +141,11 @@ func (c *Client) Epochs() int { return c.epochs }
 // Reconnects returns how many times the client has successfully
 // re-established and re-handshaken its session.
 func (c *Client) Reconnects() int { return c.reconnects }
+
+// Resumes returns how many re-handshakes the server answered with
+// Welcome.Resumed — reconnects that re-attached the server-side
+// session instead of opening a fresh one (v4).
+func (c *Client) Resumes() int { return c.resumes }
 
 // SessionID returns the server-assigned session ID (0 before Hello).
 func (c *Client) SessionID() uint32 { return c.sessionID }
@@ -200,6 +208,9 @@ func (c *Client) Hello(start geo.Point) error {
 	}
 	c.sessionID = w.SessionID
 	c.helloed = true
+	if w.Resumed {
+		c.resumes++
+	}
 	return nil
 }
 
@@ -215,6 +226,11 @@ func (c *Client) Localize(snap *sensing.Snapshot) (*Result, error) {
 			return nil, err
 		}
 	}
+	// One sequence number per logical epoch, shared by every retry of
+	// it: when a reconnect re-attaches the server session, a re-sent
+	// epoch whose result was already computed is answered from the
+	// server's per-seq cache instead of being re-stepped.
+	c.seq++
 	res, err := c.localizeOnce(snap)
 	if err == nil {
 		return res, nil
@@ -272,8 +288,13 @@ func (c *Client) retryEpoch(snap *sensing.Snapshot, firstErr error) (*Result, er
 }
 
 // resumePoint is where a (re)handshake starts the server-side
-// framework: the last served position when one exists (the walk is
-// mid-flight), else the original start, else the map origin.
+// framework when the server opens a fresh session: the last served
+// position when one exists (the walk is mid-flight), else the original
+// start, else the map origin. A v4 server that still holds the
+// detached session ignores this and resumes the framework exactly
+// where it left off — restarting at lastPos (plus re-stepping the
+// in-flight epoch) is the double-advance bug the sequence numbers
+// close.
 func (c *Client) resumePoint() geo.Point {
 	if c.hasPos {
 		return c.lastPos
@@ -320,7 +341,7 @@ func (c *Client) localizeOnce(snap *sensing.Snapshot) (*Result, error) {
 			return nil, err
 		}
 	}
-	if err := write(MsgContext, EncodeContext(snap)); err != nil {
+	if err := write(MsgContext, EncodeContextSeq(snap, c.seq)); err != nil {
 		return nil, err
 	}
 	if err := write(MsgEpochEnd, nil); err != nil {

@@ -22,6 +22,24 @@ type serverMetrics struct {
 	surveysIngested  *telemetry.Counter
 	surveysDropped   *telemetry.Counter
 	deadlineTimeouts *telemetry.Counter
+
+	// Batch scheduler instruments (BatchTick > 0).
+	batchTicks      *telemetry.Counter
+	batchSize       *telemetry.Histogram
+	batchOccupancy  *telemetry.Gauge
+	distCacheHits   *telemetry.Counter
+	distCacheMisses *telemetry.Counter
+	distCacheCols   *telemetry.Counter
+
+	// Protocol v4 resume instruments.
+	sessionsDetached *telemetry.Counter
+	sessionsResumed  *telemetry.Counter
+	epochsReplayed   *telemetry.Counter
+}
+
+// batchSizeBuckets cover 1..maxBatch sessions per tick.
+func batchSizeBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
@@ -39,5 +57,16 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		surveysIngested:  reg.Counter("uniloc_surveys_ingested_total", "crowdsourced survey points accepted into a shared map store"),
 		surveysDropped:   reg.Counter("uniloc_surveys_dropped_total", "survey submissions rejected (unknown map, no store, or unusable vector)"),
 		deadlineTimeouts: reg.Counter("deadline_timeouts_total", "protocol reads/writes that hit their deadline"),
+
+		batchTicks:      reg.Counter("uniloc_batch_ticks_total", "batches executed by the batch-per-tick scheduler"),
+		batchSize:       reg.Histogram("uniloc_batch_size", "sessions stepped per batch tick", batchSizeBuckets()),
+		batchOccupancy:  reg.Gauge("uniloc_batch_occupancy", "last batch size over active sessions"),
+		distCacheHits:   reg.Counter("uniloc_distcache_hits_total", "scheme distance columns served from the shared batch cache"),
+		distCacheMisses: reg.Counter("uniloc_distcache_misses_total", "scheme distance lookups computed locally during a batch"),
+		distCacheCols:   reg.Counter("uniloc_distcache_columns_total", "unique distance columns precomputed across batches"),
+
+		sessionsDetached: reg.Counter("uniloc_sessions_detached_total", "v4 sessions parked for resume after a transport error"),
+		sessionsResumed:  reg.Counter("uniloc_sessions_resumed_total", "v4 re-handshakes re-attached to a detached session"),
+		epochsReplayed:   reg.Counter("uniloc_epochs_replayed_total", "duplicate epochs answered from the per-seq result cache without re-stepping"),
 	}
 }

@@ -46,8 +46,13 @@ const (
 // ProtocolVersion is the current wire version. Version 2 added the
 // session handshake (MsgHello/MsgWelcome) and the availability flag on
 // Result; version 3 added crowdsourced survey submissions (MsgSurvey)
-// feeding the server's shared map store.
-const ProtocolVersion = 3
+// feeding the server's shared map store; version 4 added the
+// per-session epoch sequence number on MsgContext and the Resumed flag
+// on MsgWelcome, making reconnect-replayed epochs idempotent (the
+// server answers a repeated seq from its cached result instead of
+// re-stepping, and a re-handshake under the same client ID re-attaches
+// the detached session's framework state).
+const ProtocolVersion = 4
 
 // Survey map identifiers: which shared radio map a crowdsourced survey
 // point belongs to.
@@ -193,23 +198,44 @@ func DecodeFix(b []byte) (*gnss.Fix, error) {
 	return f, nil
 }
 
-// EncodeContext packs the epoch header: epoch (uint32), light lux
-// (float32), magnetic variance (float32), gpsEnabled flag.
+// EncodeContext packs the epoch header with sequence number zero
+// (callers that do not track per-session sequences, e.g. byte-count
+// models; seq 0 never matches the server's replay cache). See
+// EncodeContextSeq for the full v4 layout.
 func EncodeContext(s *sensing.Snapshot) []byte {
-	out := make([]byte, 4+4+4+1)
+	return EncodeContextSeq(s, 0)
+}
+
+// EncodeContextSeq packs the v4 epoch header: epoch (uint32), light
+// lux (float32), magnetic variance (float32), gpsEnabled flag, then
+// the per-session epoch sequence number (uint32). The sequence number
+// identifies this epoch across reconnects so a result computed but
+// lost in flight is re-answered, never re-stepped.
+func EncodeContextSeq(s *sensing.Snapshot, seq uint32) []byte {
+	out := make([]byte, 4+4+4+1+4)
 	binary.BigEndian.PutUint32(out[0:], uint32(s.Epoch))
 	binary.BigEndian.PutUint32(out[4:], math.Float32bits(float32(s.LightLux)))
 	binary.BigEndian.PutUint32(out[8:], math.Float32bits(float32(s.MagVarUT)))
 	if s.GPSEnabled {
 		out[12] = 1
 	}
+	binary.BigEndian.PutUint32(out[13:], seq)
 	return out
 }
 
-// DecodeContext unpacks the epoch header into a fresh snapshot.
+// DecodeContext unpacks the epoch header into a fresh snapshot,
+// discarding the sequence number.
 func DecodeContext(b []byte) (*sensing.Snapshot, error) {
-	if len(b) != 13 {
-		return nil, fmt.Errorf("%w: context must be 13 bytes, got %d", ErrProtocol, len(b))
+	s, _, err := DecodeContextSeq(b)
+	return s, err
+}
+
+// DecodeContextSeq unpacks a v4 (17-byte) or v3 (13-byte) epoch
+// header. v3 frames carry no sequence number and report seq 0, which
+// is never cached — pre-v4 clients keep their exact old semantics.
+func DecodeContextSeq(b []byte) (*sensing.Snapshot, uint32, error) {
+	if len(b) != 13 && len(b) != 17 {
+		return nil, 0, fmt.Errorf("%w: context must be 13 or 17 bytes, got %d", ErrProtocol, len(b))
 	}
 	s := &sensing.Snapshot{
 		Epoch:    int(binary.BigEndian.Uint32(b[0:])),
@@ -218,7 +244,11 @@ func DecodeContext(b []byte) (*sensing.Snapshot, error) {
 	}
 	s.GPSEnabled = b[12] == 1
 	s.T = time.Duration(s.Epoch) * sensing.EpochPeriod
-	return s, nil
+	var seq uint32
+	if len(b) == 17 {
+		seq = binary.BigEndian.Uint32(b[13:])
+	}
+	return s, seq, nil
 }
 
 // EncodeLandmark packs a landmark hit: [uint8 idLen][id][float32 x]
@@ -350,16 +380,22 @@ type Welcome struct {
 	OK        bool
 	SessionID uint32
 	Reason    string
+	// Resumed (v4) reports that this handshake re-attached a detached
+	// session: the server kept the walk's framework state, so the
+	// client should re-send any epoch whose result it never received.
+	Resumed bool
 }
 
 // EncodeWelcome packs a welcome frame: [version][ok][uint32 session]
-// [uint8 reasonLen][reason].
+// [uint8 reasonLen][reason][resumed]. The trailing resumed byte is new
+// in v4; pre-v4 decoders ignore trailing bytes, so the frame stays
+// backward compatible.
 func EncodeWelcome(w *Welcome) []byte {
 	reason := w.Reason
 	if len(reason) > 255 {
 		reason = reason[:255]
 	}
-	out := make([]byte, 0, 1+1+4+1+len(reason))
+	out := make([]byte, 0, 1+1+4+1+len(reason)+1)
 	out = append(out, w.Version)
 	if w.OK {
 		out = append(out, 1)
@@ -371,10 +407,16 @@ func EncodeWelcome(w *Welcome) []byte {
 	out = append(out, s[:]...)
 	out = append(out, byte(len(reason)))
 	out = append(out, reason...)
+	if w.Resumed {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
 	return out
 }
 
-// DecodeWelcome unpacks a welcome frame.
+// DecodeWelcome unpacks a welcome frame (with or without the v4
+// trailing resumed byte).
 func DecodeWelcome(b []byte) (*Welcome, error) {
 	if len(b) < 7 {
 		return nil, fmt.Errorf("%w: short welcome", ErrProtocol)
@@ -386,6 +428,9 @@ func DecodeWelcome(b []byte) (*Welcome, error) {
 		return nil, fmt.Errorf("%w: truncated welcome", ErrProtocol)
 	}
 	w.Reason = string(b[7 : 7+n])
+	if len(b) > 7+n {
+		w.Resumed = b[7+n] == 1
+	}
 	return w, nil
 }
 

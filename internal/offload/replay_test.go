@@ -1,0 +1,122 @@
+package offload
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dropConn wraps the client side of a connection and delivers frames
+// to the reader one at a time. When the configured target frame
+// arrives it is fully consumed off the wire — proving the server's
+// write succeeded — and then the read fails and the underlying conn is
+// closed, exactly a link that died with the reply in flight. This is
+// the scenario behind the resume double-advance bug: the server has
+// already stepped the epoch, the client never learns it.
+type dropConn struct {
+	net.Conn
+	mu      sync.Mutex
+	buf     []byte
+	frame   int
+	target  int // 1-based index of the frame to swallow; 0 = never
+	dropped bool
+}
+
+func (d *dropConn) Read(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.buf) == 0 {
+		var hdr [3]byte
+		if _, err := io.ReadFull(d.Conn, hdr[:]); err != nil {
+			return 0, err
+		}
+		payload := make([]byte, binary.BigEndian.Uint16(hdr[1:]))
+		if _, err := io.ReadFull(d.Conn, payload); err != nil {
+			return 0, err
+		}
+		d.frame++
+		if d.frame == d.target {
+			d.dropped = true
+			_ = d.Conn.Close() // sever the link; the reply is gone
+			return 0, errors.New("dropConn: link died with reply in flight")
+		}
+		d.buf = append(hdr[:], payload...)
+	}
+	n := copy(p, d.buf)
+	d.buf = d.buf[n:]
+	return n, nil
+}
+
+// TestReplayAfterLostReply is the reconnect-replay regression test:
+// the server computes and writes an epoch's result, the link dies
+// before the client reads it, and the client's reconnect re-submits
+// the same epoch. Under the old protocol the server would step the
+// framework again (double-advancing PDR/HMM state) and the resumed
+// session would restart from lastPos; under v4 the re-handshake
+// re-attaches the detached session and the duplicate sequence number
+// is answered from the per-seq result cache without re-stepping, so
+// the whole walk is indistinguishable from an uninterrupted one.
+func TestReplayAfterLostReply(t *testing.T) {
+	factory, w := offloadWorld(t)
+	start, snaps := corridorWalk(w, 2, 21, 12)
+
+	// Reference: the same walk with no link failure.
+	refSrv := newTestServer(t, ServerConfig{Factory: factory})
+	want := runWalk(t, pipeClient(t, refSrv), start, snaps)
+
+	ls := startLiveServer(t, "127.0.0.1:0", ServerConfig{Factory: factory})
+	defer ls.kill()
+	addr := ls.ln.Addr().String()
+	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+
+	raw, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linger 0 makes the drop's Close send an RST: the server sees a
+	// mid-stream transport error (a dead link), not a clean EOF
+	// goodbye, and parks the session for resume.
+	if tc, ok := raw.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	// Frame #1 is the Welcome; frame #1+k is the k-th epoch's result.
+	// Drop the fifth epoch's reply after the server fully wrote it.
+	dc := &dropConn{Conn: raw, target: 1 + 5}
+	client := NewClient(dc, "phone-replay")
+	client.SetTimeout(2 * time.Second)
+	client.SetReconnect(dial, Backoff{Min: 20 * time.Millisecond, Max: 200 * time.Millisecond, Attempts: 10, Seed: 3})
+	defer func() { _ = client.Close() }()
+
+	got := runWalk(t, client, start, snaps)
+	if !dc.dropped {
+		t.Fatal("drop never fired — the test exercised nothing")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if *got[i] != *want[i] {
+			t.Errorf("epoch %d diverged after replay: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Exactly-once stepping: the lost epoch was computed once and its
+	// re-submission answered from the cache, not re-stepped.
+	st := ls.srv.Stats()
+	if st.EpochsServed != int64(len(snaps)) {
+		t.Errorf("EpochsServed = %d, want %d (re-sent epoch must not be re-stepped)", st.EpochsServed, len(snaps))
+	}
+	if st.ReplayedEpochs != 1 {
+		t.Errorf("ReplayedEpochs = %d, want 1", st.ReplayedEpochs)
+	}
+	if st.Detached != 1 || st.Resumed != 1 {
+		t.Errorf("Detached/Resumed = %d/%d, want 1/1", st.Detached, st.Resumed)
+	}
+	if client.Resumes() < 1 {
+		t.Errorf("client.Resumes() = %d, want >= 1", client.Resumes())
+	}
+}

@@ -1,0 +1,263 @@
+package offload
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/mapstore"
+	"repro/internal/rf"
+	"repro/internal/sensing"
+)
+
+// maxBatch bounds how many ready epochs one tick executes; a full
+// batch fires immediately instead of waiting out the tick.
+const maxBatch = 256
+
+// stepRequest is one session's ready epoch, parked on the scheduler's
+// queue until the tick fires. done is buffered so a batch worker never
+// blocks handing the result back.
+type stepRequest struct {
+	sess *Session
+	snap *sensing.Snapshot
+	done chan stepResponse
+}
+
+// stepResponse carries one stepped epoch back to its serving
+// goroutine, with the framework step duration measured inside the
+// batch (queueing delay excluded — the latency histograms keep
+// measuring compute, as they did per-connection).
+type stepResponse struct {
+	res core.StepResult
+	dur time.Duration
+}
+
+// scheduler is the batch-per-tick execution engine (ISSUE 6 tentpole):
+// it collects ready epochs from all sessions, pins the shared map
+// snapshots once, precomputes the fingerprint-distance columns every
+// batched scheme would otherwise compute per session (one columnar
+// pass per unique observation via AppendDistancesBatch), then steps
+// the sessions across a worker pool and fans the results back.
+//
+// Bit-identity invariant: grouping is by pinned snapshot *pointer*
+// (fingerprint.DistCache keys on Reader identity). A snapshot version
+// swap landing mid-batch makes later sessions pin the new snapshot,
+// miss the cache, and compute locally — the exact floats unbatched
+// execution would produce. Sessions are independent frameworks, so
+// stepping them concurrently cannot reorder any per-session float
+// operation.
+type scheduler struct {
+	tick    time.Duration
+	workers int
+	stores  map[byte]*mapstore.Store
+	mgr     *SessionManager
+
+	reqs chan *stepRequest
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newScheduler starts the batching loop. workers <= 0 defaults to
+// NumCPU; stores may be nil (batching then still amortizes scheduling
+// and parallelizes sessions, without precomputed columns).
+func newScheduler(tick time.Duration, workers int, stores map[byte]*mapstore.Store, mgr *SessionManager) *scheduler {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sc := &scheduler{
+		tick:    tick,
+		workers: workers,
+		stores:  stores,
+		mgr:     mgr,
+		reqs:    make(chan *stepRequest, 4*maxBatch),
+		quit:    make(chan struct{}),
+	}
+	sc.wg.Add(1)
+	go sc.loop()
+	return sc
+}
+
+// step submits one session's epoch and blocks until its batch has
+// executed it. After close the step runs inline (same floats, no
+// batching) so late serving goroutines never strand.
+func (sc *scheduler) step(sess *Session, snap *sensing.Snapshot) (core.StepResult, time.Duration) {
+	sc.mu.RLock()
+	if sc.closed {
+		sc.mu.RUnlock()
+		t0 := time.Now()
+		res := sess.fw.Step(snap)
+		return res, time.Since(t0)
+	}
+	req := &stepRequest{sess: sess, snap: snap, done: make(chan stepResponse, 1)}
+	sc.reqs <- req
+	sc.mu.RUnlock()
+	resp := <-req.done
+	return resp.res, resp.dur
+}
+
+// close stops the batching loop after it has answered everything
+// already queued. Idempotent.
+func (sc *scheduler) close() {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	sc.closed = true
+	sc.mu.Unlock()
+	close(sc.quit)
+	sc.wg.Wait()
+}
+
+// loop gathers requests into batches: the tick timer arms when the
+// first request of a batch arrives, and the batch runs when it fires
+// (or immediately at maxBatch). One loop goroutine runs batches
+// serially, so a batch's cache teardown can never race the next
+// batch's setup.
+func (sc *scheduler) loop() {
+	defer sc.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var batch []*stepRequest
+	fire := func() {
+		sc.runBatch(batch)
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case req := <-sc.reqs:
+			if len(batch) == 0 {
+				timer.Reset(sc.tick)
+			}
+			batch = append(batch, req)
+			if len(batch) >= maxBatch {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				fire()
+			}
+		case <-timer.C:
+			fire()
+		case <-sc.quit:
+			// close() set closed under the lock before closing quit, and
+			// every in-flight submitter sent while holding the read lock,
+			// so the queue can no longer grow: drain it, answer the final
+			// batch, exit.
+			for {
+				select {
+				case req := <-sc.reqs:
+					batch = append(batch, req)
+					continue
+				default:
+				}
+				break
+			}
+			if len(batch) > 0 {
+				fire()
+			}
+			return
+		}
+	}
+}
+
+// runBatch executes one batch: precompute shared columns, install the
+// cache on every batched framework, step sessions across the worker
+// pool, record batch telemetry.
+func (sc *scheduler) runBatch(batch []*stepRequest) {
+	if len(batch) == 0 {
+		return
+	}
+	cache := sc.precompute(batch)
+	for _, r := range batch {
+		r.sess.fw.SetDistCache(cache)
+	}
+
+	workers := sc.workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batch) {
+					return
+				}
+				r := batch[i]
+				t0 := time.Now()
+				res := r.sess.fw.Step(r.snap)
+				r.done <- stepResponse{res: res, dur: time.Since(t0)}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range batch {
+		r.sess.fw.SetDistCache(nil)
+	}
+	sc.mgr.noteBatch(len(batch), cache)
+}
+
+// precompute pins each configured store's current snapshot and runs
+// one AppendDistancesBatch pass per store over the batch's unique
+// observations, filling the shared cache. WiFi observations feed both
+// the WiFi scheme and the fusion scheme's rssiDev, so a single column
+// can serve up to 2×sessions consumers. Returns nil when there is
+// nothing to share.
+func (sc *scheduler) precompute(batch []*stepRequest) *fingerprint.DistCache {
+	if len(sc.stores) == 0 {
+		return nil
+	}
+	var cache *fingerprint.DistCache
+	for _, mapID := range []byte{MapWiFi, MapCellular} {
+		store := sc.stores[mapID]
+		if store == nil {
+			continue
+		}
+		snap := store.Snapshot() // pinned: the cache key for this pass
+		if snap == nil || snap.Len() == 0 {
+			continue
+		}
+		var uniq []rf.Vector
+		seen := make(map[string]struct{}, len(batch))
+		for _, r := range batch {
+			obs := r.snap.WiFi
+			if mapID == MapCellular {
+				obs = r.snap.Cell
+			}
+			// Schemes gate on MinAPsForFix; shorter vectors never reach
+			// a distance pass, so precomputing them would be waste.
+			if len(obs) < 2 {
+				continue
+			}
+			k := fingerprint.ObsKey(obs)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			uniq = append(uniq, obs)
+		}
+		if len(uniq) == 0 {
+			continue
+		}
+		cols := snap.AppendDistancesBatch(uniq)
+		if cache == nil {
+			cache = fingerprint.NewDistCache()
+		}
+		for i, obs := range uniq {
+			cache.Put(snap, obs, cols[i])
+		}
+	}
+	return cache
+}

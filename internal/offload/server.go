@@ -57,6 +57,26 @@ type ServerConfig struct {
 	// serving goroutine forever. It also bounds the handshake read.
 	// 0 = no deadline.
 	EpochTimeout time.Duration
+
+	// BatchTick enables the batch-per-tick scheduler: ready epochs from
+	// all sessions are collected for up to this long (a full batch
+	// fires sooner), their shared fingerprint-distance columns are
+	// precomputed once per unique observation against the pinned map
+	// snapshots, and the sessions are stepped across a worker pool.
+	// Results are bit-identical to per-connection stepping (see
+	// scheduler). 0 keeps the per-connection step loop.
+	BatchTick time.Duration
+
+	// BatchWorkers sizes the batch scheduler's session-step worker
+	// pool. <= 0 defaults to runtime.NumCPU().
+	BatchWorkers int
+
+	// BatchStores are the shared radio-map stores the scheduler
+	// precomputes distance columns against, keyed like MapStores
+	// (MapWiFi routes each epoch's WiFi scan, MapCellular its cell
+	// scan). Nil falls back to MapStores; sessions whose schemes read
+	// other maps simply miss the cache and compute locally.
+	BatchStores map[byte]*mapstore.Store
 }
 
 // Server runs the UniLoc framework (all localization schemes, error
@@ -68,6 +88,7 @@ type Server struct {
 	mgr          *SessionManager
 	stores       map[byte]*mapstore.Store
 	epochTimeout time.Duration
+	sched        *scheduler // nil: per-connection stepping
 }
 
 // NewServer builds a multi-session server from the config.
@@ -77,7 +98,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	mgr.SetStepWorkers(cfg.StepWorkers)
-	return &Server{mgr: mgr, stores: cfg.MapStores, epochTimeout: cfg.EpochTimeout}, nil
+	s := &Server{mgr: mgr, stores: cfg.MapStores, epochTimeout: cfg.EpochTimeout}
+	if cfg.BatchTick > 0 {
+		batchStores := cfg.BatchStores
+		if batchStores == nil {
+			batchStores = cfg.MapStores
+		}
+		s.sched = newScheduler(cfg.BatchTick, cfg.BatchWorkers, batchStores, mgr)
+	}
+	return s, nil
+}
+
+// Close releases the server's background resources (the batch
+// scheduler's goroutine, when batching is enabled). Serving goroutines
+// that outlive Close fall back to inline stepping; results are
+// unchanged. Idempotent.
+func (s *Server) Close() {
+	if s.sched != nil {
+		s.sched.close()
+	}
 }
 
 // Sessions exposes the server's session manager (stats, manual
@@ -110,6 +149,22 @@ func (s *Server) handshake(conn net.Conn) (*Session, error) {
 		_, _ = WriteFrame(conn, MsgWelcome, EncodeWelcome(reject))
 		return nil, fmt.Errorf("%w: client version %d > %d", ErrProtocol, hello.Version, ProtocolVersion)
 	}
+	if hello.Version >= 4 {
+		// A v4 re-handshake under a known client ID re-attaches the
+		// detached session: framework state and the per-seq result
+		// cache survive the reconnect, so the hello's start position is
+		// deliberately ignored — resetting there is exactly the replay
+		// bug v4 fixes.
+		if sess := s.mgr.Resume(hello.ClientID, conn); sess != nil {
+			sess.proto = hello.Version
+			welcome := &Welcome{Version: ProtocolVersion, OK: true, SessionID: sess.ID, Resumed: true}
+			if _, err := WriteFrame(conn, MsgWelcome, EncodeWelcome(welcome)); err != nil {
+				s.mgr.Detach(sess) // park again for the next attempt
+				return nil, err
+			}
+			return sess, nil
+		}
+	}
 	sess, err := s.mgr.Open(hello.ClientID, geo.Pt(hello.StartX, hello.StartY), conn)
 	if err != nil {
 		reject := &Welcome{Version: ProtocolVersion, Reason: err.Error()}
@@ -119,6 +174,7 @@ func (s *Server) handshake(conn net.Conn) (*Session, error) {
 		}
 		return nil, err
 	}
+	sess.proto = hello.Version
 	welcome := &Welcome{Version: ProtocolVersion, OK: true, SessionID: sess.ID}
 	if _, err := WriteFrame(conn, MsgWelcome, EncodeWelcome(welcome)); err != nil {
 		s.mgr.Close(sess)
@@ -182,27 +238,62 @@ func (s *Server) serve(conn net.Conn) error {
 		}
 		return err
 	}
-	defer s.mgr.Close(sess)
-	for {
-		s.armDeadline(conn) // one deadline window per epoch exchange
-		snap, err := s.readEpoch(conn)
-		if err == io.EOF {
+	detach := false
+	defer func() {
+		if detach {
+			s.mgr.Detach(sess)
+		} else {
+			s.mgr.Close(sess)
+		}
+	}()
+	// ioFail maps a mid-stream I/O failure to serve's return value:
+	// evictions and deadline hits stay quiet closes, any other
+	// transport/protocol failure parks a v4 session for seq-numbered
+	// resume (Detach) instead of discarding its walk state.
+	ioFail := func(err error) error {
+		if sess.evicted.Load() {
+			return nil // reaper closed the connection under us
+		}
+		if isTimeout(err) {
+			// The client stalled mid-epoch: evict quietly, counted.
+			s.mgr.noteDeadlineTimeout()
 			return nil
 		}
-		if err != nil {
-			if sess.evicted.Load() {
-				return nil // reaper closed the connection under us
-			}
-			if isTimeout(err) {
-				// The client stalled mid-epoch: evict quietly, counted.
-				s.mgr.noteDeadlineTimeout()
-				return nil
-			}
-			return err
+		if sess.proto >= 4 {
+			detach = true
+			return nil
 		}
-		t0 := time.Now()
-		res := sess.fw.Step(snap)
-		s.mgr.RecordEpoch(sess, time.Since(t0))
+		return err
+	}
+	for {
+		s.armDeadline(conn) // one deadline window per epoch exchange
+		snap, seq, err := s.readEpoch(conn)
+		if err == io.EOF {
+			return nil // clean shutdown: the walk is over, no resume
+		}
+		if err != nil {
+			return ioFail(err)
+		}
+		if sess.proto >= 4 && seq != 0 && seq == sess.lastSeq && sess.lastReply != nil {
+			// Reconnect replay: the client re-sent an epoch whose result
+			// was computed but lost in flight. Answer from the per-seq
+			// cache — re-stepping would double-advance PDR/HMM state.
+			s.mgr.noteReplay()
+			if _, err := WriteFrame(conn, MsgResult, sess.lastReply); err != nil {
+				return ioFail(err)
+			}
+			continue
+		}
+		var res core.StepResult
+		var stepDur time.Duration
+		if s.sched != nil {
+			res, stepDur = s.sched.step(sess, snap)
+		} else {
+			t0 := time.Now()
+			res = sess.fw.Step(snap)
+			stepDur = time.Since(t0)
+		}
+		s.mgr.RecordEpoch(sess, stepDur)
 
 		out := &Result{
 			X: res.BMA.X, Y: res.BMA.Y,
@@ -213,87 +304,87 @@ func (s *Server) serve(conn net.Conn) error {
 		if res.BestIdx >= 0 {
 			out.Selected = res.Schemes[res.BestIdx].Name
 		}
-		if _, err := WriteFrame(conn, MsgResult, EncodeResult(out)); err != nil {
-			if sess.evicted.Load() {
-				return nil
-			}
-			if isTimeout(err) {
-				s.mgr.noteDeadlineTimeout()
-				return nil
-			}
-			return err
+		payload := EncodeResult(out)
+		if sess.proto >= 4 && seq != 0 {
+			sess.lastSeq, sess.lastReply = seq, payload
+		}
+		if _, err := WriteFrame(conn, MsgResult, payload); err != nil {
+			return ioFail(err)
 		}
 	}
 }
 
-// readEpoch assembles one snapshot from frames up to MsgEpochEnd.
-func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, error) {
+// readEpoch assembles one snapshot from frames up to MsgEpochEnd,
+// returning the epoch's v4 sequence number (0 for v3 clients).
+func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, uint32, error) {
 	snap := &sensing.Snapshot{}
+	var seq uint32
 	gotContext := false
 	for {
 		t, payload, err := ReadFrame(r)
 		if err != nil {
 			if err == io.EOF && !gotContext {
-				return nil, io.EOF
+				return nil, 0, io.EOF
 			}
 			if err == io.ErrUnexpectedEOF {
-				return nil, io.EOF
+				return nil, 0, io.EOF
 			}
-			return nil, err
+			return nil, 0, err
 		}
 		switch t {
 		case MsgContext:
-			ctx, err := DecodeContext(payload)
+			ctx, sq, err := DecodeContextSeq(payload)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			ctx.WiFi, ctx.Cell = snap.WiFi, snap.Cell
 			ctx.Step, ctx.GNSS, ctx.Landmark = snap.Step, snap.GNSS, snap.Landmark
 			snap = ctx
+			seq = sq
 			gotContext = true
 		case MsgStepUpdate:
 			step, err := DecodeStep(payload)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			snap.Step = step
 		case MsgWiFiVector:
 			v, err := DecodeVector(payload)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			snap.WiFi = v
 		case MsgCellVector:
 			v, err := DecodeVector(payload)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			snap.Cell = v
 		case MsgGNSSFix:
 			f, err := DecodeFix(payload)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			snap.GNSS = f
 		case MsgLandmark:
 			l, err := DecodeLandmark(payload)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			snap.Landmark = l
 		case MsgSurvey:
 			sv, err := DecodeSurvey(payload)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			s.ingestSurvey(sv)
 		case MsgEpochEnd:
 			if !gotContext {
-				return nil, fmt.Errorf("%w: epoch ended without context", ErrProtocol)
+				return nil, 0, fmt.Errorf("%w: epoch ended without context", ErrProtocol)
 			}
-			return snap, nil
+			return snap, seq, nil
 		default:
-			return nil, fmt.Errorf("%w: unexpected message type %d", ErrProtocol, t)
+			return nil, 0, fmt.Errorf("%w: unexpected message type %d", ErrProtocol, t)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/geo"
 	"repro/internal/imu"
+	"repro/internal/mapstore"
 	"repro/internal/noise"
 	"repro/internal/regress"
 	"repro/internal/rf"
@@ -69,6 +70,7 @@ func newTestServer(t testing.TB, cfg ServerConfig) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.Close)
 	return srv
 }
 
@@ -440,17 +442,31 @@ func BenchmarkServerConcurrentClients(b *testing.B) {
 		factory := wd.factory
 		_, snaps := corridorWalk(wd.w, 2, 7, 8)
 		for _, nc := range []int{1, 2, 4, 8} {
-			benchServerClients(b, fmt.Sprintf("map=%s/clients=%d", wd.name, nc), factory, snaps, nc)
+			benchServerClients(b, fmt.Sprintf("map=%s/clients=%d", wd.name, nc), ServerConfig{Factory: factory}, snaps, nc)
 		}
+	}
+
+	// Batched scheduler over the shared store: the same epochs, but
+	// grouped per tick and served one columnar distance pass per batch.
+	batchedFactory, bw, store := sharedStoreWorld(b, telemetry.NewRegistry())
+	_, bsnaps := corridorWalk(bw, 2, 7, 8)
+	for _, nc := range []int{8, 64} {
+		cfg := ServerConfig{
+			Factory:     batchedFactory,
+			BatchTick:   200 * time.Microsecond,
+			BatchStores: map[byte]*mapstore.Store{MapWiFi: store},
+		}
+		benchServerClients(b, fmt.Sprintf("map=shared-batched/clients=%d", nc), cfg, bsnaps, nc)
 	}
 }
 
-func benchServerClients(b *testing.B, name string, factory core.FrameworkFactory, snaps []*sensing.Snapshot, nc int) {
+func benchServerClients(b *testing.B, name string, cfg ServerConfig, snaps []*sensing.Snapshot, nc int) {
 	b.Run(name, func(b *testing.B) {
-		srv, err := NewServer(ServerConfig{Factory: factory})
+		srv, err := NewServer(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
+		defer srv.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			b.Fatal(err)

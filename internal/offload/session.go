@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fingerprint"
 	"repro/internal/geo"
 	"repro/internal/telemetry"
 )
@@ -25,12 +26,18 @@ type Session struct {
 	ID       uint32
 	ClientID string
 
-	fw   *core.Framework
-	conn net.Conn
+	fw *core.Framework
 
 	evicted atomic.Bool
 
+	// Owned by the attached serving goroutine; a detach/resume cycle
+	// hands them to the next goroutine through the manager's lock.
+	proto     byte   // negotiated protocol version
+	lastSeq   uint32 // v4: last epoch sequence number answered
+	lastReply []byte // v4: encoded Result payload for lastSeq
+
 	mu         sync.Mutex
+	conn       net.Conn // nil while detached
 	lastActive time.Time
 	epochs     int64
 	latency    time.Duration
@@ -81,6 +88,23 @@ type Stats struct {
 	// sessions are opened with (<= 1: sequential).
 	StepWorkers int
 
+	// Protocol v4 resume counters: sessions parked after a transport
+	// error, re-handshakes re-attached to a parked session, and
+	// duplicate epochs answered from the per-seq result cache without
+	// re-stepping (each replay would otherwise have double-advanced
+	// PDR/HMM state).
+	Detached       int64
+	Resumed        int64
+	ReplayedEpochs int64
+
+	// Batch scheduler counters (BatchTick > 0): batches executed,
+	// epochs stepped through batches, and shared distance-cache
+	// effectiveness across all batched schemes.
+	Batches         int64
+	BatchedEpochs   int64
+	DistCacheHits   int64
+	DistCacheMisses int64
+
 	Sessions []SessionStat // live sessions, per-session detail
 }
 
@@ -97,6 +121,7 @@ type SessionManager struct {
 
 	mu       sync.Mutex
 	sessions map[uint32]*Session
+	detached map[string]*Session // v4 sessions parked for resume, by client ID
 	nextID   uint32
 
 	opened    atomic.Int64
@@ -106,6 +131,15 @@ type SessionManager struct {
 	epochs    atomic.Int64
 	latency   atomic.Int64 // total step time, nanoseconds
 	deadlines atomic.Int64 // sessions evicted at the epoch deadline
+
+	detachedN atomic.Int64 // sessions parked for resume
+	resumed   atomic.Int64 // re-handshakes re-attached to a parked session
+	replayed  atomic.Int64 // duplicate epochs answered from the seq cache
+
+	batches       atomic.Int64 // batch ticks executed
+	batchedEpochs atomic.Int64 // epochs stepped through batches
+	cacheHits     atomic.Int64 // shared distance-cache hits
+	cacheMisses   atomic.Int64 // shared distance-cache misses
 
 	met    serverMetrics
 	health *core.Health // shared across session frameworks; counters are atomic
@@ -125,6 +159,7 @@ func NewSessionManager(factory core.FrameworkFactory, maxSessions int, idleTimeo
 		idleTimeout: idleTimeout,
 		now:         time.Now,
 		sessions:    make(map[uint32]*Session),
+		detached:    make(map[string]*Session),
 		met:         newServerMetrics(reg),
 		health:      core.NewHealth(reg),
 	}, nil
@@ -199,6 +234,89 @@ func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (
 	return s, nil
 }
 
+// Detach parks a live v4 session for seq-numbered resume after a
+// transport error: the framework (with its PDR/HMM state) and the
+// per-seq result cache survive, the dead connection is dropped. A
+// re-handshake with the same client ID re-attaches via Resume; until
+// then the session stays in the live set and remains subject to idle
+// eviction. No-op when the session is no longer live.
+func (m *SessionManager) Detach(s *Session) {
+	m.mu.Lock()
+	if _, live := m.sessions[s.ID]; !live {
+		m.mu.Unlock()
+		return
+	}
+	// At most one parked session per client ID: a newer detach under
+	// the same ID supersedes (and closes) the older one.
+	old := m.detached[s.ClientID]
+	m.detached[s.ClientID] = s
+	m.mu.Unlock()
+	s.mu.Lock()
+	s.conn = nil
+	s.mu.Unlock()
+	if old != nil && old != s {
+		m.Close(old)
+	}
+	m.detachedN.Add(1)
+	m.met.sessionsDetached.Inc()
+}
+
+// Resume re-attaches a previously detached session to a fresh
+// connection, preserving its framework state exactly — no Reset, so a
+// resumed walk continues from the state the last served epoch left.
+// Only already-detached sessions match: a re-handshake racing the old
+// serving goroutine's exit gets a fresh session instead (the stale one
+// idles out). Returns nil when there is nothing to resume.
+func (m *SessionManager) Resume(clientID string, conn net.Conn) *Session {
+	if clientID == "" {
+		return nil
+	}
+	m.mu.Lock()
+	s := m.detached[clientID]
+	if s == nil || s.evicted.Load() {
+		m.mu.Unlock()
+		return nil
+	}
+	delete(m.detached, clientID)
+	m.mu.Unlock()
+	s.mu.Lock()
+	s.conn = conn
+	s.lastActive = m.now()
+	s.mu.Unlock()
+	m.resumed.Add(1)
+	m.met.sessionsResumed.Inc()
+	return s
+}
+
+// noteReplay accounts one duplicate epoch answered from a session's
+// per-seq result cache instead of being re-stepped.
+func (m *SessionManager) noteReplay() {
+	m.replayed.Add(1)
+	m.met.epochsReplayed.Inc()
+}
+
+// noteBatch accounts one executed batch and the effectiveness of its
+// shared distance cache.
+func (m *SessionManager) noteBatch(size int, cache *fingerprint.DistCache) {
+	m.batches.Add(1)
+	m.batchedEpochs.Add(int64(size))
+	m.met.batchTicks.Inc()
+	m.met.batchSize.Observe(float64(size))
+	m.mu.Lock()
+	active := len(m.sessions)
+	m.mu.Unlock()
+	if active > 0 {
+		m.met.batchOccupancy.Set(float64(size) / float64(active))
+	}
+	if cache != nil {
+		m.cacheHits.Add(cache.Hits())
+		m.cacheMisses.Add(cache.Misses())
+		m.met.distCacheHits.Add(cache.Hits())
+		m.met.distCacheMisses.Add(cache.Misses())
+		m.met.distCacheCols.Add(int64(cache.Len()))
+	}
+}
+
 // Close removes a session from the live set and stops its framework's
 // worker pool, so scheme-execution goroutines never outlive their
 // session. Idempotent.
@@ -206,6 +324,9 @@ func (m *SessionManager) Close(s *Session) {
 	m.mu.Lock()
 	_, live := m.sessions[s.ID]
 	delete(m.sessions, s.ID)
+	if m.detached[s.ClientID] == s {
+		delete(m.detached, s.ClientID)
+	}
 	active := len(m.sessions)
 	m.mu.Unlock()
 	if live {
@@ -249,8 +370,18 @@ func (m *SessionManager) EvictIdle() int {
 		if s.evicted.CompareAndSwap(false, true) {
 			m.evicted.Add(1)
 			m.met.sessionsEvicted.Inc()
-			if s.conn != nil {
-				_ = s.conn.Close()
+			s.mu.Lock()
+			conn := s.conn
+			s.mu.Unlock()
+			if conn != nil {
+				// The serving goroutine notices the closed connection,
+				// exits, and removes the session.
+				_ = conn.Close()
+			} else {
+				// A detached session has no serving goroutine to do the
+				// removal: close it directly so parked frameworks cannot
+				// leak past the idle timeout.
+				m.Close(s)
 			}
 		}
 	}
@@ -270,6 +401,13 @@ func (m *SessionManager) Stats() Stats {
 		DeadlineTimeouts:     m.deadlines.Load(),
 		SchemePanics:         m.health.SchemePanics.Value(),
 		QuarantinedEstimates: m.health.Quarantined.Value(),
+		Detached:             m.detachedN.Load(),
+		Resumed:              m.resumed.Load(),
+		ReplayedEpochs:       m.replayed.Load(),
+		Batches:              m.batches.Load(),
+		BatchedEpochs:        m.batchedEpochs.Load(),
+		DistCacheHits:        m.cacheHits.Load(),
+		DistCacheMisses:      m.cacheMisses.Load(),
 	}
 	if st.EpochsServed > 0 {
 		st.EpochLatencyAvg = time.Duration(m.latency.Load() / st.EpochsServed)

@@ -1,0 +1,15 @@
+package schemes
+
+import "repro/internal/fingerprint"
+
+// DistCacheUser is the optional Scheme extension consumed by the batch
+// scheduler (internal/offload): schemes whose epoch work includes a
+// full fingerprint-distance column accept a shared, read-only cache of
+// columns precomputed once per batch against the pinned snapshot. A
+// scheme must treat cached slices as immutable and must fall back to
+// local computation on any cache miss, so installing or clearing the
+// cache can never change its outputs — only the work done to produce
+// them.
+type DistCacheUser interface {
+	SetDistCache(*fingerprint.DistCache)
+}

@@ -83,6 +83,9 @@ type Fusion struct {
 	distScratch  []float64
 	idxScratch   []int
 	matchScratch []fingerprint.Match
+
+	// Optional shared per-batch distance columns (see DistCacheUser).
+	distCache *fingerprint.DistCache
 }
 
 // likCell is one fingerprint-grid cell key of the likelihood memo.
@@ -96,6 +99,11 @@ func NewFusion(w *world.World, m fingerprint.Map, cfg FusionConfig, rnd *rand.Ra
 
 // Name implements Scheme.
 func (f *Fusion) Name() string { return NameFusion }
+
+// SetDistCache implements DistCacheUser: rssiDev consults the shared
+// per-batch distance cache before computing its own column. Nil
+// restores local computation.
+func (f *Fusion) SetDistCache(c *fingerprint.DistCache) { f.distCache = c }
 
 // Reset implements Scheme.
 func (f *Fusion) Reset(start geo.Point) {
@@ -247,8 +255,13 @@ func (f *Fusion) rssiDev(view fingerprint.Reader, obs rf.Vector) float64 {
 	if len(obs) < MinAPsForFix || view.Len() == 0 {
 		return 0
 	}
-	f.distScratch = fingerprint.AppendDistances(view, f.distScratch[:0], obs)
-	dists := f.distScratch
+	// Same column the WiFi scheme matches against: under a batch
+	// scheduler both read the one shared precomputed slice (read-only).
+	dists := f.distCache.Lookup(view, obs)
+	if dists == nil {
+		f.distScratch = fingerprint.AppendDistances(view, f.distScratch[:0], obs)
+		dists = f.distScratch
+	}
 	f.idxScratch = topKInto(dists, TopK, f.idxScratch[:0])
 	f.matchScratch = f.matchScratch[:0]
 	for _, j := range f.idxScratch {

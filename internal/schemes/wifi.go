@@ -43,6 +43,7 @@ type Fingerprinting struct {
 	countFeat  string // FeatNumAPs or FeatNumTowers
 	sensor     string
 	calibrator *Calibrator // optional device-heterogeneity calibration
+	distCache  *fingerprint.DistCache // optional shared per-batch columns
 
 	// Per-epoch scratch, reused across Estimate calls so the match
 	// path allocates nothing proportional to the map size.
@@ -81,6 +82,11 @@ func NewCellular(m fingerprint.Map) *Fingerprinting {
 // SetCalibrator attaches an online device-offset calibrator (nil
 // disables calibration). See Figure 8d.
 func (f *Fingerprinting) SetCalibrator(c *Calibrator) { f.calibrator = c }
+
+// SetDistCache implements DistCacheUser: Estimate consults the shared
+// per-batch distance cache before computing its own column. Nil
+// restores local computation.
+func (f *Fingerprinting) SetDistCache(c *fingerprint.DistCache) { f.distCache = c }
 
 // Name implements Scheme.
 func (f *Fingerprinting) Name() string { return f.name }
@@ -130,8 +136,16 @@ func (f *Fingerprinting) Estimate(snap *sensing.Snapshot) Estimate {
 	if f.calibrator != nil {
 		obs = f.calibrator.Transform(raw)
 	}
-	f.distScratch = fingerprint.AppendDistances(view, f.distScratch[:0], obs)
-	dists := f.distScratch
+	// A batch scheduler may have precomputed this exact column against
+	// this exact pinned view; the shared slice is read-only. Any
+	// mismatch (different view pointer after a mid-batch snapshot swap,
+	// calibrated observation, no cache) computes locally — identical
+	// floats either way.
+	dists := f.distCache.Lookup(view, obs)
+	if dists == nil {
+		f.distScratch = fingerprint.AppendDistances(view, f.distScratch[:0], obs)
+		dists = f.distScratch
+	}
 
 	// Raw RADAR match: the fingerprint at minimum RSSI distance, with
 	// the top-k kept for the deviation feature.

@@ -122,10 +122,11 @@ func (g *Gauge) Value() float64 {
 // for the running sum. The zero value is NOT usable — buckets must be
 // set — but a nil histogram is a no-op.
 type Histogram struct {
-	bounds []float64       // sorted upper bounds; +Inf bucket implicit
-	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
-	count  atomic.Uint64
-	sum    atomic.Uint64 // math.Float64bits of the running sum
+	bounds  []float64       // sorted upper bounds; +Inf bucket implicit
+	counts  []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	count   atomic.Uint64
+	sum     atomic.Uint64 // math.Float64bits of the running sum
+	maxBits atomic.Uint64 // math.Float64bits of the largest observation; -Inf when empty
 }
 
 // NewHistogram builds a standalone (unregistered) histogram over the
@@ -140,7 +141,9 @@ func NewHistogram(bounds []float64) *Histogram {
 			uniq = append(uniq, b)
 		}
 	}
-	return &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+	h := &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // DefBuckets are default latency buckets in seconds, spanning 10 µs to
@@ -163,6 +166,12 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -193,10 +202,31 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Max returns the largest value observed so far, or 0 when the
+// histogram is empty.
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Overflow returns the number of observations that landed past the
+// largest finite bound (the implicit +Inf bucket).
+func (h *Histogram) Overflow() uint64 {
+	if h == nil || len(h.counts) == 0 {
+		return 0
+	}
+	return h.counts[len(h.counts)-1].Load()
+}
+
 // Quantile estimates the q-quantile (0 < q < 1) from the buckets by
-// linear interpolation within the bucket that contains it. The
-// estimate is bounded by the bucket edges; observations in the
-// overflow bucket report the largest finite bound.
+// linear interpolation within the bucket that contains it. When the
+// quantile lands in the overflow (+Inf) bucket it interpolates between
+// the largest finite bound and the largest observation actually seen,
+// instead of clamping to the bound — a p95/p99 past the last bucket is
+// reported as such rather than silently folded down. Overflow() says
+// how many observations that tail holds.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil || len(h.bounds) == 0 {
 		return 0
@@ -211,14 +241,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 		n := h.counts[i].Load()
 		cum += n
 		if float64(cum) >= rank {
-			if i >= len(h.bounds) { // overflow bucket
-				return h.bounds[len(h.bounds)-1]
+			var lo, hi float64
+			if i >= len(h.bounds) { // overflow bucket: finite bound -> observed max
+				lo = h.bounds[len(h.bounds)-1]
+				hi = math.Float64frombits(h.maxBits.Load())
+				if hi <= lo {
+					return lo
+				}
+			} else {
+				if i > 0 {
+					lo = h.bounds[i-1]
+				}
+				hi = h.bounds[i]
 			}
-			lo := 0.0
-			if i > 0 {
-				lo = h.bounds[i-1]
-			}
-			hi := h.bounds[i]
 			if n == 0 {
 				return hi
 			}
@@ -232,7 +267,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		prev = cum
 	}
-	return h.bounds[len(h.bounds)-1]
+	return math.Float64frombits(h.maxBits.Load())
 }
 
 // snapshotBuckets returns cumulative counts aligned with bounds plus
@@ -368,9 +403,11 @@ type Point struct {
 	Value float64 `json:"value"` // counter count or gauge value; histogram sum
 
 	// Histogram-only fields.
-	Count   uint64    `json:"count,omitempty"`
-	Bounds  []float64 `json:"bounds,omitempty"`
-	Buckets []uint64  `json:"buckets,omitempty"` // cumulative, aligned with Bounds + +Inf
+	Count    uint64    `json:"count,omitempty"`
+	Bounds   []float64 `json:"bounds,omitempty"`
+	Buckets  []uint64  `json:"buckets,omitempty"`  // cumulative, aligned with Bounds + +Inf
+	Overflow uint64    `json:"overflow,omitempty"` // observations past the largest finite bound
+	Max      float64   `json:"max,omitempty"`      // largest single observation
 }
 
 // Snapshot is a point-in-time copy of a registry.
@@ -420,6 +457,8 @@ func (r *Registry) Snapshot() Snapshot {
 			p.Count = m.h.Count()
 			p.Bounds = m.h.bounds
 			p.Buckets = m.h.snapshotBuckets()
+			p.Overflow = m.h.Overflow()
+			p.Max = m.h.Max()
 		}
 		out = append(out, p)
 	}

@@ -80,13 +80,74 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 			t.Fatalf("bucket[%d] = %d, want %d (all %v)", i, got[i], want[i], got)
 		}
 	}
-	// Median lands in the (1,2] bucket; overflow quantiles report the
-	// largest finite bound.
+	// Median lands in the (1,2] bucket; overflow quantiles interpolate
+	// toward the observed max instead of clamping to the last bound.
 	if q := h.Quantile(0.5); q <= 1 || q > 2 {
 		t.Fatalf("p50 = %v, want in (1,2]", q)
 	}
-	if q := h.Quantile(0.99); q != 4 {
-		t.Fatalf("p99 = %v, want 4 (capped at largest bound)", q)
+	if q := h.Quantile(0.99); q <= 4 || q > 100 {
+		t.Fatalf("p99 = %v, want in (4,100] (overflow interpolation)", q)
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow = %d, want 1", h.Overflow())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %v, want 100", h.Max())
+	}
+}
+
+// TestHistogramOverflowQuantiles feeds adversarial spike distributions:
+// almost all mass in the bottom bucket with rare huge outliers, and an
+// all-overflow stream. The old clamping behavior reported the last
+// finite bound for every upper quantile, hiding the tail entirely.
+func TestHistogramOverflowQuantiles(t *testing.T) {
+	// 999 tiny observations + one 100x spike past the last bound (10).
+	h := NewHistogram([]float64{0.01, 0.1, 1, 10})
+	for i := 0; i < 999; i++ {
+		h.Observe(0.001)
+	}
+	h.Observe(100)
+	// p99.9 rank lands exactly on the 999 tiny values; p99.95 is the
+	// spike and must escape the finite buckets.
+	if q := h.Quantile(0.9995); q <= 10 || q > 100 {
+		t.Fatalf("p99.95 = %v, want in (10,100]", q)
+	}
+	if q := h.Quantile(0.5); q > 0.01 {
+		t.Fatalf("p50 = %v, want <= 0.01", q)
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow = %d, want 1", h.Overflow())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %v, want 100", h.Max())
+	}
+
+	// Every observation past the last bound: quantiles must live in
+	// (last bound, max], and be monotone in q.
+	h2 := NewHistogram([]float64{1, 2})
+	for _, v := range []float64{5, 50, 500} {
+		h2.Observe(v)
+	}
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		v := h2.Quantile(q)
+		if v <= 2 || v > 500 {
+			t.Fatalf("all-overflow q%v = %v, want in (2,500]", q, v)
+		}
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q%v = %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	if h2.Overflow() != 3 {
+		t.Fatalf("overflow = %d, want 3", h2.Overflow())
+	}
+
+	// Empty histogram stays well-defined.
+	h3 := NewHistogram([]float64{1})
+	if h3.Quantile(0.99) != 0 || h3.Max() != 0 || h3.Overflow() != 0 {
+		t.Fatalf("empty histogram: q=%v max=%v overflow=%d, want zeros",
+			h3.Quantile(0.99), h3.Max(), h3.Overflow())
 	}
 }
 
