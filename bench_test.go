@@ -211,6 +211,13 @@ func TestFrameworkStepObserverOffNoExtraAllocs(t *testing.T) {
 	if on <= off {
 		t.Fatalf("tracing on (%v allocs/op) should cost more than off (%v) — harness broken?", on, off)
 	}
+	// pprof labels are the other opt-in on the step path; the default-off
+	// measurement above already proves they cost nothing when gated, and
+	// turning them on must register (pprof.Do allocates per scheme).
+	labeled := measure(core.WithPprofLabels(true))
+	if labeled <= off {
+		t.Fatalf("pprof labels on (%v allocs/op) should cost more than off (%v) — gate broken?", labeled, off)
+	}
 	// The PR-1 framework allocated ~30 objects per step on this walk;
 	// the observer-off path must stay in that envelope.
 	if off > 30 {
@@ -565,8 +572,10 @@ func BenchmarkResample(b *testing.B) {
 // nc concurrent clients replay the same campus walk over TCP, each
 // behind its own session framework reading the shared wifi/cell map
 // stores. batchTick > 0 turns on the batch-per-tick scheduler, so the
-// same workload is served via fused per-batch distance passes.
-func benchOffloadServer(b *testing.B, nc int, batchTick time.Duration) {
+// same workload is served via fused per-batch distance passes. The
+// returned stats snapshot carries the batch-shape quantiles the
+// recorder folds into BENCH_epoch.json.
+func benchOffloadServer(b *testing.B, nc int, batchTick time.Duration) offload.Stats {
 	b.Helper()
 	s := getSuite(b)
 	tr, err := s.Lab.Trained()
@@ -646,6 +655,7 @@ func benchOffloadServer(b *testing.B, nc int, batchTick time.Duration) {
 	}
 	wg.Wait()
 	b.ReportMetric(float64(per*nc)/b.Elapsed().Seconds(), "epochs/s")
+	return srv.Stats()
 }
 
 // --- BENCH_epoch.json: the machine-readable perf trajectory of the
@@ -657,6 +667,19 @@ type epochBenchEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// epochBenchBatch is the batch-shape summary of the batched server
+// row, lifted from the server's Stats quantiles (schema v1.1): how
+// many sessions each tick actually fused and how many distinct pinned
+// snapshots it precomputed against. A batched throughput number is
+// only comparable between runs that batched similarly.
+type epochBenchBatch struct {
+	Batches   int64   `json:"batches"`
+	SizeP50   float64 `json:"size_p50"`
+	SizeP95   float64 `json:"size_p95"`
+	GroupsP50 float64 `json:"groups_p50"`
+	GroupsP95 float64 `json:"groups_p95"`
 }
 
 // epochBenchFile is the committed BENCH_epoch.json document. CPUs
@@ -671,6 +694,7 @@ type epochBenchFile struct {
 	StepWorkers int               `json:"step_workers"`
 	Degraded    bool              `json:"degraded"`
 	Note        string            `json:"note,omitempty"`
+	Batch       *epochBenchBatch  `json:"batch,omitempty"`
 	Benchmarks  []epochBenchEntry `json:"benchmarks"`
 }
 
@@ -709,8 +733,9 @@ func TestRecordEpochBench(t *testing.T) {
 		t.Log(msg)
 		fmt.Fprintln(os.Stderr, msg)
 	}
+	var batchStats offload.Stats
 	doc := epochBenchFile{
-		Schema:      "uniloc-bench-epoch/v1",
+		Schema:      "uniloc-bench-epoch/v1.1",
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
@@ -743,9 +768,18 @@ func TestRecordEpochBench(t *testing.T) {
 				benchOffloadServer(b, 64, 0)
 			}),
 			row("server_epoch_64c_batched", func(b *testing.B) {
-				benchOffloadServer(b, 64, 200*time.Microsecond)
+				batchStats = benchOffloadServer(b, 64, 200*time.Microsecond)
 			}),
 		},
+	}
+	if batchStats.Batches > 0 {
+		doc.Batch = &epochBenchBatch{
+			Batches:   batchStats.Batches,
+			SizeP50:   batchStats.BatchSizeP50,
+			SizeP95:   batchStats.BatchSizeP95,
+			GroupsP50: batchStats.BatchGroupsP50,
+			GroupsP95: batchStats.BatchGroupsP95,
+		}
 	}
 	data, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {

@@ -18,6 +18,14 @@
 // step-latency histogram, map-store lookups/rebuilds/versions) as
 // Prometheus text at /metrics and JSON at /metrics.json, plus expvar
 // at /debug/vars and pprof at /debug/pprof/.
+//
+// With -trace, every served epoch becomes a span tree — server.frame
+// with read/queue/step/write children and per-scheme spans, joined to
+// the client's trace when the phone speaks protocol v5 — browsable at
+// /debug/traces on the metrics listener, with the slowest frames kept
+// as exemplars. -trace-jsonl streams every span to a file for offline
+// analysis with uniloc-trace; -pprof-labels additionally labels CPU
+// profile samples by session, scheme, and batch tick.
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"repro/internal/offload"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 func main() {
@@ -57,6 +66,12 @@ func main() {
 	stepWorkers := flag.Int("step-workers", 0, "per-session scheme-execution workers (core.WithParallel); <= 1 runs schemes sequentially, results are bit-identical either way")
 	batchTick := flag.Duration("batch-tick", 0, "batch-per-tick scheduler: collect ready epochs from all sessions for this long and step them as one fused batch (0 = per-connection stepping; requires -shared-map for the fused distance pass)")
 	batchWorkers := flag.Int("batch-workers", 0, "sessions stepped concurrently per batch (<= 0 = NumCPU)")
+	traceOn := flag.Bool("trace", false, "span-trace every served epoch; browse at /debug/traces on -metrics-addr")
+	traceRing := flag.Int("trace-ring", 4096, "spans kept in the in-memory trace ring (rounded up to a power of two)")
+	traceJSONL := flag.String("trace-jsonl", "", "also append every span as JSON lines to this file (implies -trace)")
+	traceExemplars := flag.Int("trace-exemplars", 8, "slowest frames kept per exemplar window")
+	traceWindow := flag.Duration("trace-window", time.Minute, "exemplar rotation window")
+	pprofLabels := flag.Bool("pprof-labels", false, "label CPU profile samples with session, scheme and batch tick (small per-epoch allocation cost)")
 	flag.Parse()
 
 	cfg := serverOpts{
@@ -74,6 +89,13 @@ func main() {
 		stepWorkers:  *stepWorkers,
 		batchTick:    *batchTick,
 		batchWorkers: *batchWorkers,
+
+		trace:          *traceOn || *traceJSONL != "",
+		traceRing:      *traceRing,
+		traceJSONL:     *traceJSONL,
+		traceExemplars: *traceExemplars,
+		traceWindow:    *traceWindow,
+		pprofLabels:    *pprofLabels,
 	}
 	if err := run(cfg); err != nil {
 		log.Fatalf("uniloc-server: %v", err)
@@ -95,6 +117,13 @@ type serverOpts struct {
 	stepWorkers       int
 	batchTick         time.Duration
 	batchWorkers      int
+
+	trace          bool
+	traceRing      int
+	traceJSONL     string
+	traceExemplars int
+	traceWindow    time.Duration
+	pprofLabels    bool
 }
 
 func run(opts serverOpts) error {
@@ -104,6 +133,34 @@ func run(opts serverOpts) error {
 	}
 	campus := scenario.NewAssets(scenario.Campus(), opts.seed+100)
 	reg := telemetry.NewRegistry()
+
+	// Span tracing: the tracer is shared by the server (frame, queue,
+	// step, scheme spans) and the /debug/traces endpoint. Nil when off —
+	// the serving path then takes no timestamps and allocates nothing.
+	var tracer *trace.Tracer
+	if opts.trace {
+		cfg := trace.Config{
+			RingSize:       opts.traceRing,
+			ExemplarK:      opts.traceExemplars,
+			ExemplarWindow: opts.traceWindow,
+		}
+		if opts.traceJSONL != "" {
+			f, err := os.OpenFile(opts.traceJSONL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("trace jsonl: %w", err)
+			}
+			defer f.Close()
+			jw := trace.NewJSONLWriter(f)
+			jw.SetMetrics(reg)
+			defer func() {
+				if n := jw.Drops(); n > 0 {
+					log.Printf("trace jsonl: %d spans dropped (last error: %v)", n, jw.Err())
+				}
+			}()
+			cfg.Exporter = jw
+		}
+		tracer = trace.New(cfg)
+	}
 
 	// One fresh framework per session: the shared campus assets
 	// (fingerprint databases, constellation) are read-only, while the
@@ -162,6 +219,8 @@ func run(opts serverOpts) error {
 		BatchTick:    opts.batchTick,
 		BatchWorkers: opts.batchWorkers,
 		BatchStores:  batchStores,
+		Tracer:       tracer,
+		PprofLabels:  opts.pprofLabels,
 	})
 	if err != nil {
 		return err
@@ -172,8 +231,8 @@ func run(opts serverOpts) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, epoch-timeout=%v, shared-map=%v, ingest=%v, step-workers=%d, batch-tick=%v)",
-		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.epochTimeout, opts.sharedMap, opts.ingest, opts.stepWorkers, opts.batchTick)
+	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, epoch-timeout=%v, shared-map=%v, ingest=%v, step-workers=%d, batch-tick=%v, trace=%v, pprof-labels=%v)",
+		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.epochTimeout, opts.sharedMap, opts.ingest, opts.stepWorkers, opts.batchTick, opts.trace, opts.pprofLabels)
 
 	// Optional exposition endpoint: Prometheus + JSON metrics, expvar,
 	// pprof.
@@ -184,7 +243,8 @@ func run(opts serverOpts) error {
 			_ = ln.Close()
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		metricsSrv = &http.Server{Handler: telemetry.NewMux(reg)}
+		metricsSrv = &http.Server{Handler: telemetry.NewMux(reg,
+			telemetry.WithHandler("/debug/traces", trace.Handler(tracer)))}
 		go func() {
 			log.Printf("metrics on http://%s/metrics (pprof at /debug/pprof/)", mln.Addr())
 			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {

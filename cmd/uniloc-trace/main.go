@@ -1,0 +1,187 @@
+// Command uniloc-trace analyzes span JSONL files produced by a
+// uniloc-server run with -trace-jsonl (or saved from /debug/traces):
+// it assembles span records into trace trees and answers the questions
+// a slow-epoch investigation starts with — which traces were slowest,
+// where inside them the time went, and how much of each frame's
+// latency its children actually explain.
+//
+//	uniloc-trace -f spans.jsonl                 # slowest traces + phase table
+//	uniloc-trace -f spans.jsonl -top 3          # only the 3 slowest
+//	uniloc-trace -f spans.jsonl -session phone7 # one client's traces
+//	uniloc-trace -f spans.jsonl -trace <hex id> # one trace, span by span
+//	uniloc-trace -f spans.jsonl -critical-path  # per-span child coverage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/telemetry/trace"
+)
+
+func main() {
+	file := flag.String("f", "", "span JSONL file (required; - reads stdin)")
+	top := flag.Int("top", 10, "show the N slowest traces")
+	session := flag.String("session", "", "only traces touching this session")
+	traceID := flag.String("trace", "", "only the trace with this hex ID (prints every span)")
+	critical := flag.Bool("critical-path", false, "per-span child coverage: how much of each span its children explain")
+	flag.Parse()
+
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *file, *top, *session, *traceID, *critical); err != nil {
+		log.Fatalf("uniloc-trace: %v", err)
+	}
+}
+
+func run(w *os.File, file string, top int, session, traceID string, critical bool) error {
+	in := os.Stdin
+	if file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	recs, err := trace.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+	ptrs := make([]*trace.Record, len(recs))
+	for i := range recs {
+		ptrs[i] = &recs[i]
+	}
+	trees := trace.Assemble(ptrs)
+
+	filtered := trees[:0:0]
+	for _, tr := range trees {
+		if session != "" && tr.Session != session {
+			continue
+		}
+		if traceID != "" && tr.Trace != traceID {
+			continue
+		}
+		filtered = append(filtered, tr)
+	}
+	if len(filtered) == 0 {
+		return fmt.Errorf("no matching traces among %d spans", len(recs))
+	}
+
+	if traceID != "" {
+		printTrace(w, filtered[0], critical)
+		return nil
+	}
+
+	// Slowest traces first.
+	sort.Slice(filtered, func(i, j int) bool { return filtered[i].DurNS > filtered[j].DurNS })
+	shown := filtered
+	if top > 0 && len(shown) > top {
+		shown = shown[:top]
+	}
+	fmt.Fprintf(w, "%d traces (%d spans); slowest %d:\n\n", len(filtered), len(recs), len(shown))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TRACE\tSESSION\tROOT\tDURATION\tSPANS\tCOMPLETE")
+	for _, tr := range shown {
+		root := "?"
+		if tr.Root != nil {
+			root = tr.Root.Name
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%d\t%v\n",
+			tr.Trace, tr.Session, root, time.Duration(tr.DurNS), len(tr.Spans), tr.Complete())
+	}
+	tw.Flush()
+
+	fmt.Fprintf(w, "\nwhere the time went (all %d matching traces):\n\n", len(filtered))
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PHASE\tCOUNT\tTOTAL\tMEAN\tMAX")
+	for _, p := range trace.Phases(filtered) {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%v\n",
+			p.Name, p.Count, time.Duration(p.TotalNS),
+			time.Duration(p.TotalNS/int64(p.Count)), time.Duration(p.MaxNS))
+	}
+	tw.Flush()
+
+	if critical {
+		fmt.Fprintln(w)
+		for _, tr := range shown {
+			printCoverage(w, tr)
+		}
+	}
+	return nil
+}
+
+// printTrace renders one trace span by span, indented by depth.
+func printTrace(w *os.File, tr *trace.Tree, critical bool) {
+	fmt.Fprintf(w, "trace %s session=%s duration=%v spans=%d complete=%v\n\n",
+		tr.Trace, tr.Session, time.Duration(tr.DurNS), len(tr.Spans), tr.Complete())
+	byID := make(map[string]*trace.Record, len(tr.Spans))
+	for _, s := range tr.Spans {
+		byID[s.Span] = s
+	}
+	// Depth comes from walking the parent chain, not print order: siblings
+	// can share a start timestamp, so start-sorting alone does not
+	// guarantee parents precede children.
+	var depthOf func(s *trace.Record) int
+	depthOf = func(s *trace.Record) int {
+		d := 0
+		for s.Parent != "" {
+			p, ok := byID[s.Parent]
+			if !ok {
+				return d + 1 // parent span missing from this file (e.g. remote side)
+			}
+			s, d = p, d+1
+			if d > len(tr.Spans) { // cycle guard on malformed input
+				break
+			}
+		}
+		return d
+	}
+	for _, s := range tr.Spans {
+		fmt.Fprintf(w, "%s%-20s +%-12v %-12v %s\n",
+			strings.Repeat("  ", depthOf(s)), s.Name,
+			time.Duration(s.StartNS-tr.StartNS), time.Duration(s.DurNS), attrString(s))
+	}
+	if critical {
+		fmt.Fprintln(w)
+		printCoverage(w, tr)
+	}
+}
+
+// printCoverage prints, for every span with children, how much of its
+// duration the children explain.
+func printCoverage(w *os.File, tr *trace.Tree) {
+	fmt.Fprintf(w, "critical path, trace %s:\n", tr.Trace)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  SPAN\tDURATION\tCHILDREN\tEXPLAINED\tSELF/GAP")
+	for _, s := range tr.Spans {
+		cov := trace.CriticalPath(tr, s)
+		if cov.ChildCount == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "  %s\t%v\t%d\t%.1f%%\t%v\n",
+			s.Name, time.Duration(s.DurNS), cov.ChildCount,
+			100*cov.Fraction, time.Duration(cov.GapNS))
+	}
+	tw.Flush()
+}
+
+// attrString renders a span's attributes compactly.
+func attrString(s *trace.Record) string {
+	if len(s.Attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(s.Attrs))
+	for _, a := range s.Attrs {
+		parts = append(parts, fmt.Sprintf("%s=%v", a.K, a.V))
+	}
+	return strings.Join(parts, " ")
+}

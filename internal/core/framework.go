@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/fingerprint"
@@ -85,6 +87,16 @@ func WithObserver(o telemetry.Observer) Option {
 	return func(f *Framework) { f.obs = o }
 }
 
+// WithPprofLabels enables runtime/pprof labels around each scheme's
+// epoch work, so CPU and goroutine profiles of a busy server attribute
+// samples to scheme names ("scheme" label; the offload layer adds
+// session and batch-tick labels around the whole step). Off by
+// default: label push/pop costs a few allocations per scheme per
+// epoch, which would break the zero-alloc untraced path.
+func WithPprofLabels(on bool) Option {
+	return func(f *Framework) { f.pprofLabels = on }
+}
+
 // Framework is the UniLoc runtime: N schemes running in parallel, one
 // error model per scheme per environment, confidence computation, and
 // the two ensemble outputs.
@@ -93,13 +105,14 @@ type Framework struct {
 	models  *ModelSet
 	iod     *iodetector.Detector
 
-	gpsGating  bool
-	weightMode WeightMode
-	pruneFrac  float64
-	lastPred   map[string]float64 // last predicted error per scheme, for gating
-	lastEnv    EnvClass
-	obs        telemetry.Observer // nil = tracing off
-	health     *Health            // failure-containment counters; nil = uncounted
+	gpsGating   bool
+	weightMode  WeightMode
+	pruneFrac   float64
+	lastPred    map[string]float64 // last predicted error per scheme, for gating
+	lastEnv     EnvClass
+	obs         telemetry.Observer // nil = tracing off
+	health      *Health            // failure-containment counters; nil = uncounted
+	pprofLabels bool               // wrap scheme work in pprof labels
 
 	// lastGood is the most recent finite ensemble output, answered
 	// (with OK=false) on epochs where every scheme failed. Reset seeds
@@ -156,6 +169,21 @@ func (f *Framework) SetDistCache(c *fingerprint.DistCache) {
 
 // Models returns the framework's model set.
 func (f *Framework) Models() *ModelSet { return f.models }
+
+// SetObserver replaces the framework's telemetry observer after
+// construction (nil disables tracing). The offload session manager
+// uses this to attach per-session span bridges to factory-built
+// frameworks. Must not be called concurrently with Step.
+func (f *Framework) SetObserver(o telemetry.Observer) { f.obs = o }
+
+// Observer returns the attached telemetry observer (nil = tracing
+// off).
+func (f *Framework) Observer() telemetry.Observer { return f.obs }
+
+// SetPprofLabels reconfigures per-scheme pprof labeling after
+// construction (see WithPprofLabels). Must not be called concurrently
+// with Step.
+func (f *Framework) SetPprofLabels(on bool) { f.pprofLabels = on }
 
 // Reset prepares all schemes for a new walk starting near start. The
 // configured IODetector is kept (its runtime state is cleared, its
@@ -214,6 +242,7 @@ func (f *Framework) Step(snap *sensing.Snapshot) StepResult {
 		Schemes: make([]telemetry.SchemeTrace, len(f.schemes)),
 	}
 	start := time.Now()
+	tr.StartMono = start // anchor for span reconstruction
 	res := f.step(snap, tr)
 	tr.StepNS = time.Since(start).Nanoseconds()
 	tr.Env = res.Env.String()
@@ -339,6 +368,19 @@ func (f *Framework) step(snap *sensing.Snapshot, tr *telemetry.EpochTrace) StepR
 // schemes concurrently; gating-state (lastPred) updates stay with the
 // caller.
 func (f *Framework) runScheme(i int, snap *sensing.Snapshot, tr *telemetry.EpochTrace, out []SchemeResult) {
+	if f.pprofLabels {
+		// Label push/pop allocates, so this wrapper only exists when the
+		// operator asked for labeled profiles (WithPprofLabels).
+		pprof.Do(context.Background(), pprof.Labels("scheme", f.schemes[i].Name()),
+			func(context.Context) { f.schemeEpoch(i, snap, tr, out) })
+		return
+	}
+	f.schemeEpoch(i, snap, tr, out)
+}
+
+// schemeEpoch is runScheme's body, shared by the labeled and plain
+// paths.
+func (f *Framework) schemeEpoch(i int, snap *sensing.Snapshot, tr *telemetry.EpochTrace, out []SchemeResult) {
 	s := f.schemes[i]
 	// A panicking scheme becomes an unavailable scheme — never a dead
 	// worker goroutine or a torn-down walk. The recover must live here,
@@ -356,6 +398,12 @@ func (f *Framework) runScheme(i int, snap *sensing.Snapshot, tr *telemetry.Epoch
 	var t0 time.Time
 	if tr != nil {
 		t0 = time.Now()
+		if !tr.StartMono.IsZero() {
+			// Offset from the step start, so the span tracer can place
+			// this scheme's execution on the epoch timeline (parallel
+			// schemes genuinely overlap; the offsets show it).
+			tr.Schemes[i].StartNS = t0.Sub(tr.StartMono).Nanoseconds()
+		}
 	}
 	est := s.Estimate(snap)
 	if tr != nil {

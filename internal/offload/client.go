@@ -11,6 +11,7 @@ import (
 	"repro/internal/rf"
 	"repro/internal/sensing"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // ErrRejected reports that the server refused the session handshake;
@@ -67,6 +68,7 @@ type Client struct {
 	clientID  string
 	sessionID uint32
 	helloed   bool
+	proto     byte // negotiated protocol version (ProtocolVersion before Hello)
 
 	timeout time.Duration            // per-frame read/write deadline (0 = none)
 	dial    func() (net.Conn, error) // nil = no reconnect
@@ -87,13 +89,16 @@ type Client struct {
 	resumes    int
 
 	met clientMetrics
+
+	tracer  *trace.Tracer     // nil = tracing off
+	curSpan trace.SpanContext // in-flight epoch span, embedded in v5 context frames
 }
 
 // NewClient wraps an established connection to the server. The
 // optional clientID labels this phone in the server's per-session
 // stats.
 func NewClient(conn net.Conn, clientID ...string) *Client {
-	c := &Client{conn: conn}
+	c := &Client{conn: conn, proto: ProtocolVersion}
 	if len(clientID) > 0 {
 		c.clientID = clientID[0]
 	}
@@ -125,6 +130,18 @@ func (c *Client) SetMetrics(reg *telemetry.Registry) {
 		deadlineTimeouts: reg.Counter("deadline_timeouts_total", "protocol reads/writes that hit their deadline"),
 	}
 }
+
+// SetTracer attaches a span tracer: every Localize call becomes one
+// "client.epoch" root span whose context travels to the server in the
+// v5 context frame, so the server's frame, batch, and per-scheme spans
+// join the same trace tree. Nil (the default) disables tracing at zero
+// cost. When the handshake negotiates a pre-v5 session, spans are
+// still recorded locally but no trace bytes are sent.
+func (c *Client) SetTracer(t *trace.Tracer) { c.tracer = t }
+
+// Proto returns the negotiated protocol version (ProtocolVersion
+// before Hello completes).
+func (c *Client) Proto() byte { return c.proto }
 
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -206,6 +223,9 @@ func (c *Client) Hello(start geo.Point) error {
 	if !w.OK {
 		return fmt.Errorf("%w: %s", ErrRejected, w.Reason)
 	}
+	// The welcome carries the server's negotiated version; min with our
+	// own guards against a server echoing a version we never offered.
+	c.proto = Negotiate(ProtocolVersion, w.Version)
 	c.sessionID = w.SessionID
 	c.helloed = true
 	if w.Resumed {
@@ -231,14 +251,26 @@ func (c *Client) Localize(snap *sensing.Snapshot) (*Result, error) {
 	// epoch whose result was already computed is answered from the
 	// server's per-seq cache instead of being re-stepped.
 	c.seq++
+	// One root span per logical epoch too: retries of the same epoch
+	// carry the same span context, so a replayed result lands in the
+	// same trace as the upload that produced it.
+	span := c.tracer.Start("client.epoch", trace.SpanContext{})
+	if span.Recording() {
+		span.SetSession(c.clientID)
+		span.Attr("epoch", snap.Epoch)
+		span.Attr("seq", c.seq)
+		c.curSpan = span.Context()
+	}
 	res, err := c.localizeOnce(snap)
-	if err == nil {
-		return res, nil
+	if err != nil && c.dial != nil && !errors.Is(err, ErrRejected) {
+		res, err = c.retryEpoch(snap, err)
 	}
-	if c.dial == nil || errors.Is(err, ErrRejected) {
-		return nil, err
+	if span.Recording() {
+		span.Attr("ok", err == nil)
+		span.End()
+		c.curSpan = trace.SpanContext{}
 	}
-	return c.retryEpoch(snap, err)
+	return res, err
 }
 
 // retryEpoch drives the reconnect loop for one failed epoch: capped
@@ -341,7 +373,14 @@ func (c *Client) localizeOnce(snap *sensing.Snapshot) (*Result, error) {
 			return nil, err
 		}
 	}
-	if err := write(MsgContext, EncodeContextSeq(snap, c.seq)); err != nil {
+	ctxPayload := EncodeContextSeq(snap, c.seq)
+	if c.curSpan.Valid() && Features(c.proto).Trace {
+		// v5 negotiated: ship the epoch span's context so server-side
+		// spans join this trace. Pre-v5 sessions get the plain header —
+		// the feature gate, not the tracer, decides the wire bytes.
+		ctxPayload = EncodeContextTrace(snap, c.seq, c.curSpan)
+	}
+	if err := write(MsgContext, ctxPayload); err != nil {
 		return nil, err
 	}
 	if err := write(MsgEpochEnd, nil); err != nil {

@@ -26,6 +26,7 @@ type serverMetrics struct {
 	// Batch scheduler instruments (BatchTick > 0).
 	batchTicks      *telemetry.Counter
 	batchSize       *telemetry.Histogram
+	batchGroups     *telemetry.Histogram
 	batchOccupancy  *telemetry.Gauge
 	distCacheHits   *telemetry.Counter
 	distCacheMisses *telemetry.Counter
@@ -40,6 +41,13 @@ type serverMetrics struct {
 // batchSizeBuckets cover 1..maxBatch sessions per tick.
 func batchSizeBuckets() []float64 {
 	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+}
+
+// batchGroupBuckets cover the distinct pinned map snapshots one tick
+// precomputes against — at most the configured store count, so the
+// range is tiny (0 = nothing shareable that tick).
+func batchGroupBuckets() []float64 {
+	return []float64{0, 1, 2, 3, 4}
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
@@ -60,6 +68,7 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 
 		batchTicks:      reg.Counter("uniloc_batch_ticks_total", "batches executed by the batch-per-tick scheduler"),
 		batchSize:       reg.Histogram("uniloc_batch_size", "sessions stepped per batch tick", batchSizeBuckets()),
+		batchGroups:     reg.Histogram("uniloc_batch_groups", "distinct pinned map snapshots precomputed per batch tick", batchGroupBuckets()),
 		batchOccupancy:  reg.Gauge("uniloc_batch_occupancy", "last batch size over active sessions"),
 		distCacheHits:   reg.Counter("uniloc_distcache_hits_total", "scheme distance columns served from the shared batch cache"),
 		distCacheMisses: reg.Counter("uniloc_distcache_misses_total", "scheme distance lookups computed locally during a batch"),

@@ -23,6 +23,7 @@ import (
 	"repro/internal/imu"
 	"repro/internal/rf"
 	"repro/internal/sensing"
+	"repro/internal/telemetry/trace"
 )
 
 // MsgType identifies a protocol frame.
@@ -43,16 +44,63 @@ const (
 	MsgSurvey                        // phone → server: crowdsourced survey point (v3)
 )
 
-// ProtocolVersion is the current wire version. Version 2 added the
-// session handshake (MsgHello/MsgWelcome) and the availability flag on
-// Result; version 3 added crowdsourced survey submissions (MsgSurvey)
-// feeding the server's shared map store; version 4 added the
-// per-session epoch sequence number on MsgContext and the Resumed flag
-// on MsgWelcome, making reconnect-replayed epochs idempotent (the
-// server answers a repeated seq from its cached result instead of
-// re-stepping, and a re-handshake under the same client ID re-attaches
-// the detached session's framework state).
-const ProtocolVersion = 4
+// Wire protocol versions. Version 2 added the session handshake
+// (MsgHello/MsgWelcome) and the availability flag on Result; version 3
+// added crowdsourced survey submissions (MsgSurvey) feeding the
+// server's shared map store; version 4 added the per-session epoch
+// sequence number on MsgContext and the Resumed flag on MsgWelcome,
+// making reconnect-replayed epochs idempotent; version 5 added the
+// optional 24-byte span context on MsgContext, propagating the
+// client's trace across the wire so server-side spans join the
+// client's trace tree.
+const (
+	ProtocolV2 byte = 2
+	ProtocolV3 byte = 3
+	ProtocolV4 byte = 4
+	ProtocolV5 byte = 5
+
+	// ProtocolVersion is the newest version this build speaks.
+	ProtocolVersion = ProtocolV5
+)
+
+// VersionFeatures is the capability set of one protocol version — the
+// single table every version check in the package goes through, so
+// adding a version means adding one entry here instead of sprinkling
+// `v >= 4` comparisons across client, server, and codec.
+type VersionFeatures struct {
+	Surveys bool // MsgSurvey accepted (v3+)
+	Resume  bool // context seq numbers, replay cache, session re-attach (v4+)
+	Trace   bool // span context on MsgContext (v5+)
+}
+
+// Features returns the capability set of a protocol version. Unknown
+// future versions report the newest known feature set (capabilities
+// are cumulative; the handshake negotiates the version down to what
+// both ends speak before features matter).
+func Features(v byte) VersionFeatures {
+	return VersionFeatures{
+		Surveys: v >= ProtocolV3,
+		Resume:  v >= ProtocolV4,
+		Trace:   v >= ProtocolV5,
+	}
+}
+
+// Negotiate picks the protocol version a session runs at: the lower of
+// the server's maximum and the client's hello. A v5 client talking to
+// a v4 server runs the session at v4 (and sends no trace bytes); a v3
+// client talking to a v5 server keeps its exact old semantics. Values
+// below ProtocolV2 are pinned to v2 — there was no pre-handshake
+// version to negotiate with.
+func Negotiate(serverMax, client byte) byte {
+	v := serverMax
+	if client < v {
+		v = client
+	}
+	if v < ProtocolV2 {
+		v = ProtocolV2
+	}
+	return v
+}
 
 // Survey map identifiers: which shared radio map a crowdsourced survey
 // point belongs to.
@@ -223,6 +271,15 @@ func EncodeContextSeq(s *sensing.Snapshot, seq uint32) []byte {
 	return out
 }
 
+// EncodeContextTrace packs the v5 epoch header: the v4 layout followed
+// by the 24-byte span context of the client's in-flight epoch span. A
+// zero (invalid) context still occupies its bytes — the frame length
+// is how decoders version the header — but decodes back to zero,
+// meaning "no trace".
+func EncodeContextTrace(s *sensing.Snapshot, seq uint32, tctx trace.SpanContext) []byte {
+	return trace.AppendContext(EncodeContextSeq(s, seq), tctx)
+}
+
 // DecodeContext unpacks the epoch header into a fresh snapshot,
 // discarding the sequence number.
 func DecodeContext(b []byte) (*sensing.Snapshot, error) {
@@ -230,12 +287,23 @@ func DecodeContext(b []byte) (*sensing.Snapshot, error) {
 	return s, err
 }
 
-// DecodeContextSeq unpacks a v4 (17-byte) or v3 (13-byte) epoch
-// header. v3 frames carry no sequence number and report seq 0, which
-// is never cached — pre-v4 clients keep their exact old semantics.
+// DecodeContextSeq unpacks an epoch header of any version, discarding
+// any trace context.
 func DecodeContextSeq(b []byte) (*sensing.Snapshot, uint32, error) {
-	if len(b) != 13 && len(b) != 17 {
-		return nil, 0, fmt.Errorf("%w: context must be 13 or 17 bytes, got %d", ErrProtocol, len(b))
+	s, seq, _, err := DecodeContextFull(b)
+	return s, seq, err
+}
+
+// DecodeContextFull unpacks a v5 (41-byte), v4 (17-byte) or v3
+// (13-byte) epoch header. v3 frames carry no sequence number and
+// report seq 0, which is never cached; frames without a span context
+// (or with an all-zero one) report the zero SpanContext — pre-v5
+// clients keep their exact old semantics.
+func DecodeContextFull(b []byte) (*sensing.Snapshot, uint32, trace.SpanContext, error) {
+	var tctx trace.SpanContext
+	if len(b) != 13 && len(b) != 17 && len(b) != 17+trace.ContextBytes {
+		return nil, 0, tctx, fmt.Errorf("%w: context must be 13, 17 or %d bytes, got %d",
+			ErrProtocol, 17+trace.ContextBytes, len(b))
 	}
 	s := &sensing.Snapshot{
 		Epoch:    int(binary.BigEndian.Uint32(b[0:])),
@@ -245,10 +313,13 @@ func DecodeContextSeq(b []byte) (*sensing.Snapshot, uint32, error) {
 	s.GPSEnabled = b[12] == 1
 	s.T = time.Duration(s.Epoch) * sensing.EpochPeriod
 	var seq uint32
-	if len(b) == 17 {
+	if len(b) >= 17 {
 		seq = binary.BigEndian.Uint32(b[13:])
 	}
-	return s, seq, nil
+	if len(b) == 17+trace.ContextBytes {
+		tctx, _ = trace.DecodeContext(b[17:])
+	}
+	return s, seq, tctx, nil
 }
 
 // EncodeLandmark packs a landmark hit: [uint8 idLen][id][float32 x]

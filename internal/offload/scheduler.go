@@ -1,7 +1,10 @@
 package offload
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +14,7 @@ import (
 	"repro/internal/mapstore"
 	"repro/internal/rf"
 	"repro/internal/sensing"
+	"repro/internal/telemetry/trace"
 )
 
 // maxBatch bounds how many ready epochs one tick executes; a full
@@ -24,6 +28,13 @@ type stepRequest struct {
 	sess *Session
 	snap *sensing.Snapshot
 	done chan stepResponse
+
+	// Tracing: the serving goroutine's frame span, and the tracer
+	// timestamp at submission. A batch worker turns the submit→execute
+	// gap into a "server.queue" child of the frame span, so batch wait
+	// is visible (and attributable) in every trace's critical path.
+	parent trace.SpanContext
+	enqNS  int64
 }
 
 // stepResponse carries one stepped epoch back to its serving
@@ -59,6 +70,8 @@ type scheduler struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
+	ticks atomic.Int64 // batch ticks executed; labels spans and profiles
+
 	mu     sync.RWMutex
 	closed bool
 }
@@ -84,17 +97,22 @@ func newScheduler(tick time.Duration, workers int, stores map[byte]*mapstore.Sto
 }
 
 // step submits one session's epoch and blocks until its batch has
-// executed it. After close the step runs inline (same floats, no
-// batching) so late serving goroutines never strand.
-func (sc *scheduler) step(sess *Session, snap *sensing.Snapshot) (core.StepResult, time.Duration) {
+// executed it. parent is the serving goroutine's frame span context
+// (zero when tracing is off). After close the step runs inline (same
+// floats, no batching) so late serving goroutines never strand.
+func (sc *scheduler) step(sess *Session, snap *sensing.Snapshot, parent trace.SpanContext) (core.StepResult, time.Duration) {
 	sc.mu.RLock()
 	if sc.closed {
 		sc.mu.RUnlock()
+		sess.spans.SetBatch(trace.SpanContext{}, 0) // inline: no batch to link
 		t0 := time.Now()
 		res := sess.fw.Step(snap)
 		return res, time.Since(t0)
 	}
-	req := &stepRequest{sess: sess, snap: snap, done: make(chan stepResponse, 1)}
+	req := &stepRequest{sess: sess, snap: snap, done: make(chan stepResponse, 1), parent: parent}
+	if parent.Valid() {
+		req.enqNS = sc.mgr.tracer.Now()
+	}
 	sc.reqs <- req
 	sc.mu.RUnlock()
 	resp := <-req.done
@@ -170,12 +188,29 @@ func (sc *scheduler) loop() {
 
 // runBatch executes one batch: precompute shared columns, install the
 // cache on every batched framework, step sessions across the worker
-// pool, record batch telemetry.
+// pool, record batch telemetry. With a tracer attached, the whole
+// batch becomes one "batch.tick" root span, every stepped epoch's span
+// tree links back to it (EpochSpans.SetBatch), and each request's
+// submit→execute wait becomes a "server.queue" child of its frame
+// span.
 func (sc *scheduler) runBatch(batch []*stepRequest) {
 	if len(batch) == 0 {
 		return
 	}
-	cache := sc.precompute(batch)
+	tracer := sc.mgr.tracer
+	tick := sc.ticks.Add(1)
+	var tickSpan trace.Span
+	if tracer.Enabled() {
+		tickSpan = tracer.Start("batch.tick", trace.SpanContext{})
+		// One tick aggregates epochs from many traces; it is a root of
+		// its own trace but not a request, so it never competes with
+		// frame spans for exemplar slots.
+		tickSpan.SetRoot(false)
+		tickSpan.Attr("batch_tick", tick)
+	}
+	tickCtx := tickSpan.Context()
+
+	cache, groups := sc.precompute(batch)
 	for _, r := range batch {
 		r.sess.fw.SetDistCache(cache)
 	}
@@ -184,6 +219,7 @@ func (sc *scheduler) runBatch(batch []*stepRequest) {
 	if workers > len(batch) {
 		workers = len(batch)
 	}
+	pprofLabels := sc.mgr.pprofLabels
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -196,9 +232,32 @@ func (sc *scheduler) runBatch(batch []*stepRequest) {
 					return
 				}
 				r := batch[i]
-				t0 := time.Now()
-				res := r.sess.fw.Step(r.snap)
-				r.done <- stepResponse{res: res, dur: time.Since(t0)}
+				if r.parent.Valid() {
+					// The time this epoch sat on the queue waiting for its
+					// batch — charged to the frame span, not to Step.
+					tracer.Emit(&trace.Record{
+						Trace:   r.parent.Trace.String(),
+						Span:    tracer.NewSpanID().String(),
+						Parent:  r.parent.Span.String(),
+						Name:    "server.queue",
+						Session: r.sess.spanLabel,
+						StartNS: r.enqNS,
+						DurNS:   tracer.Now() - r.enqNS,
+					})
+				}
+				r.sess.spans.SetBatch(tickCtx, tick)
+				step := func() {
+					t0 := time.Now()
+					res := r.sess.fw.Step(r.snap)
+					r.done <- stepResponse{res: res, dur: time.Since(t0)}
+				}
+				if pprofLabels {
+					pprof.Do(context.Background(),
+						pprof.Labels("session", r.sess.spanLabel, "batch_tick", strconv.FormatInt(tick, 10)),
+						func(context.Context) { step() })
+				} else {
+					step()
+				}
 			}
 		}()
 	}
@@ -206,20 +265,47 @@ func (sc *scheduler) runBatch(batch []*stepRequest) {
 	for _, r := range batch {
 		r.sess.fw.SetDistCache(nil)
 	}
-	sc.mgr.noteBatch(len(batch), cache)
+	if tickSpan.Recording() {
+		tickSpan.Attr("batch_size", len(batch))
+		tickSpan.Attr("groups", len(groups))
+		for _, g := range groups {
+			name := "snapshot_version.wifi"
+			if g.mapID == MapCellular {
+				name = "snapshot_version.cell"
+			}
+			tickSpan.Attr(name, g.version)
+		}
+		if cache != nil {
+			tickSpan.Attr("cache_hits", cache.Hits())
+			tickSpan.Attr("cache_misses", cache.Misses())
+			tickSpan.Attr("cache_columns", cache.Len())
+		}
+		tickSpan.End()
+	}
+	sc.mgr.noteBatch(len(batch), len(groups), cache)
+}
+
+// batchGroup describes one fused columnar pass of a batch: the map it
+// covered and the pinned snapshot version its columns were computed
+// against.
+type batchGroup struct {
+	mapID   byte
+	version uint64
 }
 
 // precompute pins each configured store's current snapshot and runs
 // one AppendDistancesBatch pass per store over the batch's unique
 // observations, filling the shared cache. WiFi observations feed both
 // the WiFi scheme and the fusion scheme's rssiDev, so a single column
-// can serve up to 2×sessions consumers. Returns nil when there is
-// nothing to share.
-func (sc *scheduler) precompute(batch []*stepRequest) *fingerprint.DistCache {
+// can serve up to 2×sessions consumers. Returns a nil cache when there
+// is nothing to share, plus one batchGroup per (map, pinned snapshot)
+// pass actually run.
+func (sc *scheduler) precompute(batch []*stepRequest) (*fingerprint.DistCache, []batchGroup) {
 	if len(sc.stores) == 0 {
-		return nil
+		return nil, nil
 	}
 	var cache *fingerprint.DistCache
+	var groups []batchGroup
 	for _, mapID := range []byte{MapWiFi, MapCellular} {
 		store := sc.stores[mapID]
 		if store == nil {
@@ -258,6 +344,7 @@ func (sc *scheduler) precompute(batch []*stepRequest) *fingerprint.DistCache {
 		for i, obs := range uniq {
 			cache.Put(snap, obs, cols[i])
 		}
+		groups = append(groups, batchGroup{mapID: mapID, version: snap.Version()})
 	}
-	return cache
+	return cache, groups
 }

@@ -1,10 +1,12 @@
 package offload
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"repro/internal/mapstore"
 	"repro/internal/sensing"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // ServerConfig configures a multi-session offload server.
@@ -77,6 +80,25 @@ type ServerConfig struct {
 	// scan). Nil falls back to MapStores; sessions whose schemes read
 	// other maps simply miss the cache and compute locally.
 	BatchStores map[byte]*mapstore.Store
+
+	// Tracer enables end-to-end span tracing: one "server.frame" span
+	// per served epoch (continuing the client's trace when the v5
+	// context frame carries one), with read/queue/step/write children
+	// and per-scheme spans bridged from the framework's epoch traces.
+	// Nil keeps tracing off — no observer is attached and the serving
+	// path allocates nothing extra.
+	Tracer *trace.Tracer
+
+	// PprofLabels wraps serving goroutines (session), batch workers
+	// (session + batch tick), and per-scheme work in runtime/pprof
+	// labels so CPU profiles of a busy server decompose by session and
+	// scheme. Off by default: labeling allocates per epoch.
+	PprofLabels bool
+
+	// MaxProtocol caps the version the handshake negotiates, for tests
+	// and staged rollouts (a v5 build serving at v4 must ignore trace
+	// context exactly like a real v4 server). 0 = ProtocolVersion.
+	MaxProtocol byte
 }
 
 // Server runs the UniLoc framework (all localization schemes, error
@@ -88,7 +110,10 @@ type Server struct {
 	mgr          *SessionManager
 	stores       map[byte]*mapstore.Store
 	epochTimeout time.Duration
-	sched        *scheduler // nil: per-connection stepping
+	sched        *scheduler    // nil: per-connection stepping
+	tracer       *trace.Tracer // nil: tracing off
+	pprofLabels  bool
+	maxProto     byte
 }
 
 // NewServer builds a multi-session server from the config.
@@ -98,7 +123,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	mgr.SetStepWorkers(cfg.StepWorkers)
-	s := &Server{mgr: mgr, stores: cfg.MapStores, epochTimeout: cfg.EpochTimeout}
+	mgr.SetTracer(cfg.Tracer)
+	mgr.SetPprofLabels(cfg.PprofLabels)
+	maxProto := cfg.MaxProtocol
+	if maxProto == 0 {
+		maxProto = ProtocolVersion
+	}
+	s := &Server{
+		mgr: mgr, stores: cfg.MapStores, epochTimeout: cfg.EpochTimeout,
+		tracer: cfg.Tracer, pprofLabels: cfg.PprofLabels, maxProto: maxProto,
+	}
 	if cfg.BatchTick > 0 {
 		batchStores := cfg.BatchStores
 		if batchStores == nil {
@@ -144,20 +178,21 @@ func (s *Server) handshake(conn net.Conn) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	if hello.Version > ProtocolVersion {
-		reject := &Welcome{Version: ProtocolVersion, Reason: fmt.Sprintf("unsupported protocol version %d", hello.Version)}
-		_, _ = WriteFrame(conn, MsgWelcome, EncodeWelcome(reject))
-		return nil, fmt.Errorf("%w: client version %d > %d", ErrProtocol, hello.Version, ProtocolVersion)
-	}
-	if hello.Version >= 4 {
-		// A v4 re-handshake under a known client ID re-attaches the
+	// Version negotiation (one table for the whole package — see
+	// Features): the session runs at the lower of the server's maximum
+	// and the client's hello, so a newer client degrades gracefully —
+	// a v5 client against a v4-capped server simply runs without trace
+	// propagation — instead of being rejected.
+	ver := Negotiate(s.maxProto, hello.Version)
+	if Features(ver).Resume {
+		// A v4+ re-handshake under a known client ID re-attaches the
 		// detached session: framework state and the per-seq result
 		// cache survive the reconnect, so the hello's start position is
 		// deliberately ignored — resetting there is exactly the replay
 		// bug v4 fixes.
 		if sess := s.mgr.Resume(hello.ClientID, conn); sess != nil {
-			sess.proto = hello.Version
-			welcome := &Welcome{Version: ProtocolVersion, OK: true, SessionID: sess.ID, Resumed: true}
+			sess.proto = ver
+			welcome := &Welcome{Version: ver, OK: true, SessionID: sess.ID, Resumed: true}
 			if _, err := WriteFrame(conn, MsgWelcome, EncodeWelcome(welcome)); err != nil {
 				s.mgr.Detach(sess) // park again for the next attempt
 				return nil, err
@@ -167,15 +202,15 @@ func (s *Server) handshake(conn net.Conn) (*Session, error) {
 	}
 	sess, err := s.mgr.Open(hello.ClientID, geo.Pt(hello.StartX, hello.StartY), conn)
 	if err != nil {
-		reject := &Welcome{Version: ProtocolVersion, Reason: err.Error()}
+		reject := &Welcome{Version: ver, Reason: err.Error()}
 		_, _ = WriteFrame(conn, MsgWelcome, EncodeWelcome(reject))
 		if errors.Is(err, ErrServerFull) {
 			return nil, nil // graceful rejection, not a transport failure
 		}
 		return nil, err
 	}
-	sess.proto = hello.Version
-	welcome := &Welcome{Version: ProtocolVersion, OK: true, SessionID: sess.ID}
+	sess.proto = ver
+	welcome := &Welcome{Version: ver, OK: true, SessionID: sess.ID}
 	if _, err := WriteFrame(conn, MsgWelcome, EncodeWelcome(welcome)); err != nil {
 		s.mgr.Close(sess)
 		return nil, err
@@ -248,7 +283,7 @@ func (s *Server) serve(conn net.Conn) error {
 	}()
 	// ioFail maps a mid-stream I/O failure to serve's return value:
 	// evictions and deadline hits stay quiet closes, any other
-	// transport/protocol failure parks a v4 session for seq-numbered
+	// transport/protocol failure parks a v4+ session for seq-numbered
 	// resume (Detach) instead of discarding its walk state.
 	ioFail := func(err error) error {
 		if sess.evicted.Load() {
@@ -259,27 +294,84 @@ func (s *Server) serve(conn net.Conn) error {
 			s.mgr.noteDeadlineTimeout()
 			return nil
 		}
-		if sess.proto >= 4 {
+		if Features(sess.proto).Resume {
 			detach = true
 			return nil
 		}
 		return err
 	}
+	if s.pprofLabels {
+		// Label the serving goroutine so CPU/goroutine profiles of a
+		// busy server decompose by session (batch workers and scheme
+		// execution add their own labels on top).
+		var loopErr error
+		pprof.Do(context.Background(), pprof.Labels("session", sess.spanLabel),
+			func(context.Context) { loopErr = s.epochLoop(conn, sess, ioFail) })
+		return loopErr
+	}
+	return s.epochLoop(conn, sess, ioFail)
+}
+
+// emitChild synthesizes a completed child span of the frame span from
+// a start timestamp taken on this goroutine.
+func (s *Server) emitChild(frame *trace.Span, sess *Session, name string, startNS int64) {
+	fctx := frame.Context()
+	if !fctx.Valid() {
+		return
+	}
+	s.tracer.Emit(&trace.Record{
+		Trace:   fctx.Trace.String(),
+		Span:    s.tracer.NewSpanID().String(),
+		Parent:  fctx.Span.String(),
+		Name:    name,
+		Session: sess.spanLabel,
+		StartNS: startNS,
+		DurNS:   s.tracer.Now() - startNS,
+	})
+}
+
+// epochLoop serves epochs on an established session until EOF or
+// error. With a tracer attached, each served epoch becomes one
+// "server.frame" span — continuing the client's trace when the v5
+// context frame carried a span context, a fresh root otherwise — with
+// server.read/server.queue/step/server.write children accounting for
+// where the frame's wall time went.
+func (s *Server) epochLoop(conn net.Conn, sess *Session, ioFail func(error) error) error {
 	for {
 		s.armDeadline(conn) // one deadline window per epoch exchange
-		snap, seq, err := s.readEpoch(conn)
+		snap, seq, tctx, arrived, err := s.readEpoch(conn)
 		if err == io.EOF {
 			return nil // clean shutdown: the walk is over, no resume
 		}
 		if err != nil {
 			return ioFail(err)
 		}
-		if sess.proto >= 4 && seq != 0 && seq == sess.lastSeq && sess.lastReply != nil {
+		var frame trace.Span
+		if s.tracer.Enabled() {
+			// The span starts when the epoch's first frame arrived, so
+			// idle time between epochs (the client walking) never counts.
+			frame = s.tracer.StartAt("server.frame", tctx, arrived)
+			// Frame spans are the server's unit of tail latency even when
+			// they continue a client trace, so they feed the exemplar
+			// collector as complete-trace roots.
+			frame.SetRoot(true)
+			frame.SetSession(sess.spanLabel)
+			frame.Attr("epoch", snap.Epoch)
+			if seq != 0 {
+				frame.Attr("seq", seq)
+			}
+			s.emitChild(&frame, sess, "server.read", s.tracer.At(arrived))
+			sess.spans.SetParent(frame.Context())
+		}
+		if Features(sess.proto).Resume && seq != 0 && seq == sess.lastSeq && sess.lastReply != nil {
 			// Reconnect replay: the client re-sent an epoch whose result
 			// was computed but lost in flight. Answer from the per-seq
 			// cache — re-stepping would double-advance PDR/HMM state.
 			s.mgr.noteReplay()
-			if _, err := WriteFrame(conn, MsgResult, sess.lastReply); err != nil {
+			frame.Attr("replay", true)
+			_, err := WriteFrame(conn, MsgResult, sess.lastReply)
+			frame.End()
+			if err != nil {
 				return ioFail(err)
 			}
 			continue
@@ -287,7 +379,7 @@ func (s *Server) serve(conn net.Conn) error {
 		var res core.StepResult
 		var stepDur time.Duration
 		if s.sched != nil {
-			res, stepDur = s.sched.step(sess, snap)
+			res, stepDur = s.sched.step(sess, snap, frame.Context())
 		} else {
 			t0 := time.Now()
 			res = sess.fw.Step(snap)
@@ -305,86 +397,111 @@ func (s *Server) serve(conn net.Conn) error {
 			out.Selected = res.Schemes[res.BestIdx].Name
 		}
 		payload := EncodeResult(out)
-		if sess.proto >= 4 && seq != 0 {
+		if Features(sess.proto).Resume && seq != 0 {
 			sess.lastSeq, sess.lastReply = seq, payload
 		}
-		if _, err := WriteFrame(conn, MsgResult, payload); err != nil {
+		var wStart int64
+		if frame.Recording() {
+			wStart = s.tracer.Now()
+		}
+		_, err = WriteFrame(conn, MsgResult, payload)
+		if frame.Recording() {
+			s.emitChild(&frame, sess, "server.write", wStart)
+			frame.End()
+		}
+		if err != nil {
 			return ioFail(err)
 		}
 	}
 }
 
 // readEpoch assembles one snapshot from frames up to MsgEpochEnd,
-// returning the epoch's v4 sequence number (0 for v3 clients).
-func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, uint32, error) {
+// returning the epoch's v4 sequence number (0 for v3 clients), the v5
+// trace context (zero without one), and — when tracing — the arrival
+// time of the epoch's first frame (the idle gap between epochs belongs
+// to the client, not to the frame span).
+func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, uint32, trace.SpanContext, time.Time, error) {
 	snap := &sensing.Snapshot{}
 	var seq uint32
+	var tctx trace.SpanContext
+	var arrived time.Time
 	gotContext := false
+	first := true
+	fail := func(err error) (*sensing.Snapshot, uint32, trace.SpanContext, time.Time, error) {
+		return nil, 0, trace.SpanContext{}, arrived, err
+	}
 	for {
 		t, payload, err := ReadFrame(r)
 		if err != nil {
 			if err == io.EOF && !gotContext {
-				return nil, 0, io.EOF
+				return fail(io.EOF)
 			}
 			if err == io.ErrUnexpectedEOF {
-				return nil, 0, io.EOF
+				return fail(io.EOF)
 			}
-			return nil, 0, err
+			return fail(err)
+		}
+		if first {
+			first = false
+			if s.tracer.Enabled() {
+				arrived = time.Now()
+			}
 		}
 		switch t {
 		case MsgContext:
-			ctx, sq, err := DecodeContextSeq(payload)
+			ctx, sq, tc, err := DecodeContextFull(payload)
 			if err != nil {
-				return nil, 0, err
+				return fail(err)
 			}
 			ctx.WiFi, ctx.Cell = snap.WiFi, snap.Cell
 			ctx.Step, ctx.GNSS, ctx.Landmark = snap.Step, snap.GNSS, snap.Landmark
 			snap = ctx
 			seq = sq
+			tctx = tc
 			gotContext = true
 		case MsgStepUpdate:
 			step, err := DecodeStep(payload)
 			if err != nil {
-				return nil, 0, err
+				return fail(err)
 			}
 			snap.Step = step
 		case MsgWiFiVector:
 			v, err := DecodeVector(payload)
 			if err != nil {
-				return nil, 0, err
+				return fail(err)
 			}
 			snap.WiFi = v
 		case MsgCellVector:
 			v, err := DecodeVector(payload)
 			if err != nil {
-				return nil, 0, err
+				return fail(err)
 			}
 			snap.Cell = v
 		case MsgGNSSFix:
 			f, err := DecodeFix(payload)
 			if err != nil {
-				return nil, 0, err
+				return fail(err)
 			}
 			snap.GNSS = f
 		case MsgLandmark:
 			l, err := DecodeLandmark(payload)
 			if err != nil {
-				return nil, 0, err
+				return fail(err)
 			}
 			snap.Landmark = l
 		case MsgSurvey:
 			sv, err := DecodeSurvey(payload)
 			if err != nil {
-				return nil, 0, err
+				return fail(err)
 			}
 			s.ingestSurvey(sv)
 		case MsgEpochEnd:
 			if !gotContext {
-				return nil, 0, fmt.Errorf("%w: epoch ended without context", ErrProtocol)
+				return fail(fmt.Errorf("%w: epoch ended without context", ErrProtocol))
 			}
-			return snap, seq, nil
+			return snap, seq, tctx, arrived, nil
 		default:
-			return nil, 0, fmt.Errorf("%w: unexpected message type %d", ErrProtocol, t)
+			return fail(fmt.Errorf("%w: unexpected message type %d", ErrProtocol, t))
 		}
 	}
 }

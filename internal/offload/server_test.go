@@ -278,7 +278,10 @@ func TestServeRequiresHello(t *testing.T) {
 	_ = c1.Close()
 }
 
-func TestServeRejectsNewerProtocolVersion(t *testing.T) {
+func TestServeNegotiatesDownNewerClient(t *testing.T) {
+	// A client announcing a future protocol version is not rejected:
+	// the handshake negotiates the session down to the server's
+	// maximum, so old servers keep serving new phones.
 	factory, _ := offloadWorld(t)
 	srv := newTestServer(t, ServerConfig{Factory: factory})
 	c1, c2 := net.Pipe()
@@ -296,18 +299,21 @@ func TestServeRejectsNewerProtocolVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w.OK {
-		t.Error("newer protocol version must be refused")
+	if !w.OK {
+		t.Fatalf("newer client must be negotiated down, got rejection: %s", w.Reason)
 	}
+	if w.Version != ProtocolVersion {
+		t.Errorf("negotiated version = %d, want server max %d", w.Version, ProtocolVersion)
+	}
+	_ = c1.Close()
 	select {
 	case err := <-done:
-		if err == nil {
-			t.Error("version mismatch should surface as a serve error")
+		if err != nil {
+			t.Errorf("serve: %v", err)
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("server did not finish")
 	}
-	_ = c1.Close()
 }
 
 func TestIdleEviction(t *testing.T) {

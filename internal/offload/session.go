@@ -12,6 +12,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/geo"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // ErrServerFull reports that the server refused a new session because
@@ -35,6 +36,13 @@ type Session struct {
 	proto     byte   // negotiated protocol version
 	lastSeq   uint32 // v4: last epoch sequence number answered
 	lastReply []byte // v4: encoded Result payload for lastSeq
+
+	// Span-tracing state (nil/empty when the server has no tracer).
+	// spans is the framework-observer bridge that turns each epoch's
+	// telemetry trace into step/scheme spans; spanLabel names this
+	// session on every span and pprof label.
+	spans     *trace.EpochSpans
+	spanLabel string
 
 	mu         sync.Mutex
 	conn       net.Conn // nil while detached
@@ -105,6 +113,16 @@ type Stats struct {
 	DistCacheHits   int64
 	DistCacheMisses int64
 
+	// Batch shape quantiles, from always-on internal histograms (they
+	// exist with or without a metrics registry, so Stats and /metrics
+	// agree): sessions stepped per tick, and distinct pinned map
+	// snapshots ("groups") whose columns one tick precomputed. Zero
+	// until the first batch.
+	BatchSizeP50   float64
+	BatchSizeP95   float64
+	BatchGroupsP50 float64
+	BatchGroupsP95 float64
+
 	Sessions []SessionStat // live sessions, per-session detail
 }
 
@@ -143,6 +161,14 @@ type SessionManager struct {
 
 	met    serverMetrics
 	health *core.Health // shared across session frameworks; counters are atomic
+
+	tracer      *trace.Tracer // nil = tracing off
+	pprofLabels bool          // label serving goroutines and scheme work
+
+	// Always-on batch-shape histograms backing the Stats quantiles
+	// (registry-independent; the registry's twins are in serverMetrics).
+	batchSizeH   *telemetry.Histogram
+	batchGroupsH *telemetry.Histogram
 }
 
 // NewSessionManager builds a manager over a framework factory. The
@@ -154,16 +180,32 @@ func NewSessionManager(factory core.FrameworkFactory, maxSessions int, idleTimeo
 		return nil, fmt.Errorf("offload: session manager needs a framework factory")
 	}
 	return &SessionManager{
-		factory:     factory,
-		maxSessions: maxSessions,
-		idleTimeout: idleTimeout,
-		now:         time.Now,
-		sessions:    make(map[uint32]*Session),
-		detached:    make(map[string]*Session),
-		met:         newServerMetrics(reg),
-		health:      core.NewHealth(reg),
+		factory:      factory,
+		maxSessions:  maxSessions,
+		idleTimeout:  idleTimeout,
+		now:          time.Now,
+		sessions:     make(map[uint32]*Session),
+		detached:     make(map[string]*Session),
+		met:          newServerMetrics(reg),
+		health:       core.NewHealth(reg),
+		batchSizeH:   telemetry.NewHistogram(batchSizeBuckets()),
+		batchGroupsH: telemetry.NewHistogram(batchGroupBuckets()),
 	}, nil
 }
+
+// SetTracer attaches a span tracer: every subsequently opened session
+// gets an EpochSpans observer bridging its framework's epoch traces
+// into step/scheme spans. Call before serving; nil keeps tracing off
+// (the frameworks then run their zero-alloc unobserved path).
+func (m *SessionManager) SetTracer(t *trace.Tracer) { m.tracer = t }
+
+// Tracer returns the attached span tracer (nil = tracing off).
+func (m *SessionManager) Tracer() *trace.Tracer { return m.tracer }
+
+// SetPprofLabels enables runtime/pprof labels on serving goroutines
+// (session), batch workers (batch tick), and per-scheme work, applied
+// to subsequently opened sessions. Call before serving.
+func (m *SessionManager) SetPprofLabels(on bool) { m.pprofLabels = on }
 
 // noteDeadlineTimeout accounts one session evicted at its epoch
 // deadline.
@@ -216,6 +258,25 @@ func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (
 		ID: id, ClientID: clientID, fw: fw, conn: conn,
 		lastActive: m.now(),
 		lat:        telemetry.NewHistogram(telemetry.DefBuckets()),
+	}
+	s.spanLabel = clientID
+	if s.spanLabel == "" {
+		s.spanLabel = fmt.Sprintf("session-%d", id)
+	}
+	if m.tracer.Enabled() {
+		// Bridge the framework's epoch traces into spans, composing with
+		// any observer the factory already attached (e.g. a JSONL epoch
+		// writer). Without a tracer no observer is added, preserving the
+		// framework's zero-alloc unobserved path.
+		s.spans = trace.NewEpochSpans(m.tracer, s.spanLabel)
+		if prev := fw.Observer(); prev != nil {
+			fw.SetObserver(telemetry.MultiObserver(prev, s.spans))
+		} else {
+			fw.SetObserver(s.spans)
+		}
+	}
+	if m.pprofLabels {
+		fw.SetPprofLabels(true)
 	}
 	m.mu.Lock()
 	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
@@ -295,13 +356,17 @@ func (m *SessionManager) noteReplay() {
 	m.met.epochsReplayed.Inc()
 }
 
-// noteBatch accounts one executed batch and the effectiveness of its
-// shared distance cache.
-func (m *SessionManager) noteBatch(size int, cache *fingerprint.DistCache) {
+// noteBatch accounts one executed batch: its size, how many distinct
+// pinned map snapshots ("groups") its precompute pass covered, and the
+// effectiveness of its shared distance cache.
+func (m *SessionManager) noteBatch(size, groups int, cache *fingerprint.DistCache) {
 	m.batches.Add(1)
 	m.batchedEpochs.Add(int64(size))
 	m.met.batchTicks.Inc()
 	m.met.batchSize.Observe(float64(size))
+	m.met.batchGroups.Observe(float64(groups))
+	m.batchSizeH.Observe(float64(size))
+	m.batchGroupsH.Observe(float64(groups))
 	m.mu.Lock()
 	active := len(m.sessions)
 	m.mu.Unlock()
@@ -408,6 +473,14 @@ func (m *SessionManager) Stats() Stats {
 		BatchedEpochs:        m.batchedEpochs.Load(),
 		DistCacheHits:        m.cacheHits.Load(),
 		DistCacheMisses:      m.cacheMisses.Load(),
+	}
+	if m.batchSizeH.Count() > 0 {
+		st.BatchSizeP50 = m.batchSizeH.Quantile(0.5)
+		st.BatchSizeP95 = m.batchSizeH.Quantile(0.95)
+	}
+	if m.batchGroupsH.Count() > 0 {
+		st.BatchGroupsP50 = m.batchGroupsH.Quantile(0.5)
+		st.BatchGroupsP95 = m.batchGroupsH.Quantile(0.95)
 	}
 	if st.EpochsServed > 0 {
 		st.EpochLatencyAvg = time.Duration(m.latency.Load() / st.EpochsServed)

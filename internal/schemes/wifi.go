@@ -42,7 +42,7 @@ type Fingerprinting struct {
 	trackerVer uint64
 	countFeat  string // FeatNumAPs or FeatNumTowers
 	sensor     string
-	calibrator *Calibrator // optional device-heterogeneity calibration
+	calibrator *Calibrator            // optional device-heterogeneity calibration
 	distCache  *fingerprint.DistCache // optional shared per-batch columns
 
 	// Per-epoch scratch, reused across Estimate calls so the match

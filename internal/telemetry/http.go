@@ -4,12 +4,26 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
+
+// MuxOption customizes the mux built by NewMux.
+type MuxOption func(*http.ServeMux)
+
+// WithHandler mounts an extra handler on the mux — the hook cmd code
+// uses to attach subsystems telemetry must not import (the span
+// tracer's /debug/traces lives in internal/telemetry/trace, which
+// imports this package; the dependency cannot point both ways).
+func WithHandler(pattern string, h http.Handler) MuxOption {
+	return func(mux *http.ServeMux) { mux.Handle(pattern, h) }
+}
 
 // NewMux builds the exposition endpoint served by cmd/uniloc-server's
 // -metrics-addr listener:
 //
 //	/metrics       Prometheus text exposition format
+//	               (or the JSON snapshot when the request prefers
+//	               Accept: application/json)
 //	/metrics.json  the same snapshot as indented JSON
 //	/debug/vars    expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/  CPU/heap/goroutine/block profiling
@@ -17,9 +31,14 @@ import (
 // pprof handlers are mounted explicitly rather than via the package's
 // DefaultServeMux side effect, so importing telemetry never pollutes a
 // caller's default mux.
-func NewMux(reg *Registry) *http.ServeMux {
+func NewMux(reg *Registry, opts ...MuxOption) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsJSON(r) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = reg.WriteJSON(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
@@ -33,5 +52,24 @@ func NewMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, opt := range opts {
+		opt(mux)
+	}
 	return mux
+}
+
+// wantsJSON reports whether the request explicitly prefers JSON:
+// application/json must appear in Accept and text/plain must not
+// precede it. Prometheus scrapers send text-oriented Accept headers
+// (or none), so the text format stays the default.
+func wantsJSON(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	ij := strings.Index(accept, "application/json")
+	if ij < 0 {
+		return false
+	}
+	if it := strings.Index(accept, "text/plain"); it >= 0 && it < ij {
+		return false
+	}
+	return true
 }

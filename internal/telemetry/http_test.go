@@ -1,0 +1,177 @@
+// External test package: exercising NewMux together with the span
+// tracer's /debug/traces handler requires importing telemetry/trace,
+// which imports telemetry — an internal test file would cycle.
+package telemetry_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
+)
+
+func newTestRegistry(t *testing.T) *telemetry.Registry {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("test_requests_total", "requests seen", "code", "200").Add(3)
+	return reg
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string, hdr ...string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	return w
+}
+
+func TestMuxRouteTable(t *testing.T) {
+	mux := telemetry.NewMux(newTestRegistry(t))
+	for _, tc := range []struct {
+		path     string
+		wantCode int
+		wantCT   string
+	}{
+		{"/metrics", 200, "text/plain"},
+		{"/metrics.json", 200, "application/json"},
+		{"/debug/vars", 200, "application/json"},
+		{"/debug/pprof/", 200, "text/html"},
+		{"/debug/pprof/cmdline", 200, "text/plain"},
+		{"/debug/pprof/symbol", 200, "text/plain"},
+		{"/nope", 404, ""},
+	} {
+		w := get(t, mux, tc.path)
+		if w.Code != tc.wantCode {
+			t.Errorf("%s: code = %d, want %d", tc.path, w.Code, tc.wantCode)
+			continue
+		}
+		if tc.wantCT != "" && !strings.Contains(w.Header().Get("Content-Type"), tc.wantCT) {
+			t.Errorf("%s: Content-Type = %q, want %q", tc.path, w.Header().Get("Content-Type"), tc.wantCT)
+		}
+	}
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	mux := telemetry.NewMux(newTestRegistry(t))
+
+	// Default (no Accept): Prometheus text exposition.
+	w := get(t, mux, "/metrics")
+	if !strings.Contains(w.Body.String(), `test_requests_total{code="200"} 3`) {
+		t.Errorf("text body missing counter:\n%s", w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "# TYPE test_requests_total counter") {
+		t.Error("text body missing TYPE line")
+	}
+
+	// Explicit JSON preference.
+	w = get(t, mux, "/metrics", "Accept", "application/json")
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("Accept json: Content-Type = %q", ct)
+	}
+	var snap []json.RawMessage
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("Accept json: body is not JSON: %v\n%s", err, w.Body.String())
+	}
+	if len(snap) == 0 {
+		t.Error("Accept json: empty snapshot")
+	}
+
+	// Prometheus-style Accept listing text first stays text even when
+	// json appears later in the list.
+	w = get(t, mux, "/metrics", "Accept", "text/plain;version=0.0.4, application/json;q=0.1")
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("text-first Accept: Content-Type = %q, want text", ct)
+	}
+
+	// json listed before text wins.
+	w = get(t, mux, "/metrics", "Accept", "application/json, text/plain;q=0.5")
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("json-first Accept: Content-Type = %q, want json", ct)
+	}
+}
+
+func TestWithHandlerMountsTraces(t *testing.T) {
+	tr := trace.New(trace.Config{Seed: 5})
+	s := tr.Start("server.frame", trace.SpanContext{})
+	s.SetSession("sess")
+	s.End()
+
+	mux := telemetry.NewMux(newTestRegistry(t),
+		telemetry.WithHandler("/debug/traces", trace.Handler(tr)))
+
+	w := get(t, mux, "/debug/traces")
+	if w.Code != 200 {
+		t.Fatalf("/debug/traces: code = %d\n%s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		SpansTotal int64             `json:"spans_total"`
+		Traces     []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if resp.SpansTotal != 1 || len(resp.Traces) != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+
+	// The standard routes still work with options applied.
+	if w := get(t, mux, "/metrics"); w.Code != 200 {
+		t.Errorf("/metrics after WithHandler: code = %d", w.Code)
+	}
+}
+
+// TestMuxConcurrentScrapeHammer drives /metrics and /debug/traces while
+// spans and counters are being written — meaningful under -race.
+func TestMuxConcurrentScrapeHammer(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := trace.New(trace.Config{Seed: 13, RingSize: 64})
+	mux := telemetry.NewMux(reg,
+		telemetry.WithHandler("/debug/traces", trace.Handler(tr)))
+
+	const writers, scrapes = 4, 50
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			label := fmt.Sprintf("w%d", id)
+			ctr := reg.Counter("hammer_total", "hammered", "worker", label)
+			for i := 0; i < scrapes; i++ {
+				ctr.Inc()
+				s := tr.Start("hot", trace.SpanContext{})
+				s.SetSession(label)
+				s.End()
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < scrapes; i++ {
+				for _, p := range []string{"/metrics", "/debug/traces", "/metrics.json"} {
+					req := httptest.NewRequest("GET", p, nil)
+					w := httptest.NewRecorder()
+					mux.ServeHTTP(w, req)
+					if w.Code != 200 {
+						t.Errorf("%s: code = %d", p, w.Code)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Spans() != writers*scrapes {
+		t.Errorf("Spans() = %d, want %d", tr.Spans(), writers*scrapes)
+	}
+}

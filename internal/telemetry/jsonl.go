@@ -6,15 +6,26 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // JSONLWriter is an Observer that appends one JSON object per epoch
 // trace to an io.Writer — the export format for offline analysis
 // (spreadsheets, jq, notebook tooling). Safe for concurrent use: each
 // line is written atomically under a mutex.
+//
+// Encoding or write failures never reach the serving path, but they
+// are no longer invisible: the trace is dropped and counted (Drops,
+// and the optional jsonl_encode_errors_total counter wired by
+// SetMetrics), and the most recent error is retained for Err() so
+// shutdown paths can report a broken export destination.
 type JSONLWriter struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu      sync.Mutex
+	enc     *json.Encoder
+	lastErr error
+
+	drops  atomic.Int64
+	errCtr *Counter
 }
 
 // NewJSONLWriter wraps w. The caller owns w's lifetime (and any
@@ -23,13 +34,37 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	return &JSONLWriter{enc: json.NewEncoder(w)}
 }
 
-// ObserveEpoch implements Observer. Encoding errors are silently
-// dropped — telemetry must never take down the serving path; callers
-// that care wrap the writer with their own error tracking.
+// SetMetrics registers the writer's drop counter on reg as
+// jsonl_encode_errors_total{stream="epochs"} (the span exporter in
+// telemetry/trace registers the same name with stream="spans"). Call
+// before attaching the writer as an observer.
+func (j *JSONLWriter) SetMetrics(reg *Registry) {
+	j.errCtr = reg.Counter("jsonl_encode_errors_total",
+		"JSONL records dropped because encoding or the underlying write failed",
+		"stream", "epochs")
+}
+
+// ObserveEpoch implements Observer. Failed traces are dropped and
+// counted rather than propagated — telemetry must never take down the
+// serving path.
 func (j *JSONLWriter) ObserveEpoch(t *EpochTrace) {
 	j.mu.Lock()
-	_ = j.enc.Encode(t)
+	if err := j.enc.Encode(t); err != nil {
+		j.lastErr = err
+		j.drops.Add(1)
+		j.errCtr.Inc()
+	}
 	j.mu.Unlock()
+}
+
+// Drops returns how many traces failed to encode or write.
+func (j *JSONLWriter) Drops() int64 { return j.drops.Load() }
+
+// Err returns the most recent encode/write error, or nil.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastErr
 }
 
 // ReadJSONL decodes a stream of epoch traces written by JSONLWriter

@@ -1,6 +1,9 @@
 package telemetry
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // SchemeTrace is one scheme's share of an epoch: how long its estimate
 // and error prediction took and what the framework concluded about it.
@@ -9,12 +12,13 @@ import "sync"
 type SchemeTrace struct {
 	Scheme     string  `json:"scheme"`
 	Available  bool    `json:"available"`
-	EstimateNS int64   `json:"estimate_ns"` // Scheme.Estimate wall time
-	PredictNS  int64   `json:"predict_ns"`  // error-model Predict wall time
-	PredErr    float64 `json:"pred_err"`    // μ̂: predicted localization error (m)
-	Sigma      float64 `json:"sigma"`       // σ_ε of the error model
-	Conf       float64 `json:"conf"`        // c = P(Y ≤ τ)
-	Weight     float64 `json:"weight"`      // BMA weight after pruning
+	StartNS    int64   `json:"start_ns,omitempty"` // offset from step start (span reconstruction)
+	EstimateNS int64   `json:"estimate_ns"`        // Scheme.Estimate wall time
+	PredictNS  int64   `json:"predict_ns"`         // error-model Predict wall time
+	PredErr    float64 `json:"pred_err"`           // μ̂: predicted localization error (m)
+	Sigma      float64 `json:"sigma"`              // σ_ε of the error model
+	Conf       float64 `json:"conf"`               // c = P(Y ≤ τ)
+	Weight     float64 `json:"weight"`             // BMA weight after pruning
 
 	// Failure containment (omitted when clean, so healthy traces are
 	// byte-identical to pre-chaos ones).
@@ -40,6 +44,13 @@ type EpochTrace struct {
 	PredictNS  int64 `json:"predict_ns"`  // all error-model predictions
 	CombineNS  int64 `json:"combine_ns"`  // τ + weighting + selection + BMA
 	StepNS     int64 `json:"step_ns"`     // full Framework.Step wall time
+
+	// StartMono is the monotonic wall-clock reading taken at the top of
+	// Framework.Step — the anchor that lets the span tracer place this
+	// epoch (and its scheme children, via SchemeTrace.StartNS offsets)
+	// on a shared timeline. Excluded from JSON: serialized traces carry
+	// durations only, keeping them byte-identical across runs.
+	StartMono time.Time `json:"-"`
 
 	Schemes []SchemeTrace `json:"schemes"`
 }

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"repro/internal/telemetry"
+)
+
+// EpochSpans bridges the framework's existing telemetry.Observer hook
+// into span records: one ObserveEpoch call becomes a "step" span with
+// "classify", one "scheme.<name>" child per scheme, "combine", and
+// (on degraded epochs) a "fallback" marker. The framework itself
+// stays tracer-agnostic — with no observer attached, Step takes no
+// timestamps and allocates nothing, exactly as before; the spans are
+// synthesized here from the durations the trace already carries.
+//
+// The serving goroutine parents each epoch by calling SetParent with
+// the frame span's context before Step, and the batch scheduler links
+// the epoch to its tick via SetBatch. Both writes happen-before the
+// Step that consumes them (a framework is driven by one goroutine at
+// a time; the batch scheduler's channel handoff orders the rest), so
+// EpochSpans needs no locking.
+type EpochSpans struct {
+	t       *Tracer
+	session string
+
+	parent    SpanContext // frame span; zero = each epoch is its own root
+	batch     SpanContext // batch tick span, when batched
+	batchTick int64
+	hasBatch  bool
+}
+
+// NewEpochSpans builds the bridge. A nil tracer yields a bridge whose
+// ObserveEpoch is a no-op — but prefer not attaching the observer at
+// all, so the framework skips trace assembly entirely.
+func NewEpochSpans(t *Tracer, session string) *EpochSpans {
+	return &EpochSpans{t: t, session: session}
+}
+
+// SetParent sets the parent span context for subsequent epochs
+// (typically once per frame, from the serving goroutine). Nil-safe, so
+// tracer-off servers can call it unconditionally.
+func (e *EpochSpans) SetParent(ctx SpanContext) {
+	if e != nil {
+		e.parent = ctx
+	}
+}
+
+// SetBatch links subsequent epochs to a batch tick span. Clear by
+// passing the zero context. Nil-safe.
+func (e *EpochSpans) SetBatch(ctx SpanContext, tick int64) {
+	if e != nil {
+		e.batch, e.batchTick, e.hasBatch = ctx, tick, ctx.Valid()
+	}
+}
+
+// ObserveEpoch implements telemetry.Observer.
+func (e *EpochSpans) ObserveEpoch(tr *telemetry.EpochTrace) {
+	t := e.t
+	if t == nil {
+		return
+	}
+	// Anchor the step span on the monotonic start Step recorded; fall
+	// back to "it just ended" for traces without one (replayed JSONL).
+	var start int64
+	if !tr.StartMono.IsZero() {
+		start = t.At(tr.StartMono)
+	} else {
+		start = t.Now() - tr.StepNS
+	}
+	end := start + tr.StepNS
+
+	step := t.StartNS("step", e.parent, start)
+	step.SetSession(e.session)
+	step.Attr("epoch", tr.Epoch)
+	step.Attr("env", tr.Env)
+	step.Attr("ok", tr.OK)
+	if tr.Best != "" {
+		step.Attr("best", tr.Best)
+	}
+	if e.hasBatch {
+		// Cross-trace link: the batch tick span aggregates many
+		// sessions' epochs, each in its own trace, so the relationship
+		// travels as attributes rather than as a parent edge.
+		step.Attr("batch_trace", e.batch.Trace.String())
+		step.Attr("batch_span", e.batch.Span.String())
+		step.Attr("batch_tick", e.batchTick)
+	}
+	stepCtx := step.Context()
+
+	child := func(name string, childStart, dur int64, attrs []Attr) {
+		rec := &Record{
+			Trace:   stepCtx.Trace.String(),
+			Span:    t.NewSpanID().String(),
+			Parent:  stepCtx.Span.String(),
+			Name:    name,
+			Session: e.session,
+			StartNS: childStart,
+			DurNS:   dur,
+			Attrs:   attrs,
+		}
+		t.Emit(rec)
+	}
+
+	child("classify", start, tr.ClassifyNS, nil)
+	for i := range tr.Schemes {
+		st := &tr.Schemes[i]
+		attrs := []Attr{
+			{K: "available", V: st.Available},
+			{K: "estimate_ns", V: st.EstimateNS},
+			{K: "predict_ns", V: st.PredictNS},
+		}
+		if st.Available {
+			attrs = append(attrs,
+				Attr{K: "pred_err", V: st.PredErr},
+				Attr{K: "conf", V: st.Conf},
+				Attr{K: "weight", V: st.Weight})
+		}
+		if st.Panicked {
+			attrs = append(attrs, Attr{K: "panicked", V: true})
+		}
+		if st.Quarantined {
+			attrs = append(attrs, Attr{K: "quarantined", V: true})
+		}
+		child("scheme."+st.Scheme, start+st.StartNS, st.EstimateNS+st.PredictNS, attrs)
+	}
+	// Combine (τ, weighting, selection, BMA) is the last phase of the
+	// step, so its span is anchored to the step's end.
+	child("combine", end-tr.CombineNS, tr.CombineNS, []Attr{{K: "tau", V: tr.Tau}})
+	if tr.Fallback {
+		child("fallback", end, 0, nil)
+	}
+	step.EndNS(end)
+}

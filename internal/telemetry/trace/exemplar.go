@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Exemplar is one complete trace retained for its tail latency: the
+// trace ID is the hook — paste it into /debug/traces?trace=<id> or
+// `uniloc-trace -trace <id>` to see exactly where that request's time
+// went. Exemplars are what connect the latency histograms' anonymous
+// p99 to a concrete, inspectable span tree.
+type Exemplar struct {
+	Trace   string `json:"trace"`
+	Name    string `json:"name"`
+	Session string `json:"session,omitempty"`
+	EndNS   int64  `json:"end_ns"` // monotonic completion time
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Exemplars retains the K slowest complete traces per rotation
+// window. Offers happen once per completed root span (once per served
+// frame), so a small mutex is cheap relative to the epoch it
+// annotates; the ring buffer stays the lock-free path.
+type Exemplars struct {
+	k      int
+	window int64 // ns; monotonic timestamps partition into windows
+
+	mu       sync.Mutex
+	cur      []Exemplar // current window, unsorted beyond heap property
+	curStart int64
+	prev     []Exemplar // last completed window, sorted slowest-first
+}
+
+// NewExemplars builds a collector keeping the k slowest traces per
+// window.
+func NewExemplars(k int, window time.Duration) *Exemplars {
+	if k <= 0 {
+		k = 8
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &Exemplars{k: k, window: int64(window)}
+}
+
+// Offer submits one completed trace. Nil-safe.
+func (e *Exemplars) Offer(x Exemplar) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if x.EndNS-e.curStart >= e.window {
+		// Rotate: the finished window becomes the stable "previous"
+		// snapshot operators compare against.
+		e.rotateLocked(x.EndNS)
+	}
+	if len(e.cur) < e.k {
+		e.cur = append(e.cur, x)
+		return
+	}
+	// Evict the fastest retained exemplar if this one is slower.
+	min := 0
+	for i := 1; i < len(e.cur); i++ {
+		if e.cur[i].DurNS < e.cur[min].DurNS {
+			min = i
+		}
+	}
+	if x.DurNS > e.cur[min].DurNS {
+		e.cur[min] = x
+	}
+}
+
+// rotateLocked closes the current window at now.
+func (e *Exemplars) rotateLocked(now int64) {
+	if len(e.cur) > 0 {
+		sort.Slice(e.cur, func(i, j int) bool { return e.cur[i].DurNS > e.cur[j].DurNS })
+		e.prev = e.cur
+		e.cur = nil
+	}
+	// Align the new window to the offer that triggered rotation; gaps
+	// with no traffic simply extend the old window's lifetime.
+	e.curStart = now
+}
+
+// Snapshot returns the exemplars of the current (in-progress) and
+// previous (complete) windows, both sorted slowest-first. Nil-safe.
+func (e *Exemplars) Snapshot() (cur, prev []Exemplar) {
+	if e == nil {
+		return nil, nil
+	}
+	e.mu.Lock()
+	cur = append([]Exemplar(nil), e.cur...)
+	prev = append([]Exemplar(nil), e.prev...)
+	e.mu.Unlock()
+	sort.Slice(cur, func(i, j int) bool { return cur[i].DurNS > cur[j].DurNS })
+	return cur, prev
+}

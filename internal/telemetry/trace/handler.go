@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// tracesResponse is the /debug/traces JSON payload.
+type tracesResponse struct {
+	// TracerStartUnixNS anchors every monotonic timestamp in the
+	// payload to wall time.
+	TracerStartUnixNS int64 `json:"tracer_start_unix_ns"`
+
+	SpansTotal   int64 `json:"spans_total"`
+	SpansDropped int64 `json:"spans_dropped"`
+
+	Traces []*Tree `json:"traces"`
+
+	// Exemplars are the K slowest complete traces of the current and
+	// previous rotation windows.
+	Exemplars     []Exemplar `json:"exemplars,omitempty"`
+	ExemplarsPrev []Exemplar `json:"exemplars_prev,omitempty"`
+}
+
+// Handler serves the tracer's ring buffer as JSON trace trees at
+// /debug/traces. Query parameters:
+//
+//	session=<id>     only traces touching the session
+//	trace=<hex id>   only the named trace
+//	min_dur=<dur>    only traces at least this long (Go duration, e.g. 5ms)
+//	complete=1       only traces whose root span was captured
+//	limit=<n>        newest n traces (default 100)
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !t.Enabled() {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		limit := 100
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		var minDur time.Duration
+		if v := q.Get("min_dur"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad min_dur (want a Go duration, e.g. 5ms)", http.StatusBadRequest)
+				return
+			}
+			minDur = d
+		}
+		session := q.Get("session")
+		traceID := q.Get("trace")
+		completeOnly := q.Get("complete") == "1"
+
+		trees := Assemble(t.Snapshot())
+		out := make([]*Tree, 0, len(trees))
+		for _, tr := range trees {
+			if len(out) >= limit {
+				break
+			}
+			if traceID != "" && tr.Trace != traceID {
+				continue
+			}
+			if session != "" && tr.Session != session {
+				continue
+			}
+			if tr.DurNS < int64(minDur) {
+				continue
+			}
+			if completeOnly && !tr.Complete() {
+				continue
+			}
+			out = append(out, tr)
+		}
+		cur, prev := t.Exemplars().Snapshot()
+		resp := tracesResponse{
+			TracerStartUnixNS: t.EpochWall(),
+			SpansTotal:        t.Spans(),
+			SpansDropped:      t.Dropped(),
+			Traces:            out,
+			Exemplars:         cur,
+			ExemplarsPrev:     prev,
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// JSONLWriter is an Exporter appending one JSON object per completed
+// span — the span-stream twin of telemetry.JSONLWriter's epoch
+// traces, and the input format of `uniloc-trace`. Safe for concurrent
+// use; each line is written atomically under a mutex.
+//
+// Encoding failures never reach the serving path: the span is dropped
+// and counted (Drops, the optional jsonl_encode_errors_total counter)
+// and the most recent error is retained for Err().
+type JSONLWriter struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	lastErr error
+
+	drops  atomic.Int64
+	errCtr *telemetry.Counter
+}
+
+// NewJSONLWriter wraps w. The caller owns w's lifetime (and any
+// buffering/flushing).
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// SetMetrics registers the exporter's drop counter on reg as
+// jsonl_encode_errors_total{stream="spans"} (the epoch-trace writer
+// registers the same name with stream="epochs").
+func (j *JSONLWriter) SetMetrics(reg *telemetry.Registry) {
+	j.errCtr = reg.Counter("jsonl_encode_errors_total",
+		"JSONL records dropped because encoding or the underlying write failed",
+		"stream", "spans")
+}
+
+// ExportSpan implements Exporter.
+func (j *JSONLWriter) ExportSpan(r *Record) {
+	j.mu.Lock()
+	if err := j.enc.Encode(r); err != nil {
+		j.lastErr = err
+		j.drops.Add(1)
+		j.errCtr.Inc()
+	}
+	j.mu.Unlock()
+}
+
+// Drops returns how many spans failed to encode or write.
+func (j *JSONLWriter) Drops() int64 { return j.drops.Load() }
+
+// Err returns the most recent encode/write error, or nil.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastErr
+}
+
+// ReadJSONL decodes a stream of span records written by JSONLWriter
+// (one JSON object per line; blank lines are skipped).
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: jsonl scan: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package trace
+
+import "sync/atomic"
+
+// ring is the lock-free completed-span buffer behind /debug/traces:
+// a power-of-two slice of atomically published slots. Writers claim a
+// slot with one atomic add and publish the record with one atomic
+// store; readers load every slot pointer. No mutex anywhere, so a
+// burst of completing spans never serializes the serving path, and a
+// slow /debug/traces scrape never blocks a writer — at worst a reader
+// observes a slot mid-rotation and sees the newer record.
+type ring struct {
+	slots []atomic.Pointer[Record]
+	head  atomic.Uint64 // next sequence number to claim
+}
+
+// newRing builds a ring with capacity rounded up to a power of two.
+func newRing(size int) *ring {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &ring{slots: make([]atomic.Pointer[Record], n)}
+}
+
+// put publishes rec, returning true when it overwrote an older record
+// (the ring has wrapped).
+func (r *ring) put(rec *Record) (overwrote bool) {
+	seq := r.head.Add(1) - 1
+	slot := &r.slots[seq&uint64(len(r.slots)-1)]
+	return slot.Swap(rec) != nil
+}
+
+// snapshot copies the current contents, oldest claimed slot first.
+// Records are immutable after Emit, so sharing the pointers is safe.
+func (r *ring) snapshot() []*Record {
+	head := r.head.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if head > n {
+		start = head - n
+	}
+	out := make([]*Record, 0, head-start)
+	for seq := start; seq < head; seq++ {
+		if rec := r.slots[seq&(n-1)].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

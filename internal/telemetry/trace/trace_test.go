@@ -1,0 +1,357 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testTracer(t *testing.T, cfg Config) *Tracer {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	return New(cfg)
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	tr := testTracer(t, Config{})
+	tid := tr.NewTraceID()
+	if tid.IsZero() {
+		t.Fatal("trace ID is zero")
+	}
+	got, err := ParseTraceID(tid.String())
+	if err != nil || got != tid {
+		t.Fatalf("trace ID round trip: %v %v", got, err)
+	}
+	sid := tr.NewSpanID()
+	if sid.IsZero() {
+		t.Fatal("span ID is zero")
+	}
+	gs, err := ParseSpanID(sid.String())
+	if err != nil || gs != sid {
+		t.Fatalf("span ID round trip: %v %v", gs, err)
+	}
+	if _, err := ParseTraceID("xyz"); err == nil {
+		t.Error("short trace ID must not parse")
+	}
+	if _, err := ParseTraceID(strings.Repeat("g", 32)); err == nil {
+		t.Error("non-hex trace ID must not parse")
+	}
+	if _, err := ParseSpanID("123"); err == nil {
+		t.Error("short span ID must not parse")
+	}
+}
+
+func TestIDsDistinct(t *testing.T) {
+	tr := testTracer(t, Config{})
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := tr.NewTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID after %d draws", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextWire(t *testing.T) {
+	tr := testTracer(t, Config{})
+	c := SpanContext{Trace: tr.NewTraceID(), Span: tr.NewSpanID()}
+	b := AppendContext(nil, c)
+	if len(b) != ContextBytes {
+		t.Fatalf("wire size = %d, want %d", len(b), ContextBytes)
+	}
+	got, err := DecodeContext(b)
+	if err != nil || got != c {
+		t.Fatalf("context round trip: %+v %v", got, err)
+	}
+	if _, err := DecodeContext(b[:10]); err == nil {
+		t.Error("short context must not decode")
+	}
+	var zero SpanContext
+	if zero.Valid() {
+		t.Error("zero context must be invalid")
+	}
+	z, err := DecodeContext(AppendContext(nil, zero))
+	if err != nil || z.Valid() {
+		t.Errorf("zero context round trip: %+v %v", z, err)
+	}
+}
+
+func TestSpanParentChild(t *testing.T) {
+	tr := testTracer(t, Config{})
+	root := tr.Start("root", SpanContext{})
+	root.Attr("k", "v")
+	child := tr.Start("child", root.Context())
+	child.End()
+	root.End()
+
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	var rr, cr *Record
+	for _, r := range recs {
+		switch r.Name {
+		case "root":
+			rr = r
+		case "child":
+			cr = r
+		}
+	}
+	if rr == nil || cr == nil {
+		t.Fatalf("missing spans: %+v", recs)
+	}
+	if cr.Trace != rr.Trace {
+		t.Errorf("child trace %s != root trace %s", cr.Trace, rr.Trace)
+	}
+	if cr.Parent != rr.Span {
+		t.Errorf("child parent %s != root span %s", cr.Parent, rr.Span)
+	}
+	if rr.Parent != "" {
+		t.Errorf("root has parent %s", rr.Parent)
+	}
+	if len(rr.Attrs) != 1 || rr.Attrs[0].K != "k" {
+		t.Errorf("root attrs = %+v", rr.Attrs)
+	}
+	if tr.Spans() != 2 {
+		t.Errorf("Spans() = %d", tr.Spans())
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must be disabled")
+	}
+	s := tr.Start("x", SpanContext{})
+	s.Attr("a", 1)
+	s.SetSession("s")
+	s.SetRoot(true)
+	if s.Recording() || s.Context().Valid() {
+		t.Fatal("nil tracer span must be inert")
+	}
+	s.End() // must not panic
+	tr.Emit(&Record{})
+	tr.OfferExemplar(Exemplar{})
+	if tr.Snapshot() != nil || tr.Spans() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report nothing")
+	}
+	if tr.Now() != 0 || tr.EpochWall() != 0 {
+		t.Fatal("nil tracer clock must be zero")
+	}
+}
+
+func TestDoubleEndIsNoop(t *testing.T) {
+	tr := testTracer(t, Config{})
+	s := tr.Start("once", SpanContext{})
+	s.End()
+	s.End()
+	if got := tr.Spans(); got != 1 {
+		t.Fatalf("double End produced %d records", got)
+	}
+}
+
+func TestRingWrapCountsDropped(t *testing.T) {
+	tr := testTracer(t, Config{RingSize: 4})
+	for i := 0; i < 10; i++ {
+		s := tr.Start("s", SpanContext{})
+		s.End()
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring snapshot = %d records, want 4", len(recs))
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped() = %d, want 6", tr.Dropped())
+	}
+	if tr.Spans() != 10 {
+		t.Errorf("Spans() = %d, want 10", tr.Spans())
+	}
+}
+
+func TestRingSnapshotOldestFirst(t *testing.T) {
+	r := newRing(4)
+	for i := 0; i < 6; i++ {
+		r.put(&Record{StartNS: int64(i)})
+	}
+	recs := r.snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("snapshot = %d, want 4", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].StartNS < recs[i-1].StartNS {
+			t.Fatalf("not oldest-first: %v then %v", recs[i-1].StartNS, recs[i].StartNS)
+		}
+	}
+}
+
+func TestConcurrentEmitRace(t *testing.T) {
+	tr := testTracer(t, Config{RingSize: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := tr.Start("hot", SpanContext{})
+				s.End()
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Spans() != 8*200 {
+		t.Fatalf("Spans() = %d, want %d", tr.Spans(), 8*200)
+	}
+}
+
+func TestStartAtAndAt(t *testing.T) {
+	tr := testTracer(t, Config{})
+	at := time.Now().Add(-50 * time.Millisecond)
+	s := tr.StartAt("past", SpanContext{}, at)
+	s.End()
+	rec := tr.Snapshot()[0]
+	if rec.StartNS != tr.At(at) {
+		t.Errorf("StartNS = %d, want %d", rec.StartNS, tr.At(at))
+	}
+	if rec.DurNS < int64(40*time.Millisecond) {
+		t.Errorf("DurNS = %d, want >= 40ms", rec.DurNS)
+	}
+}
+
+func TestExemplarsKeepKSlowest(t *testing.T) {
+	e := NewExemplars(3, time.Hour)
+	for i := 1; i <= 10; i++ {
+		e.Offer(Exemplar{Trace: strings.Repeat("a", i), DurNS: int64(i), EndNS: int64(i)})
+	}
+	cur, prev := e.Snapshot()
+	if len(prev) != 0 {
+		t.Fatalf("prev window = %d exemplars, want 0", len(prev))
+	}
+	if len(cur) != 3 {
+		t.Fatalf("cur window = %d exemplars, want 3", len(cur))
+	}
+	// K slowest of 1..10 are 10, 9, 8, slowest-first.
+	for i, want := range []int64{10, 9, 8} {
+		if cur[i].DurNS != want {
+			t.Errorf("cur[%d].DurNS = %d, want %d", i, cur[i].DurNS, want)
+		}
+	}
+}
+
+func TestExemplarsRotateWindows(t *testing.T) {
+	win := int64(time.Second)
+	e := NewExemplars(2, time.Duration(win))
+	e.Offer(Exemplar{Trace: "t1", DurNS: 5, EndNS: 10})
+	e.Offer(Exemplar{Trace: "t2", DurNS: 7, EndNS: 20})
+	// Next offer lands past the window: the old window rotates to prev.
+	e.Offer(Exemplar{Trace: "t3", DurNS: 1, EndNS: win + 30})
+	cur, prev := e.Snapshot()
+	if len(prev) != 2 || prev[0].Trace != "t2" || prev[1].Trace != "t1" {
+		t.Fatalf("prev = %+v, want t2 then t1", prev)
+	}
+	if len(cur) != 1 || cur[0].Trace != "t3" {
+		t.Fatalf("cur = %+v, want t3", cur)
+	}
+}
+
+func TestExemplarsNilSafe(t *testing.T) {
+	var e *Exemplars
+	e.Offer(Exemplar{})
+	cur, prev := e.Snapshot()
+	if cur != nil || prev != nil {
+		t.Fatal("nil collector must report nothing")
+	}
+}
+
+func TestRootSpanFeedsExemplars(t *testing.T) {
+	tr := testTracer(t, Config{ExemplarK: 4})
+	root := tr.Start("frame", SpanContext{})
+	root.SetSession("s1")
+	child := tr.Start("inner", root.Context())
+	child.End()
+	root.End()
+	cur, _ := tr.Exemplars().Snapshot()
+	if len(cur) != 1 {
+		t.Fatalf("exemplars = %d, want 1 (root only)", len(cur))
+	}
+	if cur[0].Name != "frame" || cur[0].Session != "s1" {
+		t.Errorf("exemplar = %+v", cur[0])
+	}
+	if cur[0].Trace != tr.Snapshot()[1].Trace && cur[0].Trace != tr.Snapshot()[0].Trace {
+		t.Errorf("exemplar trace %s not in ring", cur[0].Trace)
+	}
+}
+
+func TestSetRootFalseSkipsExemplar(t *testing.T) {
+	tr := testTracer(t, Config{})
+	s := tr.Start("batch.tick", SpanContext{})
+	s.SetRoot(false)
+	s.End()
+	if cur, _ := tr.Exemplars().Snapshot(); len(cur) != 0 {
+		t.Fatalf("non-root span produced exemplar: %+v", cur)
+	}
+}
+
+// failWriter fails every write after the first n.
+type failWriter struct {
+	n int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestJSONLWriterCountsDrops(t *testing.T) {
+	w := &failWriter{n: 2}
+	j := NewJSONLWriter(w)
+	for i := 0; i < 5; i++ {
+		j.ExportSpan(&Record{Trace: "t", Span: "s", Name: "x"})
+	}
+	if j.Drops() != 3 {
+		t.Errorf("Drops() = %d, want 3", j.Drops())
+	}
+	if j.Err() == nil || !strings.Contains(j.Err().Error(), "disk full") {
+		t.Errorf("Err() = %v, want disk full", j.Err())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	j := NewJSONLWriter(&sb)
+	in := []*Record{
+		{Trace: "aa", Span: "01", Name: "root", Session: "s", StartNS: 10, DurNS: 5,
+			Attrs: []Attr{{K: "n", V: 3.0}, {K: "b", V: true}}},
+		{Trace: "aa", Span: "02", Parent: "01", Name: "child", StartNS: 11, DurNS: 2},
+	}
+	for _, r := range in {
+		j.ExportSpan(r)
+	}
+	if j.Drops() != 0 || j.Err() != nil {
+		t.Fatalf("unexpected drops: %d %v", j.Drops(), j.Err())
+	}
+	out, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("read %d records, want 2", len(out))
+	}
+	if out[0].Trace != "aa" || out[0].Name != "root" || len(out[0].Attrs) != 2 {
+		t.Errorf("record 0 = %+v", out[0])
+	}
+	if out[1].Parent != "01" {
+		t.Errorf("record 1 parent = %q", out[1].Parent)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{bad json\n")); err == nil {
+		t.Error("malformed line must error")
+	}
+}
