@@ -1,0 +1,320 @@
+// Command uniloc-loadgen drives a fleet of simulated walkers against
+// a uniloc cluster (router + uniloc-server backends, DESIGN.md §15)
+// and records the cluster's serving curve into a benchmark artifact.
+//
+// Each walker is a full phone: it walks a campus path
+// (internal/walker — steps, WiFi/cell scans, light, magnetic
+// variance), uploads every epoch over the offload protocol, and
+// rides the client's reconnect/resume machinery when the link or a
+// backend dies. With -drop-prob, the uplink itself is additionally
+// shimmed through the fault injector so frames are lost mid-walk.
+//
+// The run produces BENCH_cluster.json (schema uniloc-bench-cluster/v1):
+// aggregate throughput (epochs/sec), per-walker outcomes
+// (reconnects, resumes, failures), a per-second timeline — the
+// node-kill recovery curve when the harness kills a backend mid-run —
+// and, with -node-metrics, per-node session and epoch counts scraped
+// from each backend's /metrics.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/offload"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+	"repro/internal/walker"
+)
+
+type options struct {
+	addr        string
+	walkers     int
+	epochs      int
+	seed        int64
+	out         string
+	nodeMetrics []string
+	dropProb    float64
+	pace        time.Duration
+	timeout     time.Duration
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7030", "router (or single server) address walkers connect to")
+	walkers := flag.Int("walkers", 64, "concurrent walker sessions")
+	epochs := flag.Int("epochs", 120, "epochs per walker (capped by path length)")
+	seed := flag.Int64("seed", 1, "master random seed (walker paths and scan noise)")
+	out := flag.String("out", "BENCH_cluster.json", "benchmark artifact path")
+	nodeMetrics := flag.String("node-metrics", "", "comma-separated backend metrics addresses to scrape for per-node session counts (each serves /metrics.json)")
+	dropProb := flag.Float64("drop-prob", 0, "per-frame probability of the uplink dropping the connection (fault injector; exercises reconnect/resume under load)")
+	pace := flag.Duration("pace", 0, "sleep between a walker's epochs (0 = as fast as the cluster answers)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-epoch client deadline")
+	flag.Parse()
+
+	opts := options{
+		addr:     *addr,
+		walkers:  *walkers,
+		epochs:   *epochs,
+		seed:     *seed,
+		out:      *out,
+		dropProb: *dropProb,
+		pace:     *pace,
+		timeout:  *timeout,
+	}
+	for _, a := range strings.Split(*nodeMetrics, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			opts.nodeMetrics = append(opts.nodeMetrics, a)
+		}
+	}
+	if err := run(opts); err != nil {
+		log.Fatalf("uniloc-loadgen: %v", err)
+	}
+}
+
+// walkerResult is one walker's outcome.
+type walkerResult struct {
+	epochs     int
+	reconnects int
+	resumes    int
+	drops      int
+	err        error
+}
+
+// timelineBucket is one second of fleet progress — the recovery curve
+// when a backend is killed mid-run.
+type timelineBucket struct {
+	TSec       int   `json:"t_s"`
+	Epochs     int64 `json:"epochs"`
+	Reconnects int64 `json:"reconnects"`
+}
+
+// report is the BENCH_cluster.json schema.
+type report struct {
+	Schema          string           `json:"schema"`
+	GOOS            string           `json:"goos"`
+	GOARCH          string           `json:"goarch"`
+	CPUs            int              `json:"cpus"`
+	Walkers         int              `json:"walkers"`
+	Nodes           int              `json:"nodes"`
+	DropProb        float64          `json:"drop_prob,omitempty"`
+	EpochsTotal     int64            `json:"epochs_total"`
+	DurationS       float64          `json:"duration_s"`
+	EpochsPerSec    float64          `json:"epochs_per_sec"`
+	SessionsPerNode map[string]int64 `json:"sessions_per_node"`
+	EpochsPerNode   map[string]int64 `json:"epochs_per_node,omitempty"`
+	ReconnectsTotal int64            `json:"reconnects_total"`
+	ResumesTotal    int64            `json:"resumes_total"`
+	WalkerFailures  int              `json:"walker_failures"`
+	Timeline        []timelineBucket `json:"timeline"`
+}
+
+func run(opts options) error {
+	place := scenario.Campus()
+	assets := scenario.NewAssets(place, opts.seed+100)
+
+	var epochsDone, reconnectsNow atomic.Int64
+	results := make([]walkerResult, opts.walkers)
+
+	// Per-second progress sampler: the timeline is what makes a
+	// node-kill visible — throughput dips while the victim's walkers
+	// redial, then recovers.
+	var timeline []timelineBucket
+	samplerDone := make(chan struct{})
+	samplerStopped := make(chan struct{})
+	go func() {
+		defer close(samplerStopped)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		var prevEp, prevRc int64
+		sec := 0
+		sample := func() {
+			ep, rc := epochsDone.Load(), reconnectsNow.Load()
+			timeline = append(timeline, timelineBucket{TSec: sec, Epochs: ep - prevEp, Reconnects: rc - prevRc})
+			prevEp, prevRc = ep, rc
+			sec++
+		}
+		for {
+			select {
+			case <-samplerDone:
+				sample() // final partial second
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+
+	log.Printf("uniloc-loadgen: %d walkers against %s (epochs=%d, drop-prob=%g)",
+		opts.walkers, opts.addr, opts.epochs, opts.dropProb)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < opts.walkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runWalker(opts, place, assets, i, &epochsDone, &reconnectsNow)
+		}(i)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	close(samplerDone)
+	<-samplerStopped
+
+	rep := report{
+		Schema:          "uniloc-bench-cluster/v1",
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		CPUs:            runtime.NumCPU(),
+		Walkers:         opts.walkers,
+		Nodes:           len(opts.nodeMetrics),
+		DropProb:        opts.dropProb,
+		DurationS:       dur.Seconds(),
+		SessionsPerNode: map[string]int64{},
+		Timeline:        timeline,
+	}
+	for i, r := range results {
+		rep.EpochsTotal += int64(r.epochs)
+		rep.ReconnectsTotal += int64(r.reconnects)
+		rep.ResumesTotal += int64(r.resumes)
+		if r.err != nil {
+			rep.WalkerFailures++
+			log.Printf("walker %d failed after %d epochs: %v", i, r.epochs, r.err)
+		}
+	}
+	if dur > 0 {
+		rep.EpochsPerSec = float64(rep.EpochsTotal) / dur.Seconds()
+	}
+	for _, addr := range opts.nodeMetrics {
+		sessions, epochs, err := scrapeNode(addr)
+		if err != nil {
+			log.Printf("scrape %s: %v", addr, err)
+			continue
+		}
+		rep.SessionsPerNode[addr] = sessions
+		if rep.EpochsPerNode == nil {
+			rep.EpochsPerNode = map[string]int64{}
+		}
+		rep.EpochsPerNode[addr] = epochs
+	}
+
+	f, err := os.Create(opts.out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("done: %d epochs in %.1fs (%.1f epochs/s), reconnects=%d resumes=%d failures=%d -> %s",
+		rep.EpochsTotal, rep.DurationS, rep.EpochsPerSec,
+		rep.ReconnectsTotal, rep.ResumesTotal, rep.WalkerFailures, opts.out)
+	if rep.WalkerFailures > 0 {
+		return fmt.Errorf("%d of %d walkers failed", rep.WalkerFailures, opts.walkers)
+	}
+	return nil
+}
+
+// runWalker walks one phone through its path via the cluster.
+func runWalker(opts options, place *scenario.Place, assets *scenario.Assets, i int, epochsDone, reconnectsNow *atomic.Int64) walkerResult {
+	var res walkerResult
+	var injected *faultinject.Conn
+	dial := func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", opts.addr)
+		if err != nil {
+			return nil, err
+		}
+		if opts.dropProb > 0 {
+			injected = faultinject.WrapConn(conn, faultinject.ConnConfig{
+				Seed:     opts.seed + int64(1000+i),
+				DropProb: opts.dropProb,
+			})
+			return injected, nil
+		}
+		return conn, nil
+	}
+	conn, err := dial()
+	if err != nil {
+		res.err = fmt.Errorf("dial: %w", err)
+		return res
+	}
+	client := offload.NewClient(conn, fmt.Sprintf("walker-%d", i))
+	client.SetTimeout(opts.timeout)
+	client.SetReconnect(dial, offload.Backoff{
+		Min: 20 * time.Millisecond, Max: time.Second, Attempts: 20, Seed: opts.seed + int64(i),
+	})
+	defer func() { _ = client.Close() }()
+
+	path := place.Paths[i%len(place.Paths)]
+	rnd := rand.New(rand.NewSource(opts.seed + int64(7*i)))
+	wk := walker.New(place.World, path.Line, assets.DefaultWalkerConfig(), rnd)
+
+	start, _ := path.Line.At(0)
+	if err := client.Hello(start); err != nil {
+		res.err = fmt.Errorf("hello: %w", err)
+		return res
+	}
+	lastRc := 0
+	for !wk.Done() && (opts.epochs <= 0 || res.epochs < opts.epochs) {
+		snap, _ := wk.Next(true)
+		if _, err := client.Localize(snap); err != nil {
+			res.err = fmt.Errorf("epoch %d: %w", res.epochs, err)
+			break
+		}
+		res.epochs++
+		epochsDone.Add(1)
+		if rc := client.Reconnects(); rc > lastRc {
+			reconnectsNow.Add(int64(rc - lastRc))
+			lastRc = rc
+		}
+		if opts.pace > 0 {
+			time.Sleep(opts.pace)
+		}
+	}
+	res.reconnects = client.Reconnects()
+	res.resumes = client.Resumes()
+	if injected != nil {
+		res.drops = injected.Counts().Drops
+	}
+	return res
+}
+
+// scrapeNode pulls one backend's opened-session and served-epoch
+// counters from its /metrics.json endpoint.
+func scrapeNode(addr string) (sessions, epochs int64, err error) {
+	cli := http.Client{Timeout: 3 * time.Second}
+	resp, err := cli.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var points []telemetry.Point
+	if err := json.NewDecoder(resp.Body).Decode(&points); err != nil {
+		return 0, 0, err
+	}
+	for _, p := range points {
+		switch p.Name {
+		case "uniloc_sessions_opened_total":
+			sessions = int64(p.Value)
+		case "uniloc_epochs_served_total":
+			epochs = int64(p.Value)
+		}
+	}
+	return sessions, epochs, nil
+}

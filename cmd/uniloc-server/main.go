@@ -19,6 +19,15 @@
 // Prometheus text at /metrics and JSON at /metrics.json, plus expvar
 // at /debug/vars and pprof at /debug/pprof/.
 //
+// Cluster deployment (see DESIGN.md §15): -drain-grace turns SIGTERM
+// into a graceful drain — in-flight sessions finish their current
+// epoch and close cleanly so clients reconnect through the router
+// instead of losing an answer. -replicate-listen makes this node the
+// replication leader (it streams map-store compaction deltas to
+// followers); -replicate-from makes it a follower (it applies the
+// leader's deltas, never compacts locally, and forwards crowdsourced
+// surveys upstream).
+//
 // With -trace, every served epoch becomes a span tree — server.frame
 // with read/queue/step/write children and per-scheme spans, joined to
 // the client's trace when the phone speaks protocol v5 — browsable at
@@ -42,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/mapstore"
@@ -72,6 +82,9 @@ func main() {
 	traceExemplars := flag.Int("trace-exemplars", 8, "slowest frames kept per exemplar window")
 	traceWindow := flag.Duration("trace-window", time.Minute, "exemplar rotation window")
 	pprofLabels := flag.Bool("pprof-labels", false, "label CPU profile samples with session, scheme and batch tick (small per-epoch allocation cost)")
+	drainGrace := flag.Duration("drain-grace", 0, "on SIGTERM/SIGINT, stop accepting and let in-flight sessions finish their current epoch for up to this long before force-closing (0 = close immediately)")
+	replListen := flag.String("replicate-listen", "", "lead a replication group: stream map-store compaction deltas to followers subscribing on this address (requires -shared-map)")
+	replFrom := flag.String("replicate-from", "", "follow a replication leader at this address: apply its compaction deltas and forward locally received surveys upstream (requires -shared-map; local compaction is disabled)")
 	flag.Parse()
 
 	cfg := serverOpts{
@@ -96,6 +109,10 @@ func main() {
 		traceExemplars: *traceExemplars,
 		traceWindow:    *traceWindow,
 		pprofLabels:    *pprofLabels,
+
+		drainGrace: *drainGrace,
+		replListen: *replListen,
+		replFrom:   *replFrom,
 	}
 	if err := run(cfg); err != nil {
 		log.Fatalf("uniloc-server: %v", err)
@@ -124,9 +141,19 @@ type serverOpts struct {
 	traceExemplars int
 	traceWindow    time.Duration
 	pprofLabels    bool
+
+	drainGrace time.Duration
+	replListen string
+	replFrom   string
 }
 
 func run(opts serverOpts) error {
+	if opts.replListen != "" && opts.replFrom != "" {
+		return fmt.Errorf("-replicate-listen and -replicate-from are mutually exclusive")
+	}
+	if (opts.replListen != "" || opts.replFrom != "") && !opts.sharedMap {
+		return fmt.Errorf("replication requires -shared-map")
+	}
 	tr, err := eval.Train(opts.seed)
 	if err != nil {
 		return fmt.Errorf("training: %w", err)
@@ -176,19 +203,49 @@ func run(opts serverOpts) error {
 		ss := campus.Schemes(rnd)
 		return core.NewFramework(ss, tr.Models)
 	}
+	var surveyIngest func(*offload.Survey) error
 	if opts.sharedMap {
 		storeCfg := func(name string) mapstore.Config {
-			return mapstore.Config{
+			cfg := mapstore.Config{
 				Name:         name,
 				RebuildBatch: opts.rebuildBatch,
 				RebuildEvery: opts.rebuildEvery,
 				Metrics:      mapstore.NewMetrics(reg, name),
 			}
+			if opts.replFrom != "" {
+				// A follower never compacts locally: its only writes are
+				// replayed leader deltas (cluster.Follower), so its versions
+				// can never fork from the leader's.
+				cfg.RebuildBatch = 1 << 30
+				cfg.RebuildEvery = 0
+			}
+			return cfg
 		}
 		wifiStore := mapstore.New(campus.WiFiDB, storeCfg("wifi"))
 		cellStore := mapstore.New(campus.CellDB, storeCfg("cellular"))
 		defer wifiStore.Close()
 		defer cellStore.Close()
+		replStores := map[byte]*mapstore.Store{
+			offload.MapWiFi:     wifiStore,
+			offload.MapCellular: cellStore,
+		}
+		switch {
+		case opts.replListen != "":
+			leader := cluster.NewLeader(replStores, reg)
+			defer leader.Close()
+			rln, err := net.Listen("tcp", opts.replListen)
+			if err != nil {
+				return fmt.Errorf("replication listener: %w", err)
+			}
+			defer rln.Close()
+			go leader.ListenAndServe(rln, func(err error) { log.Printf("replication: %v", err) })
+			log.Printf("replication leader on %s", rln.Addr())
+		case opts.replFrom != "":
+			follower := cluster.NewFollower(opts.replFrom, replStores, reg)
+			defer follower.Close()
+			surveyIngest = follower.ForwardSurvey
+			log.Printf("replicating from %s (surveys forwarded upstream)", opts.replFrom)
+		}
 		factory = func() (*core.Framework, error) {
 			n := sessionSeq.Add(1)
 			rnd := rand.New(rand.NewSource(opts.seed + 7 + n))
@@ -197,10 +254,7 @@ func run(opts serverOpts) error {
 		}
 		// The batch scheduler's fused distance pass always reads the
 		// shared stores; survey ingestion stays gated on -ingest.
-		batchStores = map[byte]*mapstore.Store{
-			offload.MapWiFi:     wifiStore,
-			offload.MapCellular: cellStore,
-		}
+		batchStores = replStores
 		if opts.ingest {
 			stores = batchStores
 		}
@@ -221,6 +275,7 @@ func run(opts serverOpts) error {
 		BatchStores:  batchStores,
 		Tracer:       tracer,
 		PprofLabels:  opts.pprofLabels,
+		SurveyIngest: surveyIngest,
 	})
 	if err != nil {
 		return err
@@ -276,15 +331,24 @@ func run(opts serverOpts) error {
 		}
 	}()
 
-	// Close the listener on SIGINT/SIGTERM: ListenAndServe drains its
-	// connections and returns, then the stats ticker and metrics
-	// endpoint are shut down in order.
+	// Close the listener on SIGINT/SIGTERM; with -drain-grace, follow
+	// up with a graceful drain: in-flight sessions finish their current
+	// epoch and close cleanly (clients see EOF, not a reset), stragglers
+	// are force-closed when the grace expires. ListenAndServe then
+	// drains its connection goroutines and returns.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		log.Printf("received %v, shutting down", s)
+		log.Printf("received %v, shutting down (drain-grace=%v)", s, opts.drainGrace)
 		_ = ln.Close()
+		if opts.drainGrace > 0 {
+			if forced := srv.Drain(opts.drainGrace); forced > 0 {
+				log.Printf("drain grace expired: %d sessions force-closed", forced)
+			} else {
+				log.Printf("drained cleanly")
+			}
+		}
 	}()
 
 	srv.ListenAndServe(ln, func(err error) { log.Printf("conn error: %v", err) })

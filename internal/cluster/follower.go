@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mapstore"
+	"repro/internal/offload"
+	"repro/internal/telemetry"
+)
+
+// ErrNotConnected reports a survey forward attempted while the
+// follower has no live leader connection; the point is dropped (the
+// client fired and forgot) and the offload server counts it.
+var ErrNotConnected = errors.New("cluster: not connected to replication leader")
+
+// followerMetrics are the replication client's instruments.
+type followerMetrics struct {
+	connected       *telemetry.Gauge
+	deltasApplied   *telemetry.Counter
+	pointsApplied   *telemetry.Counter
+	surveysForward  *telemetry.Counter
+	surveysDropped  *telemetry.Counter
+	reconnectsTotal *telemetry.Counter
+}
+
+func newFollowerMetrics(reg *telemetry.Registry) followerMetrics {
+	return followerMetrics{
+		connected:       reg.Gauge("uniloc_repl_connected", "1 while subscribed to the replication leader"),
+		deltasApplied:   reg.Counter("uniloc_repl_deltas_applied_total", "leader compaction deltas folded into local stores"),
+		pointsApplied:   reg.Counter("uniloc_repl_points_applied_total", "fingerprints folded in from deltas"),
+		surveysForward:  reg.Counter("uniloc_repl_surveys_sent_total", "locally ingested surveys forwarded to the leader"),
+		surveysDropped:  reg.Counter("uniloc_repl_surveys_send_failed_total", "survey forwards that failed (no leader connection)"),
+		reconnectsTotal: reg.Counter("uniloc_repl_reconnects_total", "replication link reconnect attempts"),
+	}
+}
+
+// Follower keeps a node's map stores converged with the leader's: it
+// subscribes with its stores' current versions, folds every streamed
+// delta in with Store.ApplyDelta (which pins versions exactly like a
+// local compaction, preserving the bit-identity and batch-grouping
+// invariants per node), and forwards locally ingested surveys to the
+// leader — the node itself never compacts crowdsourced input, so its
+// versions can never fork from the leader's.
+type Follower struct {
+	addr   string
+	stores map[byte]*mapstore.Store
+	met    followerMetrics
+
+	mu   sync.Mutex
+	conn net.Conn // nil while disconnected
+
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// NewFollower builds a follower replicating from the leader at addr
+// and starts its connection loop (dial, subscribe, apply; reconnect
+// with backoff on any failure). Close stops it.
+//
+// The stores must be constructed from the same seed database as the
+// leader's and must never fold local submissions (route surveys
+// through ForwardSurvey — offload.ServerConfig.SurveyIngest does this
+// when wired); otherwise versions fork and ApplyDelta diverges.
+func NewFollower(addr string, stores map[byte]*mapstore.Store, reg *telemetry.Registry) *Follower {
+	f := &Follower{
+		addr:   addr,
+		stores: stores,
+		met:    newFollowerMetrics(reg),
+		done:   make(chan struct{}),
+	}
+	f.wg.Add(1)
+	go f.run()
+	return f
+}
+
+// Close stops the connection loop and drops the link. Idempotent.
+func (f *Follower) Close() {
+	f.once.Do(func() { close(f.done) })
+	f.mu.Lock()
+	if f.conn != nil {
+		_ = f.conn.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// run is the connection loop: one session per iteration, capped
+// exponential backoff between attempts.
+func (f *Follower) run() {
+	defer f.wg.Done()
+	backoff := 10 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for {
+		select {
+		case <-f.done:
+			return
+		default:
+		}
+		err := f.session()
+		if err == nil {
+			backoff = 10 * time.Millisecond // served for a while: reset
+		}
+		select {
+		case <-f.done:
+			return
+		case <-time.After(backoff):
+		}
+		f.met.reconnectsTotal.Inc()
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// session runs one subscribe-and-apply cycle until the link fails.
+func (f *Follower) session() error {
+	conn, err := net.DialTimeout("tcp", f.addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	versions := make(map[byte]uint64, len(f.stores))
+	for id, st := range f.stores {
+		versions[id] = st.Version()
+	}
+	if err := writeRepFrame(conn, rmSubscribe, encodeSubscribe(versions)); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	f.mu.Lock()
+	f.conn = conn
+	f.mu.Unlock()
+	// A Close that ran between the dial and the assignment above saw a
+	// nil conn and closed nothing; catch up here so the blocking read
+	// below cannot outlive Close.
+	select {
+	case <-f.done:
+		_ = conn.Close()
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+		return nil
+	default:
+	}
+	f.met.connected.Set(1)
+	defer func() {
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+		f.met.connected.Set(0)
+		_ = conn.Close()
+	}()
+
+	for {
+		t, payload, err := readRepFrame(conn)
+		if err != nil {
+			return nil // link failed; run() redials
+		}
+		switch t {
+		case rmDelta:
+			d, err := decodeDelta(payload)
+			if err != nil {
+				return err
+			}
+			st := f.stores[d.mapID]
+			if st == nil {
+				return fmt.Errorf("%w: delta for unknown map %d", ErrRepProtocol, d.mapID)
+			}
+			if cur := st.Version(); d.version != cur+1 {
+				// A gap would silently fork the snapshot contents even
+				// though ApplyDelta's version still increments; resubscribe
+				// from our actual version instead of applying.
+				return fmt.Errorf("cluster: delta version %d on local version %d (map %d)", d.version, cur, d.mapID)
+			}
+			if got := st.ApplyDelta(d.batch); got != d.version {
+				return fmt.Errorf("cluster: applied delta landed at version %d, want %d", got, d.version)
+			}
+			f.met.deltasApplied.Inc()
+			f.met.pointsApplied.Add(int64(len(d.batch)))
+		case rmError:
+			return fmt.Errorf("cluster: leader refused subscription: %s", payload)
+		default:
+			return fmt.Errorf("%w: unexpected frame type %d from leader", ErrRepProtocol, t)
+		}
+	}
+}
+
+// ForwardSurvey ships one locally received survey to the leader
+// (fire-and-forget, like the phone uplink that delivered it). Plugs
+// directly into offload.ServerConfig.SurveyIngest.
+func (f *Follower) ForwardSurvey(sv *offload.Survey) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.conn == nil {
+		f.met.surveysDropped.Inc()
+		return ErrNotConnected
+	}
+	if err := writeRepFrame(f.conn, rmSurvey, offload.EncodeSurvey(sv)); err != nil {
+		f.met.surveysDropped.Inc()
+		return err
+	}
+	f.met.surveysForward.Inc()
+	return nil
+}
+
+// Connected reports whether the replication link is currently up.
+func (f *Follower) Connected() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.conn != nil
+}
+
+// WaitVersion is a test and startup helper: it blocks until the given
+// map store reaches at least version v, or the timeout elapses.
+func (f *Follower) WaitVersion(mapID byte, v uint64, timeout time.Duration) bool {
+	st := f.stores[mapID]
+	if st == nil {
+		return false
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if st.Version() >= v {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return st.Version() >= v
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/mapstore"
+	"repro/internal/offload"
+	"repro/internal/telemetry"
+)
+
+// leaderMetrics are the replication hub's instruments.
+type leaderMetrics struct {
+	followers       *telemetry.Gauge
+	deltasStreamed  *telemetry.Counter
+	pointsStreamed  *telemetry.Counter
+	surveysForward  *telemetry.Counter
+	surveysRejected *telemetry.Counter
+}
+
+func newLeaderMetrics(reg *telemetry.Registry) leaderMetrics {
+	return leaderMetrics{
+		followers:       reg.Gauge("uniloc_repl_followers", "follower connections currently subscribed"),
+		deltasStreamed:  reg.Counter("uniloc_repl_deltas_streamed_total", "compaction deltas streamed to followers"),
+		pointsStreamed:  reg.Counter("uniloc_repl_points_streamed_total", "fingerprints streamed inside deltas"),
+		surveysForward:  reg.Counter("uniloc_repl_surveys_forwarded_total", "surveys received from followers and submitted locally"),
+		surveysRejected: reg.Counter("uniloc_repl_surveys_rejected_total", "forwarded surveys the local store refused"),
+	}
+}
+
+// Leader is the replication hub: it observes every compaction of the
+// node's map stores (Store.SetOnRebuild), appends the exact folded
+// batch to a per-map delta log, and streams the log to subscribed
+// followers in version order. Followers replay each delta with
+// Store.ApplyDelta, so — starting from the same seed database — their
+// snapshots are bit-identical to the leader's at every version.
+// Surveys ingested on follower nodes arrive here over the same link
+// (rmSurvey) and enter the ordinary Submit → compact → delta cycle.
+type Leader struct {
+	stores map[byte]*mapstore.Store
+	met    leaderMetrics
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	logs map[byte][]delta // per map, ascending version (leader versions start at 2)
+	down bool
+
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewLeader builds the hub and hooks every store's compactions into
+// its delta log. Install before traffic so no compaction escapes the
+// log — a follower can only converge if it sees every version.
+func NewLeader(stores map[byte]*mapstore.Store, reg *telemetry.Registry) *Leader {
+	l := &Leader{
+		stores: stores,
+		met:    newLeaderMetrics(reg),
+		logs:   make(map[byte][]delta, len(stores)),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	for id, st := range stores {
+		id := id
+		st.SetOnRebuild(func(version uint64, batch []fingerprint.Fingerprint) {
+			// The hook runs under the store's rebuild lock: copy and get
+			// out. Vectors are immutable by contract, so a shallow copy
+			// pins the batch forever.
+			l.append(delta{mapID: id, version: version, batch: append([]fingerprint.Fingerprint(nil), batch...)})
+		})
+	}
+	return l
+}
+
+// append adds one compaction to the log and wakes every streamer.
+func (l *Leader) append(d delta) {
+	l.mu.Lock()
+	l.logs[d.mapID] = append(l.logs[d.mapID], d)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Close unhooks the stores and wakes streamers so they notice closed
+// connections promptly. Idempotent.
+func (l *Leader) Close() {
+	l.once.Do(func() {
+		for _, st := range l.stores {
+			st.SetOnRebuild(nil)
+		}
+		l.mu.Lock()
+		l.down = true
+		l.mu.Unlock()
+		l.cond.Broadcast()
+	})
+	l.wg.Wait()
+}
+
+// ListenAndServe accepts follower connections until the listener
+// closes. Each follower costs the leader one reader and one streamer
+// goroutine.
+func (l *Leader) ListenAndServe(ln net.Listener, errf func(error)) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && errf != nil {
+				errf(fmt.Errorf("cluster: replication accept: %w", err))
+			}
+			break
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			if err := l.serveFollower(conn); err != nil && errf != nil {
+				errf(err)
+			}
+		}()
+	}
+	l.wg.Wait()
+}
+
+// serveFollower drives one follower connection: subscribe in, then
+// deltas out forever, with forwarded surveys read concurrently.
+func (l *Leader) serveFollower(conn net.Conn) error {
+	defer func() { _ = conn.Close() }()
+
+	t, payload, err := readRepFrame(conn)
+	if err != nil {
+		return fmt.Errorf("cluster: follower subscribe: %w", err)
+	}
+	if t != rmSubscribe {
+		return fmt.Errorf("%w: expected subscribe, got frame type %d", ErrRepProtocol, t)
+	}
+	versions, err := decodeSubscribe(payload)
+	if err != nil {
+		return err
+	}
+	for id := range versions {
+		if l.stores[id] == nil {
+			msg := fmt.Sprintf("unknown map %d", id)
+			_ = writeRepFrame(conn, rmError, []byte(msg))
+			return fmt.Errorf("%w: subscribe for %s", ErrRepProtocol, msg)
+		}
+	}
+	l.met.followers.Add(1)
+	defer l.met.followers.Add(-1)
+
+	// Reader side: forwarded surveys enter the local Submit path — the
+	// same validation and compaction a directly-ingested survey gets.
+	// Its exit (EOF, bad frame) closes the conn, which unblocks the
+	// streamer below.
+	readerDone := make(chan error, 1)
+	go func() {
+		for {
+			t, payload, err := readRepFrame(conn)
+			if err != nil {
+				readerDone <- nil // connection gone: the streamer reports
+				return
+			}
+			if t != rmSurvey {
+				_ = conn.Close()
+				readerDone <- fmt.Errorf("%w: unexpected frame type %d from follower", ErrRepProtocol, t)
+				return
+			}
+			sv, err := offload.DecodeSurvey(payload)
+			if err != nil {
+				_ = conn.Close()
+				readerDone <- err
+				return
+			}
+			l.ingest(sv)
+		}
+	}()
+
+	// Streamer side: ship every delta the follower has not seen, in
+	// version order per map, then wait for the next compaction.
+	sent := versions // follower's current version per map
+	for {
+		pending := l.collect(sent)
+		if pending == nil { // leader closing
+			break
+		}
+		for _, d := range pending {
+			buf, err := encodeDelta(d)
+			if err != nil {
+				return err
+			}
+			if err := writeRepFrame(conn, rmDelta, buf); err != nil {
+				_ = conn.Close() // unblock the reader before joining it
+				return <-readerDone
+			}
+			sent[d.mapID] = d.version
+			l.met.deltasStreamed.Inc()
+			l.met.pointsStreamed.Add(int64(len(d.batch)))
+		}
+		if len(pending) == 0 {
+			// Spurious wakeup or a delta for a map this follower is ahead
+			// on; loop and wait again.
+			continue
+		}
+	}
+	_ = conn.Close()
+	return <-readerDone
+}
+
+// collect blocks until at least one delta newer than sent exists (or
+// the leader closes — then nil). It returns the backlog in per-map
+// version order.
+func (l *Leader) collect(sent map[byte]uint64) []delta {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.down {
+			return nil
+		}
+		var out []delta
+		for id, log := range l.logs {
+			from := sent[id]
+			for _, d := range log {
+				if d.version > from {
+					out = append(out, d)
+				}
+			}
+		}
+		if len(out) > 0 {
+			// Per-map order is what matters (ApplyDelta is per-store);
+			// logs are already ascending, but map iteration interleaves
+			// stores arbitrarily, which is fine.
+			return out
+		}
+		l.cond.Wait()
+	}
+}
+
+// ingest submits one forwarded survey into the local store. Rejections
+// are counted, never fatal — the follower already counted the drop on
+// its side as well.
+func (l *Leader) ingest(sv *offload.Survey) {
+	st := l.stores[sv.Map]
+	if st == nil {
+		l.met.surveysRejected.Inc()
+		return
+	}
+	if err := st.Submit(fingerprint.Fingerprint{Pos: geo.Pt(sv.X, sv.Y), Vec: sv.Vec}); err != nil {
+		l.met.surveysRejected.Inc()
+		return
+	}
+	l.met.surveysForward.Inc()
+}
+
+// SurveyIngest adapts the leader for offload.ServerConfig.SurveyIngest
+// on its own node: locally received surveys go straight into the local
+// store (there is no link to cross).
+func (l *Leader) SurveyIngest(sv *offload.Survey) error {
+	st := l.stores[sv.Map]
+	if st == nil {
+		return fmt.Errorf("cluster: no store for map %d", sv.Map)
+	}
+	return st.Submit(fingerprint.Fingerprint{Pos: geo.Pt(sv.X, sv.Y), Vec: sv.Vec})
+}
+
+// waitConverged is a test helper: it blocks until every log entry has
+// been appended for the given map up to version v or the timeout
+// elapses.
+func (l *Leader) waitConverged(mapID byte, v uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		l.mu.Lock()
+		log := l.logs[mapID]
+		ok := len(log) > 0 && log[len(log)-1].version >= v
+		l.mu.Unlock()
+		if ok {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}

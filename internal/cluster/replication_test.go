@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/mapstore"
+	"repro/internal/offload"
+	"repro/internal/rf"
+	"repro/internal/telemetry"
+)
+
+// eqMatches compares two Nearest result sets bit-for-bit.
+func eqMatches(a, b []fingerprint.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].Pos.X) != math.Float64bits(b[i].Pos.X) ||
+			math.Float64bits(a[i].Pos.Y) != math.Float64bits(b[i].Pos.Y) ||
+			math.Float64bits(a[i].Dist) != math.Float64bits(b[i].Dist) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReplicationAcrossNodes pins the tentpole's map-store replication
+// contract end to end: surveys submitted through a FOLLOWER node's
+// offload server are forwarded to the leader over the replication
+// link, enter the leader's ordinary Submit → compact cycle, and the
+// resulting compaction deltas stream back — leaving the follower's
+// store at the same version as the leader's with bit-identical Nearest
+// answers, without the follower ever folding a point itself.
+func TestReplicationAcrossNodes(t *testing.T) {
+	factory, w, db := clusterWorld(t)
+	reg := telemetry.NewRegistry()
+
+	// Leader node: compacts every 3 submissions. Its store versions are
+	// the replication stream.
+	leaderStore := mapstore.New(db, mapstore.Config{Name: "wifi-leader", RebuildBatch: 3})
+	t.Cleanup(leaderStore.Close)
+	leader := NewLeader(map[byte]*mapstore.Store{offload.MapWiFi: leaderStore}, reg)
+	t.Cleanup(leader.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go leader.ListenAndServe(ln, func(err error) { t.Logf("leader: %v", err) })
+	t.Cleanup(func() { _ = ln.Close() })
+
+	// Follower node: same seed DB, never compacts locally (huge batch,
+	// no timer) — its only writes are replayed leader deltas.
+	followerStore := mapstore.New(db, mapstore.Config{Name: "wifi-follower", RebuildBatch: 1 << 30})
+	t.Cleanup(followerStore.Close)
+	follower := NewFollower(ln.Addr().String(), map[byte]*mapstore.Store{offload.MapWiFi: followerStore}, reg)
+	t.Cleanup(follower.Close)
+	deadline := time.Now().Add(3 * time.Second)
+	for !follower.Connected() {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never connected to the leader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The follower's offload server forwards every survey upstream
+	// instead of touching local stores.
+	node := startNode(t, offload.ServerConfig{
+		Factory:      factory,
+		SurveyIngest: follower.ForwardSurvey,
+	})
+	conn, err := net.Dial("tcp", node.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := offload.NewClient(conn, "surveyor-1")
+	defer func() { _ = client.Close() }()
+	if err := client.Hello(geo.Pt(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two rounds of 3 surveys — two leader compactions, versions 2 and
+	// 3 — proving convergence is monotonic, not a one-shot.
+	model := rf.WiFiModel()
+	rnd := rand.New(rand.NewSource(99))
+	for round, wantVer := range []uint64{2, 3} {
+		for i := 0; i < 3; i++ {
+			p := geo.Pt(4+float64(round*10+i*3), 2)
+			vec := model.Scan(w, w.APs, p, rf.Reference(), rnd)
+			if len(vec) < 2 {
+				t.Fatalf("survey scan at %v too sparse", p)
+			}
+			if err := client.SubmitSurvey(offload.MapWiFi, p, vec); err != nil {
+				t.Fatalf("round %d survey %d: %v", round, i, err)
+			}
+		}
+		// Surveys are pipelined fire-and-forget; the compaction itself is
+		// asynchronous on the leader. Poll both sides to the target
+		// version.
+		for time.Now().Before(deadline) && leaderStore.Version() < wantVer {
+			time.Sleep(time.Millisecond)
+		}
+		if v := leaderStore.Version(); v < wantVer {
+			t.Fatalf("round %d: leader stuck at version %d, want >= %d", round, v, wantVer)
+		}
+		if !follower.WaitVersion(offload.MapWiFi, leaderStore.Version(), 3*time.Second) {
+			t.Fatalf("round %d: follower stuck at version %d, leader at %d",
+				round, followerStore.Version(), leaderStore.Version())
+		}
+	}
+
+	lv, fv := leaderStore.Version(), followerStore.Version()
+	if lv != fv {
+		t.Fatalf("versions diverged: leader %d, follower %d", lv, fv)
+	}
+	ls, fs := leaderStore.Snapshot(), followerStore.Snapshot()
+	if ls.Len() != fs.Len() {
+		t.Fatalf("snapshot sizes diverged: leader %d, follower %d", ls.Len(), fs.Len())
+	}
+	for i := 0; i < 20; i++ {
+		p := geo.Pt(2+float64(i*2), 1+float64(i%3))
+		obs := model.Scan(w, w.APs, p, rf.Reference(), rnd)
+		if !eqMatches(ls.Nearest(obs, 3), fs.Nearest(obs, 3)) {
+			t.Fatalf("Nearest diverged at query %d (%v)", i, p)
+		}
+	}
+
+	// The follower never folded anything itself: every one of its
+	// versions came off the wire.
+	snap := reg.Snapshot()
+	if v, ok := snap.Get("uniloc_repl_deltas_applied_total"); !ok || v < 2 {
+		t.Errorf("deltas_applied = %v,%v, want >= 2", v, ok)
+	}
+	if v, ok := snap.Get("uniloc_repl_surveys_sent_total"); !ok || v < 6 {
+		t.Errorf("surveys_sent = %v,%v, want >= 6", v, ok)
+	}
+	if v, ok := snap.Get("uniloc_repl_surveys_forwarded_total"); !ok || v < 6 {
+		t.Errorf("leader surveys_forwarded = %v,%v, want >= 6", v, ok)
+	}
+}
+
+// TestFollowerReconnectResubscribes kills the replication link and
+// asserts the follower redials, resubscribes from its current version,
+// and catches up on deltas it missed while disconnected.
+func TestFollowerReconnectResubscribes(t *testing.T) {
+	_, w, db := clusterWorld(t)
+	reg := telemetry.NewRegistry()
+
+	leaderStore := mapstore.New(db, mapstore.Config{Name: "wifi-leader2", RebuildBatch: 1 << 30})
+	t.Cleanup(leaderStore.Close)
+	leader := NewLeader(map[byte]*mapstore.Store{offload.MapWiFi: leaderStore}, reg)
+	t.Cleanup(leader.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go leader.ListenAndServe(ln, nil)
+	t.Cleanup(func() { _ = ln.Close() })
+
+	followerStore := mapstore.New(db, mapstore.Config{Name: "wifi-follower2", RebuildBatch: 1 << 30})
+	t.Cleanup(followerStore.Close)
+	follower := NewFollower(ln.Addr().String(), map[byte]*mapstore.Store{offload.MapWiFi: followerStore}, reg)
+	t.Cleanup(follower.Close)
+
+	model := rf.WiFiModel()
+	rnd := rand.New(rand.NewSource(7))
+	submit := func() {
+		p := geo.Pt(4+rnd.Float64()*30, 1+rnd.Float64()*2)
+		vec := model.Scan(w, w.APs, p, rf.Reference(), rnd)
+		if err := leaderStore.Submit(fingerprint.Fingerprint{Pos: p, Vec: vec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Delta 1 flows over the first session.
+	submit()
+	leaderStore.Rebuild()
+	if !follower.WaitVersion(offload.MapWiFi, 2, 3*time.Second) {
+		t.Fatal("follower never saw the first delta")
+	}
+
+	// Sever the link, compact twice while it is down.
+	func() {
+		follower.mu.Lock()
+		defer follower.mu.Unlock()
+		if follower.conn != nil {
+			_ = follower.conn.Close()
+		}
+	}()
+	submit()
+	leaderStore.Rebuild()
+	submit()
+	leaderStore.Rebuild()
+
+	// The redial resubscribes at version 2 and replays 3 and 4.
+	if !follower.WaitVersion(offload.MapWiFi, 4, 5*time.Second) {
+		t.Fatalf("follower stuck at version %d after reconnect, want 4", followerStore.Version())
+	}
+	ls, fs := leaderStore.Snapshot(), followerStore.Snapshot()
+	if ls.Len() != fs.Len() {
+		t.Fatalf("snapshot sizes diverged after reconnect: %d vs %d", ls.Len(), fs.Len())
+	}
+	if v, ok := reg.Snapshot().Get("uniloc_repl_reconnects_total"); !ok || v < 1 {
+		t.Errorf("reconnects_total = %v,%v, want >= 1", v, ok)
+	}
+}

@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/offload"
+	"repro/internal/telemetry"
+)
+
+// RouterConfig configures a cluster router.
+type RouterConfig struct {
+	// Backends are the uniloc-server addresses sessions hash onto.
+	// Required, at least one.
+	Backends []string
+
+	// VNodes is the virtual-node count per backend on the hash ring.
+	// <= 0 uses DefaultVNodes.
+	VNodes int
+
+	// DialTimeout bounds each backend dial. <= 0 uses 2s.
+	DialTimeout time.Duration
+
+	// HealthEvery is the active probe period: every backend gets a TCP
+	// probe this often, marking it down (its sessions re-route) or back
+	// up (its keys come home). 0 disables active probing — backends are
+	// then only marked down passively, on dial failure, and never
+	// revive.
+	HealthEvery time.Duration
+
+	// Metrics receives the router's instruments, including the
+	// per-backend membership gauge (uniloc_router_backend_up) that
+	// makes /metrics show cluster state. Nil disables exposition.
+	Metrics *telemetry.Registry
+}
+
+// routerMetrics are the router's instruments; all nil — and free —
+// without a registry.
+type routerMetrics struct {
+	reg          *telemetry.Registry
+	active       *telemetry.Gauge
+	routed       *telemetry.Counter
+	dialFailures *telemetry.Counter
+	reroutes     *telemetry.Counter
+	helloErrors  *telemetry.Counter
+	probes       *telemetry.Counter
+}
+
+func newRouterMetrics(reg *telemetry.Registry) routerMetrics {
+	return routerMetrics{
+		reg:          reg,
+		active:       reg.Gauge("uniloc_router_active_conns", "client connections currently proxied"),
+		routed:       reg.Counter("uniloc_router_routed_total", "client connections routed to a backend"),
+		dialFailures: reg.Counter("uniloc_router_dial_failures_total", "backend dials that failed (backend marked down)"),
+		reroutes:     reg.Counter("uniloc_router_reroutes_total", "connections that landed on a non-first-choice backend"),
+		helloErrors:  reg.Counter("uniloc_router_hello_errors_total", "connections dropped before a routable hello"),
+		probes:       reg.Counter("uniloc_router_probes_total", "active health probes sent"),
+	}
+}
+
+// backendUp publishes one backend's membership state as a labeled
+// gauge (1 up, 0 down).
+func (m routerMetrics) backendUp(addr string, up bool) {
+	v := 0.0
+	if up {
+		v = 1.0
+	}
+	m.reg.Gauge("uniloc_router_backend_up", "backend liveness on the router's hash ring (1 = routable)", "backend", addr).Set(v)
+}
+
+// Router terminates nothing: it reads exactly one frame — the hello —
+// to learn the client ID, consistent-hashes it onto a backend,
+// forwards the hello verbatim, and then splices bytes both ways. The
+// offload protocol (v2–v5, trace context included) crosses it
+// untouched, so router and backends upgrade independently. A dead
+// backend is marked down on dial failure (and by the active prober),
+// and the very next reconnect of its clients lands on a surviving
+// node, where protocol v4 either resumes a detached session (same
+// node) or opens a fresh one at the client's last served position.
+type Router struct {
+	ring        *Ring
+	dialTimeout time.Duration
+	healthEvery time.Duration
+	met         routerMetrics
+
+	mu     sync.Mutex
+	active int64
+	done   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewRouter builds a router over the configured backends.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	ring := NewRing(cfg.Backends, cfg.VNodes)
+	if len(ring.Members()) == 0 {
+		return nil, errors.New("cluster: router needs at least one backend")
+	}
+	dt := cfg.DialTimeout
+	if dt <= 0 {
+		dt = 2 * time.Second
+	}
+	r := &Router{
+		ring:        ring,
+		dialTimeout: dt,
+		healthEvery: cfg.HealthEvery,
+		met:         newRouterMetrics(cfg.Metrics),
+		done:        make(chan struct{}),
+	}
+	for _, m := range ring.Members() {
+		r.met.backendUp(m.Addr, true)
+	}
+	if r.healthEvery > 0 {
+		r.wg.Add(1)
+		go r.probeLoop()
+	}
+	return r, nil
+}
+
+// Ring exposes the router's hash ring (membership snapshots, manual
+// mark-down in tests).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Close stops the active prober. In-flight proxied connections are
+// left alone — close the listener to stop new ones.
+func (r *Router) Close() {
+	r.once.Do(func() { close(r.done) })
+	r.wg.Wait()
+}
+
+// markDown records a backend transition, keeping the membership gauge
+// in sync with the ring.
+func (r *Router) markDown(addr string, down bool) {
+	was := r.ring.Up(addr)
+	r.ring.SetDown(addr, down)
+	if was == down { // state actually changed
+		r.met.backendUp(addr, !down)
+	}
+}
+
+// probeLoop actively probes every backend with a TCP dial: a refused
+// probe marks the backend down, a successful one marks it back up —
+// so a restarted node rejoins the ring without operator action.
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.healthEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-tick.C:
+			for _, m := range r.ring.Members() {
+				r.met.probes.Inc()
+				conn, err := net.DialTimeout("tcp", m.Addr, r.dialTimeout)
+				if err == nil {
+					_ = conn.Close()
+				}
+				r.markDown(m.Addr, err != nil)
+			}
+		}
+	}
+}
+
+// dialBackend walks the ring from the key's home position: the home
+// backend first, then — marking each failure down — the next live
+// points clockwise, so one dead node costs its clients one extra dial,
+// not an outage.
+func (r *Router) dialBackend(key string) (net.Conn, string, error) {
+	tried := 0
+	for {
+		addr, ok := r.ring.Pick(key)
+		if !ok {
+			return nil, "", errors.New("cluster: no live backends")
+		}
+		conn, err := net.DialTimeout("tcp", addr, r.dialTimeout)
+		if err == nil {
+			if tried > 0 {
+				r.met.reroutes.Inc()
+			}
+			return conn, addr, nil
+		}
+		r.met.dialFailures.Inc()
+		r.markDown(addr, true)
+		if tried++; tried > len(r.ring.Members()) {
+			return nil, "", fmt.Errorf("cluster: all backends unreachable: %w", err)
+		}
+	}
+}
+
+// Serve proxies one client connection: hello in, backend out, then a
+// transparent bidirectional splice until either side closes.
+func (r *Router) Serve(conn net.Conn) error {
+	defer func() { _ = conn.Close() }()
+
+	t, payload, err := offload.ReadFrame(conn)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil // port scan or health probe: quiet close
+		}
+		r.met.helloErrors.Inc()
+		return err
+	}
+	if t != offload.MsgHello {
+		r.met.helloErrors.Inc()
+		return fmt.Errorf("cluster: expected hello, got frame type %d", t)
+	}
+	hello, err := offload.DecodeHello(payload)
+	if err != nil {
+		r.met.helloErrors.Inc()
+		return err
+	}
+	key := hello.ClientID
+	if key == "" {
+		// Anonymous clients still need a stable-ish shard: the remote
+		// address holds for the life of this connection, which is all an
+		// ID-less (hence resume-less) session can use anyway.
+		key = conn.RemoteAddr().String()
+	}
+
+	backend, addr, err := r.dialBackend(key)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = backend.Close() }()
+	if _, err := offload.WriteFrame(backend, offload.MsgHello, payload); err != nil {
+		r.markDown(addr, true)
+		return fmt.Errorf("cluster: forward hello to %s: %w", addr, err)
+	}
+	r.met.routed.Inc()
+	r.mu.Lock()
+	r.active++
+	r.met.active.Set(float64(r.active))
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.active--
+		r.met.active.Set(float64(r.active))
+		r.mu.Unlock()
+	}()
+
+	// Splice. Closing both conns on either direction's exit unblocks
+	// the other copy; a backend death therefore surfaces to the client
+	// immediately as a dead connection, and its reconnect re-enters the
+	// router. Abruptness must survive the hop: a client RST arriving as
+	// a read error is re-raised to the backend as an RST (not a clean
+	// FIN), because uniloc-server reads the difference semantically —
+	// a reset parks a v4 session for resume, EOF ends the walk.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := io.Copy(backend, conn); err != nil {
+			abortConn(backend)
+		}
+		_ = backend.Close()
+		_ = conn.Close()
+	}()
+	if _, err := io.Copy(conn, backend); err != nil {
+		abortConn(conn)
+	}
+	_ = conn.Close()
+	_ = backend.Close()
+	<-done
+	return nil
+}
+
+// abortConn arms an RST close: the peer sees a connection reset
+// instead of a clean EOF when the conn is closed next.
+func abortConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+}
+
+// ListenAndServe accepts and proxies connections until the listener
+// closes. Transient accept errors back off exactly like the offload
+// server's loop; per-connection errors go to errf (may be nil).
+func (r *Router) ListenAndServe(ln net.Listener, errf func(error)) {
+	backoff := 5 * time.Millisecond
+	const maxBackoff = time.Second
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				break
+			}
+			if errf != nil {
+				errf(fmt.Errorf("cluster: accept: %w (retrying in %v)", err, backoff))
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = 5 * time.Millisecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.Serve(conn); err != nil && errf != nil {
+				errf(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

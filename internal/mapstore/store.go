@@ -70,7 +70,8 @@ type Store struct {
 	mu      sync.Mutex // guards pending
 	pending []fingerprint.Fingerprint
 
-	rebuildMu sync.Mutex // serializes compactions
+	rebuildMu sync.Mutex // serializes compactions; guards onRebuild
+	onRebuild func(version uint64, applied []fingerprint.Fingerprint)
 
 	kick      chan struct{}
 	done      chan struct{}
@@ -190,6 +191,49 @@ func (s *Store) Submit(fp fingerprint.Fingerprint) error {
 	return nil
 }
 
+// SetOnRebuild installs a hook observing every snapshot swap: it is
+// called with the new version and the exact (already-validated) batch
+// of fingerprints folded into it, in fold order. Replication hubs use
+// it to ship per-version deltas to follower stores: replaying the same
+// batches in the same order onto the same base DB rebuilds
+// bit-identical snapshots with matching version numbers. The hook runs
+// under the rebuild lock — keep it quick (append to a log, signal a
+// streamer) and never call back into Rebuild/ApplyDelta from it.
+// Install before traffic; nil removes the hook.
+func (s *Store) SetOnRebuild(fn func(version uint64, applied []fingerprint.Fingerprint)) {
+	s.rebuildMu.Lock()
+	s.onRebuild = fn
+	s.rebuildMu.Unlock()
+}
+
+// fold applies a batch to a copy of cur's database with
+// replace-or-extend semantics (a point at the exact position of an
+// existing fingerprint refreshes its vector; anywhere else it extends
+// the map) and swaps in the rebuilt snapshot. Caller holds rebuildMu.
+func (s *Store) fold(cur *Snapshot, batch []fingerprint.Fingerprint) *Snapshot {
+	db := copyDB(cur.db)
+	byPos := make(map[geo.Point]int, len(db.Points))
+	for i, fp := range db.Points {
+		byPos[fp.Pos] = i
+	}
+	for _, fp := range batch {
+		if i, ok := byPos[fp.Pos]; ok {
+			db.Points[i].Vec = fp.Vec
+		} else {
+			byPos[fp.Pos] = len(db.Points)
+			db.Points = append(db.Points, fp)
+		}
+	}
+
+	next := Build(db, cur.version+1, s.cfg.CellM, s.cfg.Metrics)
+	s.snap.Store(next)
+	s.cfg.Metrics.snapshotSwapped(next)
+	if s.onRebuild != nil {
+		s.onRebuild(next.version, batch)
+	}
+	return next
+}
+
 // Rebuild synchronously folds all pending submissions into a new
 // snapshot and swaps it in, returning the live version afterwards. With
 // nothing pending it is a no-op. Safe to call concurrently with the
@@ -208,27 +252,26 @@ func (s *Store) Rebuild() uint64 {
 		return cur.version
 	}
 
-	db := copyDB(cur.db)
-	byPos := make(map[geo.Point]int, len(db.Points))
-	for i, fp := range db.Points {
-		byPos[fp.Pos] = i
-	}
-	for _, fp := range batch {
-		if i, ok := byPos[fp.Pos]; ok {
-			db.Points[i].Vec = fp.Vec
-		} else {
-			byPos[fp.Pos] = len(db.Points)
-			db.Points = append(db.Points, fp)
-		}
-	}
-
-	next := Build(db, cur.version+1, s.cfg.CellM, s.cfg.Metrics)
-	s.snap.Store(next)
-	s.cfg.Metrics.snapshotSwapped(next)
+	next := s.fold(cur, batch)
 	s.mu.Lock()
 	s.cfg.Metrics.setPending(len(s.pending))
 	s.mu.Unlock()
 	return next.version
+}
+
+// ApplyDelta folds one replicated batch into a new snapshot exactly as
+// a local compaction would, returning the new version. Unlike Submit +
+// Rebuild it bypasses the pending queue entirely, so a concurrently
+// firing background compactor can neither split a delta across two
+// versions nor interleave locally queued points into it — the property
+// follower stores need for their versions (and snapshot contents) to
+// match the leader's bit for bit. The batch must be the leader's
+// OnRebuild payload: already validated and in fold order. An empty
+// batch still advances the version (the leader's did).
+func (s *Store) ApplyDelta(batch []fingerprint.Fingerprint) uint64 {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	return s.fold(s.snap.Load(), batch).version
 }
 
 // compactor is the background rebuild loop: it fires on batch-size

@@ -345,3 +345,158 @@ func TestStoreMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestSetOnRebuild pins the replication hook contract: the hook fires
+// once per snapshot swap with the new version and the exact batch that
+// was folded in (rejected submissions never appear), and a no-op
+// Rebuild does not fire it.
+func TestSetOnRebuild(t *testing.T) {
+	db := synthDB(30, 8, 17)
+	st := New(db, Config{Name: "hook", RebuildBatch: 1 << 30})
+	defer st.Close()
+
+	type delta struct {
+		version uint64
+		batch   []fingerprint.Fingerprint
+	}
+	var mu sync.Mutex
+	var deltas []delta
+	st.SetOnRebuild(func(v uint64, batch []fingerprint.Fingerprint) {
+		mu.Lock()
+		deltas = append(deltas, delta{v, append([]fingerprint.Fingerprint(nil), batch...)})
+		mu.Unlock()
+	})
+
+	if st.Rebuild(); len(deltas) != 0 {
+		t.Fatalf("no-op rebuild fired the hook: %+v", deltas)
+	}
+
+	a := fingerprint.Fingerprint{Pos: geo.Pt(-7, -7), Vec: vec2(-41, -51)}
+	b := fingerprint.Fingerprint{Pos: db.Points[5].Pos, Vec: vec2(-42, -52)}
+	for _, fp := range []fingerprint.Fingerprint{a, b} {
+		if err := st.Submit(fp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A rejected submission must not leak into the delta.
+	if err := st.Submit(fingerprint.Fingerprint{Pos: geo.Pt(math.NaN(), 0), Vec: vec2(-40, -50)}); err == nil {
+		t.Fatal("bad submit accepted")
+	}
+	if v := st.Rebuild(); v != 2 {
+		t.Fatalf("version = %d, want 2", v)
+	}
+
+	if len(deltas) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(deltas))
+	}
+	if deltas[0].version != 2 {
+		t.Fatalf("delta version = %d, want 2", deltas[0].version)
+	}
+	if len(deltas[0].batch) != 2 || deltas[0].batch[0].Pos != a.Pos || deltas[0].batch[1].Pos != b.Pos {
+		t.Fatalf("delta batch = %+v", deltas[0].batch)
+	}
+
+	// nil removes the hook.
+	st.SetOnRebuild(nil)
+	if err := st.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	st.Rebuild()
+	if len(deltas) != 1 {
+		t.Fatalf("removed hook still fired: %d deltas", len(deltas))
+	}
+}
+
+// TestApplyDeltaReplication is the replication acceptance test at the
+// store level: a follower that replays the leader's OnRebuild batches
+// in order via ApplyDelta converges to the same versions and
+// bit-identical snapshot state — Nearest results included — without
+// its own pending queue interfering.
+func TestApplyDeltaReplication(t *testing.T) {
+	leader := New(synthDB(60, 10, 23), Config{Name: "leader", RebuildBatch: 1 << 30})
+	defer leader.Close()
+	follower := New(synthDB(60, 10, 23), Config{Name: "follower", RebuildBatch: 1 << 30})
+	defer follower.Close()
+
+	var log [][]fingerprint.Fingerprint
+	leader.SetOnRebuild(func(_ uint64, batch []fingerprint.Fingerprint) {
+		log = append(log, append([]fingerprint.Fingerprint(nil), batch...))
+	})
+
+	// Locally queued junk on the follower must never leak into a
+	// replicated snapshot: ApplyDelta bypasses the pending queue.
+	poison := fingerprint.Fingerprint{Pos: geo.Pt(99, 99), Vec: vec2(-10, -11)}
+	if err := follower.Submit(poison); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three compaction rounds on the leader: extend, refresh, mixed.
+	rounds := [][]fingerprint.Fingerprint{
+		{{Pos: geo.Pt(-20, -20), Vec: vec2(-50, -60)}},
+		{{Pos: leader.Snapshot().At(7).Pos, Vec: vec2(-44, -54)}},
+		{
+			{Pos: geo.Pt(-21, -20), Vec: vec2(-51, -61)},
+			{Pos: geo.Pt(-20, -20), Vec: vec2(-49, -59)}, // refresh the round-1 extension
+		},
+	}
+	for _, round := range rounds {
+		for _, fp := range round {
+			if err := leader.Submit(fp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		leader.Rebuild()
+	}
+	if len(log) != 3 {
+		t.Fatalf("leader produced %d deltas, want 3", len(log))
+	}
+
+	for i, batch := range log {
+		if v := follower.ApplyDelta(batch); v != uint64(i+2) {
+			t.Fatalf("follower version after delta %d = %d, want %d", i, v, i+2)
+		}
+	}
+
+	ls, fs := leader.Snapshot(), follower.Snapshot()
+	if ls.Version() != fs.Version() {
+		t.Fatalf("versions diverged: leader %d follower %d", ls.Version(), fs.Version())
+	}
+	if ls.Len() != fs.Len() {
+		t.Fatalf("lengths diverged: leader %d follower %d", ls.Len(), fs.Len())
+	}
+	for i := 0; i < ls.Len(); i++ {
+		lp, fp := ls.At(i), fs.At(i)
+		if lp.Pos != fp.Pos || len(lp.Vec) != len(fp.Vec) {
+			t.Fatalf("point %d diverged: %+v vs %+v", i, lp, fp)
+		}
+		for j := range lp.Vec {
+			if lp.Vec[j] != fp.Vec[j] {
+				t.Fatalf("point %d obs %d diverged: %+v vs %+v", i, j, lp.Vec[j], fp.Vec[j])
+			}
+		}
+	}
+	if _, d, ok := fs.VectorAt(poison.Pos); ok && d == 0 {
+		t.Fatal("follower's locally pending point leaked into a replicated snapshot")
+	}
+
+	// The acceptance bar: Nearest must match bit for bit.
+	for q := 0; q < 20; q++ {
+		obs := make(rf.Vector, len(ls.At(q%ls.Len()).Vec))
+		for i, o := range ls.At(q % ls.Len()).Vec {
+			obs[i] = rf.Obs{ID: o.ID, RSSI: o.RSSI + float64(q)*0.37 - 2}
+		}
+		lm, fm := ls.Nearest(obs, 4), fs.Nearest(obs, 4)
+		if !eqMatches(lm, fm) {
+			t.Fatalf("Nearest diverged for query %d:\nleader   %+v\nfollower %+v", q, lm, fm)
+		}
+	}
+
+	// The follower's local queue is intact and compacts on top of the
+	// replicated state as usual.
+	if follower.Pending() != 1 {
+		t.Fatalf("follower pending = %d, want 1", follower.Pending())
+	}
+	if v := follower.Rebuild(); v != fs.Version()+1 {
+		t.Fatalf("follower local rebuild version = %d, want %d", v, fs.Version()+1)
+	}
+}

@@ -68,7 +68,8 @@ type Client struct {
 	clientID  string
 	sessionID uint32
 	helloed   bool
-	proto     byte // negotiated protocol version (ProtocolVersion before Hello)
+	proto     byte // negotiated protocol version (maxProto before Hello)
+	maxProto  byte // highest version this client offers (ProtocolVersion by default)
 
 	timeout time.Duration            // per-frame read/write deadline (0 = none)
 	dial    func() (net.Conn, error) // nil = no reconnect
@@ -98,11 +99,29 @@ type Client struct {
 // optional clientID labels this phone in the server's per-session
 // stats.
 func NewClient(conn net.Conn, clientID ...string) *Client {
-	c := &Client{conn: conn, proto: ProtocolVersion}
+	c := &Client{conn: conn, proto: ProtocolVersion, maxProto: ProtocolVersion}
 	if len(clientID) > 0 {
 		c.clientID = clientID[0]
 	}
 	return c
+}
+
+// SetMaxProtocol caps the version this client offers in its hello, for
+// tests and staged rollouts: a client capped at v3 behaves exactly
+// like a real v3 build — no sequence numbers resumed, no trace bytes,
+// surveys allowed. Call before Hello; versions below the v2 handshake
+// floor or above ProtocolVersion are clamped.
+func (c *Client) SetMaxProtocol(v byte) {
+	if v < ProtocolV2 {
+		v = ProtocolV2
+	}
+	if v > ProtocolVersion {
+		v = ProtocolVersion
+	}
+	c.maxProto = v
+	if !c.helloed {
+		c.proto = v
+	}
 }
 
 // SetTimeout bounds every protocol read and write: Localize and Hello
@@ -198,7 +217,7 @@ func (c *Client) Hello(start geo.Point) error {
 		return fmt.Errorf("%w: hello already sent", ErrProtocol)
 	}
 	c.start, c.hasStart = start, true
-	h := &Hello{Version: ProtocolVersion, StartX: start.X, StartY: start.Y, ClientID: c.clientID}
+	h := &Hello{Version: c.maxProto, StartX: start.X, StartY: start.Y, ClientID: c.clientID}
 	c.armWrite()
 	n, err := WriteFrame(c.conn, MsgHello, EncodeHello(h))
 	c.bytesUp += n
@@ -225,7 +244,7 @@ func (c *Client) Hello(start geo.Point) error {
 	}
 	// The welcome carries the server's negotiated version; min with our
 	// own guards against a server echoing a version we never offered.
-	c.proto = Negotiate(ProtocolVersion, w.Version)
+	c.proto = Negotiate(c.maxProto, w.Version)
 	c.sessionID = w.SessionID
 	c.helloed = true
 	if w.Resumed {
@@ -417,6 +436,11 @@ func (c *Client) SubmitSurvey(mapID byte, pos geo.Point, vec rf.Vector) error {
 		if err := c.Hello(c.resumePoint()); err != nil {
 			return err
 		}
+	}
+	if !Features(c.proto).Surveys {
+		// A v2 session has no MsgSurvey; sending one anyway would kill
+		// the epoch stream server-side with a protocol error.
+		return fmt.Errorf("%w: surveys need protocol v%d, session is v%d", ErrProtocol, ProtocolV3, c.proto)
 	}
 	s := &Survey{Map: mapID, X: pos.X, Y: pos.Y, Vec: vec}
 	c.armWrite()

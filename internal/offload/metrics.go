@@ -22,6 +22,8 @@ type serverMetrics struct {
 	surveysIngested  *telemetry.Counter
 	surveysDropped   *telemetry.Counter
 	deadlineTimeouts *telemetry.Counter
+	acceptErrors     *telemetry.Counter
+	sessionsDrained  *telemetry.Counter
 
 	// Batch scheduler instruments (BatchTick > 0).
 	batchTicks      *telemetry.Counter
@@ -65,6 +67,8 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		surveysIngested:  reg.Counter("uniloc_surveys_ingested_total", "crowdsourced survey points accepted into a shared map store"),
 		surveysDropped:   reg.Counter("uniloc_surveys_dropped_total", "survey submissions rejected (unknown map, no store, or unusable vector)"),
 		deadlineTimeouts: reg.Counter("deadline_timeouts_total", "protocol reads/writes that hit their deadline"),
+		acceptErrors:     reg.Counter("accept_errors_total", "transient listener Accept failures retried with backoff"),
+		sessionsDrained:  reg.Counter("uniloc_sessions_drained_total", "connections closed by a graceful drain"),
 
 		batchTicks:      reg.Counter("uniloc_batch_ticks_total", "batches executed by the batch-per-tick scheduler"),
 		batchSize:       reg.Histogram("uniloc_batch_size", "sessions stepped per batch tick", batchSizeBuckets()),
@@ -76,6 +80,6 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 
 		sessionsDetached: reg.Counter("uniloc_sessions_detached_total", "v4 sessions parked for resume after a transport error"),
 		sessionsResumed:  reg.Counter("uniloc_sessions_resumed_total", "v4 re-handshakes re-attached to a detached session"),
-		epochsReplayed:   reg.Counter("uniloc_epochs_replayed_total", "duplicate epochs answered from the per-seq result cache without re-stepping"),
+		epochsReplayed:   reg.Counter("resume_replays_total", "duplicate epochs answered from the per-seq result cache without re-stepping"),
 	}
 }

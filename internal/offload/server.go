@@ -8,6 +8,7 @@ import (
 	"net"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -99,6 +100,13 @@ type ServerConfig struct {
 	// and staged rollouts (a v5 build serving at v4 must ignore trace
 	// context exactly like a real v4 server). 0 = ProtocolVersion.
 	MaxProtocol byte
+
+	// SurveyIngest, when set, receives every MsgSurvey submission
+	// instead of the local MapStores — cluster followers use it to
+	// forward crowdsourced points to the replication leader, whose
+	// compactions then stream back to every node. A returned error
+	// drops the submission (counted), never the session.
+	SurveyIngest func(*Survey) error
 }
 
 // Server runs the UniLoc framework (all localization schemes, error
@@ -109,11 +117,13 @@ type ServerConfig struct {
 type Server struct {
 	mgr          *SessionManager
 	stores       map[byte]*mapstore.Store
+	surveyIngest func(*Survey) error
 	epochTimeout time.Duration
 	sched        *scheduler    // nil: per-connection stepping
 	tracer       *trace.Tracer // nil: tracing off
 	pprofLabels  bool
 	maxProto     byte
+	draining     atomic.Bool // Drain called: finish in-flight epochs, close cleanly
 }
 
 // NewServer builds a multi-session server from the config.
@@ -130,8 +140,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		maxProto = ProtocolVersion
 	}
 	s := &Server{
-		mgr: mgr, stores: cfg.MapStores, epochTimeout: cfg.EpochTimeout,
-		tracer: cfg.Tracer, pprofLabels: cfg.PprofLabels, maxProto: maxProto,
+		mgr: mgr, stores: cfg.MapStores, surveyIngest: cfg.SurveyIngest,
+		epochTimeout: cfg.EpochTimeout,
+		tracer:       cfg.Tracer, pprofLabels: cfg.PprofLabels, maxProto: maxProto,
 	}
 	if cfg.BatchTick > 0 {
 		batchStores := cfg.BatchStores
@@ -151,6 +162,30 @@ func (s *Server) Close() {
 	if s.sched != nil {
 		s.sched.close()
 	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain begins a graceful shutdown of serving: every session finishes
+// its in-flight epoch, delivers the result, and is then closed at the
+// epoch boundary so the client sees a clean EOF (and its reconnect
+// path takes it to another node) instead of a deadline timeout.
+// Connections that have not reached an epoch boundary when the grace
+// period runs out are force-closed. The caller is responsible for
+// closing the listener first — Drain stops sessions, not accepts.
+// Returns how many connections the grace expiry had to force-close.
+// Idempotent; concurrent calls all wait out the grace period.
+func (s *Server) Drain(grace time.Duration) int {
+	s.draining.Store(true)
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		if s.mgr.liveConns() == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return s.mgr.DisconnectAll()
 }
 
 // Sessions exposes the server's session manager (stats, manual
@@ -264,6 +299,13 @@ func isTimeout(err error) bool {
 
 func (s *Server) serve(conn net.Conn) error {
 	defer func() { _ = conn.Close() }()
+	if s.draining.Load() {
+		// A connection that raced the drain (the listener closes first,
+		// but pipes and in-flight accepts can still deliver one) gets a
+		// clean close, not a session: the client's reconnect path takes
+		// it elsewhere.
+		return nil
+	}
 	s.armDeadline(conn) // the handshake is bounded too
 	sess, err := s.handshake(conn)
 	if err != nil || sess == nil {
@@ -339,7 +381,7 @@ func (s *Server) emitChild(frame *trace.Span, sess *Session, name string, startN
 func (s *Server) epochLoop(conn net.Conn, sess *Session, ioFail func(error) error) error {
 	for {
 		s.armDeadline(conn) // one deadline window per epoch exchange
-		snap, seq, tctx, arrived, err := s.readEpoch(conn)
+		snap, seq, tctx, arrived, err := s.readEpoch(conn, sess.proto)
 		if err == io.EOF {
 			return nil // clean shutdown: the walk is over, no resume
 		}
@@ -373,6 +415,12 @@ func (s *Server) epochLoop(conn net.Conn, sess *Session, ioFail func(error) erro
 			frame.End()
 			if err != nil {
 				return ioFail(err)
+			}
+			if s.draining.Load() {
+				if sess.evicted.CompareAndSwap(false, true) {
+					s.mgr.noteDrained()
+				}
+				return nil
 			}
 			continue
 		}
@@ -412,6 +460,16 @@ func (s *Server) epochLoop(conn net.Conn, sess *Session, ioFail func(error) erro
 		if err != nil {
 			return ioFail(err)
 		}
+		if s.draining.Load() {
+			// Graceful drain: the in-flight epoch was finished and its
+			// result delivered; now close at the epoch boundary (serve's
+			// defer closes the conn) so the client sees a clean EOF and
+			// reconnects — to another node — instead of timing out.
+			if sess.evicted.CompareAndSwap(false, true) {
+				s.mgr.noteDrained()
+			}
+			return nil
+		}
 	}
 }
 
@@ -419,8 +477,10 @@ func (s *Server) epochLoop(conn net.Conn, sess *Session, ioFail func(error) erro
 // returning the epoch's v4 sequence number (0 for v3 clients), the v5
 // trace context (zero without one), and — when tracing — the arrival
 // time of the epoch's first frame (the idle gap between epochs belongs
-// to the client, not to the frame span).
-func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, uint32, trace.SpanContext, time.Time, error) {
+// to the client, not to the frame span). proto is the session's
+// negotiated version: frames a feature gate excludes (MsgSurvey before
+// v3) are protocol errors, exactly as on a real old server.
+func (s *Server) readEpoch(r io.Reader, proto byte) (*sensing.Snapshot, uint32, trace.SpanContext, time.Time, error) {
 	snap := &sensing.Snapshot{}
 	var seq uint32
 	var tctx trace.SpanContext
@@ -490,6 +550,9 @@ func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, uint32, trace.SpanCo
 			}
 			snap.Landmark = l
 		case MsgSurvey:
+			if !Features(proto).Surveys {
+				return fail(fmt.Errorf("%w: survey frame on a v%d session", ErrProtocol, proto))
+			}
 			sv, err := DecodeSurvey(payload)
 			if err != nil {
 				return fail(err)
@@ -507,10 +570,20 @@ func (s *Server) readEpoch(r io.Reader) (*sensing.Snapshot, uint32, trace.SpanCo
 }
 
 // ingestSurvey routes one crowdsourced survey point to its shared map
-// store. Submissions for unknown maps, or with vectors the store deems
-// unusable, are dropped and counted — never an error that would kill
-// the session's epoch stream.
+// store — or, with a SurveyIngest hook installed, to the hook (cluster
+// followers forward to the replication leader this way). Submissions
+// for unknown maps, or with vectors the store deems unusable, are
+// dropped and counted — never an error that would kill the session's
+// epoch stream.
 func (s *Server) ingestSurvey(sv *Survey) {
+	if s.surveyIngest != nil {
+		if err := s.surveyIngest(sv); err != nil {
+			s.mgr.met.surveysDropped.Inc()
+			return
+		}
+		s.mgr.met.surveysIngested.Inc()
+		return
+	}
 	st := s.stores[sv.Map]
 	if st == nil {
 		s.mgr.met.surveysDropped.Inc()
@@ -549,6 +622,7 @@ func (s *Server) ListenAndServe(ln net.Listener, errf func(error)) {
 			if errors.Is(err, net.ErrClosed) {
 				break
 			}
+			s.mgr.noteAcceptError()
 			if errf != nil {
 				errf(fmt.Errorf("offload: accept: %w (retrying in %v)", err, backoff))
 			}

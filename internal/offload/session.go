@@ -92,6 +92,12 @@ type Stats struct {
 	SchemePanics         int64
 	QuarantinedEstimates int64
 
+	// AcceptErrors counts transient listener Accept failures (EMFILE,
+	// ECONNABORTED, ...) retried with backoff; Drained counts
+	// connections closed by a graceful drain (Server.Drain).
+	AcceptErrors int64
+	Drained      int64
+
 	// StepWorkers is the per-framework scheme-execution worker count
 	// sessions are opened with (<= 1: sequential).
 	StepWorkers int
@@ -149,6 +155,8 @@ type SessionManager struct {
 	epochs    atomic.Int64
 	latency   atomic.Int64 // total step time, nanoseconds
 	deadlines atomic.Int64 // sessions evicted at the epoch deadline
+	acceptErr atomic.Int64 // transient Accept failures, retried
+	drained   atomic.Int64 // connections closed by a graceful drain
 
 	detachedN atomic.Int64 // sessions parked for resume
 	resumed   atomic.Int64 // re-handshakes re-attached to a parked session
@@ -212,6 +220,18 @@ func (m *SessionManager) SetPprofLabels(on bool) { m.pprofLabels = on }
 func (m *SessionManager) noteDeadlineTimeout() {
 	m.deadlines.Add(1)
 	m.met.deadlineTimeouts.Inc()
+}
+
+// noteAcceptError accounts one transient listener Accept failure.
+func (m *SessionManager) noteAcceptError() {
+	m.acceptErr.Add(1)
+	m.met.acceptErrors.Inc()
+}
+
+// noteDrained accounts one connection closed by a graceful drain.
+func (m *SessionManager) noteDrained() {
+	m.drained.Add(1)
+	m.met.sessionsDrained.Inc()
 }
 
 // SetStepWorkers sets the per-framework scheme-execution worker count
@@ -453,6 +473,55 @@ func (m *SessionManager) EvictIdle() int {
 	return len(victims)
 }
 
+// liveConns counts sessions currently holding a connection (detached
+// sessions hold none). Drain polls this to detect when every serving
+// goroutine has reached an epoch boundary and exited.
+func (m *SessionManager) liveConns() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		if s.conn != nil {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// DisconnectAll force-closes the connection of every live session and
+// returns how many it closed. Sessions are marked evicted first, so
+// their serving goroutines exit quietly (no detach-for-resume: the
+// process is going away). Detached sessions, which have no connection,
+// are closed outright. Used by Server.Drain once the grace period runs
+// out.
+func (m *SessionManager) DisconnectAll() int {
+	var victims []*Session
+	m.mu.Lock()
+	for _, s := range m.sessions {
+		victims = append(victims, s)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, s := range victims {
+		if !s.evicted.CompareAndSwap(false, true) {
+			continue
+		}
+		n++
+		m.noteDrained()
+		s.mu.Lock()
+		conn := s.conn
+		s.mu.Unlock()
+		if conn != nil {
+			_ = conn.Close()
+		} else {
+			m.Close(s)
+		}
+	}
+	return n
+}
+
 // Stats returns a snapshot of the manager's counters and live
 // sessions.
 func (m *SessionManager) Stats() Stats {
@@ -466,6 +535,8 @@ func (m *SessionManager) Stats() Stats {
 		DeadlineTimeouts:     m.deadlines.Load(),
 		SchemePanics:         m.health.SchemePanics.Value(),
 		QuarantinedEstimates: m.health.Quarantined.Value(),
+		AcceptErrors:         m.acceptErr.Load(),
+		Drained:              m.drained.Load(),
 		Detached:             m.detachedN.Load(),
 		Resumed:              m.resumed.Load(),
 		ReplayedEpochs:       m.replayed.Load(),

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Cluster serving smoke: 3 uniloc-server backends behind a
+# uniloc-router, a 64-walker loadgen fleet, and a kill -9 of one
+# backend mid-walk. Passes when every walker finishes its walk (the
+# victim's sessions re-route through the router and reconnect) and the
+# BENCH_cluster.json artifact is written.
+#
+# Usage: scripts/cluster_smoke.sh [out.json]
+#
+# The servers are built without -race (model training is the startup
+# cost; the race-checked coverage of the serving path lives in the
+# package tests), the loadgen fleet with -race so 64 concurrent
+# client sessions run under the detector.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_cluster.json}"
+BIN="$(mktemp -d)"
+LOGS="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+echo "== building"
+go build -o "$BIN/uniloc-server" ./cmd/uniloc-server
+go build -o "$BIN/uniloc-router" ./cmd/uniloc-router
+go build -race -o "$BIN/uniloc-loadgen" ./cmd/uniloc-loadgen
+
+wait_port() { # host:port, seconds
+  local hostport="$1" deadline=$((SECONDS + $2))
+  while ! (exec 3<>"/dev/tcp/${hostport%:*}/${hostport#*:}") 2>/dev/null; do
+    if ((SECONDS >= deadline)); then
+      echo "timeout waiting for $hostport" >&2
+      return 1
+    fi
+    sleep 0.25
+  done
+  exec 3>&- 2>/dev/null || true
+}
+
+echo "== starting 3 backends (each trains its models first — takes a moment)"
+BACKENDS=()
+METRICS=()
+NODE_PIDS=()
+for i in 1 2 3; do
+  addr="127.0.0.1:784$i"
+  maddr="127.0.0.1:785$i"
+  "$BIN/uniloc-server" -addr "$addr" -metrics-addr "$maddr" \
+    -stats-every 0 -drain-grace 5s >"$LOGS/node$i.log" 2>&1 &
+  NODE_PIDS+=($!)
+  PIDS+=($!)
+  BACKENDS+=("$addr")
+  METRICS+=("$maddr")
+done
+for i in 0 1 2; do
+  wait_port "${BACKENDS[$i]}" 120
+done
+
+echo "== starting router"
+ROUTER="127.0.0.1:7840"
+"$BIN/uniloc-router" -addr "$ROUTER" \
+  -backends "$(IFS=,; echo "${BACKENDS[*]}")" \
+  -metrics-addr 127.0.0.1:7850 -health-every 500ms >"$LOGS/router.log" 2>&1 &
+PIDS+=($!)
+wait_port "$ROUTER" 30
+
+echo "== launching 64 walkers through the router"
+"$BIN/uniloc-loadgen" -addr "$ROUTER" -walkers 64 -epochs 80 -pace 50ms \
+  -node-metrics "$(IFS=,; echo "${METRICS[*]}")" \
+  -out "$OUT" >"$LOGS/loadgen.log" 2>&1 &
+LG_PID=$!
+PIDS+=($LG_PID)
+
+sleep 3
+echo "== killing backend 3 mid-walk (${BACKENDS[2]})"
+kill -9 "${NODE_PIDS[2]}" 2>/dev/null || true
+
+if ! wait "$LG_PID"; then
+  echo "loadgen failed; logs follow" >&2
+  tail -40 "$LOGS"/loadgen.log >&2
+  exit 1
+fi
+
+echo "== loadgen summary"
+tail -5 "$LOGS/loadgen.log"
+
+echo "== checking $OUT"
+jq -e '
+  .schema == "uniloc-bench-cluster/v1"
+  and .walkers == 64
+  and .nodes == 3
+  and .epochs_total == 64 * 80
+  and .epochs_per_sec > 0
+  and .walker_failures == 0
+  and .reconnects_total >= 1
+  and (.timeline | length > 0)
+  and (.sessions_per_node | length >= 2)
+  and ([.sessions_per_node[]] | add >= 2)
+' "$OUT" >/dev/null
+echo "cluster smoke OK: all 64 walkers completed across a node kill"
