@@ -575,7 +575,7 @@ func BenchmarkResample(b *testing.B) {
 // same workload is served via fused per-batch distance passes. The
 // returned stats snapshot carries the batch-shape quantiles the
 // recorder folds into BENCH_epoch.json.
-func benchOffloadServer(b *testing.B, nc int, batchTick time.Duration) offload.Stats {
+func benchOffloadServer(b *testing.B, nc int, batchTick time.Duration, shared bool) offload.Stats {
 	b.Helper()
 	s := getSuite(b)
 	tr, err := s.Lab.Trained()
@@ -593,13 +593,15 @@ func benchOffloadServer(b *testing.B, nc int, batchTick time.Duration) offload.S
 		ss := campus.SchemesOver(wifiStore, cellStore, rand.New(rand.NewSource(100+seed.Add(1))))
 		return core.NewFramework(ss, tr.Models)
 	}
-	cfg := offload.ServerConfig{Factory: factory}
-	if batchTick > 0 {
-		cfg.BatchTick = batchTick
+	cfg := offload.ServerConfig{Factory: factory, SharedCompute: shared}
+	if batchTick > 0 || shared {
 		cfg.BatchStores = map[byte]*mapstore.Store{
 			offload.MapWiFi:     wifiStore,
 			offload.MapCellular: cellStore,
 		}
+	}
+	if batchTick > 0 {
+		cfg.BatchTick = batchTick
 	}
 	srv, err := offload.NewServer(cfg)
 	if err != nil {
@@ -682,6 +684,21 @@ type epochBenchBatch struct {
 	GroupsP95 float64 `json:"groups_p95"`
 }
 
+// epochBenchShared is the shared-compute summary of the shared server
+// row (schema v1.2): the cache's lifetime counters and the hit rate
+// sessions saw on per-cell likelihood lookups. On a degraded (< 4
+// cpus) box the hit rate is the row's acceptance signal — the 2x
+// speedup over unbatched only materializes with real parallelism.
+type epochBenchShared struct {
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	HitRate    float64 `json:"hit_rate"`
+	RowsWarmed int64   `json:"rows_warmed"`
+	Trackers   int64   `json:"tracker_shares"`
+	Built      int64   `json:"entries_built"`
+	Evicted    int64   `json:"entries_evicted"`
+}
+
 // epochBenchFile is the committed BENCH_epoch.json document. CPUs
 // records the measuring machine — the framework_step_par /
 // framework_step_seq ratio is meaningless without it (a single-core
@@ -695,6 +712,7 @@ type epochBenchFile struct {
 	Degraded    bool              `json:"degraded"`
 	Note        string            `json:"note,omitempty"`
 	Batch       *epochBenchBatch  `json:"batch,omitempty"`
+	Shared      *epochBenchShared `json:"shared,omitempty"`
 	Benchmarks  []epochBenchEntry `json:"benchmarks"`
 }
 
@@ -733,9 +751,9 @@ func TestRecordEpochBench(t *testing.T) {
 		t.Log(msg)
 		fmt.Fprintln(os.Stderr, msg)
 	}
-	var batchStats offload.Stats
+	var batchStats, sharedStats offload.Stats
 	doc := epochBenchFile{
-		Schema:      "uniloc-bench-epoch/v1.1",
+		Schema:      "uniloc-bench-epoch/v1.2",
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
@@ -744,7 +762,8 @@ func TestRecordEpochBench(t *testing.T) {
 		Note: "framework_step_par vs framework_step_seq is the parallel pipeline's " +
 			"speedup; it only materializes when cpus >= 4 (one core per heavy scheme). " +
 			"server_epoch_64c_* rows need cpus >= 4 as well for the batched scheduler " +
-			"to show its multicore win.",
+			"and the shared-compute cache to show their multicore win; on degraded " +
+			"boxes the shared row's acceptance signal is shared.hit_rate > 0.9.",
 		Benchmarks: []epochBenchEntry{
 			row("framework_step_seq", func(b *testing.B) { benchFrameworkStep(b) }),
 			row("framework_step_par", func(b *testing.B) {
@@ -765,10 +784,13 @@ func TestRecordEpochBench(t *testing.T) {
 				}
 			}),
 			row("server_epoch_64c_unbatched", func(b *testing.B) {
-				benchOffloadServer(b, 64, 0)
+				benchOffloadServer(b, 64, 0, false)
 			}),
 			row("server_epoch_64c_batched", func(b *testing.B) {
-				batchStats = benchOffloadServer(b, 64, 200*time.Microsecond)
+				batchStats = benchOffloadServer(b, 64, 200*time.Microsecond, false)
+			}),
+			row("server_epoch_64c_shared", func(b *testing.B) {
+				sharedStats = benchOffloadServer(b, 64, 200*time.Microsecond, true)
 			}),
 		},
 	}
@@ -780,6 +802,25 @@ func TestRecordEpochBench(t *testing.T) {
 			GroupsP50: batchStats.BatchGroupsP50,
 			GroupsP95: batchStats.BatchGroupsP95,
 		}
+	}
+	if lk := sharedStats.SharedLikHits + sharedStats.SharedLikMisses; lk > 0 {
+		doc.Shared = &epochBenchShared{
+			Hits:       sharedStats.SharedLikHits,
+			Misses:     sharedStats.SharedLikMisses,
+			HitRate:    float64(sharedStats.SharedLikHits) / float64(lk),
+			RowsWarmed: sharedStats.SharedRowsWarmed,
+			Trackers:   sharedStats.SharedTrackers,
+			Built:      sharedStats.SharedBuilt,
+			Evicted:    sharedStats.SharedEvicted,
+		}
+		// The cache's whole premise is that 64 sessions overlap almost
+		// completely; anything under 90% means sharing is broken, on
+		// any machine.
+		if doc.Shared.HitRate <= 0.9 {
+			t.Errorf("shared-compute hit rate %.3f <= 0.9 at 64 sessions", doc.Shared.HitRate)
+		}
+	} else {
+		t.Error("shared server row produced no shared-compute traffic")
 	}
 	data, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {

@@ -9,7 +9,7 @@
 // backend dies. With -drop-prob, the uplink itself is additionally
 // shimmed through the fault injector so frames are lost mid-walk.
 //
-// The run produces BENCH_cluster.json (schema uniloc-bench-cluster/v1):
+// The run produces BENCH_cluster.json (schema uniloc-bench-cluster/v1.1):
 // aggregate throughput (epochs/sec), per-walker outcomes
 // (reconnects, resumes, failures), a per-second timeline — the
 // node-kill recovery curve when the harness kills a backend mid-run —
@@ -22,11 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -90,6 +92,7 @@ type walkerResult struct {
 	resumes    int
 	drops      int
 	err        error
+	latencies  []float64 // per-epoch Localize round-trip times, ms
 }
 
 // timelineBucket is one second of fleet progress — the recovery curve
@@ -117,7 +120,26 @@ type report struct {
 	ReconnectsTotal int64            `json:"reconnects_total"`
 	ResumesTotal    int64            `json:"resumes_total"`
 	WalkerFailures  int              `json:"walker_failures"`
+	LatencyP50Ms    float64          `json:"latency_p50_ms"`
+	LatencyP95Ms    float64          `json:"latency_p95_ms"`
+	LatencyP99Ms    float64          `json:"latency_p99_ms"`
 	Timeline        []timelineBucket `json:"timeline"`
+}
+
+// percentile reads the q-th quantile (0..1) off sorted samples using
+// the nearest-rank method; 0 when there are no samples.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 func run(opts options) error {
@@ -173,7 +195,7 @@ func run(opts options) error {
 	<-samplerStopped
 
 	rep := report{
-		Schema:          "uniloc-bench-cluster/v1",
+		Schema:          "uniloc-bench-cluster/v1.1",
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,
 		CPUs:            runtime.NumCPU(),
@@ -184,7 +206,9 @@ func run(opts options) error {
 		SessionsPerNode: map[string]int64{},
 		Timeline:        timeline,
 	}
+	var lat []float64
 	for i, r := range results {
+		lat = append(lat, r.latencies...)
 		rep.EpochsTotal += int64(r.epochs)
 		rep.ReconnectsTotal += int64(r.reconnects)
 		rep.ResumesTotal += int64(r.resumes)
@@ -196,6 +220,10 @@ func run(opts options) error {
 	if dur > 0 {
 		rep.EpochsPerSec = float64(rep.EpochsTotal) / dur.Seconds()
 	}
+	sort.Float64s(lat)
+	rep.LatencyP50Ms = percentile(lat, 0.50)
+	rep.LatencyP95Ms = percentile(lat, 0.95)
+	rep.LatencyP99Ms = percentile(lat, 0.99)
 	for _, addr := range opts.nodeMetrics {
 		sessions, epochs, err := scrapeNode(addr)
 		if err != nil {
@@ -222,8 +250,9 @@ func run(opts options) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	log.Printf("done: %d epochs in %.1fs (%.1f epochs/s), reconnects=%d resumes=%d failures=%d -> %s",
+	log.Printf("done: %d epochs in %.1fs (%.1f epochs/s), p50=%.2fms p95=%.2fms p99=%.2fms, reconnects=%d resumes=%d failures=%d -> %s",
 		rep.EpochsTotal, rep.DurationS, rep.EpochsPerSec,
+		rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms,
 		rep.ReconnectsTotal, rep.ResumesTotal, rep.WalkerFailures, opts.out)
 	if rep.WalkerFailures > 0 {
 		return fmt.Errorf("%d of %d walkers failed", rep.WalkerFailures, opts.walkers)
@@ -273,10 +302,12 @@ func runWalker(opts options, place *scenario.Place, assets *scenario.Assets, i i
 	lastRc := 0
 	for !wk.Done() && (opts.epochs <= 0 || res.epochs < opts.epochs) {
 		snap, _ := wk.Next(true)
+		t0 := time.Now()
 		if _, err := client.Localize(snap); err != nil {
 			res.err = fmt.Errorf("epoch %d: %w", res.epochs, err)
 			break
 		}
+		res.latencies = append(res.latencies, float64(time.Since(t0))/float64(time.Millisecond))
 		res.epochs++
 		epochsDone.Add(1)
 		if rc := client.Reconnects(); rc > lastRc {

@@ -76,6 +76,7 @@ func main() {
 	stepWorkers := flag.Int("step-workers", 0, "per-session scheme-execution workers (core.WithParallel); <= 1 runs schemes sequentially, results are bit-identical either way")
 	batchTick := flag.Duration("batch-tick", 0, "batch-per-tick scheduler: collect ready epochs from all sessions for this long and step them as one fused batch (0 = per-connection stepping; requires -shared-map for the fused distance pass)")
 	batchWorkers := flag.Int("batch-workers", 0, "sessions stepped concurrently per batch (<= 0 = NumCPU)")
+	sharedCompute := flag.Bool("shared-compute", true, "share version-keyed likelihood rows and HMM neighbor lists across sessions (requires -shared-map; results stay bit-identical to private compute)")
 	traceOn := flag.Bool("trace", false, "span-trace every served epoch; browse at /debug/traces on -metrics-addr")
 	traceRing := flag.Int("trace-ring", 4096, "spans kept in the in-memory trace ring (rounded up to a power of two)")
 	traceJSONL := flag.String("trace-jsonl", "", "also append every span as JSON lines to this file (implies -trace)")
@@ -88,20 +89,21 @@ func main() {
 	flag.Parse()
 
 	cfg := serverOpts{
-		addr:         *addr,
-		metricsAddr:  *metricsAddr,
-		seed:         *seed,
-		maxSessions:  *maxSessions,
-		idleTimeout:  *idleTimeout,
-		epochTimeout: *epochTimeout,
-		statsEvery:   *statsEvery,
-		sharedMap:    *sharedMap,
-		ingest:       *ingest,
-		rebuildBatch: *rebuildBatch,
-		rebuildEvery: *rebuildEvery,
-		stepWorkers:  *stepWorkers,
-		batchTick:    *batchTick,
-		batchWorkers: *batchWorkers,
+		addr:          *addr,
+		metricsAddr:   *metricsAddr,
+		seed:          *seed,
+		maxSessions:   *maxSessions,
+		idleTimeout:   *idleTimeout,
+		epochTimeout:  *epochTimeout,
+		statsEvery:    *statsEvery,
+		sharedMap:     *sharedMap,
+		ingest:        *ingest,
+		rebuildBatch:  *rebuildBatch,
+		rebuildEvery:  *rebuildEvery,
+		stepWorkers:   *stepWorkers,
+		batchTick:     *batchTick,
+		batchWorkers:  *batchWorkers,
+		sharedCompute: *sharedCompute,
 
 		trace:          *traceOn || *traceJSONL != "",
 		traceRing:      *traceRing,
@@ -134,6 +136,7 @@ type serverOpts struct {
 	stepWorkers       int
 	batchTick         time.Duration
 	batchWorkers      int
+	sharedCompute     bool
 
 	trace          bool
 	traceRing      int
@@ -263,19 +266,20 @@ func run(opts serverOpts) error {
 	}
 
 	srv, err := offload.NewServer(offload.ServerConfig{
-		Factory:      factory,
-		MaxSessions:  opts.maxSessions,
-		IdleTimeout:  opts.idleTimeout,
-		EpochTimeout: opts.epochTimeout,
-		Metrics:      reg,
-		MapStores:    stores,
-		StepWorkers:  opts.stepWorkers,
-		BatchTick:    opts.batchTick,
-		BatchWorkers: opts.batchWorkers,
-		BatchStores:  batchStores,
-		Tracer:       tracer,
-		PprofLabels:  opts.pprofLabels,
-		SurveyIngest: surveyIngest,
+		Factory:       factory,
+		MaxSessions:   opts.maxSessions,
+		IdleTimeout:   opts.idleTimeout,
+		EpochTimeout:  opts.epochTimeout,
+		Metrics:       reg,
+		MapStores:     stores,
+		StepWorkers:   opts.stepWorkers,
+		BatchTick:     opts.batchTick,
+		BatchWorkers:  opts.batchWorkers,
+		BatchStores:   batchStores,
+		SharedCompute: opts.sharedCompute && opts.sharedMap,
+		Tracer:        tracer,
+		PprofLabels:   opts.pprofLabels,
+		SurveyIngest:  surveyIngest,
 	})
 	if err != nil {
 		return err
@@ -286,8 +290,8 @@ func run(opts serverOpts) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, epoch-timeout=%v, shared-map=%v, ingest=%v, step-workers=%d, batch-tick=%v, trace=%v, pprof-labels=%v)",
-		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.epochTimeout, opts.sharedMap, opts.ingest, opts.stepWorkers, opts.batchTick, opts.trace, opts.pprofLabels)
+	log.Printf("uniloc-server listening on %s (campus, max-sessions=%d, idle-timeout=%v, epoch-timeout=%v, shared-map=%v, ingest=%v, step-workers=%d, batch-tick=%v, shared-compute=%v, trace=%v, pprof-labels=%v)",
+		ln.Addr(), opts.maxSessions, opts.idleTimeout, opts.epochTimeout, opts.sharedMap, opts.ingest, opts.stepWorkers, opts.batchTick, opts.sharedCompute && opts.sharedMap, opts.trace, opts.pprofLabels)
 
 	// Optional exposition endpoint: Prometheus + JSON metrics, expvar,
 	// pprof.

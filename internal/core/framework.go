@@ -11,6 +11,7 @@ import (
 	"repro/internal/iodetector"
 	"repro/internal/schemes"
 	"repro/internal/sensing"
+	"repro/internal/sharedcompute"
 	"repro/internal/telemetry"
 )
 
@@ -163,6 +164,21 @@ func (f *Framework) SetDistCache(c *fingerprint.DistCache) {
 	for _, s := range f.schemes {
 		if u, ok := s.(schemes.DistCacheUser); ok {
 			u.SetDistCache(c)
+		}
+	}
+}
+
+// SetSharedCompute forwards the server's cross-session shared-compute
+// cache to every scheme that can consume one
+// (schemes.SharedComputeUser); nil restores private computation.
+// Shared values are canonical and misses fall back to local compute of
+// the same float sequence, so this never changes a Step result — only
+// how many sessions pay for it. Must not be called concurrently with
+// Step (the session manager attaches it before the first Reset).
+func (f *Framework) SetSharedCompute(c *sharedcompute.Cache) {
+	for _, s := range f.schemes {
+		if u, ok := s.(schemes.SharedComputeUser); ok {
+			u.SetSharedCompute(c)
 		}
 	}
 }

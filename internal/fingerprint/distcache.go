@@ -20,47 +20,51 @@ import (
 // selection only read their input, so handing them a shared column is
 // safe.
 //
-// Keying is by Reader interface identity, not map version: a pinned
-// view is one concrete snapshot pointer, so two stores whose version
+// Keying is two-level: first by Reader interface identity (the
+// underlying snapshot pointer), then by the canonical observation key.
+// Interface identity, not map version, means two stores whose version
 // counters happen to collide (every store starts at 1) can never serve
 // each other's columns, and a snapshot swap landing mid-batch simply
 // stops matching — the consumer falls back to computing against its
 // freshly pinned view with the exact same float sequence. That makes
-// batched execution bit-identical to unbatched by construction.
+// batched execution bit-identical to unbatched by construction. The
+// inner map[string] level lets LookupKey index with a string([]byte)
+// conversion the compiler elides, keeping the hot lookup
+// allocation-free.
 type DistCache struct {
-	m      map[distKey][]float64
+	m      map[Reader]map[string][]float64
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
-// distKey identifies one cached column: the pinned view (interface
-// identity — the underlying snapshot pointer) plus the canonical
-// observation key.
-type distKey struct {
-	view Reader
-	obs  string
-}
-
 // NewDistCache returns an empty cache.
 func NewDistCache() *DistCache {
-	return &DistCache{m: make(map[distKey][]float64)}
+	return &DistCache{m: make(map[Reader]map[string][]float64)}
 }
 
-// ObsKey builds the canonical cache key for an observation: each entry
-// contributes its ID (length-prefixed, so concatenation is unambiguous)
-// and the Float64bits of its RSSI. Two observations share a key iff
-// AppendDistances would produce identical columns for them.
-func ObsKey(obs rf.Vector) string {
-	var b []byte
+// AppendObsKey appends the canonical observation key to dst and
+// returns it: each entry contributes its ID (length-prefixed, so
+// concatenation is unambiguous) and the Float64bits of its RSSI. Two
+// observations share a key iff AppendDistances would produce identical
+// columns for them. Callers on hot paths reuse a scratch buffer here
+// and pass the bytes to LookupKey, avoiding the string allocation of
+// ObsKey.
+func AppendObsKey(dst []byte, obs rf.Vector) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	for _, o := range obs {
 		n := binary.PutUvarint(tmp[:], uint64(len(o.ID)))
-		b = append(b, tmp[:n]...)
-		b = append(b, o.ID...)
+		dst = append(dst, tmp[:n]...)
+		dst = append(dst, o.ID...)
 		binary.BigEndian.PutUint64(tmp[:8], math.Float64bits(o.RSSI))
-		b = append(b, tmp[:8]...)
+		dst = append(dst, tmp[:8]...)
 	}
-	return string(b)
+	return dst
+}
+
+// ObsKey builds the canonical cache key for an observation as a
+// string.
+func ObsKey(obs rf.Vector) string {
+	return string(AppendObsKey(nil, obs))
 }
 
 // Put stores the distance column for (view, obs). Only the batch
@@ -69,7 +73,21 @@ func (c *DistCache) Put(view Reader, obs rf.Vector, dists []float64) {
 	if c == nil {
 		return
 	}
-	c.m[distKey{view: view, obs: ObsKey(obs)}] = dists
+	c.PutKey(view, ObsKey(obs), dists)
+}
+
+// PutKey is Put with a precomputed observation key (an AppendObsKey
+// encoding).
+func (c *DistCache) PutKey(view Reader, key string, dists []float64) {
+	if c == nil {
+		return
+	}
+	inner := c.m[view]
+	if inner == nil {
+		inner = make(map[string][]float64)
+		c.m[view] = inner
+	}
+	inner[key] = dists
 }
 
 // Lookup returns the cached column for (view, obs), or nil on a miss.
@@ -79,12 +97,40 @@ func (c *DistCache) Lookup(view Reader, obs rf.Vector) []float64 {
 	if c == nil {
 		return nil
 	}
-	if d, ok := c.m[distKey{view: view, obs: ObsKey(obs)}]; ok {
-		c.hits.Add(1)
-		return d
+	return c.LookupKey(view, AppendObsKey(nil, obs))
+}
+
+// LookupKey is the allocation-free lookup: key is the AppendObsKey
+// encoding of the observation, typically built into a caller-owned
+// scratch buffer.
+func (c *DistCache) LookupKey(view Reader, key []byte) []float64 {
+	if c == nil {
+		return nil
+	}
+	if inner := c.m[view]; inner != nil {
+		if d, ok := inner[string(key)]; ok {
+			c.hits.Add(1)
+			return d
+		}
 	}
 	c.misses.Add(1)
 	return nil
+}
+
+// Reset empties the cache and zeroes its counters, letting one
+// allocation's maps serve many batches. Dropping the per-view inner
+// maps (rather than clearing them in place) is deliberate: stale
+// Reader keys would otherwise pin superseded snapshots in memory
+// across compactions. Reset must run with no concurrent Lookup — the
+// batch scheduler calls it on its loop goroutine between batches,
+// after the previous batch's workers have drained.
+func (c *DistCache) Reset() {
+	if c == nil {
+		return
+	}
+	clear(c.m)
+	c.hits.Store(0)
+	c.misses.Store(0)
 }
 
 // Len returns the number of cached columns.
@@ -92,7 +138,11 @@ func (c *DistCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	return len(c.m)
+	n := 0
+	for _, inner := range c.m {
+		n += len(inner)
+	}
+	return n
 }
 
 // Hits returns how many lookups were served from the cache.

@@ -47,10 +47,21 @@ type Tracker struct {
 	nb [][]int32
 }
 
-// New creates a tracker over the given candidate locations.
+// New creates a tracker over the given candidate locations. The slice
+// is copied, so the caller may reuse it.
 func New(states []geo.Point) *Tracker {
+	return NewShared(append([]geo.Point(nil), states...))
+}
+
+// NewShared creates a tracker that adopts states without copying. The
+// caller guarantees the slice is never mutated afterwards — e.g. the
+// positions slice a sharedcompute entry materializes once per map
+// snapshot and hands to every session's tracker. All mutable filter
+// state (belief, previous position) stays private per tracker, so
+// trackers sharing one states slice are fully independent.
+func NewShared(states []geo.Point) *Tracker {
 	t := &Tracker{
-		states:        append([]geo.Point(nil), states...),
+		states:        states,
 		belief:        make([]float64, len(states)),
 		MaxStepM:      6,
 		DirWeight:     0.6,

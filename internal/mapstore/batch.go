@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/fingerprint"
+	"repro/internal/geo"
 	"repro/internal/rf"
 )
 
@@ -39,6 +40,82 @@ func (s *Snapshot) AppendDistancesBatch(obs []rf.Vector) [][]float64 {
 		pt := int32(i)
 		for _, q := range interned {
 			out[q.qi][i] = math.Sqrt(s.distSqInterned(q.ids, q.rssi, pt))
+		}
+	}
+	return out
+}
+
+// LikCell identifies one cell of the RSSI likelihood grid the schemes
+// memoize over: the grid of edge cellM anchored at the origin, so cell
+// (X, Y) covers [X*cellM, (X+1)*cellM) × [Y*cellM, (Y+1)*cellM).
+type LikCell struct{ X, Y int32 }
+
+// LikCellFor returns the likelihood-grid cell containing p.
+func LikCellFor(p geo.Point, cellM float64) LikCell {
+	return LikCell{int32(math.Floor(p.X / cellM)), int32(math.Floor(p.Y / cellM))}
+}
+
+// Center returns the cell's center — the canonical position every
+// consumer resolves the cell's representative fingerprint through.
+func (c LikCell) Center(cellM float64) geo.Point {
+	return geo.Pt((float64(c.X)+0.5)*cellM, (float64(c.Y)+0.5)*cellM)
+}
+
+// CellLikelihood converts an RSSI-space distance into the canonical
+// fingerprint likelihood: a Gaussian over distance with a small floor
+// so a bad match never zeroes a particle outright. The fusion scheme's
+// private memo, the shared-compute rows, and CellLikelihoodsBatch all
+// evaluate likelihoods through this one expression, which is what
+// makes their outputs bit-identical.
+func CellLikelihood(d, scale float64) float64 {
+	return math.Max(math.Exp(-d*d/(2*scale*scale)), 1e-3)
+}
+
+// CellLikelihoodsBatch evaluates CellLikelihood for every observation
+// against every cell representative in one fused rep-major pass: each
+// representative fingerprint row stays hot while all queries consume
+// it, mirroring AppendDistancesBatch. reps[k] is the fingerprint index
+// representing cell k (a NearestIndexAt result at the cell center); a
+// negative rep yields the neutral likelihood 1, matching the private
+// path's behavior when no fingerprint exists. Entry [q][k] is
+// Float64bits-identical to the private computation for (obs[q], cell
+// k): for interned observations math.Sqrt(distSqInterned(...)) replays
+// rf.Distance exactly, and unknown-transmitter observations fall back
+// to rf.Distance itself.
+func (s *Snapshot) CellLikelihoodsBatch(obs []rf.Vector, reps []int32, scale float64) [][]float64 {
+	out := make([][]float64, len(obs))
+	type query struct {
+		qi   int
+		ids  []int32
+		rssi []float64
+	}
+	interned := make([]query, 0, len(obs))
+	for qi, o := range obs {
+		out[qi] = make([]float64, len(reps))
+		ids, rssi, ok := s.intern(o)
+		if !ok {
+			for k, rep := range reps {
+				l := 1.0
+				if rep >= 0 {
+					d := rf.Distance(o, s.db.Points[rep].Vec, s.db.Floor)
+					l = CellLikelihood(d, scale)
+				}
+				out[qi][k] = l
+			}
+			continue
+		}
+		interned = append(interned, query{qi: qi, ids: ids, rssi: rssi})
+	}
+	for k, rep := range reps {
+		if rep < 0 {
+			for _, q := range interned {
+				out[q.qi][k] = 1.0
+			}
+			continue
+		}
+		for _, q := range interned {
+			d := math.Sqrt(s.distSqInterned(q.ids, q.rssi, rep))
+			out[q.qi][k] = CellLikelihood(d, scale)
 		}
 	}
 	return out

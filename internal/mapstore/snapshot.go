@@ -597,8 +597,30 @@ func (s *Snapshot) maxRing(cx, cy int) int {
 // comparison (strict squared-distance improvement, first index wins on
 // ties).
 func (s *Snapshot) VectorAt(p geo.Point) (rf.Vector, float64, bool) {
-	if s.Len() == 0 {
+	best, bestD, ok := s.nearestIdx(p)
+	if !ok {
 		return nil, 0, false
+	}
+	return s.db.Points[best].Vec, math.Sqrt(bestD), true
+}
+
+// NearestIndexAt returns the index of the fingerprint VectorAt(p)
+// resolves to — the physically nearest point, first index on ties — or
+// false on an empty snapshot. Shared-compute entries cache these
+// indices per likelihood-grid cell so every session's cell-center
+// lookup lands on the same representative without repeating the ring
+// search.
+func (s *Snapshot) NearestIndexAt(p geo.Point) (int, bool) {
+	best, _, ok := s.nearestIdx(p)
+	return int(best), ok
+}
+
+// nearestIdx is the shared ring search behind VectorAt and
+// NearestIndexAt, returning the winning index and its squared
+// distance.
+func (s *Snapshot) nearestIdx(p geo.Point) (int32, float64, bool) {
+	if s.Len() == 0 {
+		return -1, 0, false
 	}
 	s.met.lookup(opVectorAt)
 	cx, cy := s.cellX(p.X), s.cellY(p.Y)
@@ -622,7 +644,7 @@ func (s *Snapshot) VectorAt(p geo.Point) (rf.Vector, float64, bool) {
 		cells += s.visitRing(cx, cy, r, consider)
 	}
 	s.met.observeCells(opVectorAt, cells)
-	return s.db.Points[best].Vec, math.Sqrt(bestD), true
+	return best, bestD, true
 }
 
 // DensityAround implements fingerprint.Reader: ring-limited k-NN whose

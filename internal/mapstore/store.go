@@ -119,6 +119,10 @@ func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
 // Version returns the version of the live snapshot.
 func (s *Store) Version() uint64 { return s.snap.Load().version }
 
+// Name returns the configured store name ("wifi", "cellular", ...),
+// used to label per-store metrics and shared-compute entries.
+func (s *Store) Name() string { return s.cfg.Name }
+
 // Pending returns how many submissions await the next compaction.
 func (s *Store) Pending() int {
 	s.mu.Lock()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/mapstore"
 	"repro/internal/rf"
+	"repro/internal/schemes"
 	"repro/internal/sensing"
 	"repro/internal/telemetry/trace"
 )
@@ -23,7 +24,9 @@ const maxBatch = 256
 
 // stepRequest is one session's ready epoch, parked on the scheduler's
 // queue until the tick fires. done is buffered so a batch worker never
-// blocks handing the result back.
+// blocks handing the result back. Requests are pooled: the submitter
+// clears the payload fields and returns the request (with its
+// persistent done channel) after receiving the response.
 type stepRequest struct {
 	sess *Session
 	snap *sensing.Snapshot
@@ -51,26 +54,50 @@ type stepResponse struct {
 // snapshots once, precomputes the fingerprint-distance columns every
 // batched scheme would otherwise compute per session (one columnar
 // pass per unique observation via AppendDistancesBatch), then steps
-// the sessions across a worker pool and fans the results back.
+// the sessions across a worker pool and fans the results back. With a
+// shared-compute cache attached (ISSUE 9), each batch additionally
+// migrates its sessions' snapshot pins and prewarms the fused
+// likelihood rows for the batch's unique WiFi observations, so the
+// per-cell likelihood grid is evaluated once per snapshot instead of
+// once per session.
 //
 // Bit-identity invariant: grouping is by pinned snapshot *pointer*
-// (fingerprint.DistCache keys on Reader identity). A snapshot version
-// swap landing mid-batch makes later sessions pin the new snapshot,
-// miss the cache, and compute locally — the exact floats unbatched
-// execution would produce. Sessions are independent frameworks, so
-// stepping them concurrently cannot reorder any per-session float
-// operation.
+// (fingerprint.DistCache keys on Reader identity, sharedcompute on the
+// snapshot pointer). A snapshot version swap landing mid-batch makes
+// later sessions pin the new snapshot, miss the caches, and compute
+// locally — the exact floats unbatched execution would produce.
+// Sessions are independent frameworks, so stepping them concurrently
+// cannot reorder any per-session float operation.
 type scheduler struct {
 	tick    time.Duration
 	workers int
 	stores  map[byte]*mapstore.Store
 	mgr     *SessionManager
 
+	// fusionScale is the likelihood scale rows are prewarmed for —
+	// the default fusion config's. A session running a different scale
+	// simply never matches the prewarmed rows (rows are keyed by
+	// scale), costing nothing but the wasted warmup.
+	fusionScale float64
+
 	reqs chan *stepRequest
 	quit chan struct{}
 	wg   sync.WaitGroup
 
 	ticks atomic.Int64 // batch ticks executed; labels spans and profiles
+
+	reqPool sync.Pool // *stepRequest with persistent done channel
+
+	// Precompute scratch, reused across batches. Touched only by the
+	// loop goroutine, which runs batches serially: each batch's
+	// workers drain (wg.Wait) and drop the cache before the next
+	// batch's Reset, so reuse can never race a reader.
+	cache    *fingerprint.DistCache
+	seen     map[string]struct{}
+	uniq     []rf.Vector
+	uniqKeys []string
+	keyBuf   []byte
+	groups   []batchGroup
 
 	mu     sync.RWMutex
 	closed bool
@@ -84,12 +111,16 @@ func newScheduler(tick time.Duration, workers int, stores map[byte]*mapstore.Sto
 		workers = runtime.NumCPU()
 	}
 	sc := &scheduler{
-		tick:    tick,
-		workers: workers,
-		stores:  stores,
-		mgr:     mgr,
-		reqs:    make(chan *stepRequest, 4*maxBatch),
-		quit:    make(chan struct{}),
+		tick:        tick,
+		workers:     workers,
+		stores:      stores,
+		mgr:         mgr,
+		fusionScale: schemes.DefaultFusionConfig().RSSIScaleDB,
+		reqs:        make(chan *stepRequest, 4*maxBatch),
+		quit:        make(chan struct{}),
+	}
+	sc.reqPool.New = func() any {
+		return &stepRequest{done: make(chan stepResponse, 1)}
 	}
 	sc.wg.Add(1)
 	go sc.loop()
@@ -109,13 +140,18 @@ func (sc *scheduler) step(sess *Session, snap *sensing.Snapshot, parent trace.Sp
 		res := sess.fw.Step(snap)
 		return res, time.Since(t0)
 	}
-	req := &stepRequest{sess: sess, snap: snap, done: make(chan stepResponse, 1), parent: parent}
+	req := sc.reqPool.Get().(*stepRequest)
+	req.sess, req.snap, req.parent, req.enqNS = sess, snap, parent, 0
 	if parent.Valid() {
 		req.enqNS = sc.mgr.tracer.Now()
 	}
 	sc.reqs <- req
 	sc.mu.RUnlock()
 	resp := <-req.done
+	// The worker is done with the request once it sends the response,
+	// so after receiving it the submitter owns the request again.
+	req.sess, req.snap, req.parent = nil, nil, trace.SpanContext{}
+	sc.reqPool.Put(req)
 	return resp.res, resp.dur
 }
 
@@ -144,7 +180,7 @@ func (sc *scheduler) loop() {
 	if !timer.Stop() {
 		<-timer.C
 	}
-	var batch []*stepRequest
+	batch := make([]*stepRequest, 0, maxBatch)
 	fire := func() {
 		sc.runBatch(batch)
 		batch = batch[:0]
@@ -186,11 +222,12 @@ func (sc *scheduler) loop() {
 	}
 }
 
-// runBatch executes one batch: precompute shared columns, install the
-// cache on every batched framework, step sessions across the worker
-// pool, record batch telemetry. With a tracer attached, the whole
-// batch becomes one "batch.tick" root span, every stepped epoch's span
-// tree links back to it (EpochSpans.SetBatch), and each request's
+// runBatch executes one batch: precompute shared columns, migrate
+// shared-compute pins and prewarm likelihood rows, install the cache
+// on every batched framework, step sessions across the worker pool,
+// record batch telemetry. With a tracer attached, the whole batch
+// becomes one "batch.tick" root span, every stepped epoch's span tree
+// links back to it (EpochSpans.SetBatch), and each request's
 // submit→execute wait becomes a "server.queue" child of its frame
 // span.
 func (sc *scheduler) runBatch(batch []*stepRequest) {
@@ -210,7 +247,20 @@ func (sc *scheduler) runBatch(batch []*stepRequest) {
 	}
 	tickCtx := tickSpan.Context()
 
-	cache, groups := sc.precompute(batch)
+	cache, groups, pre := sc.precompute(batch)
+	if sc.mgr.shared != nil {
+		// Migrate pins at the batch boundary: after a compaction swap
+		// every batched session re-pins the fresh snapshot here, and
+		// the superseded entry is evicted once its last pin moves.
+		for _, r := range batch {
+			sc.mgr.RepinShared(r.sess)
+		}
+		if pre != nil {
+			if e := sc.mgr.shared.Get(pre.snap); e != nil {
+				e.PrewarmFusion(pre.uniq, pre.keys, pre.cols, sc.fusionScale)
+			}
+		}
+	}
 	for _, r := range batch {
 		r.sess.fw.SetDistCache(cache)
 	}
@@ -249,6 +299,10 @@ func (sc *scheduler) runBatch(batch []*stepRequest) {
 				step := func() {
 					t0 := time.Now()
 					res := r.sess.fw.Step(r.snap)
+					// Detach the batch cache before answering: the response
+					// hands the request back to the submitter, which may
+					// recycle it (and r.sess) immediately.
+					r.sess.fw.SetDistCache(nil)
 					r.done <- stepResponse{res: res, dur: time.Since(t0)}
 				}
 				if pprofLabels {
@@ -262,9 +316,6 @@ func (sc *scheduler) runBatch(batch []*stepRequest) {
 		}()
 	}
 	wg.Wait()
-	for _, r := range batch {
-		r.sess.fw.SetDistCache(nil)
-	}
 	if tickSpan.Recording() {
 		tickSpan.Attr("batch_size", len(batch))
 		tickSpan.Attr("groups", len(groups))
@@ -282,6 +333,8 @@ func (sc *scheduler) runBatch(batch []*stepRequest) {
 		}
 		tickSpan.End()
 	}
+	// noteBatch reads the cache's counters before the next batch's
+	// Reset zeroes them (same loop goroutine, so no race).
 	sc.mgr.noteBatch(len(batch), len(groups), cache)
 }
 
@@ -293,19 +346,39 @@ type batchGroup struct {
 	version uint64
 }
 
+// prewarmData carries one batch's unique WiFi observations — with
+// their canonical keys and distance columns — to the shared-compute
+// prewarm, which anchors fused likelihood evaluation on each column's
+// best match.
+type prewarmData struct {
+	snap *mapstore.Snapshot
+	uniq []rf.Vector
+	keys []string
+	cols [][]float64
+}
+
 // precompute pins each configured store's current snapshot and runs
 // one AppendDistancesBatch pass per store over the batch's unique
 // observations, filling the shared cache. WiFi observations feed both
 // the WiFi scheme and the fusion scheme's rssiDev, so a single column
 // can serve up to 2×sessions consumers. Returns a nil cache when there
-// is nothing to share, plus one batchGroup per (map, pinned snapshot)
-// pass actually run.
-func (sc *scheduler) precompute(batch []*stepRequest) (*fingerprint.DistCache, []batchGroup) {
+// is nothing to share, one batchGroup per (map, pinned snapshot) pass
+// actually run, and — when shared compute is on — the WiFi pass's
+// prewarm payload. All scratch (dedup map, slices, the cache itself)
+// is reused across batches; see the scheduler struct comment for why
+// that cannot race.
+func (sc *scheduler) precompute(batch []*stepRequest) (*fingerprint.DistCache, []batchGroup, *prewarmData) {
 	if len(sc.stores) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
+	if sc.cache == nil {
+		sc.cache = fingerprint.NewDistCache()
+		sc.seen = make(map[string]struct{}, maxBatch)
+	}
+	sc.cache.Reset()
+	sc.groups = sc.groups[:0]
 	var cache *fingerprint.DistCache
-	var groups []batchGroup
+	var pre *prewarmData
 	for _, mapID := range []byte{MapWiFi, MapCellular} {
 		store := sc.stores[mapID]
 		if store == nil {
@@ -315,8 +388,9 @@ func (sc *scheduler) precompute(batch []*stepRequest) (*fingerprint.DistCache, [
 		if snap == nil || snap.Len() == 0 {
 			continue
 		}
-		var uniq []rf.Vector
-		seen := make(map[string]struct{}, len(batch))
+		sc.uniq = sc.uniq[:0]
+		sc.uniqKeys = sc.uniqKeys[:0]
+		clear(sc.seen)
 		for _, r := range batch {
 			obs := r.snap.WiFi
 			if mapID == MapCellular {
@@ -327,24 +401,33 @@ func (sc *scheduler) precompute(batch []*stepRequest) (*fingerprint.DistCache, [
 			if len(obs) < 2 {
 				continue
 			}
-			k := fingerprint.ObsKey(obs)
-			if _, dup := seen[k]; dup {
+			sc.keyBuf = fingerprint.AppendObsKey(sc.keyBuf[:0], obs)
+			if _, dup := sc.seen[string(sc.keyBuf)]; dup {
 				continue
 			}
-			seen[k] = struct{}{}
-			uniq = append(uniq, obs)
+			k := string(sc.keyBuf)
+			sc.seen[k] = struct{}{}
+			sc.uniq = append(sc.uniq, obs)
+			sc.uniqKeys = append(sc.uniqKeys, k)
 		}
-		if len(uniq) == 0 {
+		if len(sc.uniq) == 0 {
 			continue
 		}
-		cols := snap.AppendDistancesBatch(uniq)
-		if cache == nil {
-			cache = fingerprint.NewDistCache()
+		cols := snap.AppendDistancesBatch(sc.uniq)
+		cache = sc.cache
+		for i := range sc.uniq {
+			cache.PutKey(snap, sc.uniqKeys[i], cols[i])
 		}
-		for i, obs := range uniq {
-			cache.Put(snap, obs, cols[i])
+		sc.groups = append(sc.groups, batchGroup{mapID: mapID, version: snap.Version()})
+		if mapID == MapWiFi && sc.mgr.shared != nil {
+			// Copy: sc.uniq/sc.uniqKeys are reused for the next store.
+			pre = &prewarmData{
+				snap: snap,
+				uniq: append([]rf.Vector(nil), sc.uniq...),
+				keys: append([]string(nil), sc.uniqKeys...),
+				cols: cols,
+			}
 		}
-		groups = append(groups, batchGroup{mapID: mapID, version: snap.Version()})
 	}
-	return cache, groups
+	return cache, sc.groups, pre
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/mapstore"
 	"repro/internal/sensing"
+	"repro/internal/sharedcompute"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 )
@@ -82,6 +83,19 @@ type ServerConfig struct {
 	// other maps simply miss the cache and compute locally.
 	BatchStores map[byte]*mapstore.Store
 
+	// SharedCompute enables the cross-session shared-compute cache
+	// (internal/sharedcompute): per-snapshot RSSI likelihood rows, HMM
+	// tracker state, and cell representatives are computed once per
+	// map compaction and shared by every session pinning that
+	// snapshot, instead of once per session. Entries are
+	// refcount-pinned per session and evicted when the last pinning
+	// session closes. Results are Float64bits-identical to private
+	// computation (DESIGN.md §16). Requires shared map stores
+	// (BatchStores or MapStores); composes with, but does not require,
+	// BatchTick — with batching on, the scheduler additionally
+	// prewarms likelihood rows through the fused kernel.
+	SharedCompute bool
+
 	// Tracer enables end-to-end span tracing: one "server.frame" span
 	// per served epoch (continuing the client's trace when the v5
 	// context frame carries one), with read/queue/step/write children
@@ -144,11 +158,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		epochTimeout: cfg.EpochTimeout,
 		tracer:       cfg.Tracer, pprofLabels: cfg.PprofLabels, maxProto: maxProto,
 	}
+	batchStores := cfg.BatchStores
+	if batchStores == nil {
+		batchStores = cfg.MapStores
+	}
+	if cfg.SharedCompute && len(batchStores) > 0 {
+		// Attach before the scheduler is built and before any session
+		// opens, so every framework and batch sees the cache.
+		mgr.SetSharedCompute(sharedcompute.NewCache(cfg.Metrics), batchStores)
+	}
 	if cfg.BatchTick > 0 {
-		batchStores := cfg.BatchStores
-		if batchStores == nil {
-			batchStores = cfg.MapStores
-		}
 		s.sched = newScheduler(cfg.BatchTick, cfg.BatchWorkers, batchStores, mgr)
 	}
 	return s, nil
@@ -429,6 +448,9 @@ func (s *Server) epochLoop(conn net.Conn, sess *Session, ioFail func(error) erro
 		if s.sched != nil {
 			res, stepDur = s.sched.step(sess, snap, frame.Context())
 		} else {
+			// Unbatched: migrate this session's shared-compute pins at
+			// the epoch boundary (batched sessions repin per tick).
+			s.mgr.RepinShared(sess)
 			t0 := time.Now()
 			res = sess.fw.Step(snap)
 			stepDur = time.Since(t0)

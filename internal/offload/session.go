@@ -11,6 +11,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/geo"
+	"repro/internal/mapstore"
+	"repro/internal/sharedcompute"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 )
@@ -50,6 +52,11 @@ type Session struct {
 	epochs     int64
 	latency    time.Duration
 	lat        *telemetry.Histogram // per-session step-latency distribution
+
+	// pins holds this session's shared-compute entry per map store
+	// (nil when shared compute is off; nil again after Close releases
+	// them). Guarded by mu; see SessionManager.RepinShared.
+	pins map[byte]*sharedcompute.Entry
 }
 
 // touch records activity and the latency of one served epoch.
@@ -129,6 +136,21 @@ type Stats struct {
 	BatchGroupsP50 float64
 	BatchGroupsP95 float64
 
+	// Shared-compute cache counters (ServerConfig.SharedCompute):
+	// per-cell likelihood lookups served from vs missed by the shared
+	// snapshot rows, rows prewarmed by the batch scheduler's fused
+	// kernel, HMM tracker rebuilds served from shared state, entries
+	// built/evicted over the server's lifetime, entries resident right
+	// now, and the newest resident snapshot version per map store.
+	SharedLikHits    int64
+	SharedLikMisses  int64
+	SharedRowsWarmed int64
+	SharedTrackers   int64
+	SharedBuilt      int64
+	SharedEvicted    int64
+	SharedResident   int
+	SharedVersions   map[string]uint64
+
 	Sessions []SessionStat // live sessions, per-session detail
 }
 
@@ -169,6 +191,11 @@ type SessionManager struct {
 
 	met    serverMetrics
 	health *core.Health // shared across session frameworks; counters are atomic
+
+	// Cross-session shared-compute cache (nil = off) and the stores
+	// whose snapshots sessions pin entries for. Set before serving.
+	shared       *sharedcompute.Cache
+	sharedStores map[byte]*mapstore.Store
 
 	tracer      *trace.Tracer // nil = tracing off
 	pprofLabels bool          // label serving goroutines and scheme work
@@ -234,6 +261,73 @@ func (m *SessionManager) noteDrained() {
 	m.met.sessionsDrained.Inc()
 }
 
+// SetSharedCompute attaches the cross-session shared-compute cache:
+// every subsequently opened session's framework reads per-snapshot
+// likelihood rows and HMM state through it, and the manager pins one
+// entry per store per session (Open retains, RepinShared migrates pins
+// across compaction swaps, Close releases — the last release evicts
+// the entry). Call before serving; nil keeps shared compute off.
+func (m *SessionManager) SetSharedCompute(c *sharedcompute.Cache, stores map[byte]*mapstore.Store) {
+	m.shared = c
+	m.sharedStores = stores
+}
+
+// SharedCompute returns the attached shared-compute cache (nil = off).
+func (m *SessionManager) SharedCompute() *sharedcompute.Cache { return m.shared }
+
+// RepinShared refreshes a session's shared-compute pins to the stores'
+// current snapshots. Called at epoch boundaries (per epoch unbatched,
+// per batch tick batched) so a compaction swap migrates every
+// session's pin — and eventually evicts the superseded entry — without
+// any lock on the lock-free read path. A session whose pins were
+// already released by Close is left alone. No-op when shared compute
+// is off.
+func (m *SessionManager) RepinShared(s *Session) {
+	if m.shared == nil {
+		return
+	}
+	for id, st := range m.sharedStores {
+		snap := st.Snapshot()
+		s.mu.Lock()
+		if s.pins == nil {
+			s.mu.Unlock()
+			return
+		}
+		old := s.pins[id]
+		s.mu.Unlock()
+		if old != nil && old.Snapshot() == snap {
+			continue
+		}
+		e := m.shared.Retain(snap, st.Name())
+		s.mu.Lock()
+		if s.pins == nil {
+			// Close raced us between the check and the retain: undo.
+			s.mu.Unlock()
+			m.shared.Release(e)
+			return
+		}
+		old = s.pins[id]
+		s.pins[id] = e
+		s.mu.Unlock()
+		m.shared.Release(old)
+	}
+}
+
+// releasePins drops every shared-compute pin a session holds and marks
+// it past repinning.
+func (m *SessionManager) releasePins(s *Session) {
+	if m.shared == nil {
+		return
+	}
+	s.mu.Lock()
+	pins := s.pins
+	s.pins = nil
+	s.mu.Unlock()
+	for _, e := range pins {
+		m.shared.Release(e)
+	}
+}
+
 // SetStepWorkers sets the per-framework scheme-execution worker count
 // applied to every subsequently opened session (core.WithParallel
 // semantics; <= 1 keeps sequential execution). Call before serving.
@@ -272,12 +366,25 @@ func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (
 	// panicking or NaN-emitting scheme in any session shows up in
 	// scheme_panics_total / quarantined_estimates_total.
 	fw.SetHealth(m.health)
+	// Pin shared-compute entries before the first Reset so the initial
+	// tracker build already runs through the shared path.
+	var pins map[byte]*sharedcompute.Entry
+	if m.shared != nil {
+		fw.SetSharedCompute(m.shared)
+		pins = make(map[byte]*sharedcompute.Entry, len(m.sharedStores))
+		for mapID, st := range m.sharedStores {
+			if e := m.shared.Retain(st.Snapshot(), st.Name()); e != nil {
+				pins[mapID] = e
+			}
+		}
+	}
 	fw.Reset(start)
 
 	s := &Session{
 		ID: id, ClientID: clientID, fw: fw, conn: conn,
 		lastActive: m.now(),
 		lat:        telemetry.NewHistogram(telemetry.DefBuckets()),
+		pins:       pins,
 	}
 	s.spanLabel = clientID
 	if s.spanLabel == "" {
@@ -304,6 +411,7 @@ func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (
 		m.mu.Unlock()
 		m.rejected.Add(1)
 		m.met.sessionsRejected.Inc()
+		m.releasePins(s)
 		return nil, ErrServerFull
 	}
 	m.sessions[id] = s
@@ -416,6 +524,7 @@ func (m *SessionManager) Close(s *Session) {
 	m.mu.Unlock()
 	if live {
 		s.fw.Close()
+		m.releasePins(s)
 		m.closed.Add(1)
 		m.met.sessionsClosed.Inc()
 		m.met.sessionsActive.Set(float64(active))
@@ -544,6 +653,17 @@ func (m *SessionManager) Stats() Stats {
 		BatchedEpochs:        m.batchedEpochs.Load(),
 		DistCacheHits:        m.cacheHits.Load(),
 		DistCacheMisses:      m.cacheMisses.Load(),
+	}
+	if m.shared != nil {
+		cs := m.shared.Stats()
+		st.SharedLikHits = cs.LikHits
+		st.SharedLikMisses = cs.LikMisses
+		st.SharedRowsWarmed = cs.RowsWarmed
+		st.SharedTrackers = cs.Trackers
+		st.SharedBuilt = cs.Built
+		st.SharedEvicted = cs.Evicted
+		st.SharedResident = cs.Resident
+		st.SharedVersions = cs.ResidentVersions
 	}
 	if m.batchSizeH.Count() > 0 {
 		st.BatchSizeP50 = m.batchSizeH.Quantile(0.5)

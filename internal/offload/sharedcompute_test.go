@@ -1,0 +1,331 @@
+package offload
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/mapstore"
+	"repro/internal/noise"
+	"repro/internal/regress"
+	"repro/internal/rf"
+	"repro/internal/schemes"
+	"repro/internal/sensing"
+	"repro/internal/telemetry"
+	"repro/internal/world"
+)
+
+// fusionStoreWorld is sharedStoreWorld with the fusion scheme in the
+// factory: fusion is the heaviest consumer of the shared-compute cache
+// (per-cell RSSI likelihood rows), so the bit-identity proof must run
+// it, not just the wifi tracker.
+func fusionStoreWorld(t testing.TB, reg *telemetry.Registry) (core.FrameworkFactory, *world.World, *mapstore.Store) {
+	t.Helper()
+	w := &world.World{
+		Name:  "shared",
+		Noise: noise.Field{Seed: 8},
+		Proj:  geo.Projection{Origin: geo.LatLon{Lat: 1.3, Lon: 103.7}},
+		Regions: []world.Region{
+			{Name: "hall", Kind: world.KindOffice, Poly: geo.RectPoly(0, 0, 40, 4), SkyOpenness: 0.05, LightLux: 300, MagNoise: 2, CorridorWidth: 2.5},
+		},
+		APs: []world.Site{
+			{ID: "a0", Pos: geo.Pt(5, 3), TxPowerDBm: 16},
+			{ID: "a1", Pos: geo.Pt(20, 1), TxPowerDBm: 16},
+			{ID: "a2", Pos: geo.Pt(35, 3), TxPowerDBm: 16},
+		},
+	}
+	db := fingerprint.Survey(w, rf.WiFiModel(), w.APs, 3, rand.New(rand.NewSource(1)))
+	store := mapstore.New(db, mapstore.Config{
+		Name:         "wifi",
+		RebuildBatch: 1 << 30, // rebuilds driven by the test
+		Metrics:      mapstore.NewMetrics(reg, "wifi"),
+	})
+	t.Cleanup(store.Close)
+	ms := core.NewModelSet()
+	for _, name := range []string{schemes.NameWiFi, schemes.NameMotion, schemes.NameFusion} {
+		for _, env := range []core.EnvClass{core.EnvIndoor, core.EnvOutdoor} {
+			ms.Put(&core.ErrorModel{
+				Scheme: name, Env: env, Features: nil,
+				Reg: &regress.Result{HasIntercept: true, Intercept: 3, ResidStd: 2},
+			})
+		}
+	}
+	factory := func() (*core.Framework, error) {
+		ss := []schemes.Scheme{
+			schemes.NewWiFi(store),
+			schemes.NewPDR(w, schemes.DefaultPDRConfig(), rand.New(rand.NewSource(2))),
+			schemes.NewFusion(w, store, schemes.DefaultFusionConfig(), rand.New(rand.NewSource(3))),
+		}
+		return core.NewFramework(ss, ms)
+	}
+	return factory, w, store
+}
+
+// TestSharedComputeMatchesPrivate64 is the shared-compute cache's
+// end-to-end bit-identity proof: 64 concurrent sessions served with
+// the cache on (batched, prewarmed, pins migrating across a mid-walk
+// compaction swap) produce exactly — struct-equal, so Float64bits —
+// the Results the same walks get from isolated private sessions with
+// the cache off. Run under -race in CI: lock-free index reads, row
+// fills, prewarm, and pin migration all race here by construction.
+func TestSharedComputeMatchesPrivate64(t *testing.T) {
+	const nClients = 64
+	const epochs = 10
+	const swapAt = 5 // map v1 for epochs [0,5), v2 for [5,10)
+
+	survey := fingerprint.Fingerprint{
+		Pos: geo.Pt(12, 2),
+		Vec: rf.Vector{{ID: "a0", RSSI: -52}, {ID: "a1", RSSI: -58}},
+	}
+
+	// Reference: private compute, no cache, no batching.
+	refFactory, rw, refStore := fusionStoreWorld(t, telemetry.NewRegistry())
+	starts := make([]geo.Point, nClients)
+	walks := make([][]*sensing.Snapshot, nClients)
+	for i := range walks {
+		starts[i], walks[i] = corridorWalk(rw, 1+float64(i%4)*0.7, int64(40+i), epochs)
+	}
+	refSrv := newTestServer(t, ServerConfig{Factory: refFactory})
+	refClients := make([]*Client, nClients)
+	want := make([][]*Result, nClients)
+	for i := range refClients {
+		refClients[i] = pipeClient(t, refSrv)
+		if err := refClients[i].Hello(starts[i]); err != nil {
+			t.Fatalf("ref hello %d: %v", i, err)
+		}
+		want[i] = make([]*Result, epochs)
+	}
+	refPhase := func(lo, hi int) {
+		for i, c := range refClients {
+			for k := lo; k < hi; k++ {
+				res, err := c.Localize(walks[i][k])
+				if err != nil {
+					t.Fatalf("ref client %d epoch %d: %v", i, k, err)
+				}
+				want[i][k] = res
+			}
+		}
+	}
+	refPhase(0, swapAt)
+	if err := refStore.Submit(survey); err != nil {
+		t.Fatal(err)
+	}
+	refStore.Rebuild()
+	refPhase(swapAt, epochs)
+
+	// Shared: identically-built world, batch scheduler + shared-compute
+	// cache on, all clients stepping concurrently.
+	shFactory, _, shStore := fusionStoreWorld(t, telemetry.NewRegistry())
+	srv := newTestServer(t, ServerConfig{
+		Factory:       shFactory,
+		BatchTick:     500 * time.Microsecond,
+		BatchWorkers:  4,
+		BatchStores:   map[byte]*mapstore.Store{MapWiFi: shStore},
+		SharedCompute: true,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ListenAndServe(ln, nil)
+	t.Cleanup(func() { _ = ln.Close() })
+
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = conn.Close() })
+		clients[i] = NewClient(conn, fmt.Sprintf("phone-shared-%d", i))
+		clients[i].SetTimeout(10 * time.Second)
+		if err := clients[i].Hello(starts[i]); err != nil {
+			t.Fatalf("hello %d: %v", i, err)
+		}
+	}
+	got := make([][]*Result, nClients)
+	for i := range got {
+		got[i] = make([]*Result, epochs)
+	}
+	phase := func(lo, hi int) {
+		var wg sync.WaitGroup
+		errs := make(chan error, nClients)
+		for i := range clients {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for k := lo; k < hi; k++ {
+					res, err := clients[i].Localize(walks[i][k])
+					if err != nil {
+						errs <- fmt.Errorf("client %d epoch %d: %w", i, k, err)
+						return
+					}
+					got[i][k] = res
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+	phase(0, swapAt)
+	if err := shStore.Submit(survey); err != nil {
+		t.Fatal(err)
+	}
+	shStore.Rebuild()
+	phase(swapAt, epochs)
+
+	for i := range want {
+		for k := range want[i] {
+			if *got[i][k] != *want[i][k] {
+				t.Errorf("client %d epoch %d: shared %+v != private %+v", i, k, got[i][k], want[i][k])
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if st.SharedBuilt < 2 {
+		t.Errorf("SharedBuilt = %d, want >= 2 (pre- and post-swap snapshots)", st.SharedBuilt)
+	}
+	if st.SharedLikHits == 0 {
+		t.Error("SharedLikHits = 0 — no session ever read a shared likelihood")
+	}
+	if st.SharedLikHits+st.SharedLikMisses > 0 {
+		rate := float64(st.SharedLikHits) / float64(st.SharedLikHits+st.SharedLikMisses)
+		t.Logf("shared-compute hit rate at %d sessions: %.3f (%d hits, %d misses, %d rows warmed)",
+			nClients, rate, st.SharedLikHits, st.SharedLikMisses, st.SharedRowsWarmed)
+	}
+	if st.SharedTrackers == 0 {
+		t.Error("SharedTrackers = 0 — no tracker rebuild used shared positions")
+	}
+}
+
+// TestSharedComputeEviction pins the cache lifecycle at the server
+// level: entries exist while sessions pin them and are gone — with the
+// evicted counter advanced — once the last session closes.
+func TestSharedComputeEviction(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	factory, w, store := fusionStoreWorld(t, reg)
+	srv := newTestServer(t, ServerConfig{
+		Factory:       factory,
+		Metrics:       reg,
+		MapStores:     map[byte]*mapstore.Store{MapWiFi: store},
+		SharedCompute: true,
+	})
+
+	const nClients = 3
+	conns := make([]net.Conn, nClients)
+	done := make([]chan error, nClients)
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		c1, c2 := net.Pipe()
+		conns[i] = c1
+		done[i] = make(chan error, 1)
+		go func(c net.Conn, ch chan error) { ch <- srv.Serve(c) }(c2, done[i])
+		clients[i] = NewClient(c1, fmt.Sprintf("evict-%d", i))
+	}
+
+	start, snaps := corridorWalk(w, 2, 3, 4)
+	for i, c := range clients {
+		if err := c.Hello(start); err != nil {
+			t.Fatalf("hello %d: %v", i, err)
+		}
+		for k, snap := range snaps {
+			if _, err := c.Localize(snap); err != nil {
+				t.Fatalf("client %d epoch %d: %v", i, k, err)
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if st.SharedResident == 0 || st.SharedBuilt == 0 {
+		t.Fatalf("cache idle while %d sessions pinned: %+v", nClients, st)
+	}
+	if v := st.SharedVersions["wifi"]; v != store.Version() {
+		t.Fatalf("SharedVersions[wifi] = %d, want %d", v, store.Version())
+	}
+	if st.SharedLikHits+st.SharedLikMisses == 0 {
+		t.Fatal("no shared likelihood traffic from fusion sessions")
+	}
+
+	for i, c := range conns {
+		_ = c.Close()
+		select {
+		case <-done[i]:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("server goroutine %d did not stop", i)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st = srv.Stats()
+		if st.SharedResident == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("entries still resident after all sessions closed: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.SharedEvicted == 0 {
+		t.Fatal("SharedEvicted = 0 after last session closed")
+	}
+	_ = clients
+}
+
+// TestBatchedStepAllocsBounded guards the batched path's per-epoch
+// allocation overhead: with the scheduler's request pool and reused
+// per-batch scratch (dist cache, dedup sets, column buffers), stepping
+// through the batch loop must not allocate meaningfully more than the
+// plain unbatched path. This pins the regression where every batch
+// rebuilt its scratch from scratch (93 vs 67 allocs/op).
+func TestBatchedStepAllocsBounded(t *testing.T) {
+	measure := func(batch bool) float64 {
+		reg := telemetry.NewRegistry()
+		factory, w, store := sharedStoreWorld(t, reg)
+		cfg := ServerConfig{Factory: factory}
+		if batch {
+			cfg.BatchTick = 100 * time.Microsecond
+			cfg.BatchStores = map[byte]*mapstore.Store{MapWiFi: store}
+		}
+		srv := newTestServer(t, cfg)
+		client := pipeClient(t, srv)
+		start, snaps := corridorWalk(w, 2, 3, 60)
+		if err := client.Hello(start); err != nil {
+			t.Fatal(err)
+		}
+		// Warm every lazily-built structure: session scratch, scheduler
+		// pool, dist-cache maps, tracker state.
+		for _, snap := range snaps[:40] {
+			if _, err := client.Localize(snap); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 40
+		return testing.AllocsPerRun(60, func() {
+			if _, err := client.Localize(snaps[i%len(snaps)]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+	}
+	unbatched := measure(false)
+	batched := measure(true)
+	t.Logf("allocs/epoch: unbatched=%.1f batched=%.1f", unbatched, batched)
+	// The batch loop's own bookkeeping (timer reset, batch append,
+	// telemetry) is allowed a small constant on top of the unbatched
+	// path; scratch rebuilds would blow well past it.
+	if batched > unbatched+12 {
+		t.Errorf("batched path allocates %.1f/epoch vs %.1f unbatched — scheduler scratch is not being reused",
+			batched, unbatched)
+	}
+}

@@ -1,6 +1,9 @@
 package schemes
 
-import "repro/internal/fingerprint"
+import (
+	"repro/internal/fingerprint"
+	"repro/internal/sharedcompute"
+)
 
 // DistCacheUser is the optional Scheme extension consumed by the batch
 // scheduler (internal/offload): schemes whose epoch work includes a
@@ -12,4 +15,19 @@ import "repro/internal/fingerprint"
 // them.
 type DistCacheUser interface {
 	SetDistCache(*fingerprint.DistCache)
+}
+
+// SharedComputeUser is the optional Scheme extension consumed by
+// offload servers running the cross-session shared-compute cache
+// (internal/sharedcompute): schemes that memoize per-snapshot work
+// (RSSI likelihood grids, HMM state lists) read it through — and
+// publish it to — the retained entry of the snapshot they pin, instead
+// of recomputing privately per session. Every shared value is
+// canonical (a pure function of snapshot, cell, observation, and
+// scale) and every miss falls back to local computation of the same
+// float sequence, so attaching or detaching the cache can never change
+// a scheme's outputs — only the work done to produce them. Nil
+// restores fully private computation.
+type SharedComputeUser interface {
+	SetSharedCompute(*sharedcompute.Cache)
 }

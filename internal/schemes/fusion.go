@@ -1,7 +1,6 @@
 package schemes
 
 import (
-	"math"
 	"math/rand"
 
 	"repro/internal/fingerprint"
@@ -9,6 +8,7 @@ import (
 	"repro/internal/particle"
 	"repro/internal/rf"
 	"repro/internal/sensing"
+	"repro/internal/sharedcompute"
 	"repro/internal/world"
 )
 
@@ -71,25 +71,25 @@ type Fusion struct {
 	densVal float64
 	densOK  bool
 
-	// likMemo caches the RSSI likelihood per fingerprint grid cell
+	// likMemo caches the RSSI likelihood per likelihood-grid cell
 	// within one weightByRSSI pass (particles cluster — dozens share a
-	// cell, so ~300 VectorAt lookups collapse to the number of distinct
-	// cells under the cloud). likVer keys the memo to the pinned view's
-	// version so a store swap can never serve a stale likelihood.
-	likMemo map[likCell]float64
-	likVer  uint64
+	// cell, so ~300 lookups collapse to the number of distinct cells
+	// under the cloud). Cleared every pass; see weightByRSSI.
+	likMemo map[sharedcompute.Cell]float64
 
 	// Per-epoch scratch for the rssiDev feature.
 	distScratch  []float64
 	idxScratch   []int
 	matchScratch []fingerprint.Match
+	obsKeyBuf    []byte
 
 	// Optional shared per-batch distance columns (see DistCacheUser).
 	distCache *fingerprint.DistCache
+	// Optional cross-session shared-compute cache (see
+	// SharedComputeUser): likelihood cells are read from and published
+	// to the pinned snapshot's shared row.
+	shared *sharedcompute.Cache
 }
-
-// likCell is one fingerprint-grid cell key of the likelihood memo.
-type likCell struct{ x, y int32 }
 
 // NewFusion creates the fusion scheme over world w and the WiFi
 // fingerprint map m (a *fingerprint.DB or a shared store).
@@ -104,6 +104,12 @@ func (f *Fusion) Name() string { return NameFusion }
 // per-batch distance cache before computing its own column. Nil
 // restores local computation.
 func (f *Fusion) SetDistCache(c *fingerprint.DistCache) { f.distCache = c }
+
+// SetSharedCompute implements SharedComputeUser: weightByRSSI reads
+// and publishes per-cell likelihoods through the pinned snapshot's
+// shared row when one is retained. Nil restores fully private
+// memoization; results are bit-identical either way.
+func (f *Fusion) SetSharedCompute(c *sharedcompute.Cache) { f.shared = c }
 
 // Reset implements Scheme.
 func (f *Fusion) Reset(start geo.Point) {
@@ -210,41 +216,77 @@ func (f *Fusion) propagate(snap *sensing.Snapshot) {
 }
 
 // weightByRSSI multiplies each particle's weight by the likelihood of
-// the online scan given the fingerprint nearest the particle. The
-// likelihood is memoized per fingerprint-grid cell (half the survey
-// spacing): particles cluster tightly, so the ~300 VectorAt lookups of
-// one pass collapse to one per distinct cell under the cloud. The memo
-// is cleared every pass — the observation changes each epoch, and the
-// view is pinned for the whole pass, so a mapstore version swap can
-// never leak a stale entry. Particle order is fixed, so the cell
-// representative (the first particle to land in a cell) is
-// deterministic and identical between sequential and parallel runs.
+// the online scan given the fingerprint representing the particle's
+// likelihood-grid cell (half the survey spacing). The likelihood is
+// canonical per cell: the cell CENTER picks the representative
+// fingerprint, so the value depends only on (map snapshot, cell,
+// observation, scale) — never on which particle reached the cell
+// first — and one session's computation is valid bit-for-bit for
+// every other session pinning the same snapshot. A private per-pass
+// memo still collapses the ~300 particle lookups to one per distinct
+// cell under the cloud; with a shared-compute cache attached, each
+// distinct cell first consults the snapshot's shared row (publishing
+// the canonical value on a miss), so across 64 sessions the grid is
+// evaluated once instead of 64 times. The memo is cleared every pass —
+// the observation changes each epoch, and the view is pinned for the
+// whole pass — and the shared row is keyed by snapshot identity, so a
+// mapstore version swap can never leak a stale likelihood.
 func (f *Fusion) weightByRSSI(view fingerprint.Reader, obs rf.Vector) {
 	scale := f.cfg.RSSIScaleDB
 	floor := view.FloorDB()
-	cell := view.Spacing() / 2
-	if cell <= 0 {
-		cell = 1.5
-	}
+	cell := sharedcompute.LikCellM(view)
 	if f.likMemo == nil {
-		f.likMemo = make(map[likCell]float64, 64)
+		f.likMemo = make(map[sharedcompute.Cell]float64, 64)
 	}
 	clear(f.likMemo)
+	var entry *sharedcompute.Entry
+	var row *sharedcompute.LikRow
+	if f.shared != nil {
+		if entry = f.shared.Get(view); entry != nil {
+			f.obsKeyBuf = fingerprint.AppendObsKey(f.obsKeyBuf[:0], obs)
+			row = entry.Row(scale, f.obsKeyBuf)
+		}
+	}
 	f.filter.Weight(func(pos geo.Point) float64 {
-		key := likCell{int32(math.Floor(pos.X / cell)), int32(math.Floor(pos.Y / cell))}
+		key := sharedcompute.CellFor(pos, cell)
 		if l, ok := f.likMemo[key]; ok {
 			return l
 		}
-		l := 1.0
-		if vec, _, ok := view.VectorAt(pos); ok {
-			d := rf.Distance(obs, vec, floor)
-			// Keep a small floor so one bad scan cannot annihilate the
-			// cloud outright; the filter still shifts mass strongly.
-			l = math.Max(math.Exp(-d*d/(2*scale*scale)), 1e-3)
+		var l float64
+		if row != nil {
+			var ok bool
+			if l, ok = row.Lookup(key); !ok {
+				l = cellLikelihood(entry, view, obs, key, cell, scale, floor)
+				row.Publish(key, l)
+			}
+		} else {
+			l = cellLikelihood(entry, view, obs, key, cell, scale, floor)
 		}
 		f.likMemo[key] = l
 		return l
 	})
+}
+
+// cellLikelihood computes the canonical likelihood of obs at one grid
+// cell: the fingerprint nearest the cell center, its RSSI distance to
+// the scan, and the floored Gaussian (mapstore.CellLikelihood — the
+// floor keeps one bad scan from annihilating the cloud outright).
+// With a shared entry the representative resolves through its
+// per-cell index cache; that cache holds exactly what VectorAt at the
+// cell center returns, so both branches produce identical bits.
+func cellLikelihood(entry *sharedcompute.Entry, view fingerprint.Reader, obs rf.Vector, key sharedcompute.Cell, cellM, scale, floor float64) float64 {
+	var vec rf.Vector
+	var ok bool
+	if entry != nil {
+		vec, ok = entry.RepVec(key)
+	} else {
+		vec, _, ok = view.VectorAt(key.Center(cellM))
+	}
+	if !ok {
+		return 1.0
+	}
+	d := rf.Distance(obs, vec, floor)
+	return sharedcompute.Likelihood(d, scale)
 }
 
 // rssiDev computes the top-k RSSI distance deviation against the
@@ -257,7 +299,11 @@ func (f *Fusion) rssiDev(view fingerprint.Reader, obs rf.Vector) float64 {
 	}
 	// Same column the WiFi scheme matches against: under a batch
 	// scheduler both read the one shared precomputed slice (read-only).
-	dists := f.distCache.Lookup(view, obs)
+	var dists []float64
+	if f.distCache != nil {
+		f.obsKeyBuf = fingerprint.AppendObsKey(f.obsKeyBuf[:0], obs)
+		dists = f.distCache.LookupKey(view, f.obsKeyBuf)
+	}
 	if dists == nil {
 		f.distScratch = fingerprint.AppendDistances(view, f.distScratch[:0], obs)
 		dists = f.distScratch

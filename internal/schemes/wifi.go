@@ -5,6 +5,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/hmm"
 	"repro/internal/sensing"
+	"repro/internal/sharedcompute"
 )
 
 // TopK is the number of candidate locations whose RSSI-distance
@@ -44,12 +45,14 @@ type Fingerprinting struct {
 	sensor     string
 	calibrator *Calibrator            // optional device-heterogeneity calibration
 	distCache  *fingerprint.DistCache // optional shared per-batch columns
+	shared     *sharedcompute.Cache   // optional cross-session shared state
 
 	// Per-epoch scratch, reused across Estimate calls so the match
 	// path allocates nothing proportional to the map size.
 	distScratch  []float64
 	idxScratch   []int
 	matchScratch []fingerprint.Match
+	obsKeyBuf    []byte
 }
 
 // NewWiFi creates the WiFi RADAR scheme over the given fingerprint
@@ -88,15 +91,32 @@ func (f *Fingerprinting) SetCalibrator(c *Calibrator) { f.calibrator = c }
 // restores local computation.
 func (f *Fingerprinting) SetDistCache(c *fingerprint.DistCache) { f.distCache = c }
 
+// SetSharedCompute implements SharedComputeUser: tracker rebuilds
+// adopt the pinned snapshot's shared positions slice instead of
+// copying the map's points per session. Nil restores private rebuilds;
+// tracker behavior is identical either way (belief state is always
+// private).
+func (f *Fingerprinting) SetSharedCompute(c *sharedcompute.Cache) { f.shared = c }
+
 // Name implements Scheme.
 func (f *Fingerprinting) Name() string { return f.name }
 
 // rebuildTracker recreates the HMM over the view's positions, wiring
 // in precomputed neighbor lists when the map carries a spatial index.
+// When the view is a snapshot with a retained shared-compute entry,
+// the tracker adopts the entry's immutable positions slice (one
+// materialization per compaction instead of one copy per session) and
+// the snapshot-cached neighbor lists; otherwise it builds privately.
+// The tracker itself behaves identically either way.
 func (f *Fingerprinting) rebuildTracker(view fingerprint.Reader) {
-	f.tracker = hmm.New(view.Positions())
-	if nl, ok := view.(fingerprint.NeighborLister); ok {
-		f.tracker.SetNeighborLists(nl.NeighborLists(f.tracker.TransitionRadiusM()))
+	if e := f.shared.Get(view); e != nil {
+		f.tracker = hmm.NewShared(e.Positions())
+		f.tracker.SetNeighborLists(e.NeighborLists(f.tracker.TransitionRadiusM()))
+	} else {
+		f.tracker = hmm.New(view.Positions())
+		if nl, ok := view.(fingerprint.NeighborLister); ok {
+			f.tracker.SetNeighborLists(nl.NeighborLists(f.tracker.TransitionRadiusM()))
+		}
 	}
 	f.trackerVer = view.Version()
 }
@@ -141,7 +161,11 @@ func (f *Fingerprinting) Estimate(snap *sensing.Snapshot) Estimate {
 	// mismatch (different view pointer after a mid-batch snapshot swap,
 	// calibrated observation, no cache) computes locally — identical
 	// floats either way.
-	dists := f.distCache.Lookup(view, obs)
+	var dists []float64
+	if f.distCache != nil {
+		f.obsKeyBuf = fingerprint.AppendObsKey(f.obsKeyBuf[:0], obs)
+		dists = f.distCache.LookupKey(view, f.obsKeyBuf)
+	}
 	if dists == nil {
 		f.distScratch = fingerprint.AppendDistances(view, f.distScratch[:0], obs)
 		dists = f.distScratch

@@ -1,0 +1,264 @@
+package sharedcompute
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/mapstore"
+	"repro/internal/rf"
+)
+
+// Entry is the shared-compute state for one pinned map snapshot. All
+// cached values are canonical — functions of (snapshot, cell,
+// observation, scale) only — so concurrent fills write identical bits
+// and readers never observe a value another session couldn't have
+// computed itself.
+type Entry struct {
+	cache *Cache
+	snap  *mapstore.Snapshot
+	name  string
+	refs  int // guarded by cache.mu
+	cellM float64
+
+	posOnce sync.Once
+	pos     []geo.Point
+
+	repMu sync.RWMutex
+	reps  map[Cell]int32 // cell → representative fingerprint index (-1: none)
+
+	rowMu sync.RWMutex
+	rows  map[uint64]map[string]*LikRow // Float64bits(scale) → obs key → row
+}
+
+// Snapshot returns the pinned snapshot this entry is keyed by.
+func (e *Entry) Snapshot() *mapstore.Snapshot { return e.snap }
+
+// CellM returns the likelihood-grid cell size (LikCellM of the
+// snapshot).
+func (e *Entry) CellM() float64 { return e.cellM }
+
+// Positions returns the snapshot's state positions, materialized once
+// and shared by every session's HMM tracker. The slice is immutable by
+// contract: hand it to hmm.NewShared, never mutate it.
+func (e *Entry) Positions() []geo.Point {
+	e.posOnce.Do(func() { e.pos = e.snap.Positions() })
+	e.cache.trackers.Add(1)
+	e.cache.metTrackers.Inc()
+	return e.pos
+}
+
+// NeighborLists returns the snapshot's HMM neighbor lists for the
+// given transition radius. The snapshot itself memoizes the build per
+// radius, so all sessions already share one [][]int32; routing the
+// call through the entry keeps the shared-compute counters honest
+// about who serves tracker rebuilds.
+func (e *Entry) NeighborLists(radius float64) [][]int32 {
+	return e.snap.NeighborLists(radius)
+}
+
+// RepVec returns the vector of the cell's representative fingerprint —
+// the physically nearest point to the cell center, resolved once per
+// (snapshot, cell) and shared across observations and sessions. ok is
+// false when the snapshot is empty, matching VectorAt's behavior.
+func (e *Entry) RepVec(cell Cell) (rf.Vector, bool) {
+	idx, ok := e.repIdx(cell)
+	if !ok {
+		return nil, false
+	}
+	return e.snap.At(int(idx)).Vec, true
+}
+
+// repIdx resolves and caches the representative index for a cell.
+// Racing resolvers compute the same deterministic index (the ring
+// search is a pure function of the snapshot), so last-write-wins is
+// safe.
+func (e *Entry) repIdx(cell Cell) (int32, bool) {
+	e.repMu.RLock()
+	idx, ok := e.reps[cell]
+	e.repMu.RUnlock()
+	if ok {
+		return idx, idx >= 0
+	}
+	i, found := e.snap.NearestIndexAt(cell.Center(e.cellM))
+	idx = int32(i)
+	if !found {
+		idx = -1
+	}
+	e.repMu.Lock()
+	if e.reps == nil {
+		e.reps = make(map[Cell]int32, 64)
+	}
+	e.reps[cell] = idx
+	e.repMu.Unlock()
+	return idx, idx >= 0
+}
+
+// Row returns the shared likelihood row for (scale, observation),
+// creating an empty one on first use. key is the
+// fingerprint.AppendObsKey encoding, passed as bytes so the
+// steady-state path (row already exists) performs no allocation.
+func (e *Entry) Row(scale float64, key []byte) *LikRow {
+	bits := math.Float64bits(scale)
+	e.rowMu.RLock()
+	var r *LikRow
+	if inner := e.rows[bits]; inner != nil {
+		r = inner[string(key)]
+	}
+	e.rowMu.RUnlock()
+	if r != nil {
+		return r
+	}
+	return e.makeRow(bits, string(key))
+}
+
+// rowString is Row for callers that already hold a string key (the
+// prewarm path).
+func (e *Entry) rowString(scale float64, key string) *LikRow {
+	bits := math.Float64bits(scale)
+	e.rowMu.RLock()
+	var r *LikRow
+	if inner := e.rows[bits]; inner != nil {
+		r = inner[key]
+	}
+	e.rowMu.RUnlock()
+	if r != nil {
+		return r
+	}
+	return e.makeRow(bits, key)
+}
+
+func (e *Entry) makeRow(bits uint64, key string) *LikRow {
+	e.rowMu.Lock()
+	defer e.rowMu.Unlock()
+	inner := e.rows[bits]
+	if inner == nil {
+		if e.rows == nil {
+			e.rows = make(map[uint64]map[string]*LikRow, 2)
+		}
+		inner = make(map[string]*LikRow)
+		e.rows[bits] = inner
+	}
+	r := inner[key]
+	if r == nil {
+		r = &LikRow{cache: e.cache, cells: make(map[Cell]float64, 32)}
+		inner[key] = r
+	}
+	return r
+}
+
+// LikRow holds the shared per-cell likelihoods of one (snapshot,
+// scale, observation) triple — exactly the values a session's private
+// likMemo would hold for the same pass, minus any session dependence.
+type LikRow struct {
+	cache  *Cache
+	mu     sync.RWMutex
+	cells  map[Cell]float64
+	warmed bool
+}
+
+// Lookup returns the shared likelihood for one cell. A miss means no
+// session (and no prewarm) has touched the cell yet: the caller
+// computes locally and Publishes.
+func (r *LikRow) Lookup(cell Cell) (float64, bool) {
+	r.mu.RLock()
+	v, ok := r.cells[cell]
+	r.mu.RUnlock()
+	if ok {
+		r.cache.likHits.Add(1)
+		r.cache.metHits.Inc()
+	} else {
+		r.cache.likMisses.Add(1)
+		r.cache.metMisses.Inc()
+	}
+	return v, ok
+}
+
+// Publish stores a locally computed likelihood for other sessions.
+// Values are canonical, so concurrent publishers of the same cell
+// write identical bits and either winning is safe.
+func (r *LikRow) Publish(cell Cell, v float64) {
+	r.mu.Lock()
+	r.cells[cell] = v
+	r.mu.Unlock()
+}
+
+// markWarming claims the row for prewarming; only the first caller per
+// row gets true, so repeated batches containing the same observation
+// don't redo the kernel work.
+func (r *LikRow) markWarming() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.warmed {
+		return false
+	}
+	r.warmed = true
+	return true
+}
+
+// PrewarmFusion seeds likelihood rows for a batch's unique WiFi
+// observations before sessions step: for each row not yet warmed, the
+// cells within warmRadius of the observation's best-matching
+// fingerprint (argmin of its distance column — a heuristic anchor
+// only; the values themselves stay canonical) are evaluated through
+// the snapshot's fused CellLikelihoodsBatch kernel in one rep-major
+// pass and published. obs/keys/cols are parallel: the unique
+// observations, their AppendObsKey encodings, and their
+// AppendDistancesBatch columns. Returns the number of rows warmed.
+func (e *Entry) PrewarmFusion(obs []rf.Vector, keys []string, cols [][]float64, scale float64) int {
+	const warmRadius = 2
+	var warmObs []rf.Vector
+	var warmRows []*LikRow
+	cellSet := make(map[Cell]struct{}, 64)
+	for i, o := range obs {
+		if len(cols[i]) == 0 {
+			continue
+		}
+		r := e.rowString(scale, keys[i])
+		if !r.markWarming() {
+			continue
+		}
+		warmObs = append(warmObs, o)
+		warmRows = append(warmRows, r)
+		best := 0
+		for j, d := range cols[i] {
+			if d < cols[i][best] {
+				best = j
+			}
+		}
+		c0 := CellFor(e.snap.At(best).Pos, e.cellM)
+		for dx := int32(-warmRadius); dx <= warmRadius; dx++ {
+			for dy := int32(-warmRadius); dy <= warmRadius; dy++ {
+				cellSet[Cell{X: c0.X + dx, Y: c0.Y + dy}] = struct{}{}
+			}
+		}
+	}
+	if len(warmRows) == 0 {
+		return 0
+	}
+	cells := make([]Cell, 0, len(cellSet))
+	for c := range cellSet {
+		cells = append(cells, c)
+	}
+	reps := make([]int32, len(cells))
+	for k, c := range cells {
+		idx, ok := e.repIdx(c)
+		if !ok {
+			idx = -1
+		}
+		reps[k] = idx
+	}
+	lik := e.snap.CellLikelihoodsBatch(warmObs, reps, scale)
+	for qi, r := range warmRows {
+		r.mu.Lock()
+		for k, c := range cells {
+			if _, ok := r.cells[c]; !ok {
+				r.cells[c] = lik[qi][k]
+			}
+		}
+		r.mu.Unlock()
+	}
+	e.cache.rowsWarmed.Add(int64(len(warmRows)))
+	e.cache.metWarmed.Add(int64(len(warmRows)))
+	return len(warmRows)
+}

@@ -93,13 +93,15 @@ tail -5 "$LOGS/loadgen.log"
 
 echo "== checking $OUT"
 jq -e '
-  .schema == "uniloc-bench-cluster/v1"
+  .schema == "uniloc-bench-cluster/v1.1"
   and .walkers == 64
   and .nodes == 3
   and .epochs_total == 64 * 80
   and .epochs_per_sec > 0
   and .walker_failures == 0
   and .reconnects_total >= 1
+  and .latency_p50_ms > 0
+  and .latency_p99_ms >= .latency_p50_ms
   and (.timeline | length > 0)
   and (.sessions_per_node | length >= 2)
   and ([.sessions_per_node[]] | add >= 2)
