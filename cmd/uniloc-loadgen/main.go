@@ -9,12 +9,16 @@
 // backend dies. With -drop-prob, the uplink itself is additionally
 // shimmed through the fault injector so frames are lost mid-walk.
 //
-// The run produces BENCH_cluster.json (schema uniloc-bench-cluster/v1.1):
+// The run produces BENCH_cluster.json (schema uniloc-bench-cluster/v1.2):
 // aggregate throughput (epochs/sec), per-walker outcomes
 // (reconnects, resumes, failures), a per-second timeline — the
 // node-kill recovery curve when the harness kills a backend mid-run —
 // and, with -node-metrics, per-node session and epoch counts scraped
-// from each backend's /metrics.json.
+// from each backend's /metrics.json. The failover block records how
+// transparent a mid-run node kill was: per-node injected-session
+// counts (walks that migrated over the handoff mesh, DESIGN.md §17),
+// their sum as cross_node_resumes, and time-to-resume percentiles —
+// the client-observed stall of an epoch that rode a reconnect.
 package main
 
 import (
@@ -54,7 +58,7 @@ type options struct {
 }
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7030", "router (or single server) address walkers connect to")
+	addr := flag.String("addr", "127.0.0.1:7030", "comma-separated router (or single server) addresses; walkers spread their first dial across them and fail over to the next on redial, so killing one router mid-run only costs its clients a reconnect")
 	walkers := flag.Int("walkers", 64, "concurrent walker sessions")
 	epochs := flag.Int("epochs", 120, "epochs per walker (capped by path length)")
 	seed := flag.Int64("seed", 1, "master random seed (walker paths and scan noise)")
@@ -87,12 +91,13 @@ func main() {
 
 // walkerResult is one walker's outcome.
 type walkerResult struct {
-	epochs     int
-	reconnects int
-	resumes    int
-	drops      int
-	err        error
-	latencies  []float64 // per-epoch Localize round-trip times, ms
+	epochs      int
+	reconnects  int
+	resumes     int
+	drops       int
+	err         error
+	latencies   []float64 // per-epoch Localize round-trip times, ms
+	resumeTimes []float64 // round-trip of each epoch that rode a resume, ms
 }
 
 // timelineBucket is one second of fleet progress — the recovery curve
@@ -101,6 +106,19 @@ type timelineBucket struct {
 	TSec       int   `json:"t_s"`
 	Epochs     int64 `json:"epochs"`
 	Reconnects int64 `json:"reconnects"`
+}
+
+// failoverReport quantifies how transparent node failure was to the
+// fleet: cross-node resumes are sessions a survivor injected from the
+// handoff mesh rather than restarting, and time-to-resume is the
+// client-observed round-trip of an epoch that rode a reconnect —
+// redial, backoff, resume handshake and the answer itself.
+type failoverReport struct {
+	InjectedPerNode   map[string]int64 `json:"injected_per_node,omitempty"`
+	CrossNodeResumes  int64            `json:"cross_node_resumes"`
+	TimeToResumeP50Ms float64          `json:"time_to_resume_p50_ms"`
+	TimeToResumeP95Ms float64          `json:"time_to_resume_p95_ms"`
+	TimeToResumeMaxMs float64          `json:"time_to_resume_max_ms"`
 }
 
 // report is the BENCH_cluster.json schema.
@@ -123,6 +141,7 @@ type report struct {
 	LatencyP50Ms    float64          `json:"latency_p50_ms"`
 	LatencyP95Ms    float64          `json:"latency_p95_ms"`
 	LatencyP99Ms    float64          `json:"latency_p99_ms"`
+	Failover        failoverReport   `json:"failover"`
 	Timeline        []timelineBucket `json:"timeline"`
 }
 
@@ -195,7 +214,7 @@ func run(opts options) error {
 	<-samplerStopped
 
 	rep := report{
-		Schema:          "uniloc-bench-cluster/v1.1",
+		Schema:          "uniloc-bench-cluster/v1.2",
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,
 		CPUs:            runtime.NumCPU(),
@@ -206,9 +225,10 @@ func run(opts options) error {
 		SessionsPerNode: map[string]int64{},
 		Timeline:        timeline,
 	}
-	var lat []float64
+	var lat, resumeLat []float64
 	for i, r := range results {
 		lat = append(lat, r.latencies...)
+		resumeLat = append(resumeLat, r.resumeTimes...)
 		rep.EpochsTotal += int64(r.epochs)
 		rep.ReconnectsTotal += int64(r.reconnects)
 		rep.ResumesTotal += int64(r.resumes)
@@ -224,17 +244,30 @@ func run(opts options) error {
 	rep.LatencyP50Ms = percentile(lat, 0.50)
 	rep.LatencyP95Ms = percentile(lat, 0.95)
 	rep.LatencyP99Ms = percentile(lat, 0.99)
+	sort.Float64s(resumeLat)
+	rep.Failover.TimeToResumeP50Ms = percentile(resumeLat, 0.50)
+	rep.Failover.TimeToResumeP95Ms = percentile(resumeLat, 0.95)
+	if n := len(resumeLat); n > 0 {
+		rep.Failover.TimeToResumeMaxMs = resumeLat[n-1]
+	}
 	for _, addr := range opts.nodeMetrics {
-		sessions, epochs, err := scrapeNode(addr)
+		sc, err := scrapeNode(addr)
 		if err != nil {
 			log.Printf("scrape %s: %v", addr, err)
 			continue
 		}
-		rep.SessionsPerNode[addr] = sessions
+		rep.SessionsPerNode[addr] = sc.sessions
 		if rep.EpochsPerNode == nil {
 			rep.EpochsPerNode = map[string]int64{}
 		}
-		rep.EpochsPerNode[addr] = epochs
+		rep.EpochsPerNode[addr] = sc.epochs
+		if sc.injected > 0 {
+			if rep.Failover.InjectedPerNode == nil {
+				rep.Failover.InjectedPerNode = map[string]int64{}
+			}
+			rep.Failover.InjectedPerNode[addr] = sc.injected
+		}
+		rep.Failover.CrossNodeResumes += sc.injected
 	}
 
 	f, err := os.Create(opts.out)
@@ -250,10 +283,11 @@ func run(opts options) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	log.Printf("done: %d epochs in %.1fs (%.1f epochs/s), p50=%.2fms p95=%.2fms p99=%.2fms, reconnects=%d resumes=%d failures=%d -> %s",
+	log.Printf("done: %d epochs in %.1fs (%.1f epochs/s), p50=%.2fms p95=%.2fms p99=%.2fms, reconnects=%d resumes=%d cross-node=%d resume-p95=%.2fms failures=%d -> %s",
 		rep.EpochsTotal, rep.DurationS, rep.EpochsPerSec,
 		rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms,
-		rep.ReconnectsTotal, rep.ResumesTotal, rep.WalkerFailures, opts.out)
+		rep.ReconnectsTotal, rep.ResumesTotal, rep.Failover.CrossNodeResumes,
+		rep.Failover.TimeToResumeP95Ms, rep.WalkerFailures, opts.out)
 	if rep.WalkerFailures > 0 {
 		return fmt.Errorf("%d of %d walkers failed", rep.WalkerFailures, opts.walkers)
 	}
@@ -264,8 +298,22 @@ func run(opts options) error {
 func runWalker(opts options, place *scenario.Place, assets *scenario.Assets, i int, epochsDone, reconnectsNow *atomic.Int64) walkerResult {
 	var res walkerResult
 	var injected *faultinject.Conn
+	// N-way entry points: first dial spreads the fleet across the
+	// routers, and a dead router just advances the cursor — the next
+	// router hashes the client to the same backend, so the server-side
+	// session survives the hop.
+	addrs := strings.Split(opts.addr, ",")
+	cursor := i % len(addrs)
 	dial := func() (net.Conn, error) {
-		conn, err := net.Dial("tcp", opts.addr)
+		var conn net.Conn
+		var err error
+		for k := 0; k < len(addrs); k++ {
+			conn, err = net.Dial("tcp", addrs[(cursor+k)%len(addrs)])
+			if err == nil {
+				cursor = (cursor + k) % len(addrs)
+				break
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -299,7 +347,7 @@ func runWalker(opts options, place *scenario.Place, assets *scenario.Assets, i i
 		res.err = fmt.Errorf("hello: %w", err)
 		return res
 	}
-	lastRc := 0
+	lastRc, lastRes := 0, 0
 	for !wk.Done() && (opts.epochs <= 0 || res.epochs < opts.epochs) {
 		snap, _ := wk.Next(true)
 		t0 := time.Now()
@@ -307,12 +355,20 @@ func runWalker(opts options, place *scenario.Place, assets *scenario.Assets, i i
 			res.err = fmt.Errorf("epoch %d: %w", res.epochs, err)
 			break
 		}
-		res.latencies = append(res.latencies, float64(time.Since(t0))/float64(time.Millisecond))
+		ms := float64(time.Since(t0)) / float64(time.Millisecond)
+		res.latencies = append(res.latencies, ms)
 		res.epochs++
 		epochsDone.Add(1)
 		if rc := client.Reconnects(); rc > lastRc {
 			reconnectsNow.Add(int64(rc - lastRc))
 			lastRc = rc
+		}
+		if rs := client.Resumes(); rs > lastRes {
+			// This epoch's round-trip absorbed a resume: redial, backoff,
+			// handshake, answer. That stall is the failover cost a phone
+			// actually feels.
+			res.resumeTimes = append(res.resumeTimes, ms)
+			lastRes = rs
 		}
 		if opts.pace > 0 {
 			time.Sleep(opts.pace)
@@ -326,26 +382,35 @@ func runWalker(opts options, place *scenario.Place, assets *scenario.Assets, i i
 	return res
 }
 
-// scrapeNode pulls one backend's opened-session and served-epoch
-// counters from its /metrics.json endpoint.
-func scrapeNode(addr string) (sessions, epochs int64, err error) {
+// nodeScrape is one backend's session accounting: opened (fresh
+// walks), served epochs, and injected (walks that arrived mid-flight
+// over the handoff mesh — each one a cross-node resume).
+type nodeScrape struct {
+	sessions, epochs, injected int64
+}
+
+// scrapeNode pulls one backend's counters from its /metrics.json.
+func scrapeNode(addr string) (nodeScrape, error) {
+	var sc nodeScrape
 	cli := http.Client{Timeout: 3 * time.Second}
 	resp, err := cli.Get("http://" + addr + "/metrics.json")
 	if err != nil {
-		return 0, 0, err
+		return sc, err
 	}
 	defer resp.Body.Close()
 	var points []telemetry.Point
 	if err := json.NewDecoder(resp.Body).Decode(&points); err != nil {
-		return 0, 0, err
+		return sc, err
 	}
 	for _, p := range points {
 		switch p.Name {
 		case "uniloc_sessions_opened_total":
-			sessions = int64(p.Value)
+			sc.sessions = int64(p.Value)
 		case "uniloc_epochs_served_total":
-			epochs = int64(p.Value)
+			sc.epochs = int64(p.Value)
+		case "uniloc_sessions_injected_total":
+			sc.injected = int64(p.Value)
 		}
 	}
-	return sessions, epochs, nil
+	return sc, nil
 }

@@ -14,10 +14,19 @@
 // — including the per-backend membership gauge
 // uniloc_router_backend_up{backend="..."} — is exposed as Prometheus
 // text at /metrics, so a scrape shows live cluster membership.
+//
+// The same listener carries the admin endpoint for live scale-out
+// (DESIGN.md §17): POST /admin/add-backend?addr=host:port inserts a
+// backend into the ring without a restart. Spliced connections whose
+// client now hashes to the new backend are drained with a reset, and
+// the reconnecting clients resume on it — the new node pulls their
+// session states over the handoff mesh, so the move costs one
+// reconnect, not a walk.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -75,9 +84,28 @@ func main() {
 		if err != nil {
 			log.Fatalf("uniloc-router: metrics listener: %v", err)
 		}
+		addBackend := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			backend := strings.TrimSpace(r.FormValue("addr"))
+			if backend == "" {
+				http.Error(w, "missing addr parameter", http.StatusBadRequest)
+				return
+			}
+			moved := router.AddBackend(backend)
+			if moved < 0 {
+				http.Error(w, "already a member", http.StatusConflict)
+				return
+			}
+			log.Printf("admin: backend %s added, %d spliced connections drained onto it", backend, moved)
+			fmt.Fprintf(w, "added %s, drained %d connections\n", backend, moved)
+		})
 		go func() {
-			log.Printf("metrics on http://%s/metrics", mln.Addr())
-			if err := http.Serve(mln, telemetry.NewMux(reg)); err != nil && err != http.ErrServerClosed {
+			log.Printf("metrics on http://%s/metrics (admin at /admin/add-backend)", mln.Addr())
+			mux := telemetry.NewMux(reg, telemetry.WithHandler("/admin/add-backend", addBackend))
+			if err := http.Serve(mln, mux); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics server: %v", err)
 			}
 		}()

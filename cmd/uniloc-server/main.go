@@ -28,6 +28,20 @@
 // leader's deltas, never compacts locally, and forwards crowdsourced
 // surveys upstream).
 //
+// Transparent node failover (DESIGN.md §17): -handoff-listen and
+// -handoff-peers put this node in a session-handoff mesh — after every
+// served epoch the session's full framework state (particle sets, HMM
+// beliefs, RNG cursors) is shipped asynchronously to the peer nodes,
+// and a resumed walk this node never served is fetched from the mesh
+// and injected, so a kill -9 of one node restarts zero walks.
+// -replicate-from accepts a comma-separated candidate list (leader
+// first, standbys after); -standby makes a follower retain the
+// leader's delta history and buffer surveys across an outage, and
+// SIGUSR1 promotes it in place: it becomes the replication leader,
+// drains its survey buffer through the normal compact cycle, and
+// serves followers — including their catch-up from the retained
+// history — on -replicate-listen.
+//
 // With -trace, every served epoch becomes a span tree — server.frame
 // with read/queue/step/write children and per-scheme spans, joined to
 // the client's trace when the phone speaks protocol v5 — browsable at
@@ -47,6 +61,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -85,7 +100,10 @@ func main() {
 	pprofLabels := flag.Bool("pprof-labels", false, "label CPU profile samples with session, scheme and batch tick (small per-epoch allocation cost)")
 	drainGrace := flag.Duration("drain-grace", 0, "on SIGTERM/SIGINT, stop accepting and let in-flight sessions finish their current epoch for up to this long before force-closing (0 = close immediately)")
 	replListen := flag.String("replicate-listen", "", "lead a replication group: stream map-store compaction deltas to followers subscribing on this address (requires -shared-map)")
-	replFrom := flag.String("replicate-from", "", "follow a replication leader at this address: apply its compaction deltas and forward locally received surveys upstream (requires -shared-map; local compaction is disabled)")
+	replFrom := flag.String("replicate-from", "", "follow a replication leader: comma-separated candidate addresses, tried in order on every (re)connect (requires -shared-map; local compaction is disabled, surveys are forwarded upstream)")
+	standby := flag.Bool("standby", false, "with -replicate-from: retain the leader's delta history, buffer surveys across a leader outage, and promote to replication leader on SIGUSR1, serving followers on -replicate-listen")
+	handoffListen := flag.String("handoff-listen", "", "join the session-handoff mesh: serve shipped session states and peer fetches on this address")
+	handoffPeers := flag.String("handoff-peers", "", "comma-separated handoff addresses of the other cluster nodes: ship every session's post-epoch state to them, fetch unknown resumed sessions from them")
 	flag.Parse()
 
 	cfg := serverOpts{
@@ -112,9 +130,12 @@ func main() {
 		traceWindow:    *traceWindow,
 		pprofLabels:    *pprofLabels,
 
-		drainGrace: *drainGrace,
-		replListen: *replListen,
-		replFrom:   *replFrom,
+		drainGrace:    *drainGrace,
+		replListen:    *replListen,
+		replFrom:      *replFrom,
+		standby:       *standby,
+		handoffListen: *handoffListen,
+		handoffPeers:  *handoffPeers,
 	}
 	if err := run(cfg); err != nil {
 		log.Fatalf("uniloc-server: %v", err)
@@ -145,14 +166,20 @@ type serverOpts struct {
 	traceWindow    time.Duration
 	pprofLabels    bool
 
-	drainGrace time.Duration
-	replListen string
-	replFrom   string
+	drainGrace    time.Duration
+	replListen    string
+	replFrom      string
+	standby       bool
+	handoffListen string
+	handoffPeers  string
 }
 
 func run(opts serverOpts) error {
-	if opts.replListen != "" && opts.replFrom != "" {
-		return fmt.Errorf("-replicate-listen and -replicate-from are mutually exclusive")
+	if opts.replListen != "" && opts.replFrom != "" && !opts.standby {
+		return fmt.Errorf("-replicate-listen and -replicate-from are mutually exclusive without -standby")
+	}
+	if opts.standby && (opts.replFrom == "" || opts.replListen == "") {
+		return fmt.Errorf("-standby requires -replicate-from (whom to follow) and -replicate-listen (where to serve after promotion)")
 	}
 	if (opts.replListen != "" || opts.replFrom != "") && !opts.sharedMap {
 		return fmt.Errorf("replication requires -shared-map")
@@ -218,9 +245,15 @@ func run(opts serverOpts) error {
 			if opts.replFrom != "" {
 				// A follower never compacts locally: its only writes are
 				// replayed leader deltas (cluster.Follower), so its versions
-				// can never fork from the leader's.
-				cfg.RebuildBatch = 1 << 30
+				// can never fork from the leader's. A standby keeps a real
+				// batch size — dormant while following (followers never
+				// Submit locally), live the moment promotion makes its
+				// Submits the compaction stream — but still no timer, which
+				// could fire before promotion.
 				cfg.RebuildEvery = 0
+				if !opts.standby {
+					cfg.RebuildBatch = 1 << 30
+				}
 			}
 			return cfg
 		}
@@ -233,6 +266,43 @@ func run(opts serverOpts) error {
 			offload.MapCellular: cellStore,
 		}
 		switch {
+		case opts.replFrom != "":
+			addrs := strings.Split(opts.replFrom, ",")
+			follower := cluster.NewFollowerAddrs(addrs, replStores, reg)
+			defer follower.Close()
+			// Survey ingest goes through an indirection so promotion can
+			// swap forward-to-leader for serve-as-leader atomically, with
+			// sessions mid-flight.
+			var ingest atomic.Value
+			ingest.Store(follower.ForwardSurvey)
+			surveyIngest = func(sv *offload.Survey) error {
+				return ingest.Load().(func(*offload.Survey) error)(sv)
+			}
+			log.Printf("replicating from %s (surveys forwarded upstream, standby=%v)", opts.replFrom, opts.standby)
+			if opts.standby {
+				var promoted atomic.Pointer[cluster.Leader]
+				defer func() {
+					if l := promoted.Load(); l != nil {
+						l.Close()
+					}
+				}()
+				promoteSig := make(chan os.Signal, 1)
+				signal.Notify(promoteSig, syscall.SIGUSR1)
+				go func() {
+					<-promoteSig
+					signal.Stop(promoteSig)
+					rln, err := net.Listen("tcp", opts.replListen)
+					if err != nil {
+						log.Printf("promotion: replication listener: %v", err)
+						return
+					}
+					l := cluster.Promote(follower, reg)
+					promoted.Store(l)
+					ingest.Store(l.SurveyIngest)
+					go l.ListenAndServe(rln, func(err error) { log.Printf("replication: %v", err) })
+					log.Printf("promoted to replication leader on %s (retained deltas seeded, buffered surveys drained)", rln.Addr())
+				}()
+			}
 		case opts.replListen != "":
 			leader := cluster.NewLeader(replStores, reg)
 			defer leader.Close()
@@ -243,11 +313,6 @@ func run(opts serverOpts) error {
 			defer rln.Close()
 			go leader.ListenAndServe(rln, func(err error) { log.Printf("replication: %v", err) })
 			log.Printf("replication leader on %s", rln.Addr())
-		case opts.replFrom != "":
-			follower := cluster.NewFollower(opts.replFrom, replStores, reg)
-			defer follower.Close()
-			surveyIngest = follower.ForwardSurvey
-			log.Printf("replicating from %s (surveys forwarded upstream)", opts.replFrom)
 		}
 		factory = func() (*core.Framework, error) {
 			n := sessionSeq.Add(1)
@@ -265,6 +330,30 @@ func run(opts serverOpts) error {
 		return fmt.Errorf("-ingest requires -shared-map")
 	}
 
+	// Session-handoff mesh: ship every session's post-epoch state to the
+	// peer set, fetch-and-inject resumed walks this node never served.
+	var shipSession func(clientID string, seq uint32, state []byte)
+	var fetchSession func(clientID string) []byte
+	if opts.handoffListen != "" || opts.handoffPeers != "" {
+		var peers []string
+		if opts.handoffPeers != "" {
+			peers = strings.Split(opts.handoffPeers, ",")
+		}
+		ho := cluster.NewHandoff(cluster.HandoffConfig{Peers: peers, Metrics: reg})
+		defer ho.Close()
+		if opts.handoffListen != "" {
+			hln, err := net.Listen("tcp", opts.handoffListen)
+			if err != nil {
+				return fmt.Errorf("handoff listener: %w", err)
+			}
+			defer hln.Close()
+			go ho.ListenAndServe(hln, func(err error) { log.Printf("handoff: %v", err) })
+			log.Printf("session handoff on %s (peers: %v)", hln.Addr(), peers)
+		}
+		shipSession = ho.Ship
+		fetchSession = ho.Fetch
+	}
+
 	srv, err := offload.NewServer(offload.ServerConfig{
 		Factory:       factory,
 		MaxSessions:   opts.maxSessions,
@@ -280,6 +369,8 @@ func run(opts serverOpts) error {
 		Tracer:        tracer,
 		PprofLabels:   opts.pprofLabels,
 		SurveyIngest:  surveyIngest,
+		ShipSession:   shipSession,
+		FetchSession:  fetchSession,
 	})
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 	"repro/internal/imu"
 	"repro/internal/noise"
 	"repro/internal/offload"
+	"repro/internal/prng"
 	"repro/internal/regress"
 	"repro/internal/rf"
 	"repro/internal/schemes"
@@ -53,9 +54,15 @@ func clusterWorld(t testing.TB) (core.FrameworkFactory, *world.World, *fingerpri
 		}
 	}
 	factory := func() (*core.Framework, error) {
+		// Tracked PDR source (bit-identical to rand.NewSource(2)): the
+		// framework is snapshotable, so sessions ship over the handoff
+		// wire and a peer node can continue any walk mid-flight.
+		pdrSrc := prng.New(2)
+		pdr := schemes.NewPDR(w, schemes.DefaultPDRConfig(), rand.New(pdrSrc))
+		pdr.TrackSource(pdrSrc)
 		ss := []schemes.Scheme{
 			schemes.NewWiFi(db),
-			schemes.NewPDR(w, schemes.DefaultPDRConfig(), rand.New(rand.NewSource(2))),
+			pdr,
 		}
 		return core.NewFramework(ss, ms)
 	}

@@ -1,0 +1,733 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/fingerprint"
+	"repro/internal/geo"
+	"repro/internal/mapstore"
+	"repro/internal/offload"
+	"repro/internal/rf"
+	"repro/internal/telemetry"
+)
+
+// startHandoffMesh builds an n-node full-mesh session-handoff layer:
+// one listener and manager per node, each shipping to all the others.
+// dialFor (may be nil) lets a test wrap node i's peer dialer — the
+// fault-injection seam for partitions; returning nil keeps the default
+// dialer.
+func startHandoffMesh(t testing.TB, n int, dialFor func(i int, addrs []string) func(addr string) (net.Conn, error)) ([]*Handoff, []string, []net.Listener) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	hs := make([]*Handoff, n)
+	for i := range hs {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		var dial func(string) (net.Conn, error)
+		if dialFor != nil {
+			dial = dialFor(i, addrs)
+		}
+		hs[i] = NewHandoff(HandoffConfig{Peers: peers, Dial: dial, DialTimeout: time.Second})
+		go hs[i].ListenAndServe(lns[i], nil)
+	}
+	t.Cleanup(func() {
+		for i := range hs {
+			hs[i].Close()
+			_ = lns[i].Close()
+		}
+	})
+	return hs, addrs, lns
+}
+
+// waitShipped blocks until the handoff manager holds state for the
+// client at least at seq — the readiness gate a harness uses before
+// killing the walk's owning node.
+func waitShipped(t *testing.T, h *Handoff, clientID string, seq uint32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got, ok := h.Lookup(clientID); ok && got >= seq {
+			return
+		}
+		if time.Now().After(deadline) {
+			got, ok := h.Lookup(clientID)
+			t.Fatalf("peer never received session state at seq %d (have %d, %v)", seq, got, ok)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCrossNodeResumeBitIdentical is the tentpole's acceptance bar:
+// a walk served by node A — which is then killed abruptly — continues
+// on node B from the state A shipped over the handoff wire, and the
+// full result sequence is bit-identical to the uninterrupted direct
+// reference. Zero restarted walks: B injects, it never opens. Run
+// under -race in CI.
+func TestCrossNodeResumeBitIdentical(t *testing.T) {
+	factory, w, _ := clusterWorld(t)
+	base := offload.ServerConfig{Factory: factory}
+	const epochs = 12
+	const killAt = 6
+	walks := makeWalks(t, w, base, 1, epochs)
+	wc := walks[0]
+
+	hs, _, _ := startHandoffMesh(t, 2, nil)
+	cfgA, cfgB := base, base
+	cfgA.ShipSession, cfgA.FetchSession = hs[0].Ship, hs[0].Fetch
+	cfgB.ShipSession, cfgB.FetchSession = hs[1].Ship, hs[1].Fetch
+	a, b := startNode(t, cfgA), startNode(t, cfgB)
+
+	var useB atomic.Bool
+	dial := func() (net.Conn, error) {
+		if useB.Load() {
+			return net.Dial("tcp", b.addr())
+		}
+		return net.Dial("tcp", a.addr())
+	}
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := offload.NewClient(conn, wc.id)
+	client.SetTimeout(5 * time.Second)
+	client.SetReconnect(dial, offload.Backoff{
+		Min: 5 * time.Millisecond, Max: 100 * time.Millisecond, Attempts: 20, Seed: 3,
+	})
+	defer func() { _ = client.Close() }()
+	if err := client.Hello(wc.start); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []*offload.Result
+	for j, snap := range wc.snaps {
+		if j == killAt {
+			// Shipping is asynchronous: kill only once B provably holds
+			// the state of the last served epoch, so the test pins the
+			// failover mechanics, not a shipping race.
+			waitShipped(t, hs[1], wc.id, uint32(killAt))
+			useB.Store(true)
+			a.kill()
+		}
+		res, err := client.Localize(snap)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", j, err)
+		}
+		got = append(got, res)
+	}
+	if err := samePositions(got, wc.want); err != nil {
+		t.Fatalf("cross-node resumed walk diverged from reference: %v", err)
+	}
+	if client.Resumes() < 1 {
+		t.Errorf("client resumes = %d, want >= 1", client.Resumes())
+	}
+	st := b.srv.Stats()
+	if st.Injected < 1 {
+		t.Errorf("peer injected %d sessions, want >= 1", st.Injected)
+	}
+	if st.Opened != 0 {
+		t.Errorf("peer opened %d fresh sessions, want 0 (inject, not restart)", st.Opened)
+	}
+}
+
+// TestRouterLiveAddBackend pins live backend addition end to end: a
+// walk in flight through a one-backend router keeps its bit-identity
+// when AddBackend moves its key — the router drains the spliced
+// connection with an RST, the old backend parks the session, and the
+// reconnect lands on the new backend, which pulls the session state
+// over the handoff wire. Run under -race in CI.
+func TestRouterLiveAddBackend(t *testing.T) {
+	factory, w, _ := clusterWorld(t)
+	base := offload.ServerConfig{Factory: factory}
+	const epochs = 12
+	const addAt = 5
+	walks := makeWalks(t, w, base, 16, epochs)
+
+	hs, _, _ := startHandoffMesh(t, 2, nil)
+	cfgA, cfgB := base, base
+	cfgA.ShipSession, cfgA.FetchSession = hs[0].Ship, hs[0].Fetch
+	cfgB.ShipSession, cfgB.FetchSession = hs[1].Ship, hs[1].Fetch
+	a, b := startNode(t, cfgA), startNode(t, cfgB)
+
+	// Pick a walker whose key will move to the new backend.
+	probe := NewRing([]string{a.addr()}, 0)
+	probe.Add(b.addr())
+	idx := -1
+	for i := range walks {
+		if home, _ := probe.Pick(walks[i].id); home == b.addr() {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no candidate key moves to the new backend") // ~2^-16
+	}
+	wc := walks[idx]
+
+	router, addr := startRouter(t, RouterConfig{Backends: []string{a.addr()}})
+	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := offload.NewClient(conn, wc.id)
+	client.SetTimeout(5 * time.Second)
+	client.SetReconnect(dial, offload.Backoff{
+		Min: 5 * time.Millisecond, Max: 100 * time.Millisecond, Attempts: 20, Seed: 5,
+	})
+	defer func() { _ = client.Close() }()
+	if err := client.Hello(wc.start); err != nil {
+		t.Fatal(err)
+	}
+
+	moved := -1
+	var got []*offload.Result
+	for j, snap := range wc.snaps {
+		if j == addAt {
+			// Same readiness gate as the kill test: the new backend must
+			// hold the state of every served epoch before the drain, or
+			// the migrated walk would silently skip one.
+			waitShipped(t, hs[1], wc.id, uint32(addAt))
+			moved = router.AddBackend(b.addr())
+		}
+		res, err := client.Localize(snap)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", j, err)
+		}
+		got = append(got, res)
+	}
+	if moved < 1 {
+		t.Fatalf("AddBackend drained %d connections, want >= 1", moved)
+	}
+	if err := samePositions(got, wc.want); err != nil {
+		t.Fatalf("migrated walk diverged from reference: %v", err)
+	}
+	if client.Resumes() < 1 {
+		t.Errorf("client resumes = %d, want >= 1", client.Resumes())
+	}
+	if st := b.srv.Stats(); st.Injected < 1 {
+		t.Errorf("new backend injected %d sessions, want >= 1", st.Injected)
+	}
+	if router.AddBackend(b.addr()) != -1 {
+		t.Error("re-adding an existing backend should report -1")
+	}
+}
+
+// TestRingAllBackendsDown pins the satellite's ring half: a ring whose
+// every member is down reports unroutable instead of spinning, and a
+// revived member takes the keys back.
+func TestRingAllBackendsDown(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:1"}, 8)
+	if _, ok := r.Pick("walker"); !ok {
+		t.Fatal("ring with live members failed to pick")
+	}
+	r.SetDown("a:1", true)
+	r.SetDown("b:1", true)
+	if addr, ok := r.Pick("walker"); ok {
+		t.Fatalf("pick on an all-down ring returned %q, want unroutable", addr)
+	}
+	r.SetDown("b:1", false)
+	if addr, ok := r.Pick("walker"); !ok || addr != "b:1" {
+		t.Fatalf("pick after revival = %q,%v, want b:1", addr, ok)
+	}
+}
+
+// TestRouterAllBackendsDownFailsFast pins the satellite's router half:
+// with every backend dead, a client's hello gets a prompt connection
+// close — a routable error surfaced through the reconnect path — not a
+// hang.
+func TestRouterAllBackendsDownFailsFast(t *testing.T) {
+	factory, _, _ := clusterWorld(t)
+	n := startNode(t, offload.ServerConfig{Factory: factory})
+	_, addr := startRouter(t, RouterConfig{
+		Backends:    []string{n.addr()},
+		DialTimeout: 200 * time.Millisecond,
+	})
+	n.kill()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	h := &offload.Hello{Version: offload.ProtocolVersion, ClientID: "walker"}
+	if _, err := offload.WriteFrame(conn, offload.MsgHello, offload.EncodeHello(h)); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, _, err := offload.ReadFrame(conn); err == nil {
+		t.Fatal("router answered a hello with every backend dead")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("router hung on a dead cluster instead of failing fast")
+	}
+}
+
+// TestFollowerGapAbort pins the satellite: a follower at version V that
+// receives delta V+2 must abort the session and resubscribe from its
+// actual version — applying would fork the snapshot contents while the
+// version counter pretends convergence.
+func TestFollowerGapAbort(t *testing.T) {
+	_, _, db := clusterWorld(t)
+	reg := telemetry.NewRegistry()
+	store := mapstore.New(db, mapstore.Config{Name: "wifi-gap", RebuildBatch: 1 << 30})
+	t.Cleanup(store.Close)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	subs := make(chan map[byte]uint64, 8)
+	go func() {
+		// Fake leader: answer every subscription with a delta two
+		// versions ahead of whatever the follower claims.
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer func() { _ = conn.Close() }()
+				_, payload, err := readRepFrame(conn)
+				if err != nil {
+					return
+				}
+				vers, err := decodeSubscribe(payload)
+				if err != nil {
+					return
+				}
+				subs <- vers
+				buf, _ := encodeDelta(delta{mapID: offload.MapWiFi, version: vers[offload.MapWiFi] + 2})
+				_ = writeRepFrame(conn, rmDelta, buf)
+				_, _, _ = readRepFrame(conn) // hold until the follower aborts
+			}(conn)
+		}
+	}()
+
+	f := NewFollower(ln.Addr().String(), map[byte]*mapstore.Store{offload.MapWiFi: store}, reg)
+	t.Cleanup(f.Close)
+
+	v0 := store.Version()
+	recv := func() map[byte]uint64 {
+		select {
+		case v := <-subs:
+			return v
+		case <-time.After(5 * time.Second):
+			t.Fatal("follower never (re)subscribed")
+			return nil
+		}
+	}
+	if v := recv(); v[offload.MapWiFi] != v0 {
+		t.Fatalf("first subscription at version %d, want %d", v[offload.MapWiFi], v0)
+	}
+	// The gap must trigger a resubscription from the unchanged version.
+	if v := recv(); v[offload.MapWiFi] != v0 {
+		t.Fatalf("resubscription at version %d, want %d — the gapped delta was applied", v[offload.MapWiFi], v0)
+	}
+	if got := store.Version(); got != v0 {
+		t.Fatalf("store version moved %d → %d on a gapped delta", v0, got)
+	}
+	if v, ok := reg.Snapshot().Get("uniloc_repl_gap_aborts_total"); !ok || v < 1 {
+		t.Errorf("gap_aborts_total = %v,%v, want >= 1", v, ok)
+	}
+}
+
+// TestPromoteStandbyLeader pins standby promotion: the old leader dies,
+// surveys keep arriving at the standby (buffered, not lost), Promote
+// turns the standby into a leader seeded with its retained delta log,
+// and a brand-new follower — subscribing from the seed version —
+// catches up through the retained history plus the post-promotion
+// compaction of the buffered surveys.
+func TestPromoteStandbyLeader(t *testing.T) {
+	_, w, db := clusterWorld(t)
+	reg0 := telemetry.NewRegistry()
+	reg1 := telemetry.NewRegistry()
+
+	store0 := mapstore.New(db, mapstore.Config{Name: "wifi-l0", RebuildBatch: 2})
+	t.Cleanup(store0.Close)
+	leader0 := NewLeader(map[byte]*mapstore.Store{offload.MapWiFi: store0}, reg0)
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go leader0.ListenAndServe(ln0, nil)
+
+	// The standby compacts for real after promotion (its submissions
+	// must produce deltas); while following, it never submits locally,
+	// so the batch size is dormant.
+	store1 := mapstore.New(db, mapstore.Config{Name: "wifi-s1", RebuildBatch: 2})
+	t.Cleanup(store1.Close)
+	// The promotion listener exists up front: followers carry it in
+	// their candidate list from day one.
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln1.Close() })
+	candidates := []string{ln0.Addr().String(), ln1.Addr().String()}
+	f1 := NewFollowerAddrs(candidates, map[byte]*mapstore.Store{offload.MapWiFi: store1}, reg1)
+
+	// Round 1: one compaction on the old leader reaches the standby.
+	model := rf.WiFiModel()
+	rnd := rand.New(rand.NewSource(11))
+	scan := func(x float64) rf.Vector {
+		return model.Scan(w, w.APs, geo.Pt(x, 2), rf.Reference(), rnd)
+	}
+	for i := 0; i < 2; i++ {
+		x := 5 + float64(i*7)
+		if err := store0.Submit(fingerprint.Fingerprint{Pos: geo.Pt(x, 2), Vec: scan(x)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && store0.Version() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if !f1.WaitVersion(offload.MapWiFi, store0.Version(), 3*time.Second) {
+		t.Fatalf("standby stuck at version %d, leader at %d", store1.Version(), store0.Version())
+	}
+	seedVer := store1.Version()
+
+	// Kill the leader; wait for the standby to notice.
+	_ = ln0.Close()
+	leader0.Close()
+	for deadline = time.Now().Add(3 * time.Second); f1.Connected(); {
+		if time.Now().After(deadline) {
+			t.Fatal("standby never noticed the dead leader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Ingest during the outage: buffered, not dropped.
+	for i := 0; i < 2; i++ {
+		x := 20 + float64(i*5)
+		sv := &offload.Survey{Map: offload.MapWiFi, X: x, Y: 2, Vec: scan(x)}
+		if err := f1.ForwardSurvey(sv); err != nil {
+			t.Fatalf("survey during outage: %v", err)
+		}
+	}
+	if v, ok := reg1.Snapshot().Get("uniloc_repl_surveys_buffered_total"); !ok || v < 2 {
+		t.Errorf("surveys_buffered_total = %v,%v, want >= 2", v, ok)
+	}
+
+	// Promote: buffered surveys enter the local Submit → compact cycle.
+	leader1 := Promote(f1, reg1)
+	t.Cleanup(leader1.Close)
+	go leader1.ListenAndServe(ln1, nil)
+	for deadline = time.Now().Add(3 * time.Second); store1.Version() < seedVer+1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("promoted leader never compacted the buffered surveys (version %d)", store1.Version())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A brand-new follower joins at the seed version: the retained
+	// history (delta 2) plus the post-promotion delta must both stream.
+	store2 := mapstore.New(db, mapstore.Config{Name: "wifi-f2", RebuildBatch: 1 << 30})
+	t.Cleanup(store2.Close)
+	f2 := NewFollowerAddrs(candidates, map[byte]*mapstore.Store{offload.MapWiFi: store2}, telemetry.NewRegistry())
+	t.Cleanup(f2.Close)
+	if !f2.WaitVersion(offload.MapWiFi, store1.Version(), 5*time.Second) {
+		t.Fatalf("new follower stuck at version %d, promoted leader at %d", store2.Version(), store1.Version())
+	}
+	if lv, fv := store1.Version(), store2.Version(); lv != fv {
+		t.Fatalf("versions diverged after promotion: leader %d, follower %d", lv, fv)
+	}
+	ls, fs := store1.Snapshot(), store2.Snapshot()
+	if ls.Len() != fs.Len() {
+		t.Fatalf("snapshot sizes diverged after promotion: %d vs %d", ls.Len(), fs.Len())
+	}
+	for i := 0; i < 10; i++ {
+		q := scan(3 + float64(i*3))
+		if !eqMatches(ls.Nearest(q, 3), fs.Nearest(q, 3)) {
+			t.Fatalf("Nearest diverged at query %d", i)
+		}
+	}
+}
+
+// TestClusterChaosFailover is the issue's acceptance chaos test: a
+// 3-node cluster (replication leader on node 0, standby on node 1,
+// follower on node 2, full-mesh session handoff) serves 64 concurrent
+// walkers through a router while the fault plan kills the leader node
+// abruptly AND partitions one handoff link. Every walk finishes, zero
+// walks restart (opens stay 64 — failed-over sessions are injected),
+// untouched walkers stay bit-identical, promotion completes mid-ingest
+// and the survivors' stores converge to matching versions. Run under
+// -race in CI.
+func TestClusterChaosFailover(t *testing.T) {
+	factory, w, db := clusterWorld(t)
+	base := offload.ServerConfig{Factory: factory}
+	const walkers = 64
+	const epochs = 14
+	const killAt = 6
+	walks := makeWalks(t, w, base, walkers, epochs)
+
+	// Replication layer.
+	reg0, reg1, reg2 := telemetry.NewRegistry(), telemetry.NewRegistry(), telemetry.NewRegistry()
+	store0 := mapstore.New(db, mapstore.Config{Name: "wifi-c0", RebuildBatch: 4})
+	t.Cleanup(store0.Close)
+	store1 := mapstore.New(db, mapstore.Config{Name: "wifi-c1", RebuildBatch: 4})
+	t.Cleanup(store1.Close)
+	store2 := mapstore.New(db, mapstore.Config{Name: "wifi-c2", RebuildBatch: 1 << 30})
+	t.Cleanup(store2.Close)
+	leader0 := NewLeader(map[byte]*mapstore.Store{offload.MapWiFi: store0}, reg0)
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go leader0.ListenAndServe(ln0, nil)
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln1.Close() })
+	candidates := []string{ln0.Addr().String(), ln1.Addr().String()}
+	f1 := NewFollowerAddrs(candidates, map[byte]*mapstore.Store{offload.MapWiFi: store1}, reg1)
+	f2 := NewFollowerAddrs(candidates, map[byte]*mapstore.Store{offload.MapWiFi: store2}, reg2)
+	t.Cleanup(f2.Close)
+
+	// Seed one compaction and let BOTH followers converge before any
+	// walker runs. Walker surveys only flow after the kill — a delta
+	// streamed while the leader is being killed can reach one follower
+	// and not the other, and without a commit index that one-batch fork
+	// is permanent (the honest limitation of async delta replication;
+	// see ROADMAP). The test pins promotion, not that gap.
+	model := rf.WiFiModel()
+	rnd := rand.New(rand.NewSource(23))
+	for i := 0; i < 4; i++ {
+		x := 4 + float64(i*6)
+		sv := &offload.Survey{Map: offload.MapWiFi, X: x, Y: 2,
+			Vec: model.Scan(w, w.APs, geo.Pt(x, 2), rf.Reference(), rnd)}
+		if err := leader0.SurveyIngest(sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seedDeadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(seedDeadline) && store0.Version() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if !f1.WaitVersion(offload.MapWiFi, store0.Version(), 3*time.Second) ||
+		!f2.WaitVersion(offload.MapWiFi, store0.Version(), 3*time.Second) {
+		t.Fatalf("followers never converged to the seed (leader %d, standby %d, follower %d)",
+			store0.Version(), store1.Version(), store2.Version())
+	}
+
+	// Session handoff mesh, with the node0 → node1 link behind a
+	// partition injector.
+	var part faultinject.Partition
+	hs, _, hlns := startHandoffMesh(t, 3, func(i int, addrs []string) func(string) (net.Conn, error) {
+		if i != 0 {
+			return nil
+		}
+		def := func(addr string) (net.Conn, error) { return net.DialTimeout("tcp", addr, time.Second) }
+		cut := part.WrapDial(def)
+		target := addrs[1]
+		return func(addr string) (net.Conn, error) {
+			if addr == target {
+				return cut(addr)
+			}
+			return def(addr)
+		}
+	})
+
+	// Nodes. Node 1's survey ingest swaps from forward-to-leader to
+	// serve-as-leader at promotion.
+	type surveyFn = func(*offload.Survey) error
+	var ingest1 atomic.Value
+	ingest1.Store(surveyFn(f1.ForwardSurvey))
+	cfg0, cfg1, cfg2 := base, base, base
+	cfg0.ShipSession, cfg0.FetchSession = hs[0].Ship, hs[0].Fetch
+	cfg0.SurveyIngest = leader0.SurveyIngest
+	cfg1.ShipSession, cfg1.FetchSession = hs[1].Ship, hs[1].Fetch
+	cfg1.SurveyIngest = func(sv *offload.Survey) error { return ingest1.Load().(surveyFn)(sv) }
+	cfg2.ShipSession, cfg2.FetchSession = hs[2].Ship, hs[2].Fetch
+	cfg2.SurveyIngest = f2.ForwardSurvey
+	n0, n1, n2 := startNode(t, cfg0), startNode(t, cfg1), startNode(t, cfg2)
+	router, addr := startRouter(t, RouterConfig{
+		Backends:    []string{n0.addr(), n1.addr(), n2.addr()},
+		HealthEvery: 20 * time.Millisecond,
+	})
+
+	// Fault plan on the walk's epoch clock: partition the handoff link
+	// two epochs before the kill (survivor fetches must win through the
+	// healthy peer), then kill -9 the leader node and promote the
+	// standby — while surveys are in flight.
+	var first sync.WaitGroup
+	first.Add(walkers)
+	var leader1 atomic.Pointer[Leader]
+	t.Cleanup(func() {
+		if l := leader1.Load(); l != nil {
+			l.Close()
+		}
+	})
+	plan := &faultinject.ClusterPlan{}
+	plan.At(killAt-2, "partition-handoff", func() { part.Cut() })
+	plan.At(killAt, "kill-leader-node", func() {
+		// Every walker has served at least one epoch, so every session's
+		// state is already on some peer: a fetch can go stale, never miss.
+		first.Wait()
+		_ = ln0.Close()
+		leader0.Close()
+		_ = hlns[0].Close()
+		hs[0].Close()
+		n0.kill()
+		l := Promote(f1, reg1)
+		leader1.Store(l)
+		ingest1.Store(surveyFn(l.SurveyIngest))
+		go l.ListenAndServe(ln1, nil)
+	})
+
+	victimAddr := n0.addr()
+	var wg sync.WaitGroup
+	errs := make([]error, walkers)
+	moved := make([]bool, walkers)
+	results := make([][]*offload.Result, walkers)
+	for i := range walks {
+		home, ok := router.Ring().Pick(walks[i].id)
+		if !ok {
+			t.Fatal("ring empty")
+		}
+		moved[i] = home == victimAddr
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+			conn, err := dial()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			client := offload.NewClient(conn, walks[i].id)
+			client.SetTimeout(10 * time.Second)
+			client.SetReconnect(dial, offload.Backoff{
+				Min: 5 * time.Millisecond, Max: 250 * time.Millisecond, Attempts: 40, Seed: int64(i),
+			})
+			defer func() { _ = client.Close() }()
+			if err := client.Hello(walks[i].start); err != nil {
+				errs[i] = err
+				return
+			}
+			done := 0
+			for j, snap := range walks[i].snaps {
+				res, err := client.Localize(snap)
+				if err != nil {
+					errs[i] = fmt.Errorf("epoch %d: %w", j, err)
+					return
+				}
+				if !res.OK {
+					errs[i] = fmt.Errorf("epoch %d not OK", j)
+					return
+				}
+				results[i] = append(results[i], res)
+				done++
+				if j == 0 {
+					first.Done()
+				}
+				if i%8 == 0 && j > killAt && len(snap.WiFi) >= 2 {
+					// Crowdsourced ingest riding the failover: these surveys
+					// hit node 1 while it is mid-promotion (buffered at the
+					// follower, drained by Promote) and node 2 while it is
+					// redialing candidates toward the new leader.
+					pos := geo.Pt(walks[i].start.X+float64(j)*0.7, walks[i].start.Y)
+					_ = client.SubmitSurvey(offload.MapWiFi, pos, snap.WiFi)
+				}
+				plan.Tick(j)
+			}
+			if done != epochs {
+				errs[i] = fmt.Errorf("finished %d/%d epochs", done, epochs)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("walker %d (moved=%v): %v", i, moved[i], err)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Walkers that never lived on the victim must match the direct
+	// reference bit-for-bit — failover of the victim's sessions did not
+	// disturb anyone else. (Moved walkers finished every epoch, asserted
+	// above; their bit-exact continuation is pinned by
+	// TestCrossNodeResumeBitIdentical, where the kill waits on shipping.)
+	anyMoved := false
+	for i := range walks {
+		if moved[i] {
+			anyMoved = true
+			continue
+		}
+		if err := samePositions(results[i], walks[i].want); err != nil {
+			t.Errorf("unmoved walker %d diverged from reference: %v", i, err)
+		}
+	}
+	if !anyMoved {
+		t.Fatal("no walker lived on the victim — chaos exercised nothing")
+	}
+	if part.Cuts() < 1 {
+		t.Error("handoff partition never fired")
+	}
+	if leader1.Load() == nil {
+		t.Fatal("standby promotion never fired")
+	}
+
+	// Zero restarted walks: the cluster opened exactly one session per
+	// walker; every failover was an injection.
+	opened := n0.srv.Stats().Opened + n1.srv.Stats().Opened + n2.srv.Stats().Opened
+	if opened != walkers {
+		t.Errorf("cluster opened %d sessions for %d walkers — some walk restarted", opened, walkers)
+	}
+	injected := n1.srv.Stats().Injected + n2.srv.Stats().Injected
+	if injected < 1 {
+		t.Errorf("survivors injected %d sessions, want >= 1", injected)
+	}
+
+	// Promotion converged the survivors' stores: flush anything still
+	// pending on the promoted leader (Rebuild is a no-op when empty),
+	// then the follower must settle at the exact same version with the
+	// same snapshot contents.
+	var lv, fv uint64
+	stable := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && stable < 3 {
+		store1.Rebuild()
+		a, b := store1.Version(), store2.Version()
+		if a == b && a == lv && store1.Snapshot().Len() == store2.Snapshot().Len() {
+			stable++
+		} else {
+			stable = 0
+		}
+		lv, fv = a, b
+		time.Sleep(30 * time.Millisecond)
+	}
+	if lv != fv {
+		t.Fatalf("survivor stores diverged: promoted leader %d, follower %d", lv, fv)
+	}
+	if lv < 3 {
+		t.Errorf("promoted leader never compacted past the seed (version %d) — ingest did not survive the failover", lv)
+	}
+	if ls, fs := store1.Snapshot(), store2.Snapshot(); ls.Len() != fs.Len() {
+		t.Fatalf("survivor snapshots diverged: %d vs %d points", ls.Len(), fs.Len())
+	}
+}

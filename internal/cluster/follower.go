@@ -13,9 +13,16 @@ import (
 )
 
 // ErrNotConnected reports a survey forward attempted while the
-// follower has no live leader connection; the point is dropped (the
-// client fired and forgot) and the offload server counts it.
+// follower has no live leader connection and its buffer is full; the
+// point is dropped (the client fired and forgot) and the offload
+// server counts it.
 var ErrNotConnected = errors.New("cluster: not connected to replication leader")
+
+// surveyBufferCap bounds the surveys a follower holds while its leader
+// link is down (a leader failover gap); beyond it the oldest buffered
+// point is dropped — bounded memory beats unbounded fidelity on a
+// crowdsourcing path that is lossy by design.
+const surveyBufferCap = 1024
 
 // followerMetrics are the replication client's instruments.
 type followerMetrics struct {
@@ -24,6 +31,9 @@ type followerMetrics struct {
 	pointsApplied   *telemetry.Counter
 	surveysForward  *telemetry.Counter
 	surveysDropped  *telemetry.Counter
+	surveysBuffered *telemetry.Counter
+	surveysFlushed  *telemetry.Counter
+	gapAborts       *telemetry.Counter
 	reconnectsTotal *telemetry.Counter
 }
 
@@ -33,7 +43,10 @@ func newFollowerMetrics(reg *telemetry.Registry) followerMetrics {
 		deltasApplied:   reg.Counter("uniloc_repl_deltas_applied_total", "leader compaction deltas folded into local stores"),
 		pointsApplied:   reg.Counter("uniloc_repl_points_applied_total", "fingerprints folded in from deltas"),
 		surveysForward:  reg.Counter("uniloc_repl_surveys_sent_total", "locally ingested surveys forwarded to the leader"),
-		surveysDropped:  reg.Counter("uniloc_repl_surveys_send_failed_total", "survey forwards that failed (no leader connection)"),
+		surveysDropped:  reg.Counter("uniloc_repl_surveys_send_failed_total", "survey forwards dropped (no leader link and buffer full)"),
+		surveysBuffered: reg.Counter("uniloc_repl_surveys_buffered_total", "surveys buffered while the leader link was down"),
+		surveysFlushed:  reg.Counter("uniloc_repl_surveys_flushed_total", "buffered surveys re-forwarded after the link came back"),
+		gapAborts:       reg.Counter("uniloc_repl_gap_aborts_total", "sessions aborted on a delta version gap (resubscribed instead of applying)"),
 		reconnectsTotal: reg.Counter("uniloc_repl_reconnects_total", "replication link reconnect attempts"),
 	}
 }
@@ -45,13 +58,23 @@ func newFollowerMetrics(reg *telemetry.Registry) followerMetrics {
 // invariants per node), and forwards locally ingested surveys to the
 // leader — the node itself never compacts crowdsourced input, so its
 // versions can never fork from the leader's.
+//
+// Failover plumbing: a follower can be given several leader addresses
+// (the current leader plus promotion candidates) and cycles through
+// them on connection failure, so followers re-home onto a promoted
+// standby without restarting. It retains every applied delta, giving
+// cluster.Promote a complete log to seed the new leader's streamer
+// with, and buffers surveys while the link is down so points ingested
+// during a leader failover are re-forwarded, not lost.
 type Follower struct {
-	addr   string
+	addrs  []string
 	stores map[byte]*mapstore.Store
 	met    followerMetrics
 
-	mu   sync.Mutex
-	conn net.Conn // nil while disconnected
+	mu       sync.Mutex
+	conn     net.Conn          // nil while disconnected
+	buf      []*offload.Survey // surveys held while disconnected
+	retained map[byte][]delta  // applied deltas, ascending version per map
 
 	done chan struct{}
 	once sync.Once
@@ -67,11 +90,21 @@ type Follower struct {
 // through ForwardSurvey — offload.ServerConfig.SurveyIngest does this
 // when wired); otherwise versions fork and ApplyDelta diverges.
 func NewFollower(addr string, stores map[byte]*mapstore.Store, reg *telemetry.Registry) *Follower {
+	return NewFollowerAddrs([]string{addr}, stores, reg)
+}
+
+// NewFollowerAddrs is NewFollower over a candidate leader list: the
+// follower tries each address in turn until one accepts its
+// subscription, and moves to the next on every failure — a promoted
+// standby in the list picks up the followers of a dead leader without
+// operator action.
+func NewFollowerAddrs(addrs []string, stores map[byte]*mapstore.Store, reg *telemetry.Registry) *Follower {
 	f := &Follower{
-		addr:   addr,
-		stores: stores,
-		met:    newFollowerMetrics(reg),
-		done:   make(chan struct{}),
+		addrs:    addrs,
+		stores:   stores,
+		met:      newFollowerMetrics(reg),
+		retained: make(map[byte][]delta, len(stores)),
+		done:     make(chan struct{}),
 	}
 	f.wg.Add(1)
 	go f.run()
@@ -90,20 +123,24 @@ func (f *Follower) Close() {
 }
 
 // run is the connection loop: one session per iteration, capped
-// exponential backoff between attempts.
+// exponential backoff between attempts, cycling through the candidate
+// leader addresses on failure.
 func (f *Follower) run() {
 	defer f.wg.Done()
 	backoff := 10 * time.Millisecond
 	const maxBackoff = 2 * time.Second
+	next := 0
 	for {
 		select {
 		case <-f.done:
 			return
 		default:
 		}
-		err := f.session()
+		err := f.session(f.addrs[next%len(f.addrs)])
 		if err == nil {
 			backoff = 10 * time.Millisecond // served for a while: reset
+		} else {
+			next++ // this candidate failed: try the next one
 		}
 		select {
 		case <-f.done:
@@ -118,8 +155,8 @@ func (f *Follower) run() {
 }
 
 // session runs one subscribe-and-apply cycle until the link fails.
-func (f *Follower) session() error {
-	conn, err := net.DialTimeout("tcp", f.addr, 2*time.Second)
+func (f *Follower) session(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
 		return err
 	}
@@ -133,6 +170,8 @@ func (f *Follower) session() error {
 	}
 	f.mu.Lock()
 	f.conn = conn
+	buffered := f.buf
+	f.buf = nil
 	f.mu.Unlock()
 	// A Close that ran between the dial and the assignment above saw a
 	// nil conn and closed nothing; catch up here so the blocking read
@@ -155,6 +194,19 @@ func (f *Follower) session() error {
 		_ = conn.Close()
 	}()
 
+	// The link is back: re-forward every survey buffered during the gap
+	// (a leader failover must not eat crowdsourced points). A write
+	// failure re-buffers the remainder for the next session.
+	for i, sv := range buffered {
+		if err := writeRepFrame(conn, rmSurvey, offload.EncodeSurvey(sv)); err != nil {
+			f.mu.Lock()
+			f.buf = append(buffered[i:], f.buf...)
+			f.mu.Unlock()
+			return nil
+		}
+		f.met.surveysFlushed.Inc()
+	}
+
 	for {
 		t, payload, err := readRepFrame(conn)
 		if err != nil {
@@ -174,11 +226,15 @@ func (f *Follower) session() error {
 				// A gap would silently fork the snapshot contents even
 				// though ApplyDelta's version still increments; resubscribe
 				// from our actual version instead of applying.
+				f.met.gapAborts.Inc()
 				return fmt.Errorf("cluster: delta version %d on local version %d (map %d)", d.version, cur, d.mapID)
 			}
 			if got := st.ApplyDelta(d.batch); got != d.version {
 				return fmt.Errorf("cluster: applied delta landed at version %d, want %d", got, d.version)
 			}
+			f.mu.Lock()
+			f.retained[d.mapID] = append(f.retained[d.mapID], d)
+			f.mu.Unlock()
 			f.met.deltasApplied.Inc()
 			f.met.pointsApplied.Add(int64(len(d.batch)))
 		case rmError:
@@ -190,14 +246,21 @@ func (f *Follower) session() error {
 }
 
 // ForwardSurvey ships one locally received survey to the leader
-// (fire-and-forget, like the phone uplink that delivered it). Plugs
-// directly into offload.ServerConfig.SurveyIngest.
+// (fire-and-forget, like the phone uplink that delivered it). While
+// the leader link is down — a failover gap — the survey is buffered
+// and re-forwarded when the link returns; only a full buffer drops.
+// Plugs directly into offload.ServerConfig.SurveyIngest.
 func (f *Follower) ForwardSurvey(sv *offload.Survey) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.conn == nil {
-		f.met.surveysDropped.Inc()
-		return ErrNotConnected
+		if len(f.buf) >= surveyBufferCap {
+			f.met.surveysDropped.Inc()
+			return ErrNotConnected
+		}
+		f.buf = append(f.buf, sv)
+		f.met.surveysBuffered.Inc()
+		return nil
 	}
 	if err := writeRepFrame(f.conn, rmSurvey, offload.EncodeSurvey(sv)); err != nil {
 		f.met.surveysDropped.Inc()
@@ -212,6 +275,28 @@ func (f *Follower) Connected() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.conn != nil
+}
+
+// retainedDeltas snapshots the follower's applied-delta history,
+// ascending version per map (Promote seeds the new leader's log from
+// it).
+func (f *Follower) retainedDeltas() map[byte][]delta {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[byte][]delta, len(f.retained))
+	for id, log := range f.retained {
+		out[id] = append([]delta(nil), log...)
+	}
+	return out
+}
+
+// takeBuffered drains the surveys buffered during a disconnect.
+func (f *Follower) takeBuffered() []*offload.Survey {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	buf := f.buf
+	f.buf = nil
+	return buf
 }
 
 // WaitVersion is a test and startup helper: it blocks until the given

@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Promote turns a standby follower into the replication leader after
+// the old leader dies. The sequence is deterministic:
+//
+//  1. The follower's connection loop stops — no more deltas can arrive
+//     and race the role flip.
+//  2. A Leader is built over the same stores, so every subsequent
+//     local compaction enters the new delta log.
+//  3. The log is seeded with the follower's retained history: a
+//     surviving follower that subscribes at version V gets exactly the
+//     deltas (V, head] replayed in version order — deterministic
+//     catch-up, with the follower's own gap check rejecting anything
+//     the history cannot bridge.
+//  4. Surveys the follower buffered while the leader link was down are
+//     submitted into the local stores, entering the ordinary
+//     Submit → compact → delta cycle — re-forwarded, not lost.
+//
+// The caller then serves the returned leader on its replication
+// listener (Leader.ListenAndServe) and routes local survey ingest to
+// Leader.SurveyIngest instead of Follower.ForwardSurvey. Followers
+// configured with this node in their candidate list (NewFollowerAddrs)
+// re-subscribe on their next reconnect cycle.
+func Promote(f *Follower, reg *telemetry.Registry) *Leader {
+	f.Close()
+	l := NewLeader(f.stores, reg)
+	l.seed(f.retainedDeltas())
+	for _, sv := range f.takeBuffered() {
+		l.ingest(sv)
+	}
+	return l
+}
+
+// seed prepends retained history to the delta log. Compactions hooked
+// by NewLeader may already have appended newer entries; the retained
+// history is strictly older (it ends at the stores' current versions),
+// so prepending preserves ascending order.
+func (l *Leader) seed(history map[byte][]delta) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id, log := range history {
+		l.logs[id] = append(append([]delta(nil), log...), l.logs[id]...)
+	}
+	l.cond.Broadcast()
+}

@@ -59,6 +59,7 @@ type Ring struct {
 	points []ringPoint // sorted by hash
 	down   map[string]bool
 	addrs  []string // insertion order, for Members
+	vnodes int
 }
 
 type ringPoint struct {
@@ -72,17 +73,27 @@ func NewRing(addrs []string, vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVNodes
 	}
-	r := &Ring{down: make(map[string]bool, len(addrs))}
-	seen := make(map[string]bool, len(addrs))
+	r := &Ring{down: make(map[string]bool, len(addrs)), vnodes: vnodes}
 	for _, a := range addrs {
-		if a == "" || seen[a] {
-			continue
+		r.add(a)
+	}
+	return r
+}
+
+// add inserts one backend's vnodes; caller holds no lock (construction)
+// or the write lock (Add).
+func (r *Ring) add(addr string) bool {
+	if addr == "" {
+		return false
+	}
+	for _, a := range r.addrs {
+		if a == addr {
+			return false
 		}
-		seen[a] = true
-		r.addrs = append(r.addrs, a)
-		for i := 0; i < vnodes; i++ {
-			r.points = append(r.points, ringPoint{fnv1a(fmt.Sprintf("%s#%d", a, i)), a})
-		}
+	}
+	r.addrs = append(r.addrs, addr)
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{fnv1a(fmt.Sprintf("%s#%d", addr, i)), addr})
 	}
 	sort.Slice(r.points, func(i, j int) bool {
 		if r.points[i].hash != r.points[j].hash {
@@ -90,7 +101,19 @@ func NewRing(addrs []string, vnodes int) *Ring {
 		}
 		return r.points[i].addr < r.points[j].addr
 	})
-	return r
+	return true
+}
+
+// Add inserts a new live backend into the ring. Only the keys whose
+// clockwise-first point now lands on the new backend move — every
+// other session keeps its node, the consistent-hashing property that
+// makes live backend addition a bounded migration instead of a full
+// reshuffle. Returns false (and changes nothing) when the address is
+// already a member.
+func (r *Ring) Add(addr string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.add(addr)
 }
 
 // Pick maps key to its backend, skipping backends marked down. The

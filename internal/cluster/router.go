@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -41,24 +42,28 @@ type RouterConfig struct {
 // routerMetrics are the router's instruments; all nil — and free —
 // without a registry.
 type routerMetrics struct {
-	reg          *telemetry.Registry
-	active       *telemetry.Gauge
-	routed       *telemetry.Counter
-	dialFailures *telemetry.Counter
-	reroutes     *telemetry.Counter
-	helloErrors  *telemetry.Counter
-	probes       *telemetry.Counter
+	reg           *telemetry.Registry
+	active        *telemetry.Gauge
+	routed        *telemetry.Counter
+	dialFailures  *telemetry.Counter
+	reroutes      *telemetry.Counter
+	helloErrors   *telemetry.Counter
+	probes        *telemetry.Counter
+	probeFailures *telemetry.Counter
+	rebalanced    *telemetry.Counter
 }
 
 func newRouterMetrics(reg *telemetry.Registry) routerMetrics {
 	return routerMetrics{
-		reg:          reg,
-		active:       reg.Gauge("uniloc_router_active_conns", "client connections currently proxied"),
-		routed:       reg.Counter("uniloc_router_routed_total", "client connections routed to a backend"),
-		dialFailures: reg.Counter("uniloc_router_dial_failures_total", "backend dials that failed (backend marked down)"),
-		reroutes:     reg.Counter("uniloc_router_reroutes_total", "connections that landed on a non-first-choice backend"),
-		helloErrors:  reg.Counter("uniloc_router_hello_errors_total", "connections dropped before a routable hello"),
-		probes:       reg.Counter("uniloc_router_probes_total", "active health probes sent"),
+		reg:           reg,
+		active:        reg.Gauge("uniloc_router_active_conns", "client connections currently proxied"),
+		routed:        reg.Counter("uniloc_router_routed_total", "client connections routed to a backend"),
+		dialFailures:  reg.Counter("uniloc_router_dial_failures_total", "backend dials that failed (backend marked down)"),
+		reroutes:      reg.Counter("uniloc_router_reroutes_total", "connections that landed on a non-first-choice backend"),
+		helloErrors:   reg.Counter("uniloc_router_hello_errors_total", "connections dropped before a routable hello"),
+		probes:        reg.Counter("uniloc_router_probes_total", "active health probes sent"),
+		probeFailures: reg.Counter("uniloc_router_probe_failures_total", "active health probes that failed"),
+		rebalanced:    reg.Counter("uniloc_router_rebalanced_total", "proxied connections drained because their key moved to another backend"),
 	}
 }
 
@@ -89,9 +94,32 @@ type Router struct {
 
 	mu     sync.Mutex
 	active int64
+	conns  map[*proxied]struct{} // live proxied connections, for rebalance drains
+	probes map[string]*probeState
+	rnd    *rand.Rand // probe-backoff jitter; guarded by mu
 	done   chan struct{}
 	once   sync.Once
 	wg     sync.WaitGroup
+}
+
+// proxied is one live client↔backend splice, tracked so a rebalance
+// (AddBackend) can drain exactly the connections whose key moved.
+type proxied struct {
+	client  net.Conn
+	backend net.Conn
+	key     string
+	addr    string
+}
+
+// probeState is one backend's prober schedule: consecutive failures
+// and the earliest next probe time. A persistently-down backend is
+// probed on jittered exponential backoff instead of every tick, so a
+// large ring with a dead member doesn't spend its probe budget
+// hammering it (and a thundering herd of routers doesn't re-probe in
+// lockstep).
+type probeState struct {
+	failures int
+	next     time.Time
 }
 
 // NewRouter builds a router over the configured backends.
@@ -109,6 +137,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		dialTimeout: dt,
 		healthEvery: cfg.HealthEvery,
 		met:         newRouterMetrics(cfg.Metrics),
+		conns:       make(map[*proxied]struct{}),
+		probes:      make(map[string]*probeState),
+		rnd:         rand.New(rand.NewSource(time.Now().UnixNano())),
 		done:        make(chan struct{}),
 	}
 	for _, m := range ring.Members() {
@@ -142,9 +173,18 @@ func (r *Router) markDown(addr string, down bool) {
 	}
 }
 
-// probeLoop actively probes every backend with a TCP dial: a refused
-// probe marks the backend down, a successful one marks it back up —
-// so a restarted node rejoins the ring without operator action.
+// probeBackoffCap caps the prober's exponential backoff at this many
+// base periods: a dead backend is still re-probed within ~16 periods,
+// so a restarted node rejoins promptly, while the steady-state cost of
+// a long-dead one drops by an order of magnitude.
+const probeBackoffCap = 16
+
+// probeLoop actively probes backends with TCP dials: a refused probe
+// marks the backend down, a successful one marks it back up — so a
+// restarted node rejoins the ring without operator action. Healthy
+// backends are probed every HealthEvery; a backend that keeps failing
+// backs off exponentially (doubling per consecutive failure, capped,
+// with ±25% jitter) so persistent deadness is cheap to track.
 func (r *Router) probeLoop() {
 	defer r.wg.Done()
 	tick := time.NewTicker(r.healthEvery)
@@ -154,16 +194,82 @@ func (r *Router) probeLoop() {
 		case <-r.done:
 			return
 		case <-tick.C:
+			now := time.Now()
 			for _, m := range r.ring.Members() {
+				r.mu.Lock()
+				ps := r.probes[m.Addr]
+				if ps == nil {
+					ps = &probeState{}
+					r.probes[m.Addr] = ps
+				}
+				due := !now.Before(ps.next)
+				r.mu.Unlock()
+				if !due {
+					continue
+				}
 				r.met.probes.Inc()
 				conn, err := net.DialTimeout("tcp", m.Addr, r.dialTimeout)
 				if err == nil {
 					_ = conn.Close()
 				}
 				r.markDown(m.Addr, err != nil)
+				r.mu.Lock()
+				if err != nil {
+					r.met.probeFailures.Inc()
+					if ps.failures < 30 {
+						ps.failures++
+					}
+					mult := 1 << ps.failures
+					if mult > probeBackoffCap {
+						mult = probeBackoffCap
+					}
+					delay := time.Duration(mult) * r.healthEvery
+					// ±25% jitter de-correlates probe storms across routers.
+					delay += time.Duration((r.rnd.Float64() - 0.5) * 0.5 * float64(delay))
+					ps.next = now.Add(delay)
+				} else {
+					ps.failures = 0
+					ps.next = now.Add(r.healthEvery)
+				}
+				r.mu.Unlock()
 			}
 		}
 	}
+}
+
+// AddBackend adds a live backend to the router's ring at runtime and
+// drains exactly the proxied connections whose key now hashes to it:
+// their splices are severed with an RST on both sides, so the backend
+// parks the v4 session for resume and the client's reconnect — landing
+// on the new backend — migrates the walk over the handoff path instead
+// of restarting it. Connections whose keys did not move are untouched.
+// Returns how many connections were drained; -1 if the address was
+// already a member (nothing changes).
+func (r *Router) AddBackend(addr string) int {
+	if !r.ring.Add(addr) {
+		return -1
+	}
+	r.met.backendUp(addr, true)
+	r.mu.Lock()
+	var moved []*proxied
+	for p := range r.conns {
+		if next, ok := r.ring.Pick(p.key); ok && next != p.addr {
+			moved = append(moved, p)
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range moved {
+		// Drain-before-move: the abrupt close tells the old backend to
+		// park (not end) the session; the client reconnects and the ring
+		// now routes it to the new backend, which fetches the session
+		// state over the handoff wire.
+		abortConn(p.client)
+		abortConn(p.backend)
+		_ = p.client.Close()
+		_ = p.backend.Close()
+		r.met.rebalanced.Inc()
+	}
+	return len(moved)
 }
 
 // dialBackend walks the ring from the key's home position: the home
@@ -232,13 +338,16 @@ func (r *Router) Serve(conn net.Conn) error {
 		return fmt.Errorf("cluster: forward hello to %s: %w", addr, err)
 	}
 	r.met.routed.Inc()
+	p := &proxied{client: conn, backend: backend, key: key, addr: addr}
 	r.mu.Lock()
 	r.active++
+	r.conns[p] = struct{}{}
 	r.met.active.Set(float64(r.active))
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
 		r.active--
+		delete(r.conns, p)
 		r.met.active.Set(float64(r.active))
 		r.mu.Unlock()
 	}()

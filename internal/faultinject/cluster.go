@@ -1,0 +1,158 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"sort"
+	"sync"
+)
+
+// ErrPartitioned reports a dial refused by an active Partition.
+var ErrPartitioned = errors.New("faultinject: link partitioned")
+
+// Partition models a network partition of one cluster-internal link
+// (the session-handoff wire, the replication stream): while cut, every
+// dial through WrapDial fails and every connection previously opened
+// through it is severed. Heal restores the link; the wrapped
+// component's own reconnect path (shipper backoff, follower redial)
+// takes it from there. Unlike the epoch-seeded injectors, a partition
+// is driven explicitly — cluster chaos schedules are wall-time and
+// process-level, so the harness (or a ClusterPlan) decides when.
+type Partition struct {
+	mu     sync.Mutex
+	active bool
+	conns  map[net.Conn]struct{}
+	cuts   int
+}
+
+// Cut activates the partition and severs every tracked connection.
+func (p *Partition) Cut() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.conns = nil
+	p.active = true
+	p.cuts++
+	p.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// Heal deactivates the partition; subsequent dials succeed again.
+func (p *Partition) Heal() {
+	p.mu.Lock()
+	p.active = false
+	p.mu.Unlock()
+}
+
+// Active reports whether the link is currently cut.
+func (p *Partition) Active() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// Cuts returns how many times the link has been cut.
+func (p *Partition) Cuts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cuts
+}
+
+// WrapDial decorates a dialer so the partition governs it: dials fail
+// while cut, and connections it opened are tracked for severing by the
+// next Cut. Plugs into cluster.HandoffConfig.Dial.
+func (p *Partition) WrapDial(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		p.mu.Lock()
+		if p.active {
+			p.mu.Unlock()
+			return nil, ErrPartitioned
+		}
+		p.mu.Unlock()
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		if p.active {
+			// Cut raced the dial: the conn belongs to the dead link.
+			p.mu.Unlock()
+			_ = conn.Close()
+			return nil, ErrPartitioned
+		}
+		if p.conns == nil {
+			p.conns = make(map[net.Conn]struct{})
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		return &partitionConn{Conn: conn, p: p}, nil
+	}
+}
+
+// partitionConn untracks itself on Close so healed links don't
+// accumulate dead entries.
+type partitionConn struct {
+	net.Conn
+	p *Partition
+}
+
+func (c *partitionConn) Close() error {
+	c.p.mu.Lock()
+	delete(c.p.conns, c.Conn)
+	c.p.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// ClusterPlan schedules process-level cluster faults — node kills,
+// handoff-link cuts, standby promotion — on a walk's epoch clock, the
+// same deterministic axis the sensing and scheme injectors use. The
+// harness registers actions with At and calls Tick once per observed
+// epoch; each action fires exactly once, at the first tick at or past
+// its epoch, in epoch order. Two runs of the same harness therefore
+// produce the same fault schedule relative to walk progress, even
+// though the faults themselves (kill -9, dial failures) are wall-time
+// effects.
+type ClusterPlan struct {
+	mu   sync.Mutex
+	acts []clusterAction
+}
+
+type clusterAction struct {
+	epoch int
+	name  string
+	fn    func()
+	fired bool
+}
+
+// At registers an action to fire at the first Tick at or past epoch.
+func (c *ClusterPlan) At(epoch int, name string, fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.acts = append(c.acts, clusterAction{epoch: epoch, name: name, fn: fn})
+	sort.SliceStable(c.acts, func(i, j int) bool { return c.acts[i].epoch < c.acts[j].epoch })
+}
+
+// Tick fires every unfired action whose epoch has been reached and
+// returns their names (empty when nothing fired). Safe for concurrent
+// callers; each action runs exactly once, outside the plan's lock.
+func (c *ClusterPlan) Tick(epoch int) []string {
+	c.mu.Lock()
+	var due []func()
+	var names []string
+	for i := range c.acts {
+		if !c.acts[i].fired && c.acts[i].epoch <= epoch {
+			c.acts[i].fired = true
+			due = append(due, c.acts[i].fn)
+			names = append(names, c.acts[i].name)
+		}
+	}
+	c.mu.Unlock()
+	for _, fn := range due {
+		fn()
+	}
+	return names
+}

@@ -197,3 +197,27 @@ func (t *Tracker) Update(rssiDists []float64) geo.Point {
 // Predicted returns the current predicted location (zero before the
 // first update).
 func (t *Tracker) Predicted() geo.Point { return t.cur }
+
+// ExportState copies out the tracker's mutable filter state — the
+// current belief, the last two predicted positions, and whether the
+// first update has happened — for session migration. The states slice
+// itself is derived from the map snapshot and is rebuilt, not
+// shipped.
+func (t *Tracker) ExportState() (belief []float64, prev, cur geo.Point, init bool) {
+	return append([]float64(nil), t.belief...), t.prev, t.cur, t.init
+}
+
+// RestoreState installs exported filter state into a tracker built
+// over the same states. It reports false (leaving the fresh uniform
+// belief in place) when the belief length does not match this
+// tracker's state count — the map advanced between snapshot and
+// restore, and a stale belief over different states would be
+// meaningless.
+func (t *Tracker) RestoreState(belief []float64, prev, cur geo.Point, init bool) bool {
+	if len(belief) != len(t.states) {
+		return false
+	}
+	copy(t.belief, belief)
+	t.prev, t.cur, t.init = prev, cur, init
+	return true
+}

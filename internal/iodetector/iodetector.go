@@ -93,6 +93,37 @@ func (d *Detector) Reset() {
 	d.haveBaseline = false
 }
 
+// Memento is the detector's mutable runtime state, exported for
+// session migration. Configuration is not included — the restoring
+// detector keeps its own thresholds.
+type Memento struct {
+	State        State
+	PendingState State
+	PendingVotes int
+	CellBaseline float64
+	HaveBaseline bool
+}
+
+// Export captures the runtime state.
+func (d *Detector) Export() Memento {
+	return Memento{
+		State:        d.state,
+		PendingState: d.pendingState,
+		PendingVotes: d.pendingVotes,
+		CellBaseline: d.cellBaseline,
+		HaveBaseline: d.haveBaseline,
+	}
+}
+
+// Restore installs previously exported runtime state.
+func (d *Detector) Restore(m Memento) {
+	d.state = m.State
+	d.pendingState = m.PendingState
+	d.pendingVotes = m.PendingVotes
+	d.cellBaseline = m.CellBaseline
+	d.haveBaseline = m.HaveBaseline
+}
+
 // Update classifies one epoch from the light reading, magnetic variance
 // and cellular scan, and returns the (hysteresis-filtered) state.
 func (d *Detector) Update(lightLux, magVarUT float64, cell rf.Vector) State {

@@ -38,6 +38,11 @@ type serverMetrics struct {
 	sessionsDetached *telemetry.Counter
 	sessionsResumed  *telemetry.Counter
 	epochsReplayed   *telemetry.Counter
+	replayEvictions  *telemetry.Counter
+
+	// Cross-node failover instruments.
+	sessionsInjected *telemetry.Counter
+	injectFailures   *telemetry.Counter
 }
 
 // batchSizeBuckets cover 1..maxBatch sessions per tick.
@@ -81,5 +86,9 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		sessionsDetached: reg.Counter("uniloc_sessions_detached_total", "v4 sessions parked for resume after a transport error"),
 		sessionsResumed:  reg.Counter("uniloc_sessions_resumed_total", "v4 re-handshakes re-attached to a detached session"),
 		epochsReplayed:   reg.Counter("resume_replays_total", "duplicate epochs answered from the per-seq result cache without re-stepping"),
+		replayEvictions:  reg.Counter("uniloc_replay_evictions_total", "replay-cache entries evicted at the per-session bound"),
+
+		sessionsInjected: reg.Counter("uniloc_sessions_injected_total", "sessions materialized from a peer's handoff blob (cross-node resumes)"),
+		injectFailures:   reg.Counter("uniloc_inject_failures_total", "handoff injections refused (bad blob, restore failure, or session limit)"),
 	}
 }

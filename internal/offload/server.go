@@ -121,6 +121,28 @@ type ServerConfig struct {
 	// compactions then stream back to every node. A returned error
 	// drops the submission (counted), never the session.
 	SurveyIngest func(*Survey) error
+
+	// ShipSession, when set, receives the freshly exported state of a
+	// v4+ session after every served epoch (cluster.Handoff replicates
+	// it to peer nodes). Called on the serving goroutine right after the
+	// result is delivered, so it must only enqueue — never block on the
+	// network. The blob is self-contained (offload.SessionState): a peer
+	// that injects it continues the walk at exactly this epoch.
+	ShipSession func(clientID string, seq uint32, state []byte)
+
+	// FetchSession, when set, is consulted on a v4+ hello whose client
+	// ID matches no locally detached session: a non-nil blob (obtained
+	// from a handoff peer) is injected and resumed, so the client's walk
+	// continues on this node with its exact state — zero restarted
+	// walks even when the owning node was killed without warning. Nil
+	// means no peer holds state and a fresh session opens.
+	FetchSession func(clientID string) []byte
+
+	// ReplayEntries / ReplayBytes bound each session's v4 replay cache
+	// (entries and encoded payload bytes; oldest evicted first, counted
+	// by uniloc_replay_evictions_total). 0 uses the package defaults.
+	ReplayEntries int
+	ReplayBytes   int
 }
 
 // Server runs the UniLoc framework (all localization schemes, error
@@ -132,6 +154,8 @@ type Server struct {
 	mgr          *SessionManager
 	stores       map[byte]*mapstore.Store
 	surveyIngest func(*Survey) error
+	shipSession  func(clientID string, seq uint32, state []byte)
+	fetchSession func(clientID string) []byte
 	epochTimeout time.Duration
 	sched        *scheduler    // nil: per-connection stepping
 	tracer       *trace.Tracer // nil: tracing off
@@ -153,8 +177,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if maxProto == 0 {
 		maxProto = ProtocolVersion
 	}
+	mgr.SetReplayCaps(cfg.ReplayEntries, cfg.ReplayBytes)
 	s := &Server{
 		mgr: mgr, stores: cfg.MapStores, surveyIngest: cfg.SurveyIngest,
+		shipSession: cfg.ShipSession, fetchSession: cfg.FetchSession,
 		epochTimeout: cfg.EpochTimeout,
 		tracer:       cfg.Tracer, pprofLabels: cfg.PprofLabels, maxProto: maxProto,
 	}
@@ -252,6 +278,27 @@ func (s *Server) handshake(conn net.Conn) (*Session, error) {
 				return nil, err
 			}
 			return sess, nil
+		}
+		// No local parked session: a peer may hold this walk's shipped
+		// state (its owning node died, or the router moved the key). A
+		// successful fetch+inject makes the resume path above work as if
+		// the walk had always lived here — same framework bits, same
+		// replay cache. Any failure falls through to a fresh Open at the
+		// hello's start position, exactly the pre-failover behavior.
+		if s.fetchSession != nil && hello.ClientID != "" {
+			if blob := s.fetchSession(hello.ClientID); blob != nil {
+				if err := s.mgr.Inject(blob); err == nil {
+					if sess := s.mgr.Resume(hello.ClientID, conn); sess != nil {
+						sess.proto = ver
+						welcome := &Welcome{Version: ver, OK: true, SessionID: sess.ID, Resumed: true}
+						if _, err := WriteFrame(conn, MsgWelcome, EncodeWelcome(welcome)); err != nil {
+							s.mgr.Detach(sess)
+							return nil, err
+						}
+						return sess, nil
+					}
+				}
+			}
 		}
 	}
 	sess, err := s.mgr.Open(hello.ClientID, geo.Pt(hello.StartX, hello.StartY), conn)
@@ -424,13 +471,13 @@ func (s *Server) epochLoop(conn net.Conn, sess *Session, ioFail func(error) erro
 			s.emitChild(&frame, sess, "server.read", s.tracer.At(arrived))
 			sess.spans.SetParent(frame.Context())
 		}
-		if Features(sess.proto).Resume && seq != 0 && seq == sess.lastSeq && sess.lastReply != nil {
+		if cached := sess.replay.get(seq); Features(sess.proto).Resume && seq != 0 && cached != nil {
 			// Reconnect replay: the client re-sent an epoch whose result
 			// was computed but lost in flight. Answer from the per-seq
 			// cache — re-stepping would double-advance PDR/HMM state.
 			s.mgr.noteReplay()
 			frame.Attr("replay", true)
-			_, err := WriteFrame(conn, MsgResult, sess.lastReply)
+			_, err := WriteFrame(conn, MsgResult, cached)
 			frame.End()
 			if err != nil {
 				return ioFail(err)
@@ -468,7 +515,8 @@ func (s *Server) epochLoop(conn net.Conn, sess *Session, ioFail func(error) erro
 		}
 		payload := EncodeResult(out)
 		if Features(sess.proto).Resume && seq != 0 {
-			sess.lastSeq, sess.lastReply = seq, payload
+			sess.lastSeq = seq
+			s.mgr.noteReplayEvictions(sess.replay.put(seq, payload))
 		}
 		var wStart int64
 		if frame.Recording() {
@@ -482,6 +530,7 @@ func (s *Server) epochLoop(conn net.Conn, sess *Session, ioFail func(error) erro
 		if err != nil {
 			return ioFail(err)
 		}
+		s.ship(sess)
 		if s.draining.Load() {
 			// Graceful drain: the in-flight epoch was finished and its
 			// result delivered; now close at the epoch boundary (serve's
@@ -493,6 +542,33 @@ func (s *Server) epochLoop(conn net.Conn, sess *Session, ioFail func(error) erro
 			return nil
 		}
 	}
+}
+
+// ship exports the session's state and hands it to the ShipSession
+// hook at an epoch boundary. The exported blob includes the epoch just
+// served (framework post-step, replay cache holding its result), so a
+// peer injecting it either answers the client's replay of that epoch
+// from the cache or steps the next one — never a double advance. The
+// epoch before the next ship lands is covered the other way: the
+// client re-sends it, and re-stepping it from this state is
+// deterministic. Only identified v4+ sessions ship; anonymous or
+// pre-resume sessions cannot be re-attached anywhere.
+func (s *Server) ship(sess *Session) {
+	if s.shipSession == nil || sess.ClientID == "" || !Features(sess.proto).Resume {
+		return
+	}
+	var vers map[byte]uint64
+	if len(s.stores) > 0 {
+		vers = make(map[byte]uint64, len(s.stores))
+		for id, st := range s.stores {
+			vers[id] = st.Version()
+		}
+	}
+	blob, err := s.mgr.ExportState(sess, vers)
+	if err != nil {
+		return // unsnapshotable session (untracked RNG): serve-local only
+	}
+	s.shipSession(sess.ClientID, sess.lastSeq, blob)
 }
 
 // readEpoch assembles one snapshot from frames up to MsgEpochEnd,

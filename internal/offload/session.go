@@ -35,9 +35,9 @@ type Session struct {
 
 	// Owned by the attached serving goroutine; a detach/resume cycle
 	// hands them to the next goroutine through the manager's lock.
-	proto     byte   // negotiated protocol version
-	lastSeq   uint32 // v4: last epoch sequence number answered
-	lastReply []byte // v4: encoded Result payload for lastSeq
+	proto   byte        // negotiated protocol version
+	replay  replayCache // v4: bounded per-seq result cache
+	lastSeq uint32      // v4: newest answered epoch sequence number
 
 	// Span-tracing state (nil/empty when the server has no tracer).
 	// spans is the framework-observer bridge that turns each epoch's
@@ -110,13 +110,21 @@ type Stats struct {
 	StepWorkers int
 
 	// Protocol v4 resume counters: sessions parked after a transport
-	// error, re-handshakes re-attached to a parked session, and
-	// duplicate epochs answered from the per-seq result cache without
-	// re-stepping (each replay would otherwise have double-advanced
-	// PDR/HMM state).
-	Detached       int64
-	Resumed        int64
-	ReplayedEpochs int64
+	// error, re-handshakes re-attached to a parked session, duplicate
+	// epochs answered from the per-seq result cache without re-stepping
+	// (each replay would otherwise have double-advanced PDR/HMM state),
+	// and replay-cache entries evicted at the per-session bound.
+	Detached        int64
+	Resumed         int64
+	ReplayedEpochs  int64
+	ReplayEvictions int64
+
+	// Cross-node failover counters: session states injected from a
+	// peer's handoff blob (each one is a walk continued on this node
+	// after its origin died), and injections refused (bad blob,
+	// factory/restore failure, session limit).
+	Injected       int64
+	InjectFailures int64
 
 	// Batch scheduler counters (BatchTick > 0): batches executed,
 	// epochs stepped through batches, and shared distance-cache
@@ -183,6 +191,13 @@ type SessionManager struct {
 	detachedN atomic.Int64 // sessions parked for resume
 	resumed   atomic.Int64 // re-handshakes re-attached to a parked session
 	replayed  atomic.Int64 // duplicate epochs answered from the seq cache
+	replayEv  atomic.Int64 // replay-cache entries evicted at the bound
+	injected  atomic.Int64 // sessions injected from a peer handoff blob
+	injectErr atomic.Int64 // handoff injections refused
+
+	// Per-session replay cache bounds (0: package defaults).
+	replayEntries int
+	replayBytes   int
 
 	batches       atomic.Int64 // batch ticks executed
 	batchedEpochs atomic.Int64 // epochs stepped through batches
@@ -386,6 +401,7 @@ func (m *SessionManager) Open(clientID string, start geo.Point, conn net.Conn) (
 		lat:        telemetry.NewHistogram(telemetry.DefBuckets()),
 		pins:       pins,
 	}
+	s.replay.maxEntries, s.replay.maxBytes = m.replayEntries, m.replayBytes
 	s.spanLabel = clientID
 	if s.spanLabel == "" {
 		s.spanLabel = fmt.Sprintf("session-%d", id)
@@ -482,6 +498,151 @@ func (m *SessionManager) Resume(clientID string, conn net.Conn) *Session {
 func (m *SessionManager) noteReplay() {
 	m.replayed.Add(1)
 	m.met.epochsReplayed.Inc()
+}
+
+// noteReplayEvictions accounts replay-cache entries evicted at the
+// per-session bound.
+func (m *SessionManager) noteReplayEvictions(n int) {
+	if n <= 0 {
+		return
+	}
+	m.replayEv.Add(int64(n))
+	m.met.replayEvictions.Add(int64(n))
+}
+
+// SetReplayCaps bounds every subsequently opened (or injected)
+// session's v4 replay cache: at most entries cached results, at most
+// bytes of encoded payload, oldest evicted first. Zero values keep the
+// package defaults. Call before serving.
+func (m *SessionManager) SetReplayCaps(entries, bytes int) {
+	m.replayEntries, m.replayBytes = entries, bytes
+}
+
+// ExportState serializes a session for cross-node handoff: identity,
+// protocol, the replay cache, the given map-store versions, and the
+// framework snapshot. Must be called from the goroutine driving the
+// session's epochs (it reads the same state Step mutates) — the server
+// exports at epoch boundaries.
+func (m *SessionManager) ExportState(s *Session, mapVers map[byte]uint64) ([]byte, error) {
+	fw, err := s.fw.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	st := &SessionState{
+		ClientID: s.ClientID,
+		Proto:    s.proto,
+		Seq:      s.lastSeq,
+		Replay:   make([]ReplayEntry, 0, len(s.replay.entries)),
+		MapVers:  mapVers,
+		FW:       fw,
+	}
+	for _, e := range s.replay.entries {
+		st.Replay = append(st.Replay, ReplayEntry{Seq: e.seq, Payload: e.payload})
+	}
+	return EncodeSessionState(st), nil
+}
+
+// Inject materializes a session from a peer's handoff blob and parks
+// it detached, exactly as if the walk had been served here and its
+// connection had dropped: a v4 re-handshake under the blob's client ID
+// then resumes it via Resume, replay cache intact, framework state
+// bit-identical to the origin's last export. Respects the session
+// limit. The caller typically follows up with Resume immediately.
+func (m *SessionManager) Inject(blob []byte) error {
+	err := m.inject(blob)
+	if err != nil {
+		m.injectErr.Add(1)
+		m.met.injectFailures.Inc()
+	}
+	return err
+}
+
+func (m *SessionManager) inject(blob []byte) error {
+	st, err := DecodeSessionState(blob)
+	if err != nil {
+		return err
+	}
+	if st.ClientID == "" {
+		return fmt.Errorf("offload: session state carries no client ID")
+	}
+	m.mu.Lock()
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		m.mu.Unlock()
+		return ErrServerFull
+	}
+	m.nextID++
+	id := m.nextID
+	m.mu.Unlock()
+
+	// Build and restore outside the lock, mirroring Open.
+	fw, err := m.factory()
+	if err != nil {
+		return fmt.Errorf("offload: framework factory: %w", err)
+	}
+	if m.stepWorkers > 1 {
+		fw.SetParallel(m.stepWorkers)
+	}
+	fw.SetHealth(m.health)
+	var pins map[byte]*sharedcompute.Entry
+	if m.shared != nil {
+		fw.SetSharedCompute(m.shared)
+		pins = make(map[byte]*sharedcompute.Entry, len(m.sharedStores))
+		for mapID, stg := range m.sharedStores {
+			if e := m.shared.Retain(stg.Snapshot(), stg.Name()); e != nil {
+				pins[mapID] = e
+			}
+		}
+	}
+	s := &Session{
+		ID: id, ClientID: st.ClientID, fw: fw,
+		lastActive: m.now(),
+		lat:        telemetry.NewHistogram(telemetry.DefBuckets()),
+		pins:       pins,
+	}
+	s.spanLabel = st.ClientID
+	if err := fw.Restore(st.FW); err != nil {
+		fw.Close()
+		m.releasePins(s)
+		return fmt.Errorf("offload: restore handoff state: %w", err)
+	}
+	s.proto = st.Proto
+	s.lastSeq = st.Seq
+	s.replay.maxEntries, s.replay.maxBytes = m.replayEntries, m.replayBytes
+	for _, e := range st.Replay {
+		s.replay.put(e.Seq, e.Payload)
+	}
+	if m.tracer.Enabled() {
+		s.spans = trace.NewEpochSpans(m.tracer, s.spanLabel)
+		if prev := fw.Observer(); prev != nil {
+			fw.SetObserver(telemetry.MultiObserver(prev, s.spans))
+		} else {
+			fw.SetObserver(s.spans)
+		}
+	}
+	if m.pprofLabels {
+		fw.SetPprofLabels(true)
+	}
+
+	m.mu.Lock()
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		m.mu.Unlock()
+		fw.Close()
+		m.releasePins(s)
+		return ErrServerFull
+	}
+	m.sessions[id] = s
+	// Park detached: at most one per client ID, newest state wins.
+	old := m.detached[st.ClientID]
+	m.detached[st.ClientID] = s
+	active := len(m.sessions)
+	m.mu.Unlock()
+	if old != nil && old != s {
+		m.Close(old)
+	}
+	m.injected.Add(1)
+	m.met.sessionsInjected.Inc()
+	m.met.sessionsActive.Set(float64(active))
+	return nil
 }
 
 // noteBatch accounts one executed batch: its size, how many distinct
@@ -649,6 +810,9 @@ func (m *SessionManager) Stats() Stats {
 		Detached:             m.detachedN.Load(),
 		Resumed:              m.resumed.Load(),
 		ReplayedEpochs:       m.replayed.Load(),
+		ReplayEvictions:      m.replayEv.Load(),
+		Injected:             m.injected.Load(),
+		InjectFailures:       m.injectErr.Load(),
 		Batches:              m.batches.Load(),
 		BatchedEpochs:        m.batchedEpochs.Load(),
 		DistCacheHits:        m.cacheHits.Load(),

@@ -1,0 +1,101 @@
+package offload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestReplayCacheBounds pins the v4 replay cache's eviction contract:
+// entries and bytes are capped, oldest entries go first, the newest
+// entry always survives, and every cached seq stays answerable until
+// evicted.
+func TestReplayCacheBounds(t *testing.T) {
+	c := replayCache{maxEntries: 4, maxBytes: 1 << 20}
+	evicted := 0
+	for seq := uint32(1); seq <= 10; seq++ {
+		evicted += c.put(seq, []byte(fmt.Sprintf("result-%d", seq)))
+	}
+	if evicted != 6 {
+		t.Fatalf("evicted %d entries, want 6", evicted)
+	}
+	if len(c.entries) != 4 {
+		t.Fatalf("cache holds %d entries, want 4", len(c.entries))
+	}
+	for seq := uint32(1); seq <= 6; seq++ {
+		if c.get(seq) != nil {
+			t.Errorf("seq %d should have been evicted", seq)
+		}
+	}
+	for seq := uint32(7); seq <= 10; seq++ {
+		want := fmt.Sprintf("result-%d", seq)
+		if got := c.get(seq); string(got) != want {
+			t.Errorf("seq %d: got %q, want %q", seq, got, want)
+		}
+	}
+
+	// Byte cap: payloads of 100 bytes under a 250-byte cap keep 2.
+	c = replayCache{maxEntries: 100, maxBytes: 250}
+	for seq := uint32(1); seq <= 5; seq++ {
+		c.put(seq, make([]byte, 100))
+	}
+	if len(c.entries) != 2 || c.bytes != 200 {
+		t.Fatalf("byte-capped cache holds %d entries / %d bytes, want 2 / 200", len(c.entries), c.bytes)
+	}
+
+	// An oversized payload still keeps exactly the newest entry.
+	c.put(6, make([]byte, 1000))
+	if len(c.entries) != 1 || c.get(6) == nil {
+		t.Fatalf("oversized newest entry must survive alone, have %d entries", len(c.entries))
+	}
+
+	// Re-putting an existing seq replaces, never duplicates.
+	c = replayCache{}
+	c.put(1, []byte("a"))
+	c.put(1, []byte("bb"))
+	if len(c.entries) != 1 || string(c.get(1)) != "bb" || c.bytes != 2 {
+		t.Fatalf("re-put must replace: %d entries, %q, %d bytes", len(c.entries), c.get(1), c.bytes)
+	}
+}
+
+// TestSessionStateRoundTrip pins the handoff blob codec.
+func TestSessionStateRoundTrip(t *testing.T) {
+	st := &SessionState{
+		ClientID: "phone-42",
+		Proto:    ProtocolV5,
+		Seq:      17,
+		Replay: []ReplayEntry{
+			{Seq: 16, Payload: []byte("r16")},
+			{Seq: 17, Payload: []byte("r17")},
+		},
+		MapVers: map[byte]uint64{MapWiFi: 9, MapCellular: 4},
+		FW:      []byte{1, 2, 3, 4},
+	}
+	blob := EncodeSessionState(st)
+	got, err := DecodeSessionState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ClientID != st.ClientID || got.Proto != st.Proto || got.Seq != st.Seq {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Replay) != 2 || got.Replay[0].Seq != 16 || !bytes.Equal(got.Replay[1].Payload, []byte("r17")) {
+		t.Fatalf("replay mismatch: %+v", got.Replay)
+	}
+	if got.MapVers[MapWiFi] != 9 || got.MapVers[MapCellular] != 4 {
+		t.Fatalf("map versions mismatch: %+v", got.MapVers)
+	}
+	if !bytes.Equal(got.FW, st.FW) {
+		t.Fatalf("framework blob mismatch")
+	}
+
+	// Truncations and version skew fail loudly, never misread.
+	if _, err := DecodeSessionState(blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated blob must be rejected")
+	}
+	bad := append([]byte{}, blob...)
+	bad[0] = 99
+	if _, err := DecodeSessionState(bad); err == nil {
+		t.Fatal("unknown version must be rejected")
+	}
+}

@@ -184,6 +184,23 @@ func (f *Filter) Estimate() geo.Point {
 	return geo.Pt(x/w, y/w)
 }
 
+// ExportParticles copies out the particle set for session migration.
+func (f *Filter) ExportParticles() []Particle {
+	return append([]Particle(nil), f.Particles...)
+}
+
+// RestoreParticles installs a previously exported particle set. The
+// double buffer is scratch — Resample overwrites it fully before use —
+// so only the live particles determine future outputs.
+func (f *Filter) RestoreParticles(ps []Particle) {
+	if cap(f.Particles) >= len(ps) {
+		f.Particles = f.Particles[:len(ps)]
+	} else {
+		f.Particles = make([]Particle, len(ps))
+	}
+	copy(f.Particles, ps)
+}
+
 // Spread returns the weighted RMS distance of particles from the
 // estimate — a cheap uncertainty proxy.
 func (f *Filter) Spread() float64 {

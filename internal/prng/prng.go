@@ -1,0 +1,66 @@
+// Package prng provides a counting random source: a rand.Source64
+// that delegates every draw to the standard library generator while
+// keeping a (seed, draws) pair that fully describes its state. The
+// pair is what cross-node session migration ships — restoring a
+// source on another node reseeds the underlying generator and
+// discards the counted draws, after which the stream continues
+// bit-identically to an uninterrupted run.
+//
+// The wrapper adds one counter increment per draw and nothing else:
+// rand.New(prng.New(seed)) produces the exact output sequence of
+// rand.New(rand.NewSource(seed)), so schemes that adopt a tracked
+// source keep every existing golden result.
+package prng
+
+import "math/rand"
+
+// Source is a serializable rand.Source64. Not safe for concurrent
+// use — like the source it wraps, each consumer needs its own.
+type Source struct {
+	seed  int64
+	draws uint64
+	src   rand.Source64
+}
+
+// New creates a tracked source seeded like rand.NewSource(seed).
+func New(seed int64) *Source {
+	return &Source{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count.
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// State returns the (seed, draws) pair that identifies the stream
+// position.
+func (s *Source) State() (seed int64, draws uint64) { return s.seed, s.draws }
+
+// Restore rewinds or fast-forwards the source to the given state:
+// reseed, then burn draws variates. Every rand.Rand method bottoms
+// out in exactly one underlying draw per Int63/Uint64 call (both
+// advance the same generator state once), so replaying the count
+// reproduces the stream position regardless of which methods
+// originally consumed it.
+func (s *Source) Restore(seed int64, draws uint64) {
+	s.src.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Uint64()
+	}
+	s.seed = seed
+	s.draws = draws
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/geo"
 	"repro/internal/gnss"
+	"repro/internal/prng"
 	"repro/internal/rf"
 	"repro/internal/schemes"
 	"repro/internal/walker"
@@ -79,15 +80,22 @@ func (a *Assets) Schemes(rnd *rand.Rand) []schemes.Scheme {
 // rnd in canonical scheme order: handing the parent to two consumers
 // would couple their outputs to call order and forbid running them
 // concurrently (core.WithParallel).
+// Each stream runs over a counting prng.Source (output bit-identical
+// to the plain stdlib source it wraps), so the randomized schemes are
+// snapshotable for cross-node session migration.
 func (a *Assets) SchemesOver(wifiMap, cellMap fingerprint.Map, rnd *rand.Rand) []schemes.Scheme {
-	pdrRnd := rand.New(rand.NewSource(rnd.Int63()))
-	fusionRnd := rand.New(rand.NewSource(rnd.Int63()))
+	pdrSrc := prng.New(rnd.Int63())
+	fusionSrc := prng.New(rnd.Int63())
+	pdr := schemes.NewPDR(a.Place.World, schemes.DefaultPDRConfig(), rand.New(pdrSrc))
+	pdr.TrackSource(pdrSrc)
+	fusion := schemes.NewFusion(a.Place.World, wifiMap, schemes.DefaultFusionConfig(), rand.New(fusionSrc))
+	fusion.TrackSource(fusionSrc)
 	return []schemes.Scheme{
 		schemes.NewGPS(a.Place.World.Proj),
 		schemes.NewWiFi(wifiMap),
 		schemes.NewCellular(cellMap),
-		schemes.NewPDR(a.Place.World, schemes.DefaultPDRConfig(), pdrRnd),
-		schemes.NewFusion(a.Place.World, wifiMap, schemes.DefaultFusionConfig(), fusionRnd),
+		pdr,
+		fusion,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/geo"
 	"repro/internal/particle"
+	"repro/internal/prng"
 	"repro/internal/rf"
 	"repro/internal/sensing"
 	"repro/internal/sharedcompute"
@@ -56,6 +57,7 @@ type Fusion struct {
 	w   *world.World
 	m   fingerprint.Map
 	rnd *rand.Rand
+	src *prng.Source // counting source under rnd; nil = unsnapshotable
 
 	filter       *particle.Filter
 	lastEst      geo.Point

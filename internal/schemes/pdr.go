@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/particle"
+	"repro/internal/prng"
 	"repro/internal/sensing"
 	"repro/internal/world"
 )
@@ -46,6 +47,7 @@ type PDR struct {
 	cfg PDRConfig
 	w   *world.World
 	rnd *rand.Rand
+	src *prng.Source // counting source under rnd; nil = unsnapshotable
 
 	filter       *particle.Filter
 	lastEst      geo.Point

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Cluster serving smoke: 3 uniloc-server backends behind a
-# uniloc-router, a 64-walker loadgen fleet, and a kill -9 of one
-# backend mid-walk. Passes when every walker finishes its walk (the
-# victim's sessions re-route through the router and reconnect) and the
-# BENCH_cluster.json artifact is written.
+# Cluster failover smoke: 3 uniloc-server backends in a session-handoff
+# mesh, fronted by TWO uniloc-routers, a 64-walker loadgen fleet, and a
+# kill -9 of one backend AND one router mid-walk. Passes when every
+# walker finishes its walk — the dead backend's sessions migrate to
+# survivors over the handoff mesh (cross-node resumes, not restarts),
+# the dead router's clients fail over to the second router — and the
+# BENCH_cluster.json artifact (schema v1.2) records the failover block.
 #
 # Usage: scripts/cluster_smoke.sh [out.json]
 #
@@ -45,14 +47,21 @@ wait_port() { # host:port, seconds
   exec 3>&- 2>/dev/null || true
 }
 
-echo "== starting 3 backends (each trains its models first — takes a moment)"
+echo "== starting 3 backends in a handoff mesh (each trains its models first — takes a moment)"
 BACKENDS=()
 METRICS=()
+HANDOFF=("127.0.0.1:7861" "127.0.0.1:7862" "127.0.0.1:7863")
 NODE_PIDS=()
 for i in 1 2 3; do
   addr="127.0.0.1:784$i"
   maddr="127.0.0.1:785$i"
+  peers=()
+  for j in 0 1 2; do
+    [[ $((j + 1)) -ne $i ]] && peers+=("${HANDOFF[$j]}")
+  done
   "$BIN/uniloc-server" -addr "$addr" -metrics-addr "$maddr" \
+    -handoff-listen "${HANDOFF[$((i - 1))]}" \
+    -handoff-peers "$(IFS=,; echo "${peers[*]}")" \
     -stats-every 0 -drain-grace 5s >"$LOGS/node$i.log" 2>&1 &
   NODE_PIDS+=($!)
   PIDS+=($!)
@@ -63,24 +72,33 @@ for i in 0 1 2; do
   wait_port "${BACKENDS[$i]}" 120
 done
 
-echo "== starting router"
-ROUTER="127.0.0.1:7840"
-"$BIN/uniloc-router" -addr "$ROUTER" \
-  -backends "$(IFS=,; echo "${BACKENDS[*]}")" \
-  -metrics-addr 127.0.0.1:7850 -health-every 500ms >"$LOGS/router.log" 2>&1 &
-PIDS+=($!)
-wait_port "$ROUTER" 30
+echo "== starting 2 routers over the same ring"
+ROUTERS=("127.0.0.1:7840" "127.0.0.1:7846")
+ROUTER_PIDS=()
+for i in 0 1; do
+  "$BIN/uniloc-router" -addr "${ROUTERS[$i]}" \
+    -backends "$(IFS=,; echo "${BACKENDS[*]}")" \
+    -metrics-addr "127.0.0.1:785$((6 + i))" -health-every 500ms >"$LOGS/router$i.log" 2>&1 &
+  ROUTER_PIDS+=($!)
+  PIDS+=($!)
+done
+wait_port "${ROUTERS[0]}" 30
+wait_port "${ROUTERS[1]}" 30
 
-echo "== launching 64 walkers through the router"
-"$BIN/uniloc-loadgen" -addr "$ROUTER" -walkers 64 -epochs 80 -pace 50ms \
+echo "== launching 64 walkers across both routers"
+"$BIN/uniloc-loadgen" -addr "$(IFS=,; echo "${ROUTERS[*]}")" \
+  -walkers 64 -epochs 80 -pace 50ms \
   -node-metrics "$(IFS=,; echo "${METRICS[*]}")" \
   -out "$OUT" >"$LOGS/loadgen.log" 2>&1 &
 LG_PID=$!
 PIDS+=($LG_PID)
 
 sleep 3
-echo "== killing backend 3 mid-walk (${BACKENDS[2]})"
+echo "== killing backend 3 mid-walk (${BACKENDS[2]}): its walks must migrate, not restart"
 kill -9 "${NODE_PIDS[2]}" 2>/dev/null || true
+sleep 2
+echo "== killing router 1 mid-walk (${ROUTERS[0]}): its clients must fail over to router 2"
+kill -9 "${ROUTER_PIDS[0]}" 2>/dev/null || true
 
 if ! wait "$LG_PID"; then
   echo "loadgen failed; logs follow" >&2
@@ -93,7 +111,7 @@ tail -5 "$LOGS/loadgen.log"
 
 echo "== checking $OUT"
 jq -e '
-  .schema == "uniloc-bench-cluster/v1.1"
+  .schema == "uniloc-bench-cluster/v1.2"
   and .walkers == 64
   and .nodes == 3
   and .epochs_total == 64 * 80
@@ -105,5 +123,8 @@ jq -e '
   and (.timeline | length > 0)
   and (.sessions_per_node | length >= 2)
   and ([.sessions_per_node[]] | add >= 2)
+  and .failover.cross_node_resumes >= 1
+  and .failover.time_to_resume_max_ms > 0
+  and (.failover.injected_per_node | length >= 1)
 ' "$OUT" >/dev/null
-echo "cluster smoke OK: all 64 walkers completed across a node kill"
+echo "cluster smoke OK: 64 walkers survived a backend kill -9 and a router kill -9"
